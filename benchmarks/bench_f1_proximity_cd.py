@@ -1,0 +1,158 @@
+"""F1 — Proximity effect: printed linewidth vs. local pattern density.
+
+The central proximity figure: a fine line's developed CD as a function of
+the surrounding pattern density, uncorrected and with each correction
+scheme (iterative dose, shape bias, GHOST).  Uncorrected CD grows with
+density; correction flattens the curve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.polygon import Polygon
+from repro.geometry.rasterize import RasterFrame
+from repro.pec.dose_iter import IterativeDoseCorrector
+from repro.pec.ghost import GhostCorrector, GhostExposure
+from repro.pec.shape_bias import ShapeBiasCorrector
+from repro.physics.exposure import ExposureSimulator, shot_dose_map
+from repro.physics.metrology import measure_linewidth
+from repro.physics.psf import DoubleGaussianPSF
+
+PSF = DoubleGaussianPSF(alpha=0.12, beta=2.0, eta=0.74)
+LINE_WIDTH = 0.6
+PAD = 14.0  # µm pad height/length
+THRESHOLD = 0.5
+
+
+def density_pattern(density: float):
+    """A 0.6 µm test line at the centre of a grating of given duty."""
+    pitch = 1.5
+    lines = int(PAD / pitch)
+    polys = []
+    center_index = lines // 2
+    center_x = None
+    for i in range(lines):
+        x = i * pitch
+        if i == center_index:
+            width = LINE_WIDTH
+            center_x = x + width / 2
+        else:
+            width = pitch * density
+        if width > 0:
+            polys.append(Polygon.rectangle(x, 0, x + width, PAD))
+    return polys, center_x
+
+
+def printed_cd(shots, center_x, ghost_shots=None):
+    bbox = (0, 0, PAD, PAD)
+    frame = RasterFrame.around(bbox, 0.05, margin=6.0)
+    if ghost_shots is not None:
+        exposure = GhostExposure(PSF, frame)
+        image = exposure.absorbed(shots, ghost_shots)
+        threshold = THRESHOLD + PSF.background_level() * 0.9
+    else:
+        sim = ExposureSimulator(PSF, frame)
+        image = sim.absorbed_energy(shot_dose_map(shots, frame))
+        threshold = THRESHOLD
+    return measure_linewidth(
+        image, frame, threshold, cut_y=PAD / 2, near_x=center_x
+    )
+
+
+def run_experiment() -> str:
+    table = Table(
+        ["density", "uncorrected [µm]", "dose-PEC [µm]", "edge-PEC [µm]",
+         "bias [µm]", "GHOST [µm]"],
+        title=(
+            f"F1: printed CD of a {LINE_WIDTH} µm line vs. surrounding "
+            "density (design = 0.600)"
+        ),
+    )
+    fracturer = TrapezoidFracturer()
+    for density in (0.0, 0.2, 0.4, 0.6, 0.8):
+        polys, center_x = density_pattern(density)
+        shots = fracturer.fracture_to_shots(polys)
+
+        uncorrected = printed_cd(shots, center_x)
+        dose = printed_cd(
+            IterativeDoseCorrector().correct(shots, PSF), center_x
+        )
+        edge = printed_cd(
+            IterativeDoseCorrector(sample_mode="edge").correct(shots, PSF),
+            center_x,
+        )
+        bias = printed_cd(
+            ShapeBiasCorrector().correct(shots, PSF), center_x
+        )
+        ghost = GhostCorrector(margin=6.0)
+        ghost_shots = ghost.ghost_shots(shots, PSF)
+        ghosted = printed_cd(shots, center_x, ghost_shots=ghost_shots)
+
+        table.add_row(
+            [
+                f"{density:.0%}",
+                _fmt(uncorrected),
+                _fmt(dose),
+                _fmt(edge),
+                _fmt(bias),
+                _fmt(ghosted),
+            ]
+        )
+    return table.render()
+
+
+def _fmt(value):
+    return f"{value:.3f}" if value is not None else "no print"
+
+
+def cd_spread(correct):
+    """Max-min printed CD across the density sweep for one scheme."""
+    fracturer = TrapezoidFracturer()
+    values = []
+    for density in (0.0, 0.4, 0.8):
+        polys, center_x = density_pattern(density)
+        shots = fracturer.fracture_to_shots(polys)
+        if correct is not None:
+            shots = correct(shots)
+        cd = printed_cd(shots, center_x)
+        if cd is not None:
+            values.append(cd)
+    return max(values) - min(values) if len(values) >= 2 else float("inf")
+
+
+def test_f1_proximity_cd(benchmark, save_table):
+    save_table("f1_proximity_cd", run_experiment())
+    polys, _ = density_pattern(0.5)
+    shots = TrapezoidFracturer().fracture_to_shots(polys)
+    frame = RasterFrame.around((0, 0, PAD, PAD), 0.05, margin=6.0)
+    sim = ExposureSimulator(PSF, frame)
+    benchmark(sim.expose_shots, shots)
+
+
+def test_f1_dose_pec_flattens_cd(benchmark, save_table):
+    """Quantitative claim: dose PEC reduces the CD-vs-density spread."""
+    raw_spread = cd_spread(None)
+    pec_spread = cd_spread(
+        lambda shots: IterativeDoseCorrector().correct(shots, PSF)
+    )
+    assert pec_spread < raw_spread
+    polys, _ = density_pattern(0.5)
+    shots = TrapezoidFracturer().fracture_to_shots(polys)
+    benchmark(IterativeDoseCorrector().correct, shots, PSF)
+
+
+def test_f1_edge_pec_near_flat(benchmark, save_table):
+    """Edge targeting: CD spread below 10 nm across the density sweep."""
+    edge_spread = cd_spread(
+        lambda shots: IterativeDoseCorrector(sample_mode="edge").correct(
+            shots, PSF
+        )
+    )
+    assert edge_spread < 0.01
+    polys, _ = density_pattern(0.5)
+    shots = TrapezoidFracturer().fracture_to_shots(polys)
+    benchmark(
+        IterativeDoseCorrector(sample_mode="edge").correct, shots, PSF
+    )

@@ -1,0 +1,140 @@
+"""F2 — PEC convergence: exposure error vs. iteration.
+
+Reconstructs the dose-correction convergence figure: maximum relative
+exposure error at each iteration of the self-consistent solver, for an
+easy case (isolated line + pad) and a hard one (dense grating).  Also
+compares the one-shot matrix solve and ablates the representative-point
+choice (centroid vs. bbox centre) and relaxation factor.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.polygon import Polygon
+from repro.layout import generators
+from repro.layout.flatten import flatten_cell
+from repro.pec.dose_iter import IterativeDoseCorrector
+from repro.pec.dose_matrix import MatrixDoseCorrector
+from repro.pec.report import correction_report
+from repro.physics.psf import DoubleGaussianPSF
+
+PSF = DoubleGaussianPSF(alpha=0.12, beta=2.0, eta=0.74)
+
+
+def line_and_pad_shots():
+    lib = generators.isolated_line_with_pad()
+    flat = flatten_cell(lib.top_cell())
+    polys = [p for v in flat.values() for p in v]
+    return TrapezoidFracturer().fracture_to_shots(polys)
+
+
+def dense_grating_shots():
+    polys = [Polygon.rectangle(i * 1.2, 0, i * 1.2 + 0.8, 20) for i in range(24)]
+    return TrapezoidFracturer().fracture_to_shots(polys)
+
+
+def run_convergence() -> str:
+    table = Table(
+        ["iteration", "line+pad max err", "grating max err"],
+        title="F2: self-consistent dose iteration convergence",
+    )
+    traces = []
+    for shots in (line_and_pad_shots(), dense_grating_shots()):
+        corrector = IterativeDoseCorrector(max_iterations=10, tolerance=0.0)
+        corrector.correct(shots, PSF)
+        traces.append(corrector.last_trace.max_errors)
+    for i in range(10):
+        table.add_row([i, traces[0][i], traces[1][i]])
+    return table.render()
+
+
+def run_method_comparison() -> str:
+    table = Table(
+        ["method", "spread line+pad", "spread grating"],
+        title="F2a: correction method comparison (exposure spread)",
+    )
+    methods = [
+        ("uncorrected", None),
+        ("iterative k=5", IterativeDoseCorrector(max_iterations=5)),
+        ("iterative k=30", IterativeDoseCorrector(max_iterations=30)),
+        ("matrix solve", MatrixDoseCorrector()),
+        (
+            "iterative, bbox centre",
+            IterativeDoseCorrector(max_iterations=30, sample_mode="center"),
+        ),
+        (
+            "iterative, relaxed 0.5",
+            IterativeDoseCorrector(max_iterations=30, relaxation=0.5),
+        ),
+    ]
+    for label, corrector in methods:
+        spreads = []
+        for shots in (line_and_pad_shots(), dense_grating_shots()):
+            corrected = (
+                corrector.correct(shots, PSF) if corrector else shots
+            )
+            spreads.append(correction_report(corrected, PSF).spread)
+        table.add_row([label, spreads[0], spreads[1]])
+    return table.render()
+
+
+def test_f2_convergence(benchmark, save_table):
+    save_table("f2_pec_convergence", run_convergence())
+    shots = dense_grating_shots()
+    corrector = IterativeDoseCorrector(max_iterations=10)
+    benchmark(corrector.correct, shots, PSF)
+
+
+def test_f2_method_comparison(benchmark, save_table):
+    save_table("f2a_method_comparison", run_method_comparison())
+    shots = dense_grating_shots()
+    benchmark(MatrixDoseCorrector().correct, shots, PSF)
+
+
+def run_quantization_ablation() -> str:
+    from repro.pec.quantize import dose_classes, quantize_doses
+
+    table = Table(
+        ["dose classes", "spread line+pad", "spread grating",
+         "worst snap"],
+        title="F2b: dose-class quantization (geometric classes 0.5–4.0)",
+    )
+    corrected = {
+        "line": IterativeDoseCorrector().correct(line_and_pad_shots(), PSF),
+        "grating": IterativeDoseCorrector().correct(
+            dense_grating_shots(), PSF
+        ),
+    }
+    for levels in (4, 8, 16, 64):
+        classes = dose_classes(levels=levels)
+        spreads = []
+        worst = 0.0
+        for shots in corrected.values():
+            quantized, step = quantize_doses(shots, classes)
+            worst = max(worst, step)
+            spreads.append(correction_report(quantized, PSF).spread)
+        table.add_row([levels, spreads[0], spreads[1], worst])
+    return table.render()
+
+
+def test_f2_quantization(benchmark, save_table):
+    from repro.pec.quantize import dose_classes, quantize_doses
+
+    save_table("f2b_dose_quantization", run_quantization_ablation())
+    shots = IterativeDoseCorrector().correct(dense_grating_shots(), PSF)
+    classes = dose_classes(levels=16)
+    benchmark(quantize_doses, shots, classes)
+
+
+def test_f2_geometric_convergence(save_table, benchmark):
+    """Errors must fall geometrically (factor >= 2 per iteration early)."""
+    corrector = IterativeDoseCorrector(max_iterations=6, tolerance=0.0)
+    corrector.correct(dense_grating_shots(), PSF)
+    errors = corrector.last_trace.max_errors
+    assert errors[3] < errors[0] / 4
+    benchmark(
+        IterativeDoseCorrector(max_iterations=3).correct,
+        line_and_pad_shots(),
+        PSF,
+    )

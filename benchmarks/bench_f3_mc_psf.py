@@ -1,0 +1,82 @@
+"""F3 — Monte-Carlo PSF derivation: radial profiles and (α, β, η) vs. kV.
+
+Runs the scattering simulator at 10/20/50 kV, fits the double-Gaussian
+proximity parameters, and compares them against the empirical literature
+formulas the PSF module ships.  The key shape: β scales as ~E^1.75 and η
+is roughly energy-independent.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.physics.montecarlo import MonteCarloSimulator, fit_double_gaussian
+from repro.physics.psf import backscatter_coefficient, backscatter_range
+
+ELECTRONS = 8000
+
+
+def run_experiment() -> str:
+    table = Table(
+        ["kV", "MC β [µm]", "lit. β [µm]", "MC η", "lit. η",
+         "backscatter yield"],
+        title=f"F3: Monte-Carlo PSF parameters ({ELECTRONS} electrons/point)",
+    )
+    for energy in (10.0, 20.0, 50.0):
+        sim = MonteCarloSimulator(energy_kev=energy, seed=100)
+        result = sim.run(electrons=ELECTRONS)
+        fit = fit_double_gaussian(result.bin_centers(), result.density)
+        table.add_row(
+            [
+                energy,
+                fit.beta,
+                backscatter_range(energy),
+                fit.eta,
+                backscatter_coefficient(),
+                result.backscatter_yield,
+            ]
+        )
+    return table.render()
+
+
+def run_radial_profile() -> str:
+    table = Table(
+        ["radius [µm]", "density @10 kV", "density @20 kV", "density @50 kV"],
+        title="F3a: radial deposited-energy density [keV/µm²/electron]",
+    )
+    results = {}
+    for energy in (10.0, 20.0, 50.0):
+        sim = MonteCarloSimulator(
+            energy_kev=energy, seed=100, r_min=1e-3, r_max=40.0, bins=32
+        )
+        results[energy] = sim.run(electrons=4000)
+    centers = results[20.0].bin_centers()
+    for i in range(0, len(centers), 4):
+        table.add_row(
+            [centers[i]]
+            + [results[e].density[i] for e in (10.0, 20.0, 50.0)]
+        )
+    return table.render()
+
+
+def test_f3_mc_psf(benchmark, save_table):
+    save_table("f3_mc_psf", run_experiment())
+    sim = MonteCarloSimulator(energy_kev=20.0, seed=5)
+    benchmark.pedantic(sim.run, args=(2000,), rounds=3, iterations=1)
+
+
+def test_f3_beta_scaling(benchmark, save_table):
+    """β(50 kV)/β(10 kV) should approach the (50/10)^1.75 power law."""
+    save_table("f3a_radial_profile", run_radial_profile())
+    fits = {}
+    for energy in (10.0, 50.0):
+        sim = MonteCarloSimulator(energy_kev=energy, seed=200)
+        result = sim.run(electrons=6000)
+        fits[energy] = fit_double_gaussian(
+            result.bin_centers(), result.density
+        )
+    ratio = fits[50.0].beta / fits[10.0].beta
+    expected = (50.0 / 10.0) ** 1.75
+    # MC statistics + fit slack: demand the right order of magnitude.
+    assert expected / 3 < ratio < expected * 3
+    sim = MonteCarloSimulator(energy_kev=10.0, seed=5)
+    benchmark.pedantic(sim.run, args=(1000,), rounds=3, iterations=1)

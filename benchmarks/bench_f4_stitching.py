@@ -1,0 +1,110 @@
+"""F4 — Field stitching: butting error vs. calibration order and stage noise.
+
+Reconstructs the overlay-budget figure: the distribution of butting
+errors at field boundaries as a function of deflection-calibration
+polynomial order, and the decomposition into deflection and stage
+contributions.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.machine.deflection import DeflectionField
+from repro.machine.stage import Stage
+from repro.machine.stitching import StitchingModel, overlay_budget
+
+
+def run_order_sweep() -> str:
+    table = Table(
+        ["cal. order", "butting RMS [µm]", "max [µm]", "deflection RMS",
+         "stage RMS"],
+        title="F4: butting error vs. deflection calibration order "
+        "(2 mm field, 50 nm stage noise)",
+    )
+    field = DeflectionField(size=2000.0)
+    stage = Stage(position_noise=0.05)
+    for order in (None, 1, 3, 5):
+        model = StitchingModel(
+            field=field, stage=stage, calibration_order=order
+        )
+        report = model.simulate(columns=4, rows=4, seed=7)
+        table.add_row(
+            [
+                "none" if order is None else order,
+                report.rms,
+                report.maximum,
+                report.deflection_contribution_rms,
+                report.stage_contribution_rms,
+            ]
+        )
+    return table.render()
+
+
+def run_stage_noise_sweep() -> str:
+    table = Table(
+        ["stage noise [µm]", "butting RMS [µm]"],
+        title="F4a: butting error vs. stage position noise (order-3 cal.)",
+    )
+    for noise in (0.01, 0.025, 0.05, 0.1, 0.2):
+        model = StitchingModel(
+            stage=Stage(position_noise=noise), calibration_order=3
+        )
+        report = model.simulate(columns=4, rows=4, seed=7)
+        table.add_row([noise, report.rms])
+    return table.render()
+
+
+def run_overlay_budget() -> str:
+    field = DeflectionField(size=2000.0)
+    cal = field.calibrate(order=3)
+    contributions = {
+        "deflection residual": cal.edge_residual_rms,
+        "stage position": 0.05,
+        "mark detection": 0.02,
+        "substrate distortion": 0.03,
+    }
+    total, share = overlay_budget(contributions)
+    table = Table(
+        ["contribution", "1σ [µm]", "share of variance"],
+        title=f"F4b: overlay budget (RSS total = {total:.4f} µm)",
+    )
+    for name, sigma in contributions.items():
+        table.add_row([name, sigma, f"{share[name]:.1%}"])
+    return table.render()
+
+
+def run_multipass_sweep() -> str:
+    table = Table(
+        ["passes", "butting RMS [µm]", "stage RMS [µm]"],
+        title="F4c: multipass averaging (100 nm stage noise, order-3 cal.)",
+    )
+    model = StitchingModel(
+        stage=Stage(position_noise=0.1), calibration_order=3
+    )
+    for passes in (1, 2, 4, 8):
+        report = model.simulate(columns=4, rows=4, seed=7, passes=passes)
+        table.add_row([passes, report.rms, report.stage_contribution_rms])
+    return table.render()
+
+
+def test_f4_stitching(benchmark, save_table):
+    save_table("f4_stitching_order", run_order_sweep())
+    save_table("f4a_stage_noise", run_stage_noise_sweep())
+    save_table("f4b_overlay_budget", run_overlay_budget())
+    save_table("f4c_multipass", run_multipass_sweep())
+    model = StitchingModel()
+    benchmark(model.simulate, 4, 4)
+
+
+def test_f4_calibration_order_monotone(benchmark, save_table):
+    """Higher calibration order must not worsen butting (zero noise)."""
+    stage = Stage(position_noise=0.0)
+    rms = []
+    for order in (None, 1, 3, 5):
+        model = StitchingModel(stage=stage, calibration_order=order)
+        rms.append(model.simulate(seed=3).rms)
+    assert rms[1] <= rms[0] + 1e-12
+    assert rms[2] <= rms[1]
+    assert rms[3] <= rms[2]
+    field = DeflectionField()
+    benchmark(field.calibrate, 3)

@@ -1,0 +1,120 @@
+"""F5 — Wafer throughput vs. resist sensitivity and beam current.
+
+Reconstructs the throughput figure: wafers per hour for each machine as
+a function of resist sensitivity.  The raster machine is flat until the
+column current ceiling forces its pixel rate down; vector and VSB decay
+hyperbolically with dose from the start.  The crossover locates the
+resist regime where each architecture wins — the tutorial's practical
+recommendation.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.analysis.throughput import ThroughputModel
+from repro.core.job import MachineJob
+from repro.machine.datapath import raster_channel_check, rle_bytes_estimate
+from repro.machine.raster import RasterScanWriter
+from repro.machine.vector import VectorScanWriter
+from repro.machine.vsb import ShapedBeamWriter
+
+CHIP = 2236.0  # 5 mm²
+DENSITY = 0.25
+#: 1 µm minimum features at 25 % density — the regime where the
+#: architecture winner flips along the resist-sensitivity axis.
+FIGURES = int(DENSITY * CHIP * CHIP / 1.0)
+
+SENSITIVITIES = (0.4, 1.0, 5.0, 20.0, 100.0, 500.0)
+
+
+def job_at(dose: float) -> MachineJob:
+    return MachineJob.synthetic(
+        figure_count=FIGURES,
+        pattern_area=DENSITY * CHIP * CHIP,
+        bounding_box=(0, 0, CHIP, CHIP),
+        base_dose=dose,
+    )
+
+
+def run_experiment() -> str:
+    table = Table(
+        ["dose [µC/cm²]", "raster [wph]", "vector [wph]", "VSB [wph]",
+         "winner"],
+        title="F5: wafers/hour vs. resist sensitivity "
+        "(5 mm² chip, 25% density, 3-inch wafer)",
+    )
+    model = ThroughputModel()
+    for dose in SENSITIVITIES:
+        job = job_at(dose)
+        rates = {}
+        for machine in (
+            RasterScanWriter(address_unit=0.5, calibration_time=2.0),
+            VectorScanWriter(spot_size=0.5),
+            ShapedBeamWriter(max_shot=2.0),
+        ):
+            rates[machine.name] = model.report(machine, job).wafers_per_hour
+        winner = max(rates, key=rates.get)
+        table.add_row(
+            [
+                dose,
+                rates["raster"],
+                rates["vector"],
+                rates["shaped-beam"],
+                winner,
+            ]
+        )
+    return table.render()
+
+
+def run_data_rate_check() -> str:
+    table = Table(
+        ["density", "RLE rate [MB/s]", "channel-limited?"],
+        title="F5a: raster datapath demand vs. a 5 MB/s channel",
+    )
+    from repro.geometry.trapezoid import Trapezoid
+
+    writer = RasterScanWriter(address_unit=0.5)
+    for density in (0.05, 0.25, 0.6):
+        count = int(density * CHIP * CHIP / 4.0)
+        # Representative figure population: 2x2 µm rectangles.
+        figures = [Trapezoid.from_rectangle(0, 0, 2, 2)] * count
+        rle = rle_bytes_estimate(figures, height=CHIP, address_unit=0.5)
+        write_time = (CHIP / 0.5) ** 2 / writer.pixel_rate
+        check = raster_channel_check(
+            writer.pixel_rate, rle, write_time, channel_rate=5e6
+        )
+        table.add_row(
+            [
+                f"{density:.0%}",
+                check.required_rate / 1e6,
+                "yes" if check.limited else "no",
+            ]
+        )
+    return table.render()
+
+
+def test_f5_throughput(benchmark, save_table):
+    save_table("f5_throughput", run_experiment())
+    save_table("f5a_data_rate", run_data_rate_check())
+    model = ThroughputModel()
+    machine = RasterScanWriter()
+    benchmark(model.report, machine, job_at(5.0))
+
+
+def test_f5_shapes(benchmark, save_table):
+    """The qualitative shapes: raster flat then falling; vector 1/dose."""
+    model = ThroughputModel()
+    raster = [
+        model.report(RasterScanWriter(address_unit=0.5), job_at(d)).wafers_per_hour
+        for d in (0.4, 5.0, 500.0)
+    ]
+    # Flat between fast resists, degraded for very slow resist.
+    assert raster[0] == pytest.approx(raster[1], rel=0.05)
+    assert raster[2] < raster[0] * 0.6
+
+    vector = [
+        model.report(VectorScanWriter(spot_size=0.5), job_at(d)).wafers_per_hour
+        for d in (0.4, 40.0)
+    ]
+    assert vector[1] < vector[0]
+    benchmark(model.report, VectorScanWriter(), job_at(20.0))

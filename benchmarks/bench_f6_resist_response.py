@@ -1,0 +1,106 @@
+"""F6 — Resist response: contrast curves and exposure latitude.
+
+Reconstructs the resist-characterization figure: normalized remaining
+thickness vs. dose for the three period resists (PMMA, PBS, COP), and
+the printed-CD-vs-dose curve of a 1 µm line with its dose latitude.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.fracture.base import Shot
+from repro.geometry.rasterize import RasterFrame
+from repro.geometry.trapezoid import Trapezoid
+from repro.physics.exposure import ExposureSimulator, shot_dose_map
+from repro.physics.metrology import dose_latitude, measure_linewidth
+from repro.physics.psf import DoubleGaussianPSF
+from repro.physics.resist import COP, PBS, PMMA
+
+PSF = DoubleGaussianPSF(alpha=0.12, beta=2.0, eta=0.74)
+
+
+def run_contrast_curves() -> str:
+    table = Table(
+        ["dose [µC/cm²]", "PMMA (pos.)", "PBS (pos.)", "COP (neg.)"],
+        title="F6: contrast curves — normalized remaining thickness",
+    )
+    for dose in (0.2, 0.5, 1.0, 2.0, 5.0, 20.0, 50.0, 100.0, 200.0):
+        table.add_row(
+            [
+                dose,
+                float(PMMA.remaining_thickness(dose)),
+                float(PBS.remaining_thickness(dose)),
+                float(COP.remaining_thickness(dose)),
+            ]
+        )
+    return table.render()
+
+
+def cd_vs_dose(line_width=1.0, doses=np.linspace(0.6, 1.6, 11)):
+    """Printed CD of an isolated line across a relative-dose sweep."""
+    frame = RasterFrame.around((0, 0, line_width, 12), 0.05, margin=6.0)
+    sim = ExposureSimulator(PSF, frame)
+    base = sim.absorbed_energy(
+        shot_dose_map(
+            [Shot(Trapezoid.from_rectangle(0, 0, line_width, 12))], frame
+        )
+    )
+    widths = []
+    for dose in doses:
+        widths.append(
+            measure_linewidth(
+                base * dose, frame, 0.5, cut_y=6.0, near_x=line_width / 2
+            )
+        )
+    return list(doses), widths
+
+
+def run_cd_vs_dose() -> str:
+    doses, widths = cd_vs_dose()
+    table = Table(
+        ["relative dose", "printed CD [µm]"],
+        title="F6a: printed CD of a 1.0 µm line vs. dose "
+        f"(latitude@±10% = {dose_latitude(doses, widths, 1.0):.2f})",
+    )
+    for dose, width in zip(doses, widths):
+        table.add_row([dose, width if width is not None else "no print"])
+    return table.render()
+
+
+def run_latitude_table() -> str:
+    table = Table(
+        ["resist", "tone", "D0 [µC/cm²]", "γ", "exposure latitude"],
+        title="F6b: resist summary",
+    )
+    for resist in (PMMA, PBS, COP):
+        table.add_row(
+            [
+                resist.name,
+                resist.tone,
+                resist.sensitivity,
+                resist.contrast,
+                resist.exposure_latitude(),
+            ]
+        )
+    return table.render()
+
+
+def test_f6_resist_response(benchmark, save_table):
+    save_table("f6_contrast_curves", run_contrast_curves())
+    save_table("f6a_cd_vs_dose", run_cd_vs_dose())
+    save_table("f6b_resist_summary", run_latitude_table())
+    doses = np.geomspace(0.1, 1000, 500)
+    benchmark(PMMA.remaining_thickness, doses)
+
+
+def test_f6_cd_monotone_in_dose(benchmark, save_table):
+    """CD grows monotonically with dose through the print window."""
+    doses, widths = cd_vs_dose()
+    printed = [w for w in widths if w is not None]
+    assert len(printed) >= 5
+    assert all(b >= a - 1e-6 for a, b in zip(printed, printed[1:]))
+    frame = RasterFrame.around((0, 0, 1, 12), 0.05, margin=6.0)
+    sim = ExposureSimulator(PSF, frame)
+    shots = [Shot(Trapezoid.from_rectangle(0, 0, 1, 12))]
+    benchmark(sim.expose_shots, shots)

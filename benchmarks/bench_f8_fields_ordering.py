@@ -1,0 +1,162 @@
+"""F8 — Field partitioning and shot ordering (extension experiments).
+
+Two data-preparation effects downstream of fracture:
+
+* **Field partitioning** — shots crossing deflection-field boundaries are
+  split; the boundary-piece fraction vs. field size measures how much
+  geometry is exposed to stitching errors.
+* **Shot ordering** — deflection settling with a long-jump penalty, for
+  unordered / scanline / nearest-neighbour visit orders.
+
+Also regenerates the registration-accuracy curve (mark detection error
+vs. signal noise) that feeds the F4 overlay budget.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.core.fields import (
+    deflection_travel,
+    order_shots,
+    partition_fields,
+    travel_settle_time,
+)
+from repro.core.pipeline import PreparationPipeline
+from repro.layout import generators
+from repro.machine.registration import detection_error_model
+
+
+def logic_job():
+    lib = generators.random_logic(chip_size=300.0, target_density=0.25, seed=4)
+    return PreparationPipeline().run(lib).job
+
+
+def run_partitioning() -> str:
+    job = logic_job()
+    table = Table(
+        ["field size [µm]", "fields", "shots", "boundary pieces",
+         "boundary fraction"],
+        title="F8: field partitioning of a 300 µm logic chip",
+    )
+    base = job.figure_count()
+    for field_size in (50.0, 100.0, 200.0, 400.0):
+        fielded = partition_fields(job, field_size)
+        total = sum(len(s) for s in fielded.fields.values())
+        table.add_row(
+            [
+                field_size,
+                fielded.occupied_fields(),
+                total,
+                total - base,
+                f"{fielded.boundary_shot_fraction():.1%}",
+            ]
+        )
+    return table.render()
+
+
+def run_ordering() -> str:
+    job = logic_job()
+    shots = list(job.shots)
+    random.Random(0).shuffle(shots)
+    table = Table(
+        ["order", "deflection travel [µm]", "settle time [µs]"],
+        title=f"F8a: shot-ordering ablation ({len(shots)} shots, "
+        "long-jump penalty 4x beyond 50 µm)",
+    )
+    for strategy in ("none", "scanline", "nearest"):
+        ordered = order_shots(shots, strategy)
+        table.add_row(
+            [
+                strategy,
+                deflection_travel(ordered),
+                travel_settle_time(ordered) * 1e6,
+            ]
+        )
+    return table.render()
+
+
+def run_registration() -> str:
+    table = Table(
+        ["signal noise (RMS/amplitude)", "detection σ [µm]"],
+        title="F8b: mark-detection error vs. noise (0.1 µm beam)",
+    )
+    for noise in (0.005, 0.01, 0.02, 0.05, 0.1):
+        sigma = detection_error_model(
+            beam_size=0.1, noise=noise, scans=150, seed=2
+        )
+        table.add_row([noise, sigma])
+    return table.render()
+
+
+def test_f8_partitioning(benchmark, save_table):
+    save_table("f8_field_partitioning", run_partitioning())
+    job = logic_job()
+    benchmark(partition_fields, job, 100.0)
+
+
+def test_f8_ordering(benchmark, save_table):
+    text = run_ordering()
+    save_table("f8a_shot_ordering", text)
+    job = logic_job()
+    shots = list(job.shots)
+    random.Random(0).shuffle(shots)
+    # Ordering must beat the shuffled baseline on travel.
+    assert deflection_travel(order_shots(shots, "nearest")) < deflection_travel(
+        shots
+    )
+    benchmark(order_shots, shots, "nearest")
+
+
+def run_hierarchical() -> str:
+    import time
+
+    from repro.core.hierarchical import fracture_hierarchical
+    from repro.fracture.trapezoidal import TrapezoidFracturer
+    from repro.layout.flatten import flatten_cell
+
+    table = Table(
+        ["array", "figures", "flat fracture [s]", "hierarchical [s]",
+         "speedup"],
+        title="F8c: hierarchical vs. flat fracturing (memory arrays)",
+    )
+    for blocks in ((2, 2), (4, 4), (8, 8)):
+        lib = generators.memory_array(words=8, bits=8, blocks=blocks)
+        flat = flatten_cell(lib.top_cell())
+        polys = [p for v in flat.values() for p in v]
+        start = time.perf_counter()
+        flat_figs = TrapezoidFracturer().fracture(polys)
+        flat_time = time.perf_counter() - start
+        start = time.perf_counter()
+        hier = fracture_hierarchical(lib)
+        hier_time = time.perf_counter() - start
+        assert hier.figure_count() == len(flat_figs)
+        table.add_row(
+            [
+                f"{blocks[0]}x{blocks[1]}",
+                hier.figure_count(),
+                flat_time,
+                hier_time,
+                f"{flat_time / hier_time:.1f}x",
+            ]
+        )
+    return table.render()
+
+
+def test_f8_hierarchical_fracture(benchmark, save_table):
+    from repro.core.hierarchical import fracture_hierarchical
+
+    save_table("f8c_hierarchical_fracture", run_hierarchical())
+    lib = generators.memory_array(words=8, bits=8, blocks=(4, 4))
+    benchmark(fracture_hierarchical, lib)
+
+
+def test_f8_registration(benchmark, save_table):
+    save_table("f8b_registration", run_registration())
+    quiet = detection_error_model(beam_size=0.1, noise=0.01, scans=60, seed=2)
+    loud = detection_error_model(beam_size=0.1, noise=0.1, scans=60, seed=2)
+    assert loud > quiet
+    benchmark(
+        detection_error_model, 0.1, 0.05, 40
+    )

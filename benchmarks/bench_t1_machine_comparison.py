@@ -1,0 +1,106 @@
+"""T1 — Machine comparison: writing time vs. pattern density and feature size.
+
+Reconstructs the tutorial's headline table: per-chip writing time on the
+raster, vector and shaped-beam architectures across pattern densities and
+minimum feature sizes.  Raster is density-independent (chip-area limited);
+vector and VSB pay per-figure and per-area costs, so the win flips to
+raster for dense fine-featured levels — the classic crossover.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.core.job import MachineJob
+from repro.fracture.base import Shot
+from repro.geometry.trapezoid import Trapezoid
+from repro.machine.raster import RasterScanWriter
+from repro.machine.vector import VectorScanWriter
+from repro.machine.vsb import ShapedBeamWriter
+
+CHIP = 2236.0  # µm -> 5 mm² chip
+BASE_DOSE = 5.0  # µC/cm² — a fast 1979 mask resist
+
+
+def synthetic_job(density: float, feature: float) -> MachineJob:
+    """Aggregate job: ``feature``-sized figures at the given density."""
+    count = max(1, int(density * CHIP * CHIP / (feature * feature)))
+    return MachineJob.synthetic(
+        figure_count=count,
+        pattern_area=density * CHIP * CHIP,
+        bounding_box=(0.0, 0.0, CHIP, CHIP),
+        base_dose=BASE_DOSE,
+        name=f"d{density}_f{feature}",
+    )
+
+
+def machines():
+    return [
+        RasterScanWriter(address_unit=0.5, calibration_time=2.0),
+        VectorScanWriter(spot_size=0.5),
+        ShapedBeamWriter(max_shot=2.0),
+    ]
+
+
+def run_experiment() -> str:
+    table = Table(
+        ["density", "feature [µm]", "figures", "raster [s]", "vector [s]",
+         "VSB [s]", "winner"],
+        title="T1: per-chip write time (5 mm² chip, dose 5 µC/cm²)",
+    )
+    for density in (0.05, 0.1, 0.2, 0.4, 0.6):
+        for feature in (0.5, 1.0, 2.0, 4.0):
+            job = synthetic_job(density, feature)
+            times = {m.name: m.write_time(job).total for m in machines()}
+            winner = min(times, key=times.get)
+            table.add_row(
+                [
+                    f"{density:.0%}",
+                    feature,
+                    job.figure_count(),
+                    times["raster"],
+                    times["vector"],
+                    times["shaped-beam"],
+                    winner,
+                ]
+            )
+    return table.render()
+
+
+def test_t1_machine_comparison(benchmark, save_table):
+    text = run_experiment()
+    save_table("t1_machine_comparison", text)
+    # The crossover must appear: raster wins somewhere, a vectorial
+    # machine somewhere else.
+    assert "raster" in text.split("winner", 1)[1]
+    assert (
+        "vector" in text.split("winner", 1)[1]
+        or "shaped-beam" in text.split("winner", 1)[1]
+    )
+    job = synthetic_job(0.2, 2.0)
+    writer = VectorScanWriter(spot_size=0.5)
+    benchmark(writer.write_time, job)
+
+
+def test_t1_raster_density_independent(benchmark, save_table):
+    """Quantify the density-independence claim for the raster machine."""
+    raster = RasterScanWriter(address_unit=0.5, calibration_time=0.0)
+    times = [
+        raster.write_time(synthetic_job(d, 2.0)).exposure
+        for d in (0.05, 0.4)
+    ]
+    assert times[0] == pytest.approx(times[1], rel=0.01)
+    benchmark(raster.write_time, synthetic_job(0.4, 2.0))
+
+
+def test_t1_pipeline_on_real_geometry(benchmark, save_table):
+    """Time the full pipeline (fracture included) on real geometry."""
+    from repro.core.pipeline import PreparationPipeline
+    from repro.layout import generators
+
+    lib = generators.random_logic(chip_size=200.0, target_density=0.2, seed=1)
+    pipe = PreparationPipeline(machines=machines())
+
+    result = benchmark(pipe.run, lib)
+    assert result.job.figure_count() > 0

@@ -1,0 +1,80 @@
+"""T4 — Electron column operating points: spot size vs. beam current.
+
+Reconstructs the column trade-off table: minimum spot diameter versus
+beam current at 10/20/50 kV for a LaB6 gun, plus a source comparison at
+20 kV (tungsten / LaB6 / field emission).  This is the physics that sets
+every writer's dwell time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.machine.column import (
+    Column,
+    FIELD_EMISSION,
+    LAB6,
+    TUNGSTEN,
+)
+
+CURRENTS = (1e-9, 1e-8, 1e-7, 1e-6)
+
+
+def run_energy_sweep() -> str:
+    table = Table(
+        ["current [A]", "d @10 kV [µm]", "d @20 kV [µm]", "d @50 kV [µm]"],
+        title="T4: minimum spot size vs. beam current (LaB6)",
+    )
+    columns = {e: Column(LAB6, energy_kev=e) for e in (10.0, 20.0, 50.0)}
+    for current in CURRENTS:
+        row = [current]
+        for energy in (10.0, 20.0, 50.0):
+            row.append(columns[energy].best_spot_size(current))
+        table.add_row(row)
+    return table.render()
+
+
+def run_source_comparison() -> str:
+    table = Table(
+        ["current [A]", "W hairpin [µm]", "LaB6 [µm]", "FE [µm]"],
+        title="T4a: source comparison at 20 kV",
+    )
+    cols = [Column(s, 20.0) for s in (TUNGSTEN, LAB6, FIELD_EMISSION)]
+    for current in CURRENTS:
+        table.add_row([current] + [c.best_spot_size(current) for c in cols])
+    return table.render()
+
+
+def run_current_ceiling() -> str:
+    table = Table(
+        ["spot [µm]", "max I, LaB6 [A]", "J [A/cm²]"],
+        title="T4b: current ceiling vs. required spot size (20 kV LaB6)",
+    )
+    column = Column(LAB6, 20.0)
+    for spot in (0.125, 0.25, 0.5, 1.0, 2.0):
+        current = column.max_current_for_spot(spot)
+        area_cm2 = np.pi * (spot / 2) ** 2 / 1e8
+        table.add_row([spot, current, current / area_cm2])
+    return table.render()
+
+
+def test_t4_column_tradeoff(benchmark, save_table):
+    save_table("t4_column_tradeoff", run_energy_sweep())
+    save_table("t4a_source_comparison", run_source_comparison())
+    save_table("t4b_current_ceiling", run_current_ceiling())
+    column = Column(LAB6, 20.0)
+    benchmark(column.best_spot_size, 1e-8)
+
+
+def test_t4_monotonicity(benchmark, save_table):
+    """Spot grows with current; brighter sources & higher kV shrink it."""
+    column = Column(LAB6, 20.0)
+    sizes = [column.best_spot_size(i) for i in CURRENTS]
+    assert all(b > a for a, b in zip(sizes, sizes[1:]))
+    assert Column(LAB6, 50.0).best_spot_size(1e-8) < Column(
+        LAB6, 10.0
+    ).best_spot_size(1e-8)
+    assert Column(FIELD_EMISSION, 20.0).best_spot_size(1e-8) < Column(
+        TUNGSTEN, 20.0
+    ).best_spot_size(1e-8)
+    benchmark(column.max_current_for_spot, 0.5)

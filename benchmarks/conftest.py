@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the reconstructed
+evaluation (see DESIGN.md).  Result tables are printed to stdout and
+written to ``benchmarks/results/<experiment>.txt`` so that EXPERIMENTS.md
+can reference them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist (and echo) an experiment's result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(experiment_id: str, text: str) -> None:
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {experiment_id} ===")
+        print(text)
+
+    return _save

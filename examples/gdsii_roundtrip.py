@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Format interchange: GDSII and CIF round-trips plus data-volume audit.
+
+Builds a hierarchical memory-array layout, writes it as binary GDSII and
+as CIF text, reads both back, verifies the flattened geometry agrees, and
+compares the file sizes against the flat fractured machine stream — the
+data-preparation bookkeeping of benchmark T3.
+
+Run:  python examples/gdsii_roundtrip.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import TrapezoidFracturer
+from repro.analysis.tables import Table
+from repro.layout import generators
+from repro.layout.cif import read_cif, write_cif
+from repro.layout.flatten import flat_area, flatten_cell
+from repro.layout.gdsii import read_gdsii, write_gdsii
+from repro.layout.stats import library_stats
+from repro.machine.datapath import data_volume_report
+
+
+def main() -> None:
+    library = generators.memory_array(words=8, bits=8, blocks=(4, 4))
+    stats = library_stats(library)
+    print(f"layout: {library.name}")
+    print(f"  cells          : {stats.cell_count}")
+    print(f"  hierarchy depth: {stats.depth}")
+    print(f"  stored polygons: {stats.hierarchical_polygons}")
+    print(f"  flat polygons  : {stats.flat_polygons}")
+    print(f"  compaction     : {stats.compaction_ratio:.0f}x")
+    print()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        gds_path = Path(tmp) / "memory.gds"
+        cif_path = Path(tmp) / "memory.cif"
+        gds_bytes = write_gdsii(library, gds_path)
+        cif_bytes = write_cif(library, cif_path)
+
+        restored_gds = read_gdsii(gds_path)
+        restored_cif = read_cif(cif_path)
+
+    area_original = flat_area(flatten_cell(library.top_cell()))
+    area_gds = flat_area(flatten_cell(restored_gds.top_cell()))
+    area_cif = flat_area(flatten_cell(restored_cif.top_cell()))
+    print("round-trip check (flattened pattern area, µm²):")
+    print(f"  original : {area_original:.3f}")
+    print(f"  GDSII    : {area_gds:.3f}  (Δ {abs(area_gds - area_original):.2e})")
+    print(f"  CIF      : {area_cif:.3f}  (Δ {abs(area_cif - area_original):.2e})")
+    print()
+
+    # Flat machine stream for the same layout.
+    flat = flatten_cell(library.top_cell())
+    polygons = [p for group in flat.values() for p in group]
+    figures = TrapezoidFracturer().fracture(polygons)
+    bbox = library.top_cell().bounding_box()
+    report = data_volume_report(
+        figures,
+        source_bytes=gds_bytes,
+        width=bbox[2] - bbox[0],
+        height=bbox[3] - bbox[1],
+        address_unit=0.5,
+    )
+
+    table = Table(["format", "bytes"], title="data volume")
+    table.add_row(["GDSII (hierarchical)", gds_bytes])
+    table.add_row(["CIF (hierarchical text)", cif_bytes])
+    table.add_row(["flat figure stream", report.figure_bytes])
+    table.add_row(["RLE bitmap estimate", report.rle_bytes])
+    table.add_row(["raw bitmap (1 bit/address)", report.bitmap_bytes])
+    print(table.render())
+    print(
+        f"\nflat/hierarchical expansion: {report.expansion_ratio:.0f}x "
+        f"({report.figure_count} machine figures)"
+    )
+
+
+if __name__ == "__main__":
+    main()

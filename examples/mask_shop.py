@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Mask-shop scenario: choose a pattern generator for a product mix.
+
+A 1979 mask shop weighing an EBES-class raster machine against vector and
+shaped-beam writers for three representative mask levels:
+
+* a dense metal level (random logic wiring),
+* a sparse contact level,
+* a curved optics level (Fresnel zone plate).
+
+For each level the script prepares the data with the machine-appropriate
+fracturer, estimates writing time, converts it to masks/hour, and prints
+the recommendation — the decision procedure the DAC 1979 tutorial walks
+its audience through.
+
+Run:  python examples/mask_shop.py
+"""
+
+from repro import (
+    PreparationPipeline,
+    RasterScanWriter,
+    ShapedBeamWriter,
+    ThroughputModel,
+    VectorScanWriter,
+)
+from repro.analysis.tables import Table
+from repro.fracture.shots import ShotFracturer
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.layout import generators
+
+BASE_DOSE = 2.0  # µC/cm² — fast mask resist (COP class)
+
+
+def mask_levels():
+    """The product mix: (name, library)."""
+    return [
+        (
+            "metal (dense)",
+            generators.random_logic(
+                chip_size=300.0, wire_width=2.0, target_density=0.35, seed=9
+            ),
+        ),
+        (
+            "contacts (sparse)",
+            generators.contact_array(size=2.0, pitch=12.0, columns=24, rows=24),
+        ),
+        (
+            "zone plate (curved)",
+            generators.fresnel_zone_plate(zones=16, points_per_arc=48),
+        ),
+    ]
+
+
+def main() -> None:
+    machines = [
+        RasterScanWriter(address_unit=0.5, calibration_time=2.0),
+        VectorScanWriter(spot_size=0.5),
+        ShapedBeamWriter(max_shot=2.0),
+    ]
+    throughput = ThroughputModel()
+
+    table = Table(
+        ["level", "figures", "density", "raster [s]", "vector [s]",
+         "VSB [s]", "recommendation"],
+        title="Mask-shop machine selection (per-chip write time)",
+    )
+    for name, library in mask_levels():
+        times = {}
+        figures = 0
+        density = 0.0
+        for machine in machines:
+            if isinstance(machine, ShapedBeamWriter):
+                fracturer = ShotFracturer(max_shot=machine.max_shot)
+            else:
+                fracturer = TrapezoidFracturer()
+            pipeline = PreparationPipeline(
+                fracturer=fracturer, machines=[machine], base_dose=BASE_DOSE
+            )
+            result = pipeline.run(library, name=name)
+            times[machine.name] = result.write_times[machine.name].total
+            figures = max(figures, result.job.figure_count())
+            density = result.job.pattern_density()
+        winner = min(times, key=times.get)
+        table.add_row(
+            [
+                name,
+                figures,
+                f"{density:.1%}",
+                times["raster"],
+                times["vector"],
+                times["shaped-beam"],
+                winner,
+            ]
+        )
+    print(table.render())
+    print()
+
+    # Wafer-level view for the dense metal level on the winning machines.
+    print("Throughput at wafer level (dense metal level):")
+    library = mask_levels()[0][1]
+    for machine in machines:
+        pipeline = PreparationPipeline(machines=[machine], base_dose=BASE_DOSE)
+        result = pipeline.run(library)
+        report = throughput.report(machine, result.job)
+        print(
+            f"  {machine.name:12s} {report.wafers_per_hour:6.2f} wafers/h "
+            f"({report.chips_per_wafer} chips, "
+            f"beam-on fraction {report.exposure_fraction:.1%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Proximity-effect correction walk-through.
+
+Exposes the classic test structure — a fine line next to a large pad —
+at 20 kV on silicon, then applies each correction scheme and reports:
+
+1. the absorbed-energy level at every figure (the PEC figure of merit),
+2. the printed linewidth along the line (near the pad vs. far from it),
+3. the write-time cost of each scheme.
+
+This reproduces, on one structure, the physics behind benchmark F1.
+
+Run:  python examples/proximity_correction.py
+"""
+
+import numpy as np
+
+from repro import (
+    GhostCorrector,
+    IterativeDoseCorrector,
+    MatrixDoseCorrector,
+    Polygon,
+    ShapeBiasCorrector,
+    TrapezoidFracturer,
+    psf_for,
+)
+from repro.analysis.tables import Table
+from repro.geometry.rasterize import RasterFrame
+from repro.pec.ghost import GhostExposure, split_ghost
+from repro.pec.report import correction_report
+from repro.physics.exposure import ExposureSimulator, shot_dose_map
+from repro.physics.metrology import measure_linewidth
+
+PAD = 18.0
+LINE_W = 0.6
+GAP = 1.5
+LINE_LEN = 30.0
+
+
+def test_structure():
+    pad = Polygon.rectangle(0, 0, PAD, PAD)
+    line_x = PAD + GAP
+    line = Polygon.rectangle(line_x, 0, line_x + LINE_W, LINE_LEN)
+    return [pad, line], line_x + LINE_W / 2
+
+
+def printed_widths(shots, psf, ghost_shots=None):
+    """Linewidth near the pad (y=5) and far from it (y=25)."""
+    bbox = (0, 0, PAD + GAP + LINE_W, LINE_LEN)
+    frame = RasterFrame.around(bbox, 0.05, margin=6.0)
+    if ghost_shots is not None:
+        image = GhostExposure(psf, frame).absorbed(shots, ghost_shots)
+        threshold = 0.5 + psf.background_level() * 0.9
+    else:
+        sim = ExposureSimulator(psf, frame)
+        image = sim.absorbed_energy(shot_dose_map(shots, frame))
+        threshold = 0.5
+    _, center = test_structure()
+    near = measure_linewidth(image, frame, threshold, cut_y=5.0, near_x=center)
+    far = measure_linewidth(image, frame, threshold, cut_y=25.0, near_x=center)
+    return near, far
+
+
+def main() -> None:
+    psf = psf_for(energy_kev=20.0)
+    print(f"PSF: α={psf.alpha:.3f} µm, β={psf.beta:.2f} µm, η={psf.eta:.2f}")
+    polys, _ = test_structure()
+    shots = TrapezoidFracturer().fracture_to_shots(polys)
+
+    schemes = [
+        ("uncorrected", None),
+        ("iterative dose", IterativeDoseCorrector()),
+        ("matrix dose", MatrixDoseCorrector()),
+        ("shape bias", ShapeBiasCorrector()),
+        ("GHOST", GhostCorrector(margin=6.0)),
+    ]
+
+    table = Table(
+        ["scheme", "exposure spread", "CD near pad", "CD far",
+         "CD delta [nm]", "extra exposure"],
+        title=f"Proximity correction of a {LINE_W} µm line beside a "
+        f"{PAD:.0f} µm pad (design CD = {LINE_W:.3f} µm)",
+    )
+    for name, corrector in schemes:
+        ghost_shots = None
+        if corrector is None:
+            corrected = shots
+        elif isinstance(corrector, GhostCorrector):
+            corrected = corrector.correct(shots, psf)
+            corrected, ghost_shots = split_ghost(corrected, len(shots))
+        else:
+            corrected = corrector.correct(shots, psf)
+        report = correction_report(
+            corrected + (ghost_shots or []), psf
+        )
+        # Exposure cost relative to the uncorrected pattern pass.
+        base_exposure = sum(s.area() for s in shots)
+        scheme_exposure = sum(
+            s.dose * s.area() for s in corrected + (ghost_shots or [])
+        )
+        extra = scheme_exposure / base_exposure - 1.0
+        near, far = printed_widths(corrected, psf, ghost_shots)
+        delta = (
+            abs(near - far) * 1e3 if near is not None and far is not None
+            else float("nan")
+        )
+        table.add_row(
+            [
+                name,
+                f"{report.spread:.3f}",
+                f"{near:.3f}" if near else "no print",
+                f"{far:.3f}" if far else "no print",
+                f"{delta:.0f}",
+                f"{extra:+.1%}",
+            ]
+        )
+    print(table.render())
+    print()
+    print(
+        "Reading: uncorrected, the line prints wider near the pad (fogged\n"
+        "by backscatter). Dose correction equalizes the absorbed level per\n"
+        "figure; GHOST equalizes the background globally at the price of\n"
+        "writing the complement."
+    )
+
+
+if __name__ == "__main__":
+    main()

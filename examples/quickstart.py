@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: prepare a layout for e-beam writing in ten lines.
+
+Builds a small test layout, runs the full data-preparation pipeline
+(fracture → proximity correction → machine job), and prints write-time
+estimates for the three 1979 machine architectures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Cell,
+    IterativeDoseCorrector,
+    Library,
+    Polygon,
+    PreparationPipeline,
+    RasterScanWriter,
+    ShapedBeamWriter,
+    VectorScanWriter,
+    psf_for,
+)
+
+
+def build_layout() -> Library:
+    """A toy chip: a contact array next to an isolated fine line."""
+    contact = Cell("CONTACT")
+    contact.add_rectangle(0, 0, 1.0, 1.0)
+
+    top = Cell("CHIP")
+    top.instantiate_array(contact, columns=10, rows=10, pitch_x=3.0, pitch_y=3.0)
+    top.add_polygon(Polygon.rectangle(35.0, 0.0, 35.5, 30.0))  # fine line
+    top.add_polygon(Polygon([(40, 0), (50, 0), (45, 10)]))  # a triangle too
+
+    library = Library("QUICKSTART")
+    library.add(top)
+    return library
+
+
+def main() -> None:
+    library = build_layout()
+
+    pipeline = PreparationPipeline(
+        corrector=IterativeDoseCorrector(),
+        psf=psf_for(energy_kev=20.0),  # 20 kV beam on silicon
+        machines=[
+            RasterScanWriter(calibration_time=1.0),
+            VectorScanWriter(),
+            ShapedBeamWriter(),
+        ],
+        base_dose=5.0,  # µC/cm²
+    )
+    result = pipeline.run(library)
+
+    job = result.job
+    print(f"job {job.name!r}:")
+    print(f"  machine figures : {job.figure_count()}")
+    print(f"  pattern area    : {job.pattern_area():.1f} µm²")
+    print(f"  pattern density : {job.pattern_density():.1%}")
+    lo, hi = job.dose_range()
+    print(f"  PEC dose range  : {lo:.2f} – {hi:.2f} (relative)")
+    print()
+    print("write-time estimates:")
+    for name, breakdown in sorted(result.write_times.items()):
+        print(
+            f"  {name:12s} total {breakdown.total:8.3f} s"
+            f"  (exposure {breakdown.exposure:.3f} s, "
+            f"overhead {breakdown.figure_overhead:.3f} s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Tape-out: from GDSII to a verified, field-partitioned machine tape.
+
+The full production sequence a 1979 mask shop ran:
+
+1. read the hierarchical layout (GDSII),
+2. fracture hierarchically (cell-cached — the fast path),
+3. proximity-correct shot doses,
+4. partition into deflection fields and order shots within each field,
+5. write the binary job file ("the tape"),
+6. read it back and XOR-verify it against the source geometry,
+7. report write time and butting exposure.
+
+Run:  python examples/tape_out.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro import (
+    IterativeDoseCorrector,
+    MachineJob,
+    ShapedBeamWriter,
+    psf_for,
+)
+from repro.analysis.verify import verify_patterns
+from repro.core.fields import (
+    deflection_travel,
+    order_shots,
+    partition_fields,
+    travel_settle_time,
+)
+from repro.core.hierarchical import fracture_hierarchical
+from repro.core.jobfile import read_job, write_job
+from repro.fracture.base import Shot
+from repro.layout import generators
+from repro.layout.flatten import flatten_cell
+from repro.layout.gdsii import read_gdsii, write_gdsii
+
+FIELD_SIZE = 60.0  # µm
+BASE_DOSE = 2.0  # µC/cm²
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. The "incoming" layout: write + read GDSII to start from disk.
+        gds_path = Path(tmp) / "chip.gds"
+        write_gdsii(
+            generators.memory_array(words=8, bits=8, blocks=(4, 4)), gds_path
+        )
+        library = read_gdsii(gds_path)
+        print(f"read {gds_path.name}: {len(library)} cells")
+
+        # 2. Hierarchical fracture.
+        fractured = fracture_hierarchical(library)
+        figures = [t for group in fractured.figures.values() for t in group]
+        print(
+            f"fractured: {fractured.figure_count()} figures "
+            f"({fractured.cells_fractured} cell fractures, "
+            f"{fractured.instances_reused} instance reuses)"
+        )
+
+        # 3. Proximity correction.
+        psf = psf_for(20.0)
+        shots = [Shot(t) for t in figures]
+        shots = IterativeDoseCorrector(max_iterations=8).correct(shots, psf)
+        doses = [s.dose for s in shots]
+        print(f"PEC doses: {min(doses):.2f} – {max(doses):.2f}")
+
+        # 4. Fields + ordering.
+        job = MachineJob(shots, base_dose=BASE_DOSE, name="chip")
+        fielded = partition_fields(job, FIELD_SIZE)
+        cols, rows = fielded.field_grid()
+        print(
+            f"fields: {cols}x{rows} at {FIELD_SIZE:.0f} µm, "
+            f"{fielded.boundary_shot_fraction():.1%} boundary pieces"
+        )
+        ordered = []
+        travel_before = 0.0
+        travel_after = 0.0
+        for index in sorted(fielded.fields):
+            field_shots = list(fielded.fields[index])
+            random.Random(0).shuffle(field_shots)  # pessimize first
+            travel_before += deflection_travel(field_shots)
+            tour = order_shots(field_shots, "nearest")
+            travel_after += deflection_travel(tour)
+            ordered.extend(tour)
+        print(
+            f"shot ordering: deflection travel {travel_before:,.0f} → "
+            f"{travel_after:,.0f} µm "
+            f"(settle {travel_settle_time(ordered) * 1e3:.2f} ms)"
+        )
+
+        # 5. The tape.
+        tape_job = MachineJob(ordered, base_dose=BASE_DOSE, name="chip")
+        tape_path = Path(tmp) / "chip.ebj"
+        tape_bytes = write_job(tape_job, tape_path)
+        print(f"wrote {tape_path.name}: {tape_bytes:,} bytes")
+
+        # 6. Verification: tape vs. flattened source.
+        restored = read_job(tape_path)
+        flat = flatten_cell(library.top_cell())
+        source_polys = [p for group in flat.values() for p in group]
+        report = verify_patterns(
+            source_polys,
+            [s.trapezoid for s in restored.shots],
+            tolerance=0.05,
+        )
+        print(f"verification: {report.summary()}")
+
+        # 7. Write time.
+        machine = ShapedBeamWriter(max_shot=5.0, field_size=FIELD_SIZE)
+        breakdown = machine.write_time(restored)
+        print(
+            f"write time on {machine.name}: {breakdown.total:.2f} s "
+            f"(exposure {breakdown.exposure:.3f} s, "
+            f"shots {restored.figure_count()})"
+        )
+
+
+if __name__ == "__main__":
+    main()

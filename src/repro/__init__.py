@@ -1,0 +1,107 @@
+"""repro — an electron-beam lithography CAD and machine-model toolchain.
+
+A from-scratch Python reproduction of the pattern-data-preparation stack
+described by the DAC 1979 tutorial "Electron beam lithography": geometry
+booleans, fracturing, proximity-effect correction, exposure physics, and
+analytic models of raster-scan, vector-scan and variable-shaped-beam
+pattern generators.
+
+Quickstart::
+
+    from repro import (
+        PreparationPipeline, RasterScanWriter, VectorScanWriter,
+    )
+    from repro.layout import generators
+
+    pipe = PreparationPipeline(
+        machines=[RasterScanWriter(), VectorScanWriter()]
+    )
+    result = pipe.run(generators.grating())
+    print(result.job, result.write_times["raster"].total)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reconstructed evaluation.
+"""
+
+from repro.geometry import Point, Polygon, Region, Transform, Trapezoid
+from repro.layout import Cell, CellArray, CellReference, Layer, Library
+from repro.fracture import (
+    RectangleFracturer,
+    Shot,
+    ShotFracturer,
+    TrapezoidFracturer,
+)
+from repro.physics import (
+    DoubleGaussianPSF,
+    ExposureSimulator,
+    MonteCarloSimulator,
+    Resist,
+    psf_for,
+)
+from repro.machine import (
+    Column,
+    DeflectionField,
+    RasterScanWriter,
+    ShapedBeamWriter,
+    Stage,
+    StitchingModel,
+    VectorScanWriter,
+)
+from repro.pec import (
+    GhostCorrector,
+    IterativeDoseCorrector,
+    MatrixDoseCorrector,
+    ShapeBiasCorrector,
+)
+from repro.core import (
+    FidelityReport,
+    MachineJob,
+    PipelineResult,
+    PreparationPipeline,
+    compare_machines,
+    fidelity_report,
+)
+from repro.analysis import ThroughputModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "Polygon",
+    "Region",
+    "Transform",
+    "Trapezoid",
+    "Cell",
+    "CellArray",
+    "CellReference",
+    "Layer",
+    "Library",
+    "Shot",
+    "TrapezoidFracturer",
+    "RectangleFracturer",
+    "ShotFracturer",
+    "DoubleGaussianPSF",
+    "psf_for",
+    "ExposureSimulator",
+    "MonteCarloSimulator",
+    "Resist",
+    "Column",
+    "Stage",
+    "DeflectionField",
+    "StitchingModel",
+    "RasterScanWriter",
+    "VectorScanWriter",
+    "ShapedBeamWriter",
+    "IterativeDoseCorrector",
+    "MatrixDoseCorrector",
+    "ShapeBiasCorrector",
+    "GhostCorrector",
+    "MachineJob",
+    "PreparationPipeline",
+    "PipelineResult",
+    "FidelityReport",
+    "fidelity_report",
+    "compare_machines",
+    "ThroughputModel",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Wafer-level throughput analysis and report tables."""
+
+from repro.analysis.throughput import ThroughputModel, ThroughputReport
+from repro.analysis.tables import format_table, Table
+from repro.analysis.verify import (
+    DefectSite,
+    VerificationReport,
+    verify_patterns,
+)
+
+__all__ = [
+    "ThroughputModel",
+    "ThroughputReport",
+    "format_table",
+    "Table",
+    "DefectSite",
+    "VerificationReport",
+    "verify_patterns",
+]

@@ -1,0 +1,183 @@
+"""Pattern verification: XOR comparison of figure sets.
+
+Mask shops verified pattern data by XOR-comparing two representations of
+the same level (e.g., the source layout against the fractured machine
+tape, or two revisions of a job).  Any nonzero XOR area is a discrepancy;
+inspection wants them *located*, not just counted, so discrepancies are
+clustered into disjoint defect sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+from repro.geometry.boolean import boolean_trapezoids
+from repro.geometry.polygon import Polygon
+from repro.geometry.scanline import DEFAULT_GRID
+from repro.geometry.trapezoid import Trapezoid
+
+Geometry = Union[Polygon, Trapezoid]
+
+
+def _as_polygons(figures: Sequence[Geometry]) -> List[Polygon]:
+    polys: List[Polygon] = []
+    for figure in figures:
+        if isinstance(figure, Trapezoid):
+            polys.append(figure.to_polygon())
+        else:
+            polys.append(figure)
+    return polys
+
+
+@dataclass
+class DefectSite:
+    """One clustered discrepancy region.
+
+    Attributes:
+        bounding_box: ``(x0, y0, x1, y1)`` of the cluster.
+        area: total XOR area inside the cluster [µm²].
+        piece_count: XOR fragments merged into this site.
+    """
+
+    bounding_box: Tuple[float, float, float, float]
+    area: float
+    piece_count: int
+
+    @property
+    def extent(self) -> float:
+        """Largest dimension of the site [µm]."""
+        x0, y0, x1, y1 = self.bounding_box
+        return max(x1 - x0, y1 - y0)
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of an XOR pattern comparison.
+
+    Attributes:
+        reference_area: area of the reference pattern [µm²].
+        xor_area: total discrepancy area [µm²].
+        error_fraction: xor_area / reference_area.
+        sites: clustered defect sites, largest first.
+        clean: True when no discrepancy above tolerance was found.
+    """
+
+    reference_area: float
+    xor_area: float
+    sites: List[DefectSite] = field(default_factory=list)
+    tolerance: float = 0.0
+
+    @property
+    def error_fraction(self) -> float:
+        if self.reference_area <= 0:
+            return float("inf") if self.xor_area > 0 else 0.0
+        return self.xor_area / self.reference_area
+
+    @property
+    def clean(self) -> bool:
+        return self.xor_area <= self.tolerance
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.clean:
+            return f"CLEAN (xor {self.xor_area:.3g} µm²)"
+        worst = self.sites[0] if self.sites else None
+        where = (
+            f", worst site {worst.extent:.2f} µm at {worst.bounding_box}"
+            if worst
+            else ""
+        )
+        return (
+            f"MISMATCH: {len(self.sites)} site(s), "
+            f"xor {self.xor_area:.4g} µm² "
+            f"({self.error_fraction:.2%} of reference){where}"
+        )
+
+
+def verify_patterns(
+    reference: Sequence[Geometry],
+    candidate: Sequence[Geometry],
+    grid: float = DEFAULT_GRID,
+    tolerance: float = 0.0,
+    cluster_distance: float = 1.0,
+) -> VerificationReport:
+    """XOR-compare two figure/polygon sets.
+
+    Args:
+        reference: golden pattern.
+        candidate: pattern under test.
+        grid: boolean-engine database unit.
+        tolerance: total XOR area considered clean (grid-snap slack).
+        cluster_distance: XOR fragments whose bounding boxes lie within
+            this distance are merged into one defect site.
+
+    Returns:
+        A :class:`VerificationReport` with clustered defect sites.
+    """
+    ref_polys = _as_polygons(reference)
+    cand_polys = _as_polygons(candidate)
+    ref_area = sum(
+        t.area() for t in boolean_trapezoids(ref_polys, [], "or", grid=grid)
+    )
+    xor = boolean_trapezoids(ref_polys, cand_polys, "xor", grid=grid)
+    xor_area = sum(t.area() for t in xor)
+    sites = _cluster(xor, cluster_distance)
+    sites.sort(key=lambda s: s.area, reverse=True)
+    return VerificationReport(
+        reference_area=ref_area,
+        xor_area=xor_area,
+        sites=sites,
+        tolerance=tolerance,
+    )
+
+
+def _cluster(pieces: Sequence[Trapezoid], distance: float) -> List[DefectSite]:
+    """Union-find clustering of XOR fragments by bbox proximity."""
+    n = len(pieces)
+    if n == 0:
+        return []
+    boxes = [p.bounding_box() for p in pieces]
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    # Sweep by x to prune the pair tests.
+    order = sorted(range(n), key=lambda i: boxes[i][0])
+    for oi, i in enumerate(order):
+        for j in order[oi + 1 :]:
+            if boxes[j][0] - boxes[i][2] > distance:
+                break
+            if (
+                boxes[i][1] - distance <= boxes[j][3]
+                and boxes[j][1] - distance <= boxes[i][3]
+            ):
+                union(i, j)
+
+    clusters: dict = {}
+    for i in range(n):
+        clusters.setdefault(find(i), []).append(i)
+
+    sites = []
+    for members in clusters.values():
+        x0 = min(boxes[i][0] for i in members)
+        y0 = min(boxes[i][1] for i in members)
+        x1 = max(boxes[i][2] for i in members)
+        y1 = max(boxes[i][3] for i in members)
+        sites.append(
+            DefectSite(
+                bounding_box=(x0, y0, x1, y1),
+                area=sum(pieces[i].area() for i in members),
+                piece_count=len(members),
+            )
+        )
+    return sites

@@ -1,0 +1,177 @@
+"""Command-line interface: ``repro-ebl``.
+
+Subcommands:
+
+* ``prep`` — run the data-preparation pipeline on a GDSII file and print
+  the fracture report and per-machine write-time estimates.
+* ``stats`` — hierarchy statistics of a GDSII file.
+* ``demo`` — run the pipeline on a built-in synthetic workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import Table
+from repro.core.pipeline import PreparationPipeline
+from repro.fracture.shots import ShotFracturer
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.layout import generators
+from repro.layout.gdsii import read_gdsii
+from repro.layout.stats import library_stats
+from repro.machine.raster import RasterScanWriter
+from repro.machine.vector import VectorScanWriter
+from repro.machine.vsb import ShapedBeamWriter
+from repro.pec.dose_iter import IterativeDoseCorrector
+from repro.physics.psf import psf_for
+
+
+def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
+    machines = [
+        RasterScanWriter(),
+        VectorScanWriter(),
+        ShapedBeamWriter(),
+    ]
+    if args.fracture == "vsb":
+        fracturer = ShotFracturer(max_shot=args.max_shot)
+    else:
+        fracturer = TrapezoidFracturer()
+    corrector = None
+    psf = None
+    if args.pec:
+        psf = psf_for(args.energy)
+        corrector = IterativeDoseCorrector()
+    return PreparationPipeline(
+        fracturer=fracturer,
+        corrector=corrector,
+        psf=psf,
+        machines=machines,
+        base_dose=args.dose,
+    )
+
+
+def _maybe_write_output(result, args: argparse.Namespace) -> None:
+    output = getattr(args, "output", None)
+    if not output:
+        return
+    from repro.core.jobfile import write_job
+
+    n = write_job(result.job, output)
+    print(f"wrote machine job file {output} ({n:,} bytes)")
+
+
+def _print_result(result) -> None:
+    job = result.job
+    report = result.fracture_report
+    print(f"job: {job.name}")
+    print(f"  figures:   {report.figure_count}")
+    print(f"  area:      {report.total_area:.2f} µm²")
+    print(f"  density:   {job.pattern_density():.1%}")
+    print(f"  slivers:   {report.sliver_fraction:.2%}")
+    if result.corrected:
+        lo, hi = job.dose_range()
+        print(f"  dose range: {lo:.3f} – {hi:.3f}")
+    table = Table(
+        ["machine", "exposure [s]", "overhead [s]", "stage [s]", "total [s]"]
+    )
+    for name, bd in sorted(result.write_times.items()):
+        table.add_row(
+            [name, bd.exposure, bd.figure_overhead, bd.stage, bd.total]
+        )
+    print(table.render())
+
+
+def cmd_prep(args: argparse.Namespace) -> int:
+    library = read_gdsii(args.gdsii)
+    pipeline = _build_pipeline(args)
+    result = pipeline.run(library)
+    _print_result(result)
+    _maybe_write_output(result, args)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    library = read_gdsii(args.gdsii)
+    stats = library_stats(library)
+    print(f"library: {library.name}")
+    print(f"  cells:                {stats.cell_count}")
+    print(f"  references:           {stats.reference_count}")
+    print(f"  instances:            {stats.instance_count}")
+    print(f"  depth:                {stats.depth}")
+    print(f"  polygons (stored):    {stats.hierarchical_polygons}")
+    print(f"  polygons (flat):      {stats.flat_polygons}")
+    print(f"  compaction ratio:     {stats.compaction_ratio:.1f}x")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    workloads = dict(generators.all_workloads())
+    if args.workload not in workloads:
+        print(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{sorted(workloads)}",
+            file=sys.stderr,
+        )
+        return 2
+    pipeline = _build_pipeline(args)
+    result = pipeline.run(workloads[args.workload], name=args.workload)
+    _print_result(result)
+    _maybe_write_output(result, args)
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fracture", choices=["trapezoid", "vsb"], default="trapezoid",
+        help="fracturing strategy",
+    )
+    parser.add_argument(
+        "--max-shot", type=float, default=2.0, help="VSB maximum shot [µm]"
+    )
+    parser.add_argument(
+        "--pec", action="store_true", help="apply iterative dose correction"
+    )
+    parser.add_argument(
+        "--energy", type=float, default=20.0, help="beam energy [keV]"
+    )
+    parser.add_argument(
+        "--dose", type=float, default=1.0, help="base dose [µC/cm²]"
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="write the prepared job as a binary machine job file",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ebl",
+        description="Electron-beam lithography data preparation toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_prep = sub.add_parser("prep", help="prepare a GDSII file for writing")
+    p_prep.add_argument("gdsii", help="input GDSII stream file")
+    _add_common(p_prep)
+    p_prep.set_defaults(func=cmd_prep)
+
+    p_stats = sub.add_parser("stats", help="hierarchy statistics of a GDSII file")
+    p_stats.add_argument("gdsii", help="input GDSII stream file")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_demo = sub.add_parser("demo", help="run on a built-in workload")
+    p_demo.add_argument(
+        "--workload", default="grating", help="workload name (see generators)"
+    )
+    _add_common(p_demo)
+    p_demo.set_defaults(func=cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core pipeline: layout in, machine job and reports out.
+
+This package is the paper's primary contribution — the data-preparation
+flow that connects all the substrates:
+
+1. flatten the hierarchy (:mod:`repro.layout.flatten`),
+2. merge geometry per layer (boolean union),
+3. fracture into machine figures (:mod:`repro.fracture`),
+4. proximity-correct shot doses (:mod:`repro.pec`),
+5. emit a :class:`~repro.core.job.MachineJob` and estimate writing time
+   on any :class:`~repro.machine.base.Machine`,
+6. optionally verify fidelity by exposure simulation
+   (:mod:`repro.core.metrics`).
+"""
+
+from repro.core.job import MachineJob
+from repro.core.pipeline import PreparationPipeline, PipelineResult
+from repro.core.metrics import FidelityReport, fidelity_report
+from repro.core.compare import compare_machines, MachineComparison
+from repro.core.fields import (
+    FieldedJob,
+    deflection_travel,
+    order_shots,
+    partition_fields,
+)
+from repro.core.jobfile import read_job, write_job, dumps_job, loads_job
+from repro.core.hierarchical import (
+    HierarchicalFractureResult,
+    fracture_hierarchical,
+)
+
+__all__ = [
+    "HierarchicalFractureResult",
+    "fracture_hierarchical",
+    "MachineJob",
+    "PreparationPipeline",
+    "PipelineResult",
+    "FidelityReport",
+    "fidelity_report",
+    "compare_machines",
+    "MachineComparison",
+    "FieldedJob",
+    "partition_fields",
+    "order_shots",
+    "deflection_travel",
+    "read_job",
+    "write_job",
+    "dumps_job",
+    "loads_job",
+]

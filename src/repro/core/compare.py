@@ -1,0 +1,91 @@
+"""Machine-architecture comparison harness (experiment T1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.job import MachineJob
+from repro.core.pipeline import PreparationPipeline
+from repro.fracture.base import Fracturer
+from repro.fracture.shots import ShotFracturer
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.layout.library import Library
+from repro.machine.base import Machine
+
+
+@dataclass
+class MachineComparison:
+    """One row of the T1 table: a workload timed on every machine.
+
+    Attributes:
+        workload: workload name.
+        density: pattern density of the job.
+        figure_counts: machine name → figure count used for that machine.
+        times: machine name → total write time [s].
+        winner: machine with the lowest total time.
+    """
+
+    workload: str
+    density: float
+    figure_counts: Dict[str, int]
+    times: Dict[str, float]
+
+    @property
+    def winner(self) -> str:
+        return min(self.times, key=self.times.get)
+
+    def row(self) -> str:
+        cells = " ".join(f"{self.times[k]:>12.3f}" for k in sorted(self.times))
+        return f"{self.workload:<16s} {self.density:7.1%} {cells}  -> {self.winner}"
+
+
+def compare_machines(
+    workloads: Sequence[tuple],
+    machines: Sequence[Machine],
+    base_dose: float = 1.0,
+    fracturers: Optional[Dict[str, Fracturer]] = None,
+) -> List[MachineComparison]:
+    """Time every workload on every machine.
+
+    Args:
+        workloads: ``(name, Library)`` pairs.
+        machines: machines to compare.
+        base_dose: physical dose [µC/cm²].
+        fracturers: per-machine fracturer override (machine name → fracturer);
+            VSB machines default to a shot fracturer matched to their
+            maximum shot size, others to the trapezoid fracturer.
+
+    Returns:
+        One :class:`MachineComparison` per workload.
+    """
+    fracturers = dict(fracturers or {})
+    results: List[MachineComparison] = []
+    for name, library in workloads:
+        times: Dict[str, float] = {}
+        figure_counts: Dict[str, int] = {}
+        density = 0.0
+        for machine in machines:
+            fracturer = fracturers.get(machine.name)
+            if fracturer is None:
+                max_shot = getattr(machine, "max_shot", None)
+                if max_shot is not None:
+                    fracturer = ShotFracturer(max_shot=max_shot)
+                else:
+                    fracturer = TrapezoidFracturer()
+            pipeline = PreparationPipeline(
+                fracturer=fracturer, machines=[machine], base_dose=base_dose
+            )
+            result = pipeline.run(library, name=name)
+            times[machine.name] = result.write_times[machine.name].total
+            figure_counts[machine.name] = result.job.figure_count()
+            density = result.job.pattern_density()
+        results.append(
+            MachineComparison(
+                workload=name,
+                density=density,
+                figure_counts=figure_counts,
+                times=times,
+            )
+        )
+    return results

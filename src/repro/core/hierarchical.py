@@ -1,0 +1,163 @@
+"""Hierarchical fracturing: fracture each cell once, replicate figures.
+
+Flat data preparation fractures every polygon of every expanded instance
+— for an arrayed chip this repeats identical work thousands of times.
+The period machines instead fractured each cell *once* and replicated
+the resulting figures at machine-write time.  This module implements
+that optimization:
+
+* a cell's local geometry is fractured once per layer and cached;
+* placements whose transform keeps horizontal edges horizontal
+  (``c == 0`` in the affine matrix — translations, 180° rotations,
+  mirrors, magnification; everything GDSII allows except 90°/270°
+  rotations) reuse the cached figures through
+  :func:`transform_trapezoid`;
+* other placements fall back to fracturing the transformed polygons.
+
+The speedup on array-dominated layouts is the figure-count ratio between
+flattened and stored geometry (see experiment T3's compaction column);
+the F8 bench family measures it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fracture.base import Fracturer
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.transform import Transform
+from repro.geometry.trapezoid import Trapezoid
+from repro.layout.cell import Cell
+from repro.layout.layer import Layer
+from repro.layout.library import Library
+
+
+def transform_trapezoid(trap: Trapezoid, t: Transform) -> Trapezoid:
+    """Apply a horizontality-preserving affine transform to a trapezoid.
+
+    Requires ``t.c == 0`` (horizontal lines stay horizontal); shear
+    (``b != 0``) and negative scales are handled by re-sorting the
+    corners.
+
+    Raises:
+        ValueError: if the transform would tilt the parallel edges.
+    """
+    if abs(t.c) > 1e-12:
+        raise ValueError("transform does not preserve horizontal edges")
+    y0 = t.d * trap.y_bottom + t.f
+    y1 = t.d * trap.y_top + t.f
+
+    def map_x(x: float, y: float) -> float:
+        return t.a * x + t.b * y + t.e
+
+    bl = map_x(trap.x_bottom_left, trap.y_bottom)
+    br = map_x(trap.x_bottom_right, trap.y_bottom)
+    tl = map_x(trap.x_top_left, trap.y_top)
+    tr = map_x(trap.x_top_right, trap.y_top)
+    if y1 < y0:
+        # Vertical flip: the old top edge becomes the bottom.
+        y0, y1 = y1, y0
+        bl, br, tl, tr = tl, tr, bl, br
+    if bl > br:
+        bl, br = br, bl
+    if tl > tr:
+        tl, tr = tr, tl
+    return Trapezoid(y0, y1, bl, br, tl, tr)
+
+
+def preserves_horizontal(t: Transform, tol: float = 1e-12) -> bool:
+    """True if ``t`` maps horizontal trapezoids to horizontal trapezoids."""
+    return abs(t.c) <= tol and abs(t.d) > tol
+
+
+@dataclass
+class HierarchicalFractureResult:
+    """Figures plus reuse statistics.
+
+    Attributes:
+        figures: per-layer flat figure lists.
+        cells_fractured: distinct (cell, layer) fracture computations.
+        instances_reused: placements served from the cache.
+        instances_fallback: placements that required re-fracturing
+            (90°/270° rotations).
+    """
+
+    figures: Dict[Layer, List[Trapezoid]] = field(default_factory=dict)
+    cells_fractured: int = 0
+    instances_reused: int = 0
+    instances_fallback: int = 0
+
+    def figure_count(self) -> int:
+        return sum(len(v) for v in self.figures.values())
+
+    def total_area(self) -> float:
+        return sum(t.area() for v in self.figures.values() for t in v)
+
+
+def fracture_hierarchical(
+    source: "Library | Cell",
+    fracturer: Optional[Fracturer] = None,
+) -> HierarchicalFractureResult:
+    """Fracture a hierarchy with per-cell caching.
+
+    Note: per-cell fracture means overlaps *between* different instances
+    are not merged (their figures may overlap).  For well-formed layouts
+    (non-overlapping placements — the normal case for arrays) the result
+    is identical to flat fracturing.
+    """
+    if fracturer is None:
+        fracturer = TrapezoidFracturer()
+    top = source.top_cell() if isinstance(source, Library) else source
+    result = HierarchicalFractureResult()
+    cache: Dict[Tuple[int, Layer], List[Trapezoid]] = {}
+    _walk(top, Transform.identity(), fracturer, cache, result, path=())
+    return result
+
+
+def _walk(
+    cell: Cell,
+    transform: Transform,
+    fracturer: Fracturer,
+    cache: Dict,
+    result: HierarchicalFractureResult,
+    path: Tuple[str, ...],
+) -> None:
+    if cell.name in path:
+        cycle = " -> ".join(path + (cell.name,))
+        raise ValueError(f"reference cycle while fracturing: {cycle}")
+
+    reusable = preserves_horizontal(transform)
+    for layer, polys in cell.polygons.items():
+        if not polys:
+            continue
+        bucket = result.figures.setdefault(layer, [])
+        if reusable:
+            key = (id(cell), layer)
+            if key not in cache:
+                cache[key] = fracturer.fracture(polys)
+                result.cells_fractured += 1
+            else:
+                result.instances_reused += 1
+            if transform.is_identity():
+                bucket.extend(cache[key])
+            else:
+                bucket.extend(
+                    transform_trapezoid(t, transform) for t in cache[key]
+                )
+        else:
+            result.instances_fallback += 1
+            bucket.extend(
+                fracturer.fracture([p.transformed(transform) for p in polys])
+            )
+
+    for ref in cell.references:
+        for placement in ref.placements():
+            _walk(
+                ref.cell,
+                transform @ placement,
+                fracturer,
+                cache,
+                result,
+                path + (cell.name,),
+            )

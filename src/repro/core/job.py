@@ -1,0 +1,128 @@
+"""Machine job: the fractured, dose-assigned pattern ready to write."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.fracture.base import Shot
+
+
+class MachineJob:
+    """A writable job: shots plus exposure bookkeeping.
+
+    Attributes:
+        name: job identifier.
+        shots: fractured, dose-assigned figures.
+        base_dose: physical dose [µC/cm²] that relative dose 1.0 means.
+        bounding_box: chip extent ``(x0, y0, x1, y1)`` [µm]; defaults to
+            the shot bounding box.
+    """
+
+    __slots__ = ("name", "shots", "base_dose", "bounding_box", "_aggregate")
+
+    def __init__(
+        self,
+        shots: Sequence[Shot],
+        base_dose: float = 1.0,
+        name: str = "job",
+        bounding_box: Optional[Tuple[float, float, float, float]] = None,
+    ) -> None:
+        if base_dose <= 0:
+            raise ValueError("base dose must be positive")
+        self.shots: List[Shot] = list(shots)
+        self.base_dose = float(base_dose)
+        self.name = name
+        self._aggregate: Optional[Tuple[int, float, float, float]] = None
+        if bounding_box is not None:
+            self.bounding_box = bounding_box
+        elif self.shots:
+            boxes = [s.trapezoid.bounding_box() for s in self.shots]
+            self.bounding_box = (
+                min(b[0] for b in boxes),
+                min(b[1] for b in boxes),
+                max(b[2] for b in boxes),
+                max(b[3] for b in boxes),
+            )
+        else:
+            self.bounding_box = (0.0, 0.0, 0.0, 0.0)
+
+    @classmethod
+    def synthetic(
+        cls,
+        figure_count: int,
+        pattern_area: float,
+        bounding_box: Tuple[float, float, float, float],
+        base_dose: float = 1.0,
+        mean_dose: float = 1.0,
+        name: str = "synthetic",
+    ) -> "MachineJob":
+        """A job described only by its aggregates (no explicit shot list).
+
+        Machine timing models need only figure count, areas and doses, so
+        throughput studies can model multi-million-figure chips without
+        materializing the shots.
+        """
+        if figure_count < 0 or pattern_area < 0:
+            raise ValueError("figure count and area must be non-negative")
+        job = cls([], base_dose=base_dose, name=name, bounding_box=bounding_box)
+        job._aggregate = (
+            int(figure_count),
+            float(pattern_area),
+            float(pattern_area) * mean_dose,
+            float(figure_count) * mean_dose,
+        )
+        return job
+
+    # -- accounting -------------------------------------------------------
+
+    def figure_count(self) -> int:
+        """Number of machine figures."""
+        if self._aggregate is not None:
+            return self._aggregate[0]
+        return len(self.shots)
+
+    def pattern_area(self) -> float:
+        """Exposed pattern area [µm²] (shots are disjoint by contract)."""
+        if self._aggregate is not None:
+            return self._aggregate[1]
+        return sum(s.area() for s in self.shots)
+
+    def dose_weighted_area(self) -> float:
+        """Σ dose_i · area_i — proportional to beam-on time on a vector
+        machine."""
+        if self._aggregate is not None:
+            return self._aggregate[2]
+        return sum(s.dose * s.area() for s in self.shots)
+
+    def dose_weighted_count(self) -> float:
+        """Σ dose_i — proportional to total flash time on a VSB machine."""
+        if self._aggregate is not None:
+            return self._aggregate[3]
+        return sum(s.dose for s in self.shots)
+
+    def chip_area(self) -> float:
+        """Bounding-box area [µm²]."""
+        x0, y0, x1, y1 = self.bounding_box
+        return max(0.0, (x1 - x0)) * max(0.0, (y1 - y0))
+
+    def pattern_density(self) -> float:
+        """Exposed fraction of the chip bounding box."""
+        chip = self.chip_area()
+        return self.pattern_area() / chip if chip > 0 else 0.0
+
+    def dose_range(self) -> Tuple[float, float]:
+        """(min, max) relative dose over all shots."""
+        if not self.shots:
+            return (0.0, 0.0)
+        doses = [s.dose for s in self.shots]
+        return (min(doses), max(doses))
+
+    def __len__(self) -> int:
+        return len(self.shots)
+
+    def __repr__(self) -> str:
+        return (
+            f"MachineJob({self.name!r}, figures={len(self.shots)}, "
+            f"density={self.pattern_density():.1%}, "
+            f"dose={self.base_dose:g} µC/cm²)"
+        )

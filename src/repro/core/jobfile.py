@@ -1,0 +1,134 @@
+"""Binary machine job file: the "pattern tape" format.
+
+Pattern generators consumed a flat binary stream of dosed figures.  This
+module defines a compact period-flavoured format and a reader/writer:
+
+Header (32 bytes)::
+
+    magic   4s   b"EBJ1"
+    unit    d    layout units per count (e.g. 1e-3 µm)
+    dose    d    base dose [µC/cm²]
+    count   I    number of figure records
+    pad     4x
+
+Figure record (20 bytes), coordinates as signed 32-bit counts::
+
+    y_bottom, y_top            2 × i
+    x_bottom_left, x_bottom_right  (stored as i at the record's scale)
+    x_top_left, x_top_right    packed as deltas vs. the bottom edge (h)
+    dose_milli                 H   relative dose × 1000
+
+The delta packing is exact for the slant range the fracturers produce
+(|Δx| < 32767 counts); the writer verifies and raises otherwise.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.job import MachineJob
+from repro.fracture.base import Shot
+from repro.geometry.trapezoid import Trapezoid
+
+MAGIC = b"EBJ1"
+_HEADER = struct.Struct(">4sddI4x")
+_RECORD = struct.Struct(">iiiihhH")
+
+
+class JobFileError(ValueError):
+    """Raised for malformed job files or unrepresentable jobs."""
+
+
+def dumps_job(job: MachineJob, unit: float = 1e-3) -> bytes:
+    """Serialize a machine job to bytes.
+
+    Args:
+        job: the job (explicit shots required — aggregate jobs cannot be
+            serialized).
+        unit: coordinate quantum in layout units (1 nm for µm layouts).
+    """
+    if unit <= 0:
+        raise JobFileError("unit must be positive")
+    chunks = [
+        _HEADER.pack(MAGIC, unit, job.base_dose, len(job.shots))
+    ]
+    for shot in job.shots:
+        chunks.append(_pack_shot(shot, unit))
+    return b"".join(chunks)
+
+
+def _pack_shot(shot: Shot, unit: float) -> bytes:
+    t = shot.trapezoid
+
+    def q(v: float) -> int:
+        return int(round(v / unit))
+
+    y0, y1 = q(t.y_bottom), q(t.y_top)
+    xbl, xbr = q(t.x_bottom_left), q(t.x_bottom_right)
+    dtl = q(t.x_top_left) - xbl
+    dtr = q(t.x_top_right) - xbr
+    if not (-32768 <= dtl <= 32767 and -32768 <= dtr <= 32767):
+        raise JobFileError(
+            f"slant delta out of int16 range: {dtl}, {dtr} counts"
+        )
+    dose_milli = int(round(shot.dose * 1000.0))
+    if not (0 <= dose_milli <= 0xFFFF):
+        raise JobFileError(f"dose {shot.dose} outside the representable range")
+    return _RECORD.pack(y0, y1, xbl, xbr, dtl, dtr, dose_milli)
+
+
+def loads_job(data: bytes, name: str = "jobfile") -> MachineJob:
+    """Parse job-file bytes back into a :class:`MachineJob`.
+
+    Raises:
+        JobFileError: on bad magic, truncation, or inconsistent counts.
+    """
+    if len(data) < _HEADER.size:
+        raise JobFileError("truncated header")
+    magic, unit, base_dose, count = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise JobFileError(f"bad magic {magic!r}")
+    expected = _HEADER.size + count * _RECORD.size
+    if len(data) < expected:
+        raise JobFileError(
+            f"truncated records: need {expected} bytes, have {len(data)}"
+        )
+    shots: List[Shot] = []
+    offset = _HEADER.size
+    for _ in range(count):
+        y0, y1, xbl, xbr, dtl, dtr, dose_milli = _RECORD.unpack_from(
+            data, offset
+        )
+        offset += _RECORD.size
+        if y1 <= y0:
+            raise JobFileError("record with non-positive height")
+        trapezoid = Trapezoid(
+            y0 * unit,
+            y1 * unit,
+            xbl * unit,
+            xbr * unit,
+            (xbl + dtl) * unit,
+            (xbr + dtr) * unit,
+        )
+        shots.append(Shot(trapezoid, dose_milli / 1000.0))
+    return MachineJob(shots, base_dose=base_dose, name=name)
+
+
+def write_job(job: MachineJob, path: Union[str, Path], unit: float = 1e-3) -> int:
+    """Write a job file; returns the byte count."""
+    data = dumps_job(job, unit=unit)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_job(path: Union[str, Path]) -> MachineJob:
+    """Read a job file."""
+    p = Path(path)
+    return loads_job(p.read_bytes(), name=p.stem)
+
+
+def job_file_bytes(figure_count: int) -> int:
+    """Size of a job file with ``figure_count`` records."""
+    return _HEADER.size + figure_count * _RECORD.size

@@ -1,0 +1,97 @@
+"""End-to-end fidelity metrics: does the written pattern match the design?
+
+The fidelity check runs the full physical simulation — shots → dose map →
+PSF convolution → resist development — and compares the developed image
+against the design coverage.  The headline number is the *pattern error
+fraction*: the XOR area between developed and designed patterns divided by
+the design area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.job import MachineJob
+from repro.geometry.polygon import Polygon
+from repro.geometry.rasterize import RasterFrame, rasterize_polygons
+from repro.physics.exposure import ExposureSimulator, shot_dose_map
+from repro.physics.psf import DoubleGaussianPSF
+from repro.physics.resist import Resist
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Design-vs-printed comparison.
+
+    Attributes:
+        design_area: designed pattern area [µm²].
+        printed_area: developed pattern area [µm²].
+        xor_area: mismatch area [µm²].
+        error_fraction: xor_area / design_area.
+        area_ratio: printed/design area.
+        threshold_level: absorbed level used as the print threshold.
+    """
+
+    design_area: float
+    printed_area: float
+    xor_area: float
+    error_fraction: float
+    area_ratio: float
+    threshold_level: float
+
+
+def fidelity_report(
+    job: MachineJob,
+    design: Sequence[Polygon],
+    psf: DoubleGaussianPSF,
+    resist: Optional[Resist] = None,
+    pixel: float = 0.1,
+    margin: Optional[float] = None,
+    threshold_level: Optional[float] = None,
+) -> FidelityReport:
+    """Simulate writing ``job`` and compare against ``design``.
+
+    Args:
+        job: the machine job (shots carry their corrected doses).
+        design: the intended polygons.
+        psf: exposure PSF.
+        resist: optional resist; when given, the print threshold is the
+            resist's 50 %-thickness dose expressed in relative units of
+            ``job.base_dose``.  Otherwise ``threshold_level`` (default
+            0.5) is used directly on the normalized absorbed image.
+        pixel: simulation pixel [µm].
+        margin: frame margin [µm] (default 2.5 β).
+        threshold_level: explicit absorbed-level threshold.
+    """
+    if not job.shots:
+        raise ValueError("job has no shots")
+    if margin is None:
+        margin = 2.5 * psf.beta
+    frame = RasterFrame.around(job.bounding_box, pixel, margin=margin)
+    simulator = ExposureSimulator(psf, frame)
+    absorbed = simulator.absorbed_energy(shot_dose_map(job.shots, frame))
+
+    if threshold_level is None:
+        if resist is not None:
+            threshold_level = resist.threshold_dose / job.base_dose
+        else:
+            threshold_level = 0.5
+
+    printed = absorbed >= threshold_level
+    design_cover = rasterize_polygons(design, frame) >= 0.5
+
+    pixel_area = frame.pixel * frame.pixel
+    design_area = float(design_cover.sum()) * pixel_area
+    printed_area = float(printed.sum()) * pixel_area
+    xor_area = float(np.logical_xor(printed, design_cover).sum()) * pixel_area
+    return FidelityReport(
+        design_area=design_area,
+        printed_area=printed_area,
+        xor_area=xor_area,
+        error_fraction=xor_area / design_area if design_area > 0 else float("inf"),
+        area_ratio=printed_area / design_area if design_area > 0 else float("inf"),
+        threshold_level=float(threshold_level),
+    )

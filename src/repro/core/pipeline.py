@@ -1,0 +1,145 @@
+"""The data-preparation pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.job import MachineJob
+from repro.fracture.base import Fracturer, Shot
+from repro.fracture.quality import FractureReport, analyze_figures
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.polygon import Polygon
+from repro.layout.cell import Cell
+from repro.layout.flatten import flatten_cell
+from repro.layout.layer import Layer
+from repro.layout.library import Library
+from repro.machine.base import Machine, WriteTimeBreakdown
+from repro.pec.base import ProximityCorrector
+from repro.physics.psf import DoubleGaussianPSF
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced for one layer.
+
+    Attributes:
+        job: the writable machine job.
+        fracture_report: quality metrics of the fracture step.
+        write_times: per-machine write-time breakdowns (name → breakdown).
+        source_polygons: flattened polygon count before fracture.
+        corrected: True if proximity correction ran.
+    """
+
+    job: MachineJob
+    fracture_report: FractureReport
+    write_times: Dict[str, WriteTimeBreakdown] = field(default_factory=dict)
+    source_polygons: int = 0
+    corrected: bool = False
+
+    def total_write_time(self, machine_name: str) -> float:
+        """Convenience: total seconds on a named machine."""
+        return self.write_times[machine_name].total
+
+
+class PreparationPipeline:
+    """Layout → fractured, corrected, timed machine job.
+
+    Args:
+        fracturer: fracturing strategy (trapezoids by default).
+        corrector: optional proximity corrector.
+        psf: exposure PSF used by the corrector (required with one).
+        machines: machines to estimate writing time on.
+        base_dose: physical base dose [µC/cm²].
+
+    Example:
+        >>> from repro.layout import generators
+        >>> from repro.machine import RasterScanWriter
+        >>> pipe = PreparationPipeline(machines=[RasterScanWriter()])
+        >>> result = pipe.run(generators.grating(lines=5))
+        >>> result.job.figure_count()
+        5
+    """
+
+    def __init__(
+        self,
+        fracturer: Optional[Fracturer] = None,
+        corrector: Optional[ProximityCorrector] = None,
+        psf: Optional[DoubleGaussianPSF] = None,
+        machines: Sequence[Machine] = (),
+        base_dose: float = 1.0,
+    ) -> None:
+        if corrector is not None and psf is None:
+            raise ValueError("a corrector requires a PSF")
+        self.fracturer = fracturer if fracturer is not None else TrapezoidFracturer()
+        self.corrector = corrector
+        self.psf = psf
+        self.machines = list(machines)
+        self.base_dose = base_dose
+
+    # -- entry points --------------------------------------------------------
+
+    def run(
+        self,
+        source: Union[Library, Cell, Iterable[Polygon]],
+        layer: Optional[Layer] = None,
+        name: Optional[str] = None,
+    ) -> PipelineResult:
+        """Run the full pipeline on a library, cell or raw polygon list.
+
+        Args:
+            source: the pattern source; libraries use their unique top
+                cell, cells are flattened with descendants.
+            layer: restrict to one layer (all layers merged otherwise).
+            name: job name (defaults to the cell/library name).
+        """
+        polygons, inferred_name = self._gather(source, layer)
+        return self.run_polygons(polygons, name=name or inferred_name)
+
+    def run_polygons(
+        self, polygons: Sequence[Polygon], name: str = "job"
+    ) -> PipelineResult:
+        """Run fracture → correction → job build → write-time estimation."""
+        reference_area = None
+        shots = self.fracturer.fracture_to_shots(polygons)
+        figures = [s.trapezoid for s in shots]
+        # The fracture is a disjoint cover, so its own area is the
+        # reference for downstream bookkeeping.
+        reference_area = sum(t.area() for t in figures)
+        report = analyze_figures(figures, reference_area=reference_area)
+
+        corrected = False
+        if self.corrector is not None and shots:
+            shots = self.corrector.correct(shots, self.psf)
+            corrected = True
+
+        job = MachineJob(shots, base_dose=self.base_dose, name=name)
+        result = PipelineResult(
+            job=job,
+            fracture_report=report,
+            source_polygons=len(list(polygons)),
+            corrected=corrected,
+        )
+        for machine in self.machines:
+            result.write_times[machine.name] = machine.write_time(job)
+        return result
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _gather(
+        source: Union[Library, Cell, Iterable[Polygon]],
+        layer: Optional[Layer],
+    ) -> tuple:
+        if isinstance(source, Library):
+            cell = source.top_cell()
+        elif isinstance(source, Cell):
+            cell = source
+        else:
+            return list(source), "job"
+        layers = {layer} if layer is not None else None
+        flat = flatten_cell(cell, layers=layers)
+        polygons: List[Polygon] = []
+        for polys in flat.values():
+            polygons.extend(polys)
+        return polygons, cell.name

@@ -1,0 +1,32 @@
+"""Fracturing: turning polygons into machine-writable figures.
+
+Pattern generators cannot write arbitrary polygons; their deflection
+hardware exposes a small figure vocabulary.  This package converts polygon
+sets into three such vocabularies:
+
+* :class:`~repro.fracture.trapezoidal.TrapezoidFracturer` — horizontal
+  trapezoids, the native figure of EBES/MEBES-class raster machines.
+* :class:`~repro.fracture.rectangles.RectangleFracturer` — axis-aligned
+  rectangles, staircase-approximating slanted edges to the address grid.
+* :class:`~repro.fracture.shots.ShotFracturer` — variable-shaped-beam
+  (VSB) shots bounded by a maximum shot size, with sliver avoidance.
+
+:mod:`~repro.fracture.quality` measures figure count, sliver fraction and
+area fidelity — the fracture-quality axes of experiment T2.
+"""
+
+from repro.fracture.base import Fracturer, Shot
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.fracture.rectangles import RectangleFracturer
+from repro.fracture.shots import ShotFracturer
+from repro.fracture.quality import FractureReport, analyze_figures
+
+__all__ = [
+    "Fracturer",
+    "Shot",
+    "TrapezoidFracturer",
+    "RectangleFracturer",
+    "ShotFracturer",
+    "FractureReport",
+    "analyze_figures",
+]

@@ -1,0 +1,62 @@
+"""Fracturer interface and the Shot record."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.trapezoid import Trapezoid
+
+
+class Shot:
+    """One machine figure with its dose assignment.
+
+    Attributes:
+        trapezoid: the figure geometry (rectangles are trapezoids too).
+        dose: relative dose factor (1.0 = base dose).  Proximity-effect
+            correction rewrites this field.
+    """
+
+    __slots__ = ("trapezoid", "dose")
+
+    def __init__(self, trapezoid: Trapezoid, dose: float = 1.0) -> None:
+        if dose < 0:
+            raise ValueError("dose must be non-negative")
+        self.trapezoid = trapezoid
+        self.dose = float(dose)
+
+    def area(self) -> float:
+        """Figure area."""
+        return self.trapezoid.area()
+
+    def with_dose(self, dose: float) -> "Shot":
+        """Copy with a new dose factor."""
+        return Shot(self.trapezoid, dose)
+
+    def __repr__(self) -> str:
+        return f"Shot({self.trapezoid!r}, dose={self.dose:g})"
+
+
+class Fracturer(abc.ABC):
+    """Strategy interface: polygon set → list of machine figures."""
+
+    @abc.abstractmethod
+    def fracture(self, polygons: Iterable[Polygon]) -> List[Trapezoid]:
+        """Decompose ``polygons`` into disjoint machine figures.
+
+        Implementations must return figures that are disjoint and whose
+        union equals (or, for grid-approximating fracturers, approximates)
+        the union of the input polygons.
+        """
+
+    def fracture_to_shots(
+        self, polygons: Iterable[Polygon], dose: float = 1.0
+    ) -> List[Shot]:
+        """Fracture and wrap each figure in a :class:`Shot`."""
+        return [Shot(t, dose) for t in self.fracture(polygons)]
+
+
+def total_area(figures: Sequence[Trapezoid]) -> float:
+    """Sum of figure areas (disjointness makes this the covered area)."""
+    return sum(t.area() for t in figures)

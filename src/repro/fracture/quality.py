@@ -1,0 +1,90 @@
+"""Fracture-quality metrics (experiment T2's observables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.trapezoid import Trapezoid
+
+
+@dataclass
+class FractureReport:
+    """Quality summary of a fractured figure list.
+
+    Attributes:
+        figure_count: number of machine figures.
+        total_area: summed figure area (µm²).
+        rectangle_fraction: fraction of figures that are rectangles.
+        sliver_count: figures whose minimum dimension is below the
+            sliver threshold used during analysis.
+        sliver_fraction: ``sliver_count / figure_count``.
+        min_dimension: smallest width/height over all figures.
+        mean_area: average figure area.
+        area_error: |total_area − reference_area| / reference_area, when a
+            reference was supplied (else 0).
+    """
+
+    figure_count: int
+    total_area: float
+    rectangle_fraction: float
+    sliver_count: int
+    sliver_fraction: float
+    min_dimension: float
+    mean_area: float
+    area_error: float
+
+    def row(self) -> str:
+        """One formatted table row (see :mod:`repro.analysis.tables`)."""
+        return (
+            f"{self.figure_count:8d} {self.total_area:12.2f} "
+            f"{self.rectangle_fraction:8.2%} {self.sliver_fraction:8.2%} "
+            f"{self.min_dimension:10.4f} {self.area_error:10.3e}"
+        )
+
+
+def analyze_figures(
+    figures: Sequence[Trapezoid],
+    sliver_threshold: float = 0.1,
+    reference_area: float | None = None,
+) -> FractureReport:
+    """Analyze a fractured figure list.
+
+    Args:
+        figures: disjoint machine figures.
+        sliver_threshold: figures with any dimension below this count as
+            slivers (layout units).
+        reference_area: expected covered area for the area-error metric.
+    """
+    count = len(figures)
+    if count == 0:
+        return FractureReport(0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0)
+    total = 0.0
+    rect_count = 0
+    sliver_count = 0
+    min_dim = float("inf")
+    for fig in figures:
+        total += fig.area()
+        if fig.is_rectangle(tol=1e-9):
+            rect_count += 1
+        dim = min(fig.min_width(), fig.height)
+        # A triangle tip legitimately has zero min edge width; measure the
+        # mean width instead so only true slivers are flagged.
+        mean_width = fig.area() / fig.height if fig.height > 0 else 0.0
+        dim = max(dim, min(mean_width, fig.height))
+        min_dim = min(min_dim, dim)
+        if dim < sliver_threshold:
+            sliver_count += 1
+    error = 0.0
+    if reference_area is not None and reference_area > 0:
+        error = abs(total - reference_area) / reference_area
+    return FractureReport(
+        figure_count=count,
+        total_area=total,
+        rectangle_fraction=rect_count / count,
+        sliver_count=sliver_count,
+        sliver_fraction=sliver_count / count,
+        min_dimension=min_dim,
+        mean_area=total / count,
+        area_error=error,
+    )

@@ -1,0 +1,101 @@
+"""Rectangle fracture with staircase approximation of slanted edges.
+
+Raster-scan pattern generators address a fixed grid, so their native figure
+is the axis-aligned rectangle.  Rectilinear input fractures exactly; slanted
+or curved edges are approximated by a staircase at the machine address unit.
+This is precisely the conversion step the EBES data path performed, and the
+address-unit/figure-count trade-off it creates is part of experiment T2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.fracture.base import Fracturer
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.polygon import Polygon
+from repro.geometry.scanline import DEFAULT_GRID
+from repro.geometry.trapezoid import Trapezoid
+
+
+class RectangleFracturer(Fracturer):
+    """Fracture polygons into axis-aligned rectangles.
+
+    Args:
+        address_unit: staircase step for non-rectangular trapezoids (the
+            machine's address structure, in layout units).
+        grid: database unit of the underlying boolean sweep.
+        mode: ``"midpoint"`` places each stair tread at the slant edge's
+            span midpoint (area-balanced); ``"inner"`` keeps treads inside
+            the figure; ``"outer"`` keeps the figure inside the treads.
+    """
+
+    _MODES = ("midpoint", "inner", "outer")
+
+    def __init__(
+        self,
+        address_unit: float = 0.25,
+        grid: float = DEFAULT_GRID,
+        mode: str = "midpoint",
+    ) -> None:
+        if address_unit <= 0:
+            raise ValueError("address_unit must be positive")
+        if mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}")
+        self.address_unit = address_unit
+        self.grid = grid
+        self.mode = mode
+        self._trapezoids = TrapezoidFracturer(grid=grid)
+
+    def fracture(self, polygons: Iterable[Polygon]) -> List[Trapezoid]:
+        """Rectangle cover; exact for rectilinear input."""
+        rects: List[Trapezoid] = []
+        for trap in self._trapezoids.fracture(polygons):
+            if trap.is_rectangle(tol=self.grid / 2.0):
+                rects.append(trap)
+            else:
+                rects.extend(self._staircase(trap))
+        return rects
+
+    def _staircase(self, trap: Trapezoid) -> List[Trapezoid]:
+        """Slice a slanted trapezoid into address-unit-high rectangles."""
+        height = trap.height
+        steps = max(1, int(round(height / self.address_unit)))
+        out: List[Trapezoid] = []
+        for i in range(steps):
+            y0 = trap.y_bottom + height * i / steps
+            y1 = trap.y_bottom + height * (i + 1) / steps
+            if self.mode == "midpoint":
+                y_eval_l = y_eval_r = (y0 + y1) / 2.0
+            elif self.mode == "inner":
+                y_eval_l, y_eval_r = self._inner_eval_ys(trap, y0, y1)
+            else:  # outer
+                y_eval_l, y_eval_r = self._outer_eval_ys(trap, y0, y1)
+            left = self._x_left(trap, y_eval_l)
+            right = self._x_right(trap, y_eval_r)
+            if right - left <= 0:
+                continue
+            out.append(Trapezoid(y0, y1, left, right, left, right))
+        return out
+
+    def _inner_eval_ys(self, trap: Trapezoid, y0: float, y1: float):
+        """Evaluation heights that keep the tread inside the figure."""
+        left_y = y1 if trap.x_top_left > trap.x_bottom_left else y0
+        right_y = y1 if trap.x_top_right < trap.x_bottom_right else y0
+        return left_y, right_y
+
+    def _outer_eval_ys(self, trap: Trapezoid, y0: float, y1: float):
+        """Evaluation heights that keep the figure inside the tread."""
+        left_y = y0 if trap.x_top_left > trap.x_bottom_left else y1
+        right_y = y0 if trap.x_top_right < trap.x_bottom_right else y1
+        return left_y, right_y
+
+    @staticmethod
+    def _x_left(trap: Trapezoid, y: float) -> float:
+        t = (y - trap.y_bottom) / trap.height
+        return trap.x_bottom_left + t * (trap.x_top_left - trap.x_bottom_left)
+
+    @staticmethod
+    def _x_right(trap: Trapezoid, y: float) -> float:
+        t = (y - trap.y_bottom) / trap.height
+        return trap.x_bottom_right + t * (trap.x_top_right - trap.x_bottom_right)

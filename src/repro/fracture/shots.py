@@ -1,0 +1,140 @@
+"""Variable-shaped-beam (VSB) shot decomposition.
+
+A shaped-beam machine flashes rectangular (or simple trapezoidal) apertures
+up to a maximum shot size; larger figures must be tiled into multiple
+flashes.  Naive tiling leaves *slivers* — final rows/columns much narrower
+than the beam can reliably expose — so production fracturers re-balance the
+tile pitch.  Both behaviours are implemented here so the sliver-avoidance
+ablation of experiment T2 can toggle them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.fracture.base import Fracturer, Shot
+from repro.fracture.trapezoidal import TrapezoidFracturer, slice_to_height
+from repro.geometry.polygon import Polygon
+from repro.geometry.scanline import DEFAULT_GRID
+from repro.geometry.trapezoid import Trapezoid
+
+
+def _split_spans(extent: float, limit: float, balanced: bool) -> List[float]:
+    """Split ``extent`` into spans each at most ``limit``.
+
+    With ``balanced=True`` the spans are equalized; otherwise full-size
+    spans are emitted greedily with one remainder (the sliver generator).
+    """
+    if extent <= limit:
+        return [extent]
+    count = int(-(-extent // limit))  # ceil
+    if balanced:
+        return [extent / count] * count
+    spans = [limit] * (count - 1)
+    spans.append(extent - limit * (count - 1))
+    return spans
+
+
+class ShotFracturer(Fracturer):
+    """Fracture polygons into VSB shots bounded by ``max_shot``.
+
+    Args:
+        max_shot: maximum shot edge length (both axes), layout units.
+        grid: database unit for the boolean sweep.
+        avoid_slivers: equalize tile pitches so no tile is narrower than
+            ``extent / ceil(extent / max_shot)``; disabling reproduces
+            greedy tiling with trailing slivers.
+        allow_trapezoids: if True, slanted figures are shot directly when
+            within size limits (machines with trapezoid apertures);
+            otherwise they are staircased at ``max_shot/8`` resolution.
+    """
+
+    def __init__(
+        self,
+        max_shot: float = 2.0,
+        grid: float = DEFAULT_GRID,
+        avoid_slivers: bool = True,
+        allow_trapezoids: bool = True,
+    ) -> None:
+        if max_shot <= 0:
+            raise ValueError("max_shot must be positive")
+        self.max_shot = max_shot
+        self.grid = grid
+        self.avoid_slivers = avoid_slivers
+        self.allow_trapezoids = allow_trapezoids
+        self._trapezoids = TrapezoidFracturer(grid=grid)
+
+    def fracture(self, polygons: Iterable[Polygon]) -> List[Trapezoid]:
+        """Shot geometry list (doses attached by :meth:`fracture_to_shots`)."""
+        shots: List[Trapezoid] = []
+        base = self._trapezoids.fracture(polygons)
+        for trap in base:
+            if trap.is_rectangle(tol=self.grid / 2.0):
+                shots.extend(self._tile_rectangle(trap))
+            elif self.allow_trapezoids:
+                shots.extend(self._tile_trapezoid(trap))
+            else:
+                from repro.fracture.rectangles import RectangleFracturer
+
+                stair = RectangleFracturer(
+                    address_unit=self.max_shot / 8.0, grid=self.grid
+                )
+                for rect in stair._staircase(trap):
+                    shots.extend(self._tile_rectangle(rect))
+        return shots
+
+    def _tile_rectangle(self, rect: Trapezoid) -> List[Trapezoid]:
+        """Tile an axis-aligned rectangle into shots."""
+        x0 = rect.x_bottom_left
+        y0 = rect.y_bottom
+        widths = _split_spans(
+            rect.x_bottom_right - x0, self.max_shot, self.avoid_slivers
+        )
+        heights = _split_spans(rect.height, self.max_shot, self.avoid_slivers)
+        tiles: List[Trapezoid] = []
+        y = y0
+        for h in heights:
+            x = x0
+            for w in widths:
+                tiles.append(Trapezoid(y, y + h, x, x + w, x, x + w))
+                x += w
+            y += h
+        return tiles
+
+    def _tile_trapezoid(self, trap: Trapezoid) -> List[Trapezoid]:
+        """Tile a slanted trapezoid: height slices, then per-slice x tiling.
+
+        Each height slice is itself a trapezoid; its parallel edges are
+        tiled with vertical cuts.  Cutting a trapezoid vertically yields
+        trapezoids again only if cuts are straight vertical lines, which is
+        what shaped apertures produce.
+        """
+        slices = slice_to_height([trap], self.max_shot)
+        tiles: List[Trapezoid] = []
+        for piece in slices:
+            extent = max(
+                piece.x_bottom_right - piece.x_bottom_left,
+                piece.x_top_right - piece.x_top_left,
+            )
+            if extent <= self.max_shot:
+                if not piece.is_degenerate(tol=self.grid * self.grid):
+                    tiles.append(piece)
+                continue
+            count = int(-(-extent // self.max_shot))
+            for i in range(count):
+                f0 = i / count
+                f1 = (i + 1) / count
+                xb0 = piece.x_bottom_left + f0 * (
+                    piece.x_bottom_right - piece.x_bottom_left
+                )
+                xb1 = piece.x_bottom_left + f1 * (
+                    piece.x_bottom_right - piece.x_bottom_left
+                )
+                xt0 = piece.x_top_left + f0 * (piece.x_top_right - piece.x_top_left)
+                xt1 = piece.x_top_left + f1 * (piece.x_top_right - piece.x_top_left)
+                tile = Trapezoid(
+                    piece.y_bottom, piece.y_top, xb0, xb1, xt0, xt1
+                )
+                if not tile.is_degenerate(tol=self.grid * self.grid):
+                    tiles.append(tile)
+        return tiles

@@ -1,0 +1,76 @@
+"""Trapezoidal fracture via the scanline boolean engine.
+
+The union sweep of the geometry kernel already produces a disjoint
+horizontal-trapezoid decomposition; this fracturer exposes it as a strategy
+with the machine-relevant knobs (figure height limit, vertical merging).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.fracture.base import Fracturer
+from repro.geometry.boolean import boolean_trapezoids
+from repro.geometry.polygon import Polygon
+from repro.geometry.scanline import DEFAULT_GRID
+from repro.geometry.trapezoid import Trapezoid
+
+
+class TrapezoidFracturer(Fracturer):
+    """Fracture polygons into horizontal trapezoids.
+
+    Args:
+        grid: database unit for the underlying boolean sweep.
+        max_height: optional figure height cap; taller trapezoids are
+            sliced horizontally (deflection amplifiers of early machines
+            limited figure height to the minor scan span).
+        merge: vertically merge compatible trapezoids before the height
+            cap is applied.  Disabling this reproduces the raw slab
+            fragmentation for the T2 ablation.
+    """
+
+    def __init__(
+        self,
+        grid: float = DEFAULT_GRID,
+        max_height: Optional[float] = None,
+        merge: bool = True,
+    ) -> None:
+        if max_height is not None and max_height <= 0:
+            raise ValueError("max_height must be positive")
+        self.grid = grid
+        self.max_height = max_height
+        self.merge = merge
+
+    def fracture(self, polygons: Iterable[Polygon]) -> List[Trapezoid]:
+        """Disjoint trapezoid cover of the union of ``polygons``."""
+        traps = boolean_trapezoids(
+            polygons, [], "or", grid=self.grid, merge=self.merge
+        )
+        if self.max_height is None:
+            return traps
+        return slice_to_height(traps, self.max_height)
+
+
+def slice_to_height(
+    traps: Iterable[Trapezoid], max_height: float
+) -> List[Trapezoid]:
+    """Slice trapezoids horizontally so none exceeds ``max_height``.
+
+    Slices are equal-height so no residual sliver row is produced.
+    """
+    if max_height <= 0:
+        raise ValueError("max_height must be positive")
+    out: List[Trapezoid] = []
+    for trap in traps:
+        height = trap.height
+        if height <= max_height:
+            out.append(trap)
+            continue
+        pieces = int(-(-height // max_height))  # ceil division
+        step = height / pieces
+        current = trap
+        for _ in range(pieces - 1):
+            lower, current = current.split_at_y(current.y_bottom + step)
+            out.append(lower)
+        out.append(current)
+    return out

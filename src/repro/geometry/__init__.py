@@ -1,0 +1,57 @@
+"""Geometry kernel for electron-beam pattern data.
+
+This package is a from-scratch 2-D polygon geometry engine sized for
+lithography CAD work:
+
+* :class:`~repro.geometry.point.Point` — immutable 2-D vector.
+* :class:`~repro.geometry.transform.Transform` — affine transforms
+  (translation, rotation, scaling, mirroring) in the GDSII convention.
+* :class:`~repro.geometry.polygon.Polygon` — simple polygon with the usual
+  predicates (area, orientation, containment, convexity) and operations
+  (clipping against a half-plane or box, simplification).
+* :mod:`~repro.geometry.boolean` — scanline boolean engine over polygon sets
+  (union / intersection / difference / XOR with nonzero or even-odd fill).
+* :class:`~repro.geometry.trapezoid.Trapezoid` — the machine primitive
+  emitted by the scanline engine and consumed by the fracturers.
+* :class:`~repro.geometry.region.Region` — polygon-set algebra wrapper with
+  operator overloading (``a | b``, ``a & b``, ``a - b``, ``a ^ b``).
+* :mod:`~repro.geometry.rasterize` — area-coverage rasterization used by the
+  exposure simulator.
+
+All boolean computation is carried out on an integer database-unit grid
+(1 nm by default) for robustness, mirroring the integer coordinate systems
+of GDSII and of the 1970s pattern generators this library models.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+from repro.geometry.polygon import Polygon
+from repro.geometry.trapezoid import Trapezoid
+from repro.geometry.boolean import (
+    boolean_trapezoids,
+    boolean_polygons,
+    union,
+    intersection,
+    difference,
+    symmetric_difference,
+)
+from repro.geometry.region import Region
+from repro.geometry.rasterize import rasterize_polygons, rasterize_trapezoids
+from repro.geometry.offset import offset
+
+__all__ = [
+    "offset",
+    "Point",
+    "Transform",
+    "Polygon",
+    "Trapezoid",
+    "Region",
+    "boolean_trapezoids",
+    "boolean_polygons",
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "rasterize_polygons",
+    "rasterize_trapezoids",
+]

@@ -1,0 +1,143 @@
+"""Low-level geometric predicates on exact integer coordinates.
+
+The boolean engine snaps all coordinates to an integer database-unit grid, so
+these predicates operate on integer tuples and are exact (Python integers do
+not overflow).  Points are plain ``(x, y)`` tuples of ints.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+IntPoint = Tuple[int, int]
+
+
+def orientation(p: IntPoint, q: IntPoint, r: IntPoint) -> int:
+    """Sign of the signed area of triangle ``p, q, r``.
+
+    Returns ``+1`` for counter-clockwise, ``-1`` for clockwise and ``0`` for
+    collinear points.  Exact for integer inputs.
+    """
+    cross = (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+    if cross > 0:
+        return 1
+    if cross < 0:
+        return -1
+    return 0
+
+
+def on_segment(p: IntPoint, q: IntPoint, r: IntPoint) -> bool:
+    """True if collinear point ``q`` lies on the closed segment ``p r``."""
+    return (
+        min(p[0], r[0]) <= q[0] <= max(p[0], r[0])
+        and min(p[1], r[1]) <= q[1] <= max(p[1], r[1])
+    )
+
+
+def segments_intersect(
+    p1: IntPoint, p2: IntPoint, q1: IntPoint, q2: IntPoint
+) -> bool:
+    """True if closed segments ``p1 p2`` and ``q1 q2`` share any point."""
+    o1 = orientation(p1, p2, q1)
+    o2 = orientation(p1, p2, q2)
+    o3 = orientation(q1, q2, p1)
+    o4 = orientation(q1, q2, p2)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(p1, q1, p2):
+        return True
+    if o2 == 0 and on_segment(p1, q2, p2):
+        return True
+    if o3 == 0 and on_segment(q1, p1, q2):
+        return True
+    if o4 == 0 and on_segment(q1, p2, q2):
+        return True
+    return False
+
+
+def segment_intersection_ys(
+    p1: IntPoint, p2: IntPoint, q1: IntPoint, q2: IntPoint
+) -> List[Fraction]:
+    """Y-coordinates where two segments cross, as exact fractions.
+
+    For a proper (transversal) crossing this is a single y value; for
+    collinear overlap the endpoint ys of the overlap are returned.  Used by
+    the scanline engine to place slab boundaries so that within a slab no two
+    active edges cross.
+    """
+    d1x, d1y = p2[0] - p1[0], p2[1] - p1[1]
+    d2x, d2y = q2[0] - q1[0], q2[1] - q1[1]
+    denom = d1x * d2y - d1y * d2x
+    if denom == 0:
+        # Parallel.  Check for collinear overlap.
+        if orientation(p1, p2, q1) != 0:
+            return []
+        ys = []
+        lo = max(min(p1[1], p2[1]), min(q1[1], q2[1]))
+        hi = min(max(p1[1], p2[1]), max(q1[1], q2[1]))
+        if lo <= hi:
+            ys.extend([Fraction(lo), Fraction(hi)])
+        return ys
+    t_num = (q1[0] - p1[0]) * d2y - (q1[1] - p1[1]) * d2x
+    u_num = (q1[0] - p1[0]) * d1y - (q1[1] - p1[1]) * d1x
+    t = Fraction(t_num, denom)
+    u = Fraction(u_num, denom)
+    if 0 <= t <= 1 and 0 <= u <= 1:
+        y = Fraction(p1[1]) + t * d1y
+        return [y]
+    return []
+
+
+def x_at_y(p1: IntPoint, p2: IntPoint, y: Fraction) -> Fraction:
+    """Exact x coordinate of the (non-horizontal) segment ``p1 p2`` at ``y``."""
+    dy = p2[1] - p1[1]
+    if dy == 0:
+        raise ValueError("x_at_y on a horizontal segment")
+    t = (y - p1[1]) / dy
+    return Fraction(p1[0]) + t * (p2[0] - p1[0])
+
+
+def point_in_polygon(point: IntPoint, vertices: List[IntPoint]) -> int:
+    """Winding classification of ``point`` against a closed polygon.
+
+    Returns ``1`` for strictly inside (nonzero winding), ``0`` for strictly
+    outside, ``-1`` for on the boundary.
+    """
+    px, py = point
+    winding = 0
+    n = len(vertices)
+    for i in range(n):
+        ax, ay = vertices[i]
+        bx, by = vertices[(i + 1) % n]
+        if (ax, ay) == (px, py) or (bx, by) == (px, py):
+            return -1
+        if orientation((ax, ay), (bx, by), (px, py)) == 0 and on_segment(
+            (ax, ay), (px, py), (bx, by)
+        ):
+            return -1
+        if ay <= py:
+            if by > py and orientation((ax, ay), (bx, by), (px, py)) > 0:
+                winding += 1
+        else:
+            if by <= py and orientation((ax, ay), (bx, by), (px, py)) < 0:
+                winding -= 1
+    return 1 if winding != 0 else 0
+
+
+def snap(value: float, grid: float) -> int:
+    """Snap a float coordinate to the integer grid with half-up rounding."""
+    scaled = value / grid
+    return int(scaled + 0.5) if scaled >= 0 else -int(-scaled + 0.5)
+
+
+def bounding_boxes_overlap(
+    a_min: IntPoint, a_max: IntPoint, b_min: IntPoint, b_max: IntPoint
+) -> bool:
+    """True if two closed axis-aligned boxes intersect."""
+    return (
+        a_min[0] <= b_max[0]
+        and b_min[0] <= a_max[0]
+        and a_min[1] <= b_max[1]
+        and b_min[1] <= a_max[1]
+    )

@@ -1,0 +1,163 @@
+"""Area-coverage rasterization of polygon and trapezoid sets.
+
+The exposure simulator needs the *fraction of each pixel covered* by the
+written pattern (an anti-aliased raster), because dose is proportional to
+covered area.  Rasterization is done by supersampled scanline filling with
+numpy, which is exact in the limit and better than 1/(2·ss)² already at the
+default supersampling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.trapezoid import Trapezoid
+
+
+class RasterFrame:
+    """A pixel grid over a rectangular window.
+
+    Attributes:
+        x0, y0: lower-left corner of the window in layout units.
+        pixel: pixel pitch in layout units.
+        nx, ny: grid dimensions (columns, rows).
+    """
+
+    __slots__ = ("x0", "y0", "pixel", "nx", "ny")
+
+    def __init__(self, x0: float, y0: float, pixel: float, nx: int, ny: int) -> None:
+        if pixel <= 0:
+            raise ValueError("pixel pitch must be positive")
+        if nx <= 0 or ny <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.x0 = float(x0)
+        self.y0 = float(y0)
+        self.pixel = float(pixel)
+        self.nx = int(nx)
+        self.ny = int(ny)
+
+    @classmethod
+    def around(
+        cls,
+        bbox: Tuple[float, float, float, float],
+        pixel: float,
+        margin: float = 0.0,
+    ) -> "RasterFrame":
+        """Frame covering ``bbox`` expanded by ``margin`` on each side."""
+        x0 = bbox[0] - margin
+        y0 = bbox[1] - margin
+        nx = max(1, int(np.ceil((bbox[2] + margin - x0) / pixel)))
+        ny = max(1, int(np.ceil((bbox[3] + margin - y0) / pixel)))
+        return cls(x0, y0, pixel, nx, ny)
+
+    def x_centers(self) -> np.ndarray:
+        """Pixel-centre x coordinates (length ``nx``)."""
+        return self.x0 + (np.arange(self.nx) + 0.5) * self.pixel
+
+    def y_centers(self) -> np.ndarray:
+        """Pixel-centre y coordinates (length ``ny``)."""
+        return self.y0 + (np.arange(self.ny) + 0.5) * self.pixel
+
+    def extent(self) -> Tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` of the frame window."""
+        return (
+            self.x0,
+            self.y0,
+            self.x0 + self.nx * self.pixel,
+            self.y0 + self.ny * self.pixel,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RasterFrame(origin=({self.x0:g},{self.y0:g}), "
+            f"pixel={self.pixel:g}, shape=({self.ny},{self.nx}))"
+        )
+
+
+def _scanline_coverage_rows(
+    vertices: np.ndarray, frame: RasterFrame, supersample: int
+) -> np.ndarray:
+    """Supersampled even-odd scanline fill of one polygon.
+
+    Returns a float array of shape ``(ny, nx)`` with per-pixel coverage in
+    [0, 1].  Supersampling happens in y (rows) and analytically in x
+    (fractional span clipping), which converges quickly for lithography
+    shapes whose edges are long compared to the pixel.
+    """
+    cover = np.zeros((frame.ny, frame.nx), dtype=np.float64)
+    xs = vertices[:, 0]
+    ys = vertices[:, 1]
+    n = len(vertices)
+    x_next = np.roll(xs, -1)
+    y_next = np.roll(ys, -1)
+
+    sub = supersample
+    weight = 1.0 / sub
+    pixel = frame.pixel
+    for row in range(frame.ny):
+        for s in range(sub):
+            y = frame.y0 + (row + (s + 0.5) / sub) * pixel
+            # Edges crossing this sample line (half-open convention).
+            mask = ((ys <= y) & (y_next > y)) | ((y_next <= y) & (ys > y))
+            if not mask.any():
+                continue
+            x_cross = xs[mask] + (y - ys[mask]) * (x_next[mask] - xs[mask]) / (
+                y_next[mask] - ys[mask]
+            )
+            x_cross.sort()
+            for i in range(0, len(x_cross) - 1, 2):
+                left = (x_cross[i] - frame.x0) / pixel
+                right = (x_cross[i + 1] - frame.x0) / pixel
+                if right <= 0 or left >= frame.nx:
+                    continue
+                left = max(left, 0.0)
+                right = min(right, float(frame.nx))
+                first = int(left)
+                last = int(np.ceil(right)) - 1
+                if first == last:
+                    cover[row, first] += (right - left) * weight
+                    continue
+                cover[row, first] += (first + 1 - left) * weight
+                if last > first + 1:
+                    cover[row, first + 1 : last] += weight
+                cover[row, last] += (right - last) * weight
+    return cover
+
+
+def rasterize_polygons(
+    polygons: Iterable[Polygon],
+    frame: RasterFrame,
+    supersample: int = 4,
+) -> np.ndarray:
+    """Rasterize a polygon set to per-pixel area coverage.
+
+    Overlapping polygons saturate at full coverage (even-odd within one
+    polygon, additive-then-clipped across polygons), matching how a writer
+    exposes each address at most once per pass.
+
+    Returns:
+        Array of shape ``(ny, nx)``, values in [0, 1].
+    """
+    total = np.zeros((frame.ny, frame.nx), dtype=np.float64)
+    for poly in polygons:
+        verts = np.array([(v.x, v.y) for v in poly.vertices], dtype=np.float64)
+        total += _scanline_coverage_rows(verts, frame, supersample)
+    np.clip(total, 0.0, 1.0, out=total)
+    return total
+
+
+def rasterize_trapezoids(
+    traps: Sequence[Trapezoid],
+    frame: RasterFrame,
+    supersample: int = 4,
+) -> np.ndarray:
+    """Rasterize a trapezoid set (converted per-figure to polygons)."""
+    return rasterize_polygons((t.to_polygon() for t in traps), frame, supersample)
+
+
+def coverage_area(cover: np.ndarray, frame: RasterFrame) -> float:
+    """Total covered area implied by a coverage raster."""
+    return float(cover.sum()) * frame.pixel * frame.pixel

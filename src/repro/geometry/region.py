@@ -1,0 +1,158 @@
+"""Polygon-set algebra with operator overloading.
+
+:class:`Region` wraps a list of polygons and exposes boolean set operations
+through Python operators, KLayout-style::
+
+    metal = Region([Polygon.rectangle(0, 0, 10, 2)])
+    via = Region([Polygon.rectangle(4, -1, 6, 3)])
+    keepout = metal - via
+    total = metal | via
+
+Regions are immutable; every operation returns a new region whose polygons
+come from the scanline boolean engine (so they are normalized: disjoint,
+winding-consistent).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.geometry.boolean import boolean_polygons, boolean_trapezoids
+from repro.geometry.polygon import Polygon
+from repro.geometry.scanline import DEFAULT_GRID
+from repro.geometry.trapezoid import Trapezoid
+
+
+class Region:
+    """An immutable set of polygons closed under boolean operations."""
+
+    __slots__ = ("polygons", "grid")
+
+    def __init__(
+        self,
+        polygons: Iterable[Polygon] = (),
+        grid: float = DEFAULT_GRID,
+    ) -> None:
+        self.polygons: Tuple[Polygon, ...] = tuple(polygons)
+        self.grid = grid
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_rectangles(
+        cls,
+        rects: Iterable[Tuple[float, float, float, float]],
+        grid: float = DEFAULT_GRID,
+    ) -> "Region":
+        """Region from ``(x0, y0, x1, y1)`` rectangle tuples."""
+        return cls([Polygon.rectangle(*r) for r in rects], grid=grid)
+
+    @classmethod
+    def empty(cls, grid: float = DEFAULT_GRID) -> "Region":
+        """The empty region."""
+        return cls((), grid=grid)
+
+    # -- algebra ----------------------------------------------------------
+
+    def _combine(self, other: "Region", op: str) -> "Region":
+        polys = boolean_polygons(self.polygons, other.polygons, op, grid=self.grid)
+        return Region(polys, grid=self.grid)
+
+    def __or__(self, other: "Region") -> "Region":
+        return self._combine(other, "or")
+
+    def __and__(self, other: "Region") -> "Region":
+        return self._combine(other, "and")
+
+    def __sub__(self, other: "Region") -> "Region":
+        return self._combine(other, "sub")
+
+    def __xor__(self, other: "Region") -> "Region":
+        return self._combine(other, "xor")
+
+    def merged(self) -> "Region":
+        """Self-union: resolve overlaps within the region."""
+        return Region(
+            boolean_polygons(self.polygons, [], "or", grid=self.grid),
+            grid=self.grid,
+        )
+
+    def sized(self, delta: float) -> "Region":
+        """Offset (bias) the region: grow for ``delta > 0``, shrink for
+        ``delta < 0``.  Features narrower than ``2·|delta|`` vanish on
+        shrink; grown features that touch merge."""
+        from repro.geometry.offset import offset
+
+        return Region(
+            offset(list(self.polygons), delta, grid=self.grid),
+            grid=self.grid,
+        )
+
+    # -- measures -----------------------------------------------------------
+
+    def area(self) -> float:
+        """Area of the region (overlaps counted once)."""
+        return sum(t.area() for t in self.trapezoids())
+
+    def raw_area(self) -> float:
+        """Sum of member polygon areas (overlaps counted multiply)."""
+        return sum(p.area() for p in self.polygons)
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` over all member polygons.
+
+        Raises:
+            ValueError: for an empty region.
+        """
+        if not self.polygons:
+            raise ValueError("empty region has no bounding box")
+        boxes = [p.bounding_box() for p in self.polygons]
+        return (
+            min(b[0] for b in boxes),
+            min(b[1] for b in boxes),
+            max(b[2] for b in boxes),
+            max(b[3] for b in boxes),
+        )
+
+    def is_empty(self) -> bool:
+        """True if the region has no area."""
+        return not self.polygons or self.area() == 0.0
+
+    def contains_point(self, point) -> bool:
+        """Nonzero-winding containment over the whole set."""
+        winding_hits = sum(1 for p in self.polygons if p.contains_point(point))
+        return winding_hits % 2 == 1 or winding_hits > 0
+
+    # -- conversions ----------------------------------------------------------
+
+    def trapezoids(self, merge: bool = True) -> List[Trapezoid]:
+        """Canonical disjoint trapezoid decomposition (the machine view)."""
+        return boolean_trapezoids(
+            self.polygons, [], "or", grid=self.grid, merge=merge
+        )
+
+    def transformed(self, transform) -> "Region":
+        """Apply an affine transform to every member polygon."""
+        return Region(
+            [p.transformed(transform) for p in self.polygons], grid=self.grid
+        )
+
+    def translated(self, dx: float, dy: float) -> "Region":
+        """Copy shifted by ``(dx, dy)``."""
+        return Region(
+            [p.translated(dx, dy) for p in self.polygons], grid=self.grid
+        )
+
+    # -- dunder -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.polygons)
+
+    def __iter__(self) -> Iterator[Polygon]:
+        return iter(self.polygons)
+
+    def __bool__(self) -> bool:
+        return bool(self.polygons)
+
+    def __repr__(self) -> str:
+        return f"Region({len(self.polygons)} polygons, grid={self.grid:g})"

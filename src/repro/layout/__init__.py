@@ -1,0 +1,37 @@
+"""Hierarchical layout database and mask-data formats.
+
+The layout package provides the pattern-source side of the pipeline:
+
+* :class:`~repro.layout.layer.Layer` — (layer, datatype) identification.
+* :class:`~repro.layout.cell.Cell` — a named container of polygons per layer
+  plus references to child cells.
+* :class:`~repro.layout.reference.CellReference` /
+  :class:`~repro.layout.reference.CellArray` — placements with the GDSII
+  transform parameterization.
+* :class:`~repro.layout.library.Library` — a set of cells with units,
+  cycle checking and top-cell discovery.
+* :mod:`~repro.layout.gdsii` — binary GDSII stream reader/writer.
+* :mod:`~repro.layout.cif` — Caltech Intermediate Form writer/reader
+  (the period-appropriate interchange format).
+* :mod:`~repro.layout.flatten` — hierarchy flattening.
+* :mod:`~repro.layout.generators` — synthetic workload generators used by
+  the reconstructed evaluation.
+"""
+
+from repro.layout.layer import Layer
+from repro.layout.cell import Cell
+from repro.layout.reference import CellReference, CellArray
+from repro.layout.library import Library
+from repro.layout.flatten import flatten_cell, flatten_library
+from repro.layout import generators
+
+__all__ = [
+    "Layer",
+    "Cell",
+    "CellReference",
+    "CellArray",
+    "Library",
+    "flatten_cell",
+    "flatten_library",
+    "generators",
+]

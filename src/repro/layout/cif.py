@@ -1,0 +1,332 @@
+"""Caltech Intermediate Form (CIF 2.0) writer and reader.
+
+CIF was *the* interchange format of late-1970s university/industry mask
+flows (Mead–Conway era), so the data-volume experiment (T3) compares GDSII
+binary streams against CIF text.  Supported commands:
+
+======== =====================================================
+``DS/DF`` symbol definition (cells)
+``9``     symbol name extension (common convention)
+``L``     layer selection (written as ``L<layer>D<datatype>``)
+``B``     axis-aligned box
+``P``     polygon
+``C``     symbol call with ``T`` (translate), ``R`` (rotate by
+          direction vector) and ``M X`` / ``M Y`` (mirror)
+``E``     end marker
+======== =====================================================
+
+Coordinates are written in centimicrons (10 nm), the CIF convention.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.layout.cell import Cell
+from repro.layout.layer import Layer
+from repro.layout.library import Library
+from repro.layout.reference import CellArray, CellReference
+
+#: CIF base unit: one centimicron, in micrometres.
+CENTIMICRON = 0.01
+
+
+class CifError(ValueError):
+    """Raised for malformed CIF text or unrepresentable layouts."""
+
+
+def write_cif(library: Library, path: Union[str, Path]) -> int:
+    """Write a library as CIF text; returns the number of bytes written."""
+    text = dumps_cif(library)
+    Path(path).write_text(text)
+    return len(text.encode())
+
+
+def dumps_cif(library: Library) -> str:
+    """Serialize a library to CIF text.
+
+    Raises:
+        CifError: for references with non-unit magnification (CIF cannot
+            represent scaling in calls).
+    """
+    library.check_acyclic()
+    numbering: Dict[str, int] = {
+        cell.name: index + 1 for index, cell in enumerate(library)
+    }
+    lines: List[str] = [f"( CIF written by repro-ebl: library {library.name} );"]
+    for cell in library:
+        lines.append(f"DS {numbering[cell.name]} 1 1;")
+        lines.append(f"9 {cell.name};")
+        for layer in sorted(cell.polygons):
+            lines.append(f"L L{layer.number}D{layer.datatype};")
+            for poly in cell.polygons[layer]:
+                lines.append(_dump_polygon(poly))
+        for ref in cell.references:
+            lines.extend(_dump_call(ref, numbering))
+        lines.append("DF;")
+    tops = library.top_cells()
+    for top in tops:
+        lines.append(f"C {numbering[top.name]};")
+    lines.append("E")
+    return "\n".join(lines) + "\n"
+
+
+def _to_cu(value: float) -> int:
+    return int(round(value / CENTIMICRON))
+
+
+def _dump_polygon(poly: Polygon) -> str:
+    coords = " ".join(f"{_to_cu(v.x)} {_to_cu(v.y)}" for v in poly.vertices)
+    return f"P {coords};"
+
+
+def _dump_call(ref: CellReference, numbering: Dict[str, int]) -> List[str]:
+    if ref.magnification != 1.0:
+        raise CifError("CIF calls cannot carry magnification")
+    if ref.cell.name not in numbering:
+        raise CifError(f"reference to cell outside library: {ref.cell.name!r}")
+    symbol = numbering[ref.cell.name]
+    ops = _transform_ops(ref)
+    lines = []
+    if isinstance(ref, CellArray):
+        # CIF has no array construct: expand to individual calls.
+        for row in range(ref.rows):
+            for col in range(ref.columns):
+                offset = ref.column_vector * col + ref.row_vector * row
+                shifted = ops + f" T {_to_cu(ref.origin.x + offset.x)} {_to_cu(ref.origin.y + offset.y)}"
+                lines.append(f"C {symbol}{shifted};")
+    else:
+        shifted = ops + f" T {_to_cu(ref.origin.x)} {_to_cu(ref.origin.y)}"
+        lines.append(f"C {symbol}{shifted};")
+    return lines
+
+
+def _transform_ops(ref: CellReference) -> str:
+    import math
+
+    ops = ""
+    if ref.x_reflection:
+        ops += " M Y"  # CIF 'M Y' negates y, matching GDSII x_reflection.
+    if ref.rotation_deg:
+        angle = math.radians(ref.rotation_deg)
+        a = int(round(math.cos(angle) * 10000))
+        b = int(round(math.sin(angle) * 10000))
+        ops += f" R {a} {b}"
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+_LAYER_RE = re.compile(r"^L(\d+)(?:D(\d+))?$")
+
+
+def read_cif(path: Union[str, Path]) -> Library:
+    """Read a CIF file into a :class:`Library`."""
+    return loads_cif(Path(path).read_text())
+
+
+def loads_cif(text: str) -> Library:
+    """Parse CIF text into a :class:`Library`.
+
+    Top-level geometry (outside any ``DS``) is placed in a cell named
+    ``TOP`` if present.
+    """
+    # Strip comments.
+    text = re.sub(r"\([^)]*\)", " ", text)
+    statements = [s.strip() for s in text.split(";")]
+
+    library = Library("CIF", unit=1e-6, precision=1e-8)
+    cells: Dict[int, Cell] = {}
+    names: Dict[int, str] = {}
+    deferred_calls: List[Tuple[Cell, int, List[str]]] = []
+
+    current: Optional[Cell] = None
+    current_number: Optional[int] = None
+    top_cell = Cell("TOP")
+    top_used = False
+    layer = Layer(0, 0)
+
+    for statement in statements:
+        if not statement:
+            continue
+        if statement == "E" or statement.startswith("E "):
+            break
+        command = statement[0]
+        if command == "D":
+            parts = statement.split()
+            if parts[0] == "DS":
+                if len(parts) < 2:
+                    raise CifError(f"malformed DS: {statement!r}")
+                current_number = int(parts[1])
+                current = cells.setdefault(
+                    current_number, Cell(f"SYMBOL_{current_number}")
+                )
+            elif parts[0] == "DF":
+                current = None
+                current_number = None
+            elif parts[0] == "DD":
+                continue
+            else:
+                raise CifError(f"unknown D command: {statement!r}")
+        elif command == "9":
+            name = statement[1:].strip()
+            if current_number is not None and name:
+                names[current_number] = name
+        elif command == "L":
+            token = statement[1:].strip()
+            match = _LAYER_RE.match(token)
+            if match:
+                layer = Layer(int(match.group(1)), int(match.group(2) or 0))
+            else:
+                layer = Layer(abs(hash(token)) % 256, 0, name=token)
+        elif command == "B":
+            target = current if current is not None else top_cell
+            if current is None:
+                top_used = True
+            target.add_polygon(_parse_box(statement), layer)
+        elif command == "P":
+            target = current if current is not None else top_cell
+            if current is None:
+                top_used = True
+            target.add_polygon(_parse_polygon(statement), layer)
+        elif command == "C":
+            target = current if current is not None else top_cell
+            if current is None:
+                top_used = True
+            callee, ops = _parse_call(statement)
+            deferred_calls.append((target, callee, ops))
+        else:
+            # Unknown user extensions are ignored per the CIF spec.
+            continue
+
+    for number, name in names.items():
+        if number in cells:
+            cells[number].name = name
+
+    for parent, callee, ops in deferred_calls:
+        child = cells.get(callee)
+        if child is None:
+            raise CifError(f"call to undefined symbol {callee}")
+        parent.add_reference(_reference_from_ops(child, ops))
+
+    for cell in cells.values():
+        library.add(cell, include_descendants=False)
+    if top_used and not _is_redundant_wrapper(top_cell):
+        if top_cell.name in library:
+            top_cell.name = "CIF_TOP"
+        library.add(top_cell, include_descendants=False)
+    return library
+
+
+def _is_redundant_wrapper(top_cell: Cell) -> bool:
+    """True when top-level content is just one untransformed symbol call.
+
+    The writer emits ``C <top>;`` to mark the top symbol; reading that back
+    as a wrapper cell would change the hierarchy on every round trip.
+    """
+    if top_cell.polygon_count() or len(top_cell.references) != 1:
+        return False
+    ref = top_cell.references[0]
+    return (
+        ref.origin.x == 0.0
+        and ref.origin.y == 0.0
+        and ref.rotation_deg % 360.0 == 0.0
+        and not ref.x_reflection
+    )
+
+
+def _parse_box(statement: str) -> Polygon:
+    parts = statement.split()
+    if len(parts) < 5:
+        raise CifError(f"malformed B: {statement!r}")
+    width = int(parts[1]) * CENTIMICRON
+    height = int(parts[2]) * CENTIMICRON
+    cx = int(parts[3]) * CENTIMICRON
+    cy = int(parts[4]) * CENTIMICRON
+    poly = Polygon.rectangle(
+        cx - width / 2, cy - height / 2, cx + width / 2, cy + height / 2
+    )
+    if len(parts) >= 7:
+        import math
+
+        a, b = int(parts[5]), int(parts[6])
+        angle = math.atan2(b, a)
+        poly = poly.rotated(angle, about=(cx, cy))
+    return poly
+
+
+def _parse_polygon(statement: str) -> Polygon:
+    values = [int(v) for v in statement[1:].split()]
+    if len(values) < 6 or len(values) % 2:
+        raise CifError(f"malformed P: {statement!r}")
+    pts = [
+        (values[i] * CENTIMICRON, values[i + 1] * CENTIMICRON)
+        for i in range(0, len(values), 2)
+    ]
+    return Polygon(pts)
+
+
+def _parse_call(statement: str) -> Tuple[int, List[str]]:
+    tokens = statement[1:].split()
+    if not tokens:
+        raise CifError(f"malformed C: {statement!r}")
+    callee = int(tokens[0])
+    return callee, tokens[1:]
+
+
+def _reference_from_ops(child: Cell, ops: List[str]) -> CellReference:
+    """Fold a CIF transformation list into GDSII-style parameters.
+
+    CIF applies operators left to right; this library's references apply
+    mirror, then rotation, then translation.  The fold tracks the composite
+    as (mirror, angle, translation) which is exact for the operator set the
+    writer emits.
+    """
+    import math
+
+    mirrored = False
+    angle = 0.0
+    tx = 0.0
+    ty = 0.0
+    index = 0
+    while index < len(ops):
+        op = ops[index]
+        if op == "T":
+            dx = int(ops[index + 1]) * CENTIMICRON
+            dy = int(ops[index + 2]) * CENTIMICRON
+            tx += dx
+            ty += dy
+            index += 3
+        elif op == "R":
+            a = int(ops[index + 1])
+            b = int(ops[index + 2])
+            delta = math.degrees(math.atan2(b, a))
+            angle += delta
+            rad = math.radians(delta)
+            cos_d, sin_d = math.cos(rad), math.sin(rad)
+            tx, ty = tx * cos_d - ty * sin_d, tx * sin_d + ty * cos_d
+            index += 3
+        elif op == "M":
+            axis = ops[index + 1]
+            if axis == "Y":
+                mirrored = not mirrored
+                angle = -angle
+                ty = -ty
+            elif axis == "X":
+                mirrored = not mirrored
+                angle = 180.0 - angle
+                tx = -tx
+            else:
+                raise CifError(f"unknown mirror axis {axis!r}")
+            index += 2
+        else:
+            raise CifError(f"unknown call operator {op!r}")
+    return CellReference(
+        child, (tx, ty), rotation_deg=angle % 360.0, x_reflection=mirrored
+    )

@@ -1,0 +1,103 @@
+"""Hierarchy flattening: expand references into transformed polygons."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.transform import Transform
+from repro.layout.cell import Cell
+from repro.layout.layer import Layer
+from repro.layout.library import Library
+
+FlatLayers = Dict[Layer, List[Polygon]]
+
+
+def flatten_cell(
+    cell: Cell,
+    transform: Optional[Transform] = None,
+    layers: Optional[Set[Layer]] = None,
+    max_depth: Optional[int] = None,
+) -> FlatLayers:
+    """Flatten ``cell`` and descendants into per-layer polygon lists.
+
+    Args:
+        cell: root of the (sub)hierarchy to flatten.
+        transform: transform applied to the root (identity by default).
+        layers: restrict output to these layers (all when ``None``).
+        max_depth: stop expanding references deeper than this many levels
+            (``None`` = unlimited); polygons below the cut are dropped.
+
+    Returns:
+        Mapping of layer to transformed polygons.
+
+    Raises:
+        ValueError: if the hierarchy contains a reference cycle.
+    """
+    result: FlatLayers = {}
+    root = transform if transform is not None else Transform.identity()
+    _flatten_into(cell, root, result, layers, max_depth, depth=0, path=())
+    return result
+
+
+def _flatten_into(
+    cell: Cell,
+    transform: Transform,
+    result: FlatLayers,
+    layers: Optional[Set[Layer]],
+    max_depth: Optional[int],
+    depth: int,
+    path: Tuple[str, ...],
+) -> None:
+    if cell.name in path:
+        cycle = " -> ".join(path + (cell.name,))
+        raise ValueError(f"reference cycle while flattening: {cycle}")
+    identity = transform.is_identity()
+    for layer, polys in cell.polygons.items():
+        if layers is not None and layer not in layers:
+            continue
+        bucket = result.setdefault(layer, [])
+        if identity:
+            bucket.extend(polys)
+        else:
+            bucket.extend(p.transformed(transform) for p in polys)
+    if max_depth is not None and depth >= max_depth:
+        return
+    for ref in cell.references:
+        for placement in ref.placements():
+            _flatten_into(
+                ref.cell,
+                transform @ placement,
+                result,
+                layers,
+                max_depth,
+                depth + 1,
+                path + (cell.name,),
+            )
+
+
+def flatten_library(
+    library: Library,
+    top: Optional[str] = None,
+    layers: Optional[Set[Layer]] = None,
+) -> FlatLayers:
+    """Flatten a library from its (named or unique) top cell."""
+    cell = library[top] if top is not None else library.top_cell()
+    return flatten_cell(cell, layers=layers)
+
+
+def flat_polygon_count(flat: FlatLayers) -> int:
+    """Total polygons in a flattened result."""
+    return sum(len(v) for v in flat.values())
+
+
+def flat_vertex_count(flat: FlatLayers) -> int:
+    """Total vertices in a flattened result."""
+    return sum(len(p) for v in flat.values() for p in v)
+
+
+def flat_area(flat: FlatLayers, layer: Optional[Layer] = None) -> float:
+    """Raw polygon area of a flattened result (overlaps counted multiply)."""
+    if layer is not None:
+        return sum(p.area() for p in flat.get(layer, []))
+    return sum(p.area() for v in flat.values() for p in v)

@@ -1,0 +1,328 @@
+"""GDSII stream file writer and reader.
+
+Supports the geometry subset this toolchain needs: BOUNDARY elements,
+SREF/AREF references with full STRANS transforms, and library units.
+Round-trips :class:`~repro.layout.library.Library` objects losslessly up to
+database-unit quantization.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.layout.cell import Cell
+from repro.layout.layer import Layer
+from repro.layout.library import Library
+from repro.layout.reference import CellArray, CellReference
+from repro.layout.gdsii_records import (
+    DataType,
+    GdsiiError,
+    RecordType,
+    iter_records,
+    pack_ascii,
+    pack_bitarray,
+    pack_int16,
+    pack_int32,
+    pack_real8,
+    pack_record,
+    unpack_ascii,
+    unpack_int16,
+    unpack_int32,
+    unpack_real8,
+)
+
+#: Fixed timestamp used in BGNLIB/BGNSTR so output is byte-reproducible.
+_TIMESTAMP = [1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0]
+
+#: Maximum XY pairs per BOUNDARY record (GDSII limit is 8191 bytes/record).
+_MAX_BOUNDARY_VERTICES = 600
+
+
+def write_gdsii(library: Library, path: Union[str, Path]) -> int:
+    """Write a library as a GDSII stream file.
+
+    Polygons are quantized to the library's database unit.  Polygons with
+    more vertices than a single XY record can hold are rejected.
+
+    Returns:
+        The number of bytes written.
+    """
+    data = dumps_gdsii(library)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def dumps_gdsii(library: Library) -> bytes:
+    """Serialize a library to GDSII stream bytes."""
+    library.check_acyclic()
+    chunks: List[bytes] = [
+        pack_int16(RecordType.HEADER, [600]),
+        pack_int16(RecordType.BGNLIB, _TIMESTAMP),
+        pack_ascii(RecordType.LIBNAME, library.name),
+        pack_real8(
+            RecordType.UNITS,
+            [library.precision / library.unit, library.precision],
+        ),
+    ]
+    scale = 1.0 / library.grid  # user units -> database units
+    for cell in library:
+        chunks.append(_dump_cell(cell, scale))
+    chunks.append(pack_record(RecordType.ENDLIB, DataType.NONE))
+    return b"".join(chunks)
+
+
+def _dump_cell(cell: Cell, scale: float) -> bytes:
+    chunks: List[bytes] = [
+        pack_int16(RecordType.BGNSTR, _TIMESTAMP),
+        pack_ascii(RecordType.STRNAME, cell.name),
+    ]
+    for layer in sorted(cell.polygons):
+        for poly in cell.polygons[layer]:
+            chunks.append(_dump_boundary(poly, layer, scale))
+    for ref in cell.references:
+        chunks.append(_dump_reference(ref, scale))
+    chunks.append(pack_record(RecordType.ENDSTR, DataType.NONE))
+    return b"".join(chunks)
+
+
+def _dump_boundary(poly: Polygon, layer: Layer, scale: float) -> bytes:
+    verts = poly.vertices
+    if len(verts) + 1 > _MAX_BOUNDARY_VERTICES:
+        raise GdsiiError(
+            f"polygon with {len(verts)} vertices exceeds GDSII record capacity"
+        )
+    xy: List[int] = []
+    for v in verts:
+        xy.append(int(round(v.x * scale)))
+        xy.append(int(round(v.y * scale)))
+    # GDSII closes the ring explicitly.
+    xy.append(xy[0])
+    xy.append(xy[1])
+    return b"".join(
+        [
+            pack_record(RecordType.BOUNDARY, DataType.NONE),
+            pack_int16(RecordType.LAYER, [layer.number]),
+            pack_int16(RecordType.DATATYPE, [layer.datatype]),
+            pack_int32(RecordType.XY, xy),
+            pack_record(RecordType.ENDEL, DataType.NONE),
+        ]
+    )
+
+
+def _dump_reference(ref: CellReference, scale: float) -> bytes:
+    is_array = isinstance(ref, CellArray)
+    chunks: List[bytes] = [
+        pack_record(
+            RecordType.AREF if is_array else RecordType.SREF, DataType.NONE
+        ),
+        pack_ascii(RecordType.SNAME, ref.cell.name),
+    ]
+    if ref.x_reflection or ref.magnification != 1.0 or ref.rotation_deg != 0.0:
+        chunks.append(
+            pack_bitarray(RecordType.STRANS, 0x8000 if ref.x_reflection else 0)
+        )
+        if ref.magnification != 1.0:
+            chunks.append(pack_real8(RecordType.MAG, [ref.magnification]))
+        if ref.rotation_deg != 0.0:
+            chunks.append(pack_real8(RecordType.ANGLE, [ref.rotation_deg]))
+    if is_array:
+        chunks.append(pack_int16(RecordType.COLROW, [ref.columns, ref.rows]))
+        corners = ref.corner_positions()
+        xy: List[int] = []
+        for corner in corners:
+            xy.append(int(round(corner.x * scale)))
+            xy.append(int(round(corner.y * scale)))
+        chunks.append(pack_int32(RecordType.XY, xy))
+    else:
+        chunks.append(
+            pack_int32(
+                RecordType.XY,
+                [int(round(ref.origin.x * scale)), int(round(ref.origin.y * scale))],
+            )
+        )
+    chunks.append(pack_record(RecordType.ENDEL, DataType.NONE))
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+
+def read_gdsii(path: Union[str, Path]) -> Library:
+    """Read a GDSII stream file into a :class:`Library`."""
+    return loads_gdsii(Path(path).read_bytes())
+
+
+def loads_gdsii(data: bytes) -> Library:
+    """Parse GDSII stream bytes into a :class:`Library`.
+
+    Raises:
+        GdsiiError: on structural violations (missing UNITS, dangling
+            references, truncated records, elements outside structures).
+    """
+    library: Optional[Library] = None
+    lib_name = "LIB"
+    current_cell: Optional[Cell] = None
+    cells: Dict[str, Cell] = {}
+    pending_refs: List[Tuple[Cell, dict]] = []
+    element: Optional[dict] = None
+    saw_header = False
+
+    for record_type, data_type, payload in iter_records(data):
+        if record_type == RecordType.HEADER:
+            saw_header = True
+        elif record_type == RecordType.LIBNAME:
+            lib_name = unpack_ascii(payload)
+        elif record_type == RecordType.UNITS:
+            values = unpack_real8(payload)
+            if len(values) != 2:
+                raise GdsiiError("UNITS record must hold two reals")
+            db_in_user, db_in_meters = values
+            unit = db_in_meters / db_in_user
+            library = Library(lib_name, unit=unit, precision=db_in_meters)
+        elif record_type == RecordType.BGNSTR:
+            current_cell = None
+        elif record_type == RecordType.STRNAME:
+            name = unpack_ascii(payload)
+            current_cell = cells.setdefault(name, Cell(name))
+        elif record_type == RecordType.ENDSTR:
+            current_cell = None
+        elif record_type in (
+            RecordType.BOUNDARY,
+            RecordType.PATH,
+            RecordType.SREF,
+            RecordType.AREF,
+        ):
+            if current_cell is None:
+                raise GdsiiError(
+                    f"{RecordType.NAMES[record_type]} outside a structure"
+                )
+            element = {
+                "kind": record_type,
+                "strans": 0,
+                "mag": 1.0,
+                "angle": 0.0,
+                "width": 0,
+            }
+        elif record_type == RecordType.TEXT:
+            # Recognized but unsupported: skip until ENDEL.
+            element = {"kind": record_type}
+        elif element is not None:
+            if record_type == RecordType.LAYER:
+                element["layer"] = unpack_int16(payload)[0]
+            elif record_type == RecordType.WIDTH:
+                element["width"] = unpack_int32(payload)[0]
+            elif record_type == RecordType.DATATYPE:
+                element["datatype"] = unpack_int16(payload)[0]
+            elif record_type == RecordType.XY:
+                element["xy"] = unpack_int32(payload)
+            elif record_type == RecordType.SNAME:
+                element["sname"] = unpack_ascii(payload)
+            elif record_type == RecordType.STRANS:
+                element["strans"] = int.from_bytes(payload, "big")
+            elif record_type == RecordType.MAG:
+                element["mag"] = unpack_real8(payload)[0]
+            elif record_type == RecordType.ANGLE:
+                element["angle"] = unpack_real8(payload)[0]
+            elif record_type == RecordType.COLROW:
+                element["colrow"] = unpack_int16(payload)
+            elif record_type == RecordType.ENDEL:
+                if library is None:
+                    raise GdsiiError("element before UNITS record")
+                _finish_element(current_cell, element, library, pending_refs)
+                element = None
+        elif record_type == RecordType.ENDLIB:
+            break
+
+    if not saw_header:
+        raise GdsiiError("missing HEADER record")
+    if library is None:
+        raise GdsiiError("missing UNITS record")
+
+    for parent, ref_spec in pending_refs:
+        target = cells.get(ref_spec["sname"])
+        if target is None:
+            raise GdsiiError(f"reference to undefined cell {ref_spec['sname']!r}")
+        parent.add_reference(_build_reference(target, ref_spec, library))
+
+    library.add(*cells.values(), include_descendants=False)
+    return library
+
+
+def _finish_element(
+    cell: Optional[Cell],
+    element: dict,
+    library: Library,
+    pending_refs: List[Tuple[Cell, dict]],
+) -> None:
+    if cell is None:
+        raise GdsiiError("ENDEL outside a structure")
+    kind = element["kind"]
+    if kind == RecordType.BOUNDARY:
+        xy = element.get("xy")
+        if not xy or len(xy) < 8:
+            raise GdsiiError("BOUNDARY without a valid XY record")
+        grid = library.grid
+        pts = [
+            (xy[i] * grid, xy[i + 1] * grid) for i in range(0, len(xy) - 2, 2)
+        ]
+        layer = Layer(element.get("layer", 0), element.get("datatype", 0))
+        cell.add_polygon(Polygon(pts), layer)
+    elif kind == RecordType.PATH:
+        xy = element.get("xy")
+        if not xy or len(xy) < 4:
+            raise GdsiiError("PATH without a valid XY record")
+        grid = library.grid
+        width = element.get("width", 0) * grid
+        if width <= 0:
+            # Zero-width paths carry no printable geometry.
+            return
+        pts = [(xy[i] * grid, xy[i + 1] * grid) for i in range(0, len(xy), 2)]
+        layer = Layer(element.get("layer", 0), element.get("datatype", 0))
+        cell.add_polygon(Polygon.from_path(pts, width), layer)
+    elif kind in (RecordType.SREF, RecordType.AREF):
+        if "sname" not in element or "xy" not in element:
+            raise GdsiiError("reference without SNAME or XY")
+        pending_refs.append((cell, element))
+    # TEXT: silently skipped.
+
+
+def _build_reference(
+    target: Cell, spec: dict, library: Library
+) -> CellReference:
+    grid = library.grid
+    xy = spec["xy"]
+    x_reflection = bool(spec.get("strans", 0) & 0x8000)
+    mag = spec.get("mag", 1.0)
+    angle = spec.get("angle", 0.0)
+    origin = (xy[0] * grid, xy[1] * grid)
+    if spec["kind"] == RecordType.SREF:
+        return CellReference(
+            target, origin, rotation_deg=angle, magnification=mag,
+            x_reflection=x_reflection,
+        )
+    colrow = spec.get("colrow")
+    if not colrow or len(colrow) != 2 or len(xy) != 6:
+        raise GdsiiError("AREF needs COLROW and three XY corners")
+    columns, rows = colrow
+    col_end = Point(xy[2] * grid, xy[3] * grid)
+    row_end = Point(xy[4] * grid, xy[5] * grid)
+    origin_pt = Point(*origin)
+    column_vector = (col_end - origin_pt) / columns
+    row_vector = (row_end - origin_pt) / rows
+    return CellArray(
+        target,
+        columns,
+        rows,
+        column_vector=column_vector,
+        row_vector=row_vector,
+        origin=origin,
+        rotation_deg=angle,
+        magnification=mag,
+        x_reflection=x_reflection,
+    )

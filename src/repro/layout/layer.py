@@ -1,0 +1,64 @@
+"""Layer identification in the GDSII (layer, datatype) convention."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Layer:
+    """A mask layer, identified by GDSII layer and datatype numbers.
+
+    >>> metal1 = Layer(8, 0, name="metal1")
+    >>> metal1
+    Layer(8/0 'metal1')
+    >>> Layer(8, 0) == metal1
+    True
+    """
+
+    __slots__ = ("number", "datatype", "name")
+
+    def __init__(self, number: int, datatype: int = 0, name: str = "") -> None:
+        if not (0 <= number <= 32767):
+            raise ValueError(f"layer number out of range: {number}")
+        if not (0 <= datatype <= 32767):
+            raise ValueError(f"datatype out of range: {datatype}")
+        self.number = int(number)
+        self.datatype = int(datatype)
+        self.name = name
+
+    @classmethod
+    def of(cls, value: "Layer | int | Tuple[int, int]") -> "Layer":
+        """Coerce an int, pair, or Layer into a Layer."""
+        if isinstance(value, Layer):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        number, datatype = value
+        return cls(number, datatype)
+
+    def key(self) -> Tuple[int, int]:
+        """``(number, datatype)`` tuple — the identity of the layer."""
+        return (self.number, self.datatype)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Layer):
+            return self.key() == other.key()
+        if isinstance(other, tuple):
+            return self.key() == other
+        if isinstance(other, int):
+            return self.number == other and self.datatype == 0
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __lt__(self, other: "Layer") -> bool:
+        return self.key() < other.key()
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Layer({self.number}/{self.datatype}{label})"
+
+
+#: Conventional default layer for single-layer work.
+DEFAULT_LAYER = Layer(0, 0, name="pattern")

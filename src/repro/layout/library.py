@@ -1,0 +1,136 @@
+"""Library: a named collection of cells with physical units."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import networkx as nx
+
+from repro.layout.cell import Cell
+
+
+class Library:
+    """A collection of uniquely named cells plus unit metadata.
+
+    Attributes:
+        name: library name (GDSII ``LIBNAME``).
+        unit: size of one user unit in metres (1e-6 = µm, the default).
+        precision: size of one database unit in metres (1e-9 = nm).
+    """
+
+    __slots__ = ("name", "unit", "precision", "cells")
+
+    def __init__(
+        self,
+        name: str = "LIB",
+        unit: float = 1e-6,
+        precision: float = 1e-9,
+    ) -> None:
+        if unit <= 0 or precision <= 0:
+            raise ValueError("unit and precision must be positive")
+        if precision > unit:
+            raise ValueError("precision must not exceed unit")
+        self.name = name
+        self.unit = unit
+        self.precision = precision
+        self.cells: Dict[str, Cell] = {}
+
+    @property
+    def grid(self) -> float:
+        """Database unit expressed in user units (the boolean-engine grid)."""
+        return self.precision / self.unit
+
+    # -- cell management -----------------------------------------------
+
+    def add(self, *cells: Cell, include_descendants: bool = True) -> "Library":
+        """Add cells (and by default their descendants) to the library.
+
+        Raises:
+            ValueError: on a name collision with a *different* cell object.
+        """
+        pending: List[Cell] = list(cells)
+        while pending:
+            cell = pending.pop()
+            existing = self.cells.get(cell.name)
+            if existing is not None and existing is not cell:
+                raise ValueError(f"cell name collision: {cell.name!r}")
+            self.cells[cell.name] = cell
+            if include_descendants:
+                pending.extend(
+                    c for c in cell.children() if self.cells.get(c.name) is not c
+                )
+        return self
+
+    def new_cell(self, name: str) -> Cell:
+        """Create, register and return an empty cell."""
+        cell = Cell(name)
+        self.add(cell)
+        return cell
+
+    def __getitem__(self, name: str) -> Cell:
+        return self.cells[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells.values())
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # -- hierarchy ---------------------------------------------------------
+
+    def hierarchy_graph(self) -> "nx.DiGraph":
+        """Directed parent→child reference graph over the library."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.cells)
+        for cell in self.cells.values():
+            for ref in cell.references:
+                graph.add_edge(cell.name, ref.cell.name)
+        return graph
+
+    def check_acyclic(self) -> None:
+        """Raise ``ValueError`` if any reference cycle exists."""
+        graph = self.hierarchy_graph()
+        try:
+            cycle = nx.find_cycle(graph)
+        except nx.NetworkXNoCycle:
+            return
+        path = " -> ".join(edge[0] for edge in cycle) + f" -> {cycle[-1][1]}"
+        raise ValueError(f"reference cycle in library: {path}")
+
+    def top_cells(self) -> List[Cell]:
+        """Cells that are not referenced by any other cell."""
+        graph = self.hierarchy_graph()
+        return [
+            self.cells[name]
+            for name in self.cells
+            if graph.in_degree(name) == 0
+        ]
+
+    def top_cell(self) -> Cell:
+        """The unique top cell.
+
+        Raises:
+            ValueError: if the library has zero or multiple top cells.
+        """
+        tops = self.top_cells()
+        if len(tops) != 1:
+            names = [c.name for c in tops]
+            raise ValueError(f"expected exactly one top cell, found {names}")
+        return tops[0]
+
+    def depth(self) -> int:
+        """Longest reference chain (1 for a flat library)."""
+        graph = self.hierarchy_graph()
+        if not graph:
+            return 0
+        self.check_acyclic()
+        return int(nx.dag_longest_path_length(graph)) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Library({self.name!r}, cells={len(self.cells)}, "
+            f"unit={self.unit:g}, precision={self.precision:g})"
+        )

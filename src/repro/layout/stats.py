@@ -1,0 +1,76 @@
+"""Hierarchy and data-volume statistics for layouts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.layout.cell import Cell
+from repro.layout.flatten import flatten_cell
+from repro.layout.library import Library
+
+
+@dataclass
+class HierarchyStats:
+    """Summary statistics of a layout hierarchy.
+
+    Attributes:
+        cell_count: distinct cells in the library.
+        reference_count: total reference records (arrays count once).
+        instance_count: total expanded cell instances.
+        hierarchical_polygons: polygon records stored in cells.
+        flat_polygons: polygons after full flattening.
+        hierarchical_vertices: vertices stored in cells.
+        flat_vertices: vertices after full flattening.
+        depth: longest reference chain (1 = flat).
+        compaction_ratio: flat/hierarchical polygon ratio — the data
+            explosion a flat machine format suffers.
+    """
+
+    cell_count: int
+    reference_count: int
+    instance_count: int
+    hierarchical_polygons: int
+    flat_polygons: int
+    hierarchical_vertices: int
+    flat_vertices: int
+    depth: int
+
+    @property
+    def compaction_ratio(self) -> float:
+        if self.hierarchical_polygons == 0:
+            return 1.0
+        return self.flat_polygons / self.hierarchical_polygons
+
+
+def library_stats(library: Library) -> HierarchyStats:
+    """Compute :class:`HierarchyStats` for a library's unique top cell."""
+    top = library.top_cell()
+    flat = flatten_cell(top)
+    hier_polys = sum(c.polygon_count() for c in library)
+    hier_verts = sum(c.vertex_count() for c in library)
+    ref_count = sum(c.reference_count() for c in library)
+
+    instance_total = _count_instances(top, {})
+
+    return HierarchyStats(
+        cell_count=len(library),
+        reference_count=ref_count,
+        instance_count=instance_total,
+        hierarchical_polygons=hier_polys,
+        flat_polygons=sum(len(v) for v in flat.values()),
+        hierarchical_vertices=hier_verts,
+        flat_vertices=sum(len(p) for v in flat.values() for p in v),
+        depth=library.depth(),
+    )
+
+
+def _count_instances(cell: Cell, memo: Dict[str, int]) -> int:
+    """Total expanded instances under ``cell`` (including itself)."""
+    if cell.name in memo:
+        return memo[cell.name]
+    total = 1
+    for ref in cell.references:
+        total += ref.placement_count() * _count_instances(ref.cell, memo)
+    memo[cell.name] = total
+    return total

@@ -1,0 +1,66 @@
+"""Electron-beam pattern-generator machine models.
+
+Analytic models of the three 1979-era machine architectures and their
+shared subsystems:
+
+* :class:`~repro.machine.column.Column` — electron-optical column:
+  brightness/aberration spot-size model and the current-vs-resolution
+  trade-off (experiment T4).
+* :class:`~repro.machine.stage.Stage` — laser-interferometer stage with
+  stop-and-settle or continuous motion.
+* :class:`~repro.machine.deflection.DeflectionField` — deflection
+  distortion and polynomial calibration (experiment F4).
+* :class:`~repro.machine.raster.RasterScanWriter` — EBES-class raster
+  machine: fixed raster, continuously moving stage, density-independent
+  write time.
+* :class:`~repro.machine.vector.VectorScanWriter` — vector-scan Gaussian
+  beam: exposure time proportional to pattern area.
+* :class:`~repro.machine.vsb.ShapedBeamWriter` — variable-shaped beam:
+  per-shot flashes, throughput set by shot count.
+* :mod:`~repro.machine.datapath` — pattern-data volume and data-rate
+  ceilings (experiments T3, F5).
+* :mod:`~repro.machine.stitching` — field-butting error model.
+"""
+
+from repro.machine.base import Machine, WriteTimeBreakdown
+from repro.machine.column import Column, ElectronSource, LAB6, TUNGSTEN, FIELD_EMISSION
+from repro.machine.stage import Stage
+from repro.machine.deflection import DeflectionField, CalibrationResult
+from repro.machine.raster import RasterScanWriter
+from repro.machine.vector import VectorScanWriter
+from repro.machine.vsb import ShapedBeamWriter
+from repro.machine.stitching import StitchingModel, ButtingReport
+from repro.machine.rle import RlePattern, encode_figures, decode_to_coverage
+from repro.machine.registration import (
+    RegistrationFit,
+    detect_edge,
+    detect_mark_center,
+    fit_registration,
+    mark_signal,
+)
+
+__all__ = [
+    "Machine",
+    "WriteTimeBreakdown",
+    "Column",
+    "ElectronSource",
+    "LAB6",
+    "TUNGSTEN",
+    "FIELD_EMISSION",
+    "Stage",
+    "DeflectionField",
+    "CalibrationResult",
+    "RasterScanWriter",
+    "VectorScanWriter",
+    "ShapedBeamWriter",
+    "StitchingModel",
+    "ButtingReport",
+    "RlePattern",
+    "encode_figures",
+    "decode_to_coverage",
+    "RegistrationFit",
+    "detect_edge",
+    "detect_mark_center",
+    "fit_registration",
+    "mark_signal",
+]

@@ -1,0 +1,177 @@
+"""Run-length encoding of fractured patterns for the raster datapath.
+
+The EBES-class machines did not store bitmaps: the data path expanded a
+figure stream into per-scanline (start, length) runs on the fly and fed
+the blanker.  This module performs that expansion faithfully:
+
+* :func:`encode_figures` — trapezoid list → per-scanline runs on the
+  machine address grid, with overlapping runs merged.
+* :func:`decode_to_coverage` — runs → binary address map (for
+  verification against the rasterizer).
+* :func:`encoded_bytes` — the exact stream size in the 2-word-per-run
+  format (replacing the estimate in :mod:`repro.machine.datapath`).
+
+Runs use the pixel-centre convention: address ``i`` on scanline ``j`` is
+written when the point ``(x0 + (i + 0.5)·a, y0 + (j + 0.5)·a)`` lies in
+the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.trapezoid import Trapezoid
+
+#: One run costs two 16-bit words (start, length).
+BYTES_PER_RUN = 4
+
+#: Each scanline carries one 16-bit run-count word.
+BYTES_PER_LINE = 2
+
+Run = Tuple[int, int]  # (start_address, length)
+
+
+@dataclass
+class RlePattern:
+    """A run-length encoded pattern.
+
+    Attributes:
+        origin: ``(x0, y0)`` of address (0, 0) in layout units.
+        address_unit: address pitch [µm].
+        lines: scanline index → sorted, disjoint runs.
+        line_count: total scanlines spanned (including empty ones).
+    """
+
+    origin: Tuple[float, float]
+    address_unit: float
+    lines: Dict[int, List[Run]]
+    line_count: int
+
+    def run_count(self) -> int:
+        """Total number of runs."""
+        return sum(len(runs) for runs in self.lines.values())
+
+    def written_addresses(self) -> int:
+        """Total addresses written (beam-on address count)."""
+        return sum(
+            length for runs in self.lines.values() for _, length in runs
+        )
+
+    def encoded_bytes(self) -> int:
+        """Exact stream size: run words plus per-line count words."""
+        return self.run_count() * BYTES_PER_RUN + self.line_count * BYTES_PER_LINE
+
+
+def encode_figures(
+    figures: Sequence[Trapezoid],
+    address_unit: float,
+    origin: Tuple[float, float] | None = None,
+) -> RlePattern:
+    """Expand a figure list into per-scanline runs.
+
+    Args:
+        figures: disjoint machine figures.
+        address_unit: machine address pitch [µm].
+        origin: address-grid origin; defaults to the figure bbox corner.
+
+    Returns:
+        The encoded pattern, with overlapping/adjacent runs merged per
+        scanline.
+    """
+    if address_unit <= 0:
+        raise ValueError("address unit must be positive")
+    if not figures:
+        return RlePattern((0.0, 0.0), address_unit, {}, 0)
+    boxes = [f.bounding_box() for f in figures]
+    if origin is None:
+        origin = (min(b[0] for b in boxes), min(b[1] for b in boxes))
+    x0, y0 = origin
+    y_max = max(b[3] for b in boxes)
+    line_count = max(1, int(np.ceil((y_max - y0) / address_unit)))
+
+    lines: Dict[int, List[Run]] = {}
+    for figure in figures:
+        _add_figure_runs(lines, figure, x0, y0, address_unit)
+
+    for index in lines:
+        lines[index] = _merge_runs(lines[index])
+    return RlePattern((x0, y0), address_unit, lines, line_count)
+
+
+def _add_figure_runs(
+    lines: Dict[int, List[Run]],
+    figure: Trapezoid,
+    x0: float,
+    y0: float,
+    a: float,
+) -> None:
+    bbox = figure.bounding_box()
+    first = max(0, int(np.floor((bbox[1] - y0) / a)))
+    last = int(np.ceil((bbox[3] - y0) / a))
+    for j in range(first, last):
+        y = y0 + (j + 0.5) * a
+        if not (figure.y_bottom <= y <= figure.y_top):
+            continue
+        t = (y - figure.y_bottom) / figure.height
+        left = figure.x_bottom_left + t * (figure.x_top_left - figure.x_bottom_left)
+        right = figure.x_bottom_right + t * (
+            figure.x_top_right - figure.x_bottom_right
+        )
+        # Addresses whose centres fall inside [left, right].
+        start = int(np.ceil((left - x0) / a - 0.5))
+        end = int(np.floor((right - x0) / a - 0.5))
+        if end < start:
+            continue
+        start = max(start, 0)
+        lines.setdefault(j, []).append((start, end - start + 1))
+
+
+def _merge_runs(runs: List[Run]) -> List[Run]:
+    """Sort runs and merge overlaps/adjacencies."""
+    runs.sort()
+    merged: List[Run] = []
+    for start, length in runs:
+        if merged and start <= merged[-1][0] + merged[-1][1]:
+            prev_start, prev_len = merged[-1]
+            merged[-1] = (
+                prev_start,
+                max(prev_start + prev_len, start + length) - prev_start,
+            )
+        else:
+            merged.append((start, length))
+    return merged
+
+
+def decode_to_coverage(
+    pattern: RlePattern, width_addresses: int
+) -> np.ndarray:
+    """Expand runs back into a binary address map (verification aid)."""
+    grid = np.zeros((pattern.line_count, width_addresses), dtype=bool)
+    for j, runs in pattern.lines.items():
+        if not (0 <= j < pattern.line_count):
+            continue
+        for start, length in runs:
+            grid[j, start : min(start + length, width_addresses)] = True
+    return grid
+
+
+def stream_rate_required(
+    pattern: RlePattern, pixel_rate: float, width_addresses: int
+) -> float:
+    """Bytes/s the channel must sustain to keep the raster beam fed.
+
+    The scan consumes addresses at ``pixel_rate``; the stream must
+    deliver each scanline's runs within that line's scan time.
+    """
+    if pixel_rate <= 0 or width_addresses <= 0:
+        raise ValueError("pixel rate and width must be positive")
+    line_time = width_addresses / pixel_rate
+    worst_line_bytes = max(
+        (len(runs) * BYTES_PER_RUN + BYTES_PER_LINE
+         for runs in pattern.lines.values()),
+        default=BYTES_PER_LINE,
+    )
+    return worst_line_bytes / line_time

@@ -1,0 +1,69 @@
+"""Laser-interferometer stage model."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A writing stage.
+
+    Attributes:
+        velocity: maximum velocity [µm/s].
+        acceleration: acceleration [µm/s²].
+        settle_time: settling time after each stop-and-go move [s].
+        position_noise: 1σ residual position error after settling [µm]
+            (laser interferometer + servo noise) — feeds the stitching
+            error budget.
+        continuous: True for continuously moving stages (EBES style),
+            where per-field settling does not apply.
+    """
+
+    velocity: float = 2.0e4
+    acceleration: float = 1.0e5
+    settle_time: float = 0.05
+    position_noise: float = 0.05
+    continuous: bool = False
+
+    def __post_init__(self) -> None:
+        if self.velocity <= 0 or self.acceleration <= 0:
+            raise ValueError("velocity and acceleration must be positive")
+        if self.settle_time < 0 or self.position_noise < 0:
+            raise ValueError("settle time and noise must be non-negative")
+
+    def move_time(self, distance: float) -> float:
+        """Time for one stop-and-go move of ``distance`` µm.
+
+        Uses the trapezoidal velocity profile: accelerate, cruise (if the
+        distance is long enough), decelerate, settle.  Continuous stages
+        report only the transit time at cruise velocity.
+        """
+        distance = abs(distance)
+        if distance == 0:
+            return 0.0
+        if self.continuous:
+            return distance / self.velocity
+        d_accel = self.velocity**2 / self.acceleration  # accel + decel span
+        if distance <= d_accel:
+            travel = 2.0 * math.sqrt(distance / self.acceleration)
+        else:
+            travel = (
+                2.0 * self.velocity / self.acceleration
+                + (distance - d_accel) / self.velocity
+            )
+        return travel + self.settle_time
+
+    def serpentine_time(
+        self, field_size: float, columns: int, rows: int
+    ) -> float:
+        """Total stage time to visit a ``columns × rows`` field grid.
+
+        Fields are visited in boustrophedon (serpentine) order, the
+        standard minimal-motion schedule.
+        """
+        if columns < 1 or rows < 1:
+            raise ValueError("grid must be at least 1x1")
+        moves = columns * rows - 1
+        return moves * self.move_time(field_size)

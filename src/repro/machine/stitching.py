@@ -1,0 +1,176 @@
+"""Field-stitching (butting) error model.
+
+Patterns larger than one deflection field are written as a mosaic; a
+feature crossing a field boundary is placed by *two* fields, and the
+mismatch between them — deflection-calibration residual at the two field
+edges plus two independent stage placements — appears as a butting error.
+Experiment F4 sweeps calibration order and stage noise and reports the
+resulting error distribution, reproducing the overlay-budget analysis of
+the period literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.deflection import DeflectionField
+from repro.machine.stage import Stage
+
+
+@dataclass
+class ButtingReport:
+    """Distribution of butting errors over a field mosaic.
+
+    Attributes:
+        samples: number of boundary sample points measured.
+        rms: RMS butting error [µm].
+        maximum: worst butting error [µm].
+        mean: mean butting error magnitude [µm].
+        stage_contribution_rms: RMS of the stage-only component [µm].
+        deflection_contribution_rms: RMS of the deflection-only
+            component [µm].
+    """
+
+    samples: int
+    rms: float
+    maximum: float
+    mean: float
+    stage_contribution_rms: float
+    deflection_contribution_rms: float
+
+
+class StitchingModel:
+    """Monte-Carlo butting-error model for a field mosaic.
+
+    Args:
+        field: the (distorted) deflection field.
+        stage: stage whose ``position_noise`` displaces whole fields.
+        calibration_order: polynomial order of the deflection correction
+            (None = uncorrected raw distortion).
+        calibration_marks: fiducial marks per axis for the calibration.
+    """
+
+    def __init__(
+        self,
+        field: Optional[DeflectionField] = None,
+        stage: Optional[Stage] = None,
+        calibration_order: Optional[int] = 3,
+        calibration_marks: int = 9,
+    ) -> None:
+        self.field = field if field is not None else DeflectionField()
+        self.stage = stage if stage is not None else Stage()
+        self.calibration_order = calibration_order
+        self.calibration_marks = calibration_marks
+
+    def _edge_residuals(self, n_points: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Residual (dx, dy) along the right field edge after calibration."""
+        half = self.field.size / 2.0
+        ys = np.linspace(-half, half, n_points)
+        xs = np.full_like(ys, half)
+        dx, dy = self.field.distortion(xs, ys)
+        if self.calibration_order is None:
+            return dx, dy
+        # Fit the correction polynomial on the calibration mark grid and
+        # subtract its prediction along the edge.
+        from repro.machine.deflection import _poly_basis
+
+        marks = self.calibration_marks
+        axis = np.linspace(-half, half, marks)
+        gx, gy = np.meshgrid(axis, axis)
+        mx, my = gx.ravel(), gy.ravel()
+        mdx, mdy = self.field.distortion(mx, my)
+        basis = _poly_basis(mx / half, my / half, self.calibration_order)
+        coeff_x, *_ = np.linalg.lstsq(basis, mdx, rcond=None)
+        coeff_y, *_ = np.linalg.lstsq(basis, mdy, rcond=None)
+        edge_basis = _poly_basis(xs / half, ys / half, self.calibration_order)
+        return dx - edge_basis @ coeff_x, dy - edge_basis @ coeff_y
+
+    def simulate(
+        self,
+        columns: int = 4,
+        rows: int = 4,
+        samples_per_edge: int = 21,
+        seed: int = 0,
+        passes: int = 1,
+    ) -> ButtingReport:
+        """Simulate butting errors across a ``columns × rows`` mosaic.
+
+        For every interior vertical boundary, the left field's right edge
+        and the right field's left edge place the same feature; their
+        disagreement is the deflection residual difference (left-edge
+        residuals mirror the right-edge ones by field symmetry) plus the
+        difference of two independent stage placement errors.
+
+        Args:
+            passes: multipass writing — the pattern is written ``passes``
+                times at 1/passes dose each, with independent stage
+                placements that average out.  EBES used this to reduce
+                butting visibility by ~1/√passes; the systematic
+                deflection residual does *not* average.
+        """
+        if columns < 2 and rows < 2:
+            raise ValueError("mosaic needs at least two fields along one axis")
+        if passes < 1:
+            raise ValueError("passes must be at least 1")
+        rng = np.random.default_rng(seed)
+        res_dx, res_dy = self._edge_residuals(samples_per_edge)
+
+        stage_only: List[float] = []
+        deflection_only: List[float] = []
+        combined: List[float] = []
+
+        n_boundaries_v = max(0, (columns - 1) * rows)
+        n_boundaries_h = max(0, (rows - 1) * columns)
+        for _ in range(n_boundaries_v + n_boundaries_h):
+            # Average the random stage placement over the passes; the
+            # deflection residual is systematic and survives averaging.
+            stage_a = rng.normal(
+                0.0, self.stage.position_noise, (passes, 2)
+            ).mean(axis=0)
+            stage_b = rng.normal(
+                0.0, self.stage.position_noise, (passes, 2)
+            ).mean(axis=0)
+            stage_delta = stage_a - stage_b
+            # Deflection mismatch: right edge of A vs left edge of B.
+            # Left-edge residuals are the point-mirror of right-edge ones.
+            ddx = res_dx - (-res_dx[::-1])
+            ddy = res_dy - (-res_dy[::-1])
+            total = np.hypot(ddx + stage_delta[0], ddy + stage_delta[1])
+            combined.extend(total.tolist())
+            deflection_only.extend(np.hypot(ddx, ddy).tolist())
+            stage_only.append(float(np.hypot(*stage_delta)))
+
+        combined_arr = np.array(combined)
+        return ButtingReport(
+            samples=len(combined),
+            rms=float(np.sqrt(np.mean(combined_arr**2))),
+            maximum=float(combined_arr.max()),
+            mean=float(np.abs(combined_arr).mean()),
+            stage_contribution_rms=float(
+                np.sqrt(np.mean(np.array(stage_only) ** 2))
+            ),
+            deflection_contribution_rms=float(
+                np.sqrt(np.mean(np.array(deflection_only) ** 2))
+            ),
+        )
+
+
+def overlay_budget(
+    contributions_um: dict,
+) -> Tuple[float, dict]:
+    """Root-sum-square overlay budget from named 1σ contributions.
+
+    Returns:
+        ``(total_rss, fractional_share)`` where the share maps each name
+        to its fraction of the total variance.
+    """
+    total_var = sum(v * v for v in contributions_um.values())
+    total = total_var**0.5
+    share = {
+        k: (v * v / total_var if total_var > 0 else 0.0)
+        for k, v in contributions_um.items()
+    }
+    return total, share

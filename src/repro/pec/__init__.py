@@ -1,0 +1,51 @@
+"""Proximity-effect correction (PEC).
+
+Backscattered electrons expose resist micrometres away from the beam, so
+dense regions print larger and isolated features print smaller.  Four
+period-representative corrections are implemented:
+
+* :class:`~repro.pec.dose_iter.IterativeDoseCorrector` — self-consistent
+  dose iteration (the production workhorse).
+* :class:`~repro.pec.dose_matrix.MatrixDoseCorrector` — direct linear
+  solve of the interaction matrix.
+* :class:`~repro.pec.shape_bias.ShapeBiasCorrector` — geometric pre-bias
+  at fixed dose.
+* :class:`~repro.pec.ghost.GhostCorrector` — background equalization by a
+  complementary defocused exposure.
+
+All correctors consume and produce :class:`~repro.fracture.base.Shot`
+lists; the exposure model is shared through
+:mod:`~repro.pec.base`'s analytic Gaussian-rectangle interaction.
+"""
+
+from repro.pec.base import (
+    ProximityCorrector,
+    edge_sample_points,
+    exposure_at_points,
+    interaction_matrix_at_points,
+    shot_interaction_matrix,
+)
+from repro.pec.dose_iter import IterativeDoseCorrector, ConvergenceTrace
+from repro.pec.dose_matrix import MatrixDoseCorrector
+from repro.pec.shape_bias import ShapeBiasCorrector
+from repro.pec.ghost import GhostCorrector, GhostExposure
+from repro.pec.quantize import dose_classes, quantize_doses
+from repro.pec.report import correction_report, CorrectionReport
+
+__all__ = [
+    "ProximityCorrector",
+    "shot_interaction_matrix",
+    "interaction_matrix_at_points",
+    "edge_sample_points",
+    "exposure_at_points",
+    "IterativeDoseCorrector",
+    "ConvergenceTrace",
+    "MatrixDoseCorrector",
+    "ShapeBiasCorrector",
+    "GhostCorrector",
+    "GhostExposure",
+    "dose_classes",
+    "quantize_doses",
+    "correction_report",
+    "CorrectionReport",
+]

@@ -1,0 +1,210 @@
+"""Shared machinery for proximity correction.
+
+The correctors need the absorbed-energy level at figure sample points as a
+function of all shot doses.  For a double-Gaussian PSF and rectangle-like
+shots this is analytic: the exposure a rectangle ``[x0,x1]×[y0,y1]`` at
+uniform dose 1 contributes to a point is a product of erf differences per
+Gaussian term.  Trapezoids are approximated by their bounding rectangle
+scaled by the area ratio — exact for rectangles, and within a few percent
+for the near-rectangular trapezoids fracturing produces (the accuracy is
+measured by the test suite against the FFT exposure engine).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy.special import erf
+
+from repro.fracture.base import Shot
+from repro.geometry.trapezoid import Trapezoid
+from repro.physics.psf import DoubleGaussianPSF
+
+
+def _rect_gauss_integral(
+    px: np.ndarray,
+    py: np.ndarray,
+    x0: float,
+    x1: float,
+    y0: float,
+    y1: float,
+    sigma: float,
+) -> np.ndarray:
+    """∫∫_rect g(p − q) dq for the unit Gaussian ``g`` of range ``sigma``.
+
+    ``g(r) = exp(−r²/σ²) / (π σ²)`` (the PSF term normalization), so the
+    integral over the whole plane is 1.
+    """
+    ax = 0.5 * (erf((x1 - px) / sigma) - erf((x0 - px) / sigma))
+    ay = 0.5 * (erf((y1 - py) / sigma) - erf((y0 - py) / sigma))
+    return ax * ay
+
+
+def rectangle_exposure(
+    points: np.ndarray,
+    rect: Tuple[float, float, float, float],
+    psf: DoubleGaussianPSF,
+) -> np.ndarray:
+    """Absorbed level at ``points`` from a unit-dose rectangle.
+
+    Args:
+        points: array of shape (n, 2).
+        rect: ``(x0, y0, x1, y1)``.
+        psf: the proximity PSF.
+
+    Returns:
+        Array of n absorbed-energy levels (large-pad level = 1).
+    """
+    px = points[:, 0]
+    py = points[:, 1]
+    x0, y0, x1, y1 = rect
+    fwd = _rect_gauss_integral(px, py, x0, x1, y0, y1, psf.alpha)
+    back = _rect_gauss_integral(px, py, x0, x1, y0, y1, psf.beta)
+    return (fwd + psf.eta * back) / (1.0 + psf.eta)
+
+
+def trapezoid_exposure(
+    points: np.ndarray, trap: Trapezoid, psf: DoubleGaussianPSF
+) -> np.ndarray:
+    """Absorbed level at ``points`` from a unit-dose trapezoid.
+
+    Bounding-rectangle approximation scaled by the area ratio.
+    """
+    bbox = trap.bounding_box()
+    bbox_area = (bbox[2] - bbox[0]) * (bbox[3] - bbox[1])
+    if bbox_area <= 0:
+        return np.zeros(len(points))
+    scale = trap.area() / bbox_area
+    return scale * rectangle_exposure(
+        points, (bbox[0], bbox[1], bbox[2], bbox[3]), psf
+    )
+
+
+def shot_sample_points(
+    shots: Sequence[Shot], mode: str = "centroid"
+) -> np.ndarray:
+    """Representative sample point for each shot.
+
+    ``mode="centroid"`` uses the area centroid; ``mode="center"`` the
+    bounding-box centre (the cheaper choice ablated in F2).
+    """
+    points = np.empty((len(shots), 2))
+    for i, shot in enumerate(shots):
+        if mode == "centroid":
+            c = shot.trapezoid.centroid()
+            points[i] = (c.x, c.y)
+        elif mode == "center":
+            bbox = shot.trapezoid.bounding_box()
+            points[i] = ((bbox[0] + bbox[2]) / 2.0, (bbox[1] + bbox[3]) / 2.0)
+        else:
+            raise ValueError(f"unknown sample mode {mode!r}")
+    return points
+
+
+def edge_sample_points(
+    shots: Sequence[Shot], inset_fraction: float = 0.02
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Edge-midpoint sample points: two per shot (left and right sides).
+
+    Edge targeting pins the absorbed level at the printed boundary rather
+    than the figure interior, which removes the uniform CD offset
+    interior targeting leaves (see EXPERIMENTS.md, F1).  Points are inset
+    slightly so they sample the figure side of the edge.
+
+    Returns:
+        ``(points, owners)`` — points of shape (2n, 2) and the owning
+        shot index of each point.
+    """
+    n = len(shots)
+    points = np.empty((2 * n, 2))
+    owners = np.empty(2 * n, dtype=int)
+    for i, shot in enumerate(shots):
+        t = shot.trapezoid
+        y_mid = 0.5 * (t.y_bottom + t.y_top)
+        left = 0.5 * (t.x_bottom_left + t.x_top_left)
+        right = 0.5 * (t.x_bottom_right + t.x_top_right)
+        inset = inset_fraction * max(right - left, 1e-9)
+        points[2 * i] = (left + inset, y_mid)
+        points[2 * i + 1] = (right - inset, y_mid)
+        owners[2 * i] = i
+        owners[2 * i + 1] = i
+    return points, owners
+
+
+def interaction_matrix_at_points(
+    points: np.ndarray,
+    shots: Sequence[Shot],
+    psf: DoubleGaussianPSF,
+    cutoff_factor: float = 4.0,
+) -> np.ndarray:
+    """Exposure matrix K with ``K[p, j]`` = level at point p from shot j
+    at unit dose (distance-cutoff pruned like
+    :func:`shot_interaction_matrix`)."""
+    n_points = len(points)
+    matrix = np.zeros((n_points, len(shots)))
+    cutoff = cutoff_factor * psf.beta
+    for j, shot in enumerate(shots):
+        bbox = shot.trapezoid.bounding_box()
+        cx = (bbox[0] + bbox[2]) / 2.0
+        cy = (bbox[1] + bbox[3]) / 2.0
+        half_diag = math.hypot(bbox[2] - bbox[0], bbox[3] - bbox[1]) / 2.0
+        distances = np.hypot(points[:, 0] - cx, points[:, 1] - cy)
+        near = distances <= cutoff + half_diag
+        if near.any():
+            matrix[near, j] = trapezoid_exposure(points[near], shot.trapezoid, psf)
+    return matrix
+
+
+def shot_interaction_matrix(
+    shots: Sequence[Shot],
+    psf: DoubleGaussianPSF,
+    sample_mode: str = "centroid",
+    cutoff_factor: float = 4.0,
+) -> np.ndarray:
+    """Interaction matrix K with ``K[i, j]`` = exposure at shot i's sample
+    point from shot j at unit dose.
+
+    Entries beyond ``cutoff_factor · β`` are treated as the constant far
+    tail (effectively zero), keeping the matrix cheap without the sparse
+    machinery the originals could not afford either.
+    """
+    n = len(shots)
+    points = shot_sample_points(shots, sample_mode)
+    matrix = np.zeros((n, n))
+    cutoff = cutoff_factor * psf.beta
+    centers = points
+    for j, shot in enumerate(shots):
+        bbox = shot.trapezoid.bounding_box()
+        cx = (bbox[0] + bbox[2]) / 2.0
+        cy = (bbox[1] + bbox[3]) / 2.0
+        half_diag = math.hypot(bbox[2] - bbox[0], bbox[3] - bbox[1]) / 2.0
+        distances = np.hypot(centers[:, 0] - cx, centers[:, 1] - cy)
+        near = distances <= cutoff + half_diag
+        if near.any():
+            matrix[near, j] = trapezoid_exposure(
+                points[near], shot.trapezoid, psf
+            )
+    return matrix
+
+
+def exposure_at_points(
+    points: np.ndarray, shots: Sequence[Shot], psf: DoubleGaussianPSF
+) -> np.ndarray:
+    """Absorbed level at arbitrary points from a dosed shot list."""
+    total = np.zeros(len(points))
+    for shot in shots:
+        total += shot.dose * trapezoid_exposure(points, shot.trapezoid, psf)
+    return total
+
+
+class ProximityCorrector(abc.ABC):
+    """Strategy interface for proximity-effect correction."""
+
+    @abc.abstractmethod
+    def correct(
+        self, shots: Sequence[Shot], psf: DoubleGaussianPSF
+    ) -> List[Shot]:
+        """Return a corrected shot list for the given exposure PSF."""

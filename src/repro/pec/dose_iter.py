@@ -1,0 +1,130 @@
+"""Self-consistent iterative dose correction.
+
+The workhorse scheme: iterate
+
+    d_i ← d_i · E_target / E_i(d)
+
+where ``E_i`` is the absorbed level at shot i's sample point under the
+current doses.  Because the interaction matrix is strongly diagonally
+dominant for shots larger than α, the fixed point converges geometrically;
+experiment F2 plots the trace.
+
+``E_target`` defaults to the large-pad level 1.0, making an infinite dense
+array a fixed point at dose 1 and boosting isolated features by up to
+(1 + η) — the textbook behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fracture.base import Shot
+from repro.pec.base import (
+    ProximityCorrector,
+    edge_sample_points,
+    interaction_matrix_at_points,
+    shot_interaction_matrix,
+)
+from repro.physics.psf import DoubleGaussianPSF
+
+
+@dataclass
+class ConvergenceTrace:
+    """Convergence record of an iterative correction.
+
+    Attributes:
+        max_errors: max |E_i − E_target| / E_target per iteration.
+        rms_errors: RMS relative exposure error per iteration.
+        iterations: iterations actually executed.
+        converged: True if the tolerance was met.
+    """
+
+    max_errors: List[float] = field(default_factory=list)
+    rms_errors: List[float] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def iterations(self) -> int:
+        return len(self.max_errors)
+
+
+class IterativeDoseCorrector(ProximityCorrector):
+    """Self-consistent dose assignment.
+
+    Args:
+        target: desired absorbed level at every shot (1.0 = large pad).
+        max_iterations: iteration cap.
+        tolerance: stop when the max relative exposure error drops below
+            this value.
+        relaxation: update damping in (0, 1]; 1.0 is the plain scheme.
+        sample_mode: ``"centroid"`` / ``"center"`` sample the figure
+            interior and drive it to ``target``; ``"edge"`` samples the
+            side-edge midpoints and drives them to ``target/2`` (the
+            print threshold at the boundary), which removes the uniform
+            CD offset interior targeting leaves.
+        dose_limits: clip corrected doses to ``(min, max)`` — hardware
+            dose range of the writer.
+    """
+
+    def __init__(
+        self,
+        target: float = 1.0,
+        max_iterations: int = 30,
+        tolerance: float = 1e-4,
+        relaxation: float = 1.0,
+        sample_mode: str = "centroid",
+        dose_limits: tuple = (0.1, 8.0),
+    ) -> None:
+        if target <= 0:
+            raise ValueError("target level must be positive")
+        if not (0.0 < relaxation <= 1.0):
+            raise ValueError("relaxation must be in (0, 1]")
+        self.target = target
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.relaxation = relaxation
+        self.sample_mode = sample_mode
+        self.dose_limits = dose_limits
+        #: Trace of the most recent :meth:`correct` call.
+        self.last_trace: Optional[ConvergenceTrace] = None
+
+    def correct(
+        self, shots: Sequence[Shot], psf: DoubleGaussianPSF
+    ) -> List[Shot]:
+        """Return dose-corrected copies of ``shots``."""
+        if not shots:
+            self.last_trace = ConvergenceTrace(converged=True)
+            return []
+        if self.sample_mode == "edge":
+            points, owners = edge_sample_points(shots)
+            matrix = interaction_matrix_at_points(points, shots, psf)
+            target = self.target * 0.5
+        else:
+            matrix = shot_interaction_matrix(shots, psf, self.sample_mode)
+            owners = np.arange(len(shots))
+            target = self.target
+        n = len(shots)
+        doses = np.array([s.dose for s in shots], dtype=float)
+        trace = ConvergenceTrace()
+        lo, hi = self.dose_limits
+        for _ in range(self.max_iterations):
+            exposure = matrix @ doses
+            # Collapse per-point exposure to a per-shot mean.
+            sums = np.bincount(owners, weights=exposure, minlength=n)
+            counts = np.bincount(owners, minlength=n)
+            per_shot = sums / np.maximum(counts, 1)
+            error = np.abs(per_shot - target) / target
+            trace.max_errors.append(float(error.max()))
+            trace.rms_errors.append(float(np.sqrt(np.mean(error**2))))
+            if trace.max_errors[-1] < self.tolerance:
+                trace.converged = True
+                break
+            with np.errstate(divide="ignore", invalid="ignore"):
+                update = np.where(per_shot > 0, target / per_shot, 1.0)
+            doses = doses * update**self.relaxation
+            np.clip(doses, lo, hi, out=doses)
+        self.last_trace = trace
+        return [s.with_dose(float(d)) for s, d in zip(shots, doses)]

@@ -1,0 +1,315 @@
+"""Single-scattering Monte-Carlo electron simulator.
+
+Derives the proximity point-spread function from first principles using the
+standard fast Monte-Carlo recipe (Joy 1995):
+
+* elastic scattering by the screened Rutherford cross-section,
+* exponential free paths between elastic events,
+* continuous slowing down between events with the Joy–Luo modified Bethe
+  stopping power,
+* energy booked into a radial histogram whenever a path segment crosses
+  the resist layer.
+
+The simulation is vectorized across electrons: all trajectories advance in
+lock-step with dead electrons masked out, which keeps 20k-electron runs in
+the sub-minute range on a laptop.
+
+Geometry: the beam enters at the origin travelling +z; the resist occupies
+``0 <= z < resist_thickness`` (µm) on a semi-infinite substrate.  Electrons
+leaving through ``z < 0`` are counted as backscattered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.physics.constants import AVOGADRO, MC_CUTOFF_KEV, UM_PER_CM
+from repro.physics.materials import Material, PMMA_MATERIAL, SILICON
+from repro.physics.psf import DoubleGaussianPSF
+
+
+def _screening(z: float, energy_kev: np.ndarray) -> np.ndarray:
+    """Screening parameter of the screened-Rutherford cross-section."""
+    return 3.4e-3 * z**0.67 / energy_kev
+
+
+def _elastic_mfp_um(material: Material, energy_kev: np.ndarray) -> np.ndarray:
+    """Elastic mean free path [µm] at each electron energy."""
+    z = material.atomic_number
+    a = _screening(z, energy_kev)
+    relativistic = ((energy_kev + 511.0) / (energy_kev + 1024.0)) ** 2
+    sigma_cm2 = (
+        5.21e-21
+        * (z**2 / energy_kev**2)
+        * (4.0 * np.pi / (a * (1.0 + a)))
+        * relativistic
+    )
+    n_density = AVOGADRO * material.density / material.atomic_weight  # 1/cm³
+    mfp_cm = 1.0 / (n_density * sigma_cm2)
+    return mfp_cm * UM_PER_CM
+
+
+def _stopping_kev_per_um(material: Material, energy_kev: np.ndarray) -> np.ndarray:
+    """Joy–Luo modified Bethe stopping power [keV/µm]."""
+    j = material.mean_ionization_kev()
+    de_ds_cm = (
+        78500.0
+        * material.density
+        * material.atomic_number
+        / (material.atomic_weight * energy_kev)
+        * np.log(1.166 * (energy_kev + 0.85 * j) / j)
+    )
+    return de_ds_cm / UM_PER_CM
+
+
+def _scatter_directions(
+    ux: np.ndarray,
+    uy: np.ndarray,
+    uz: np.ndarray,
+    cos_theta: np.ndarray,
+    phi: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rotate unit vectors by polar angle θ and azimuth φ."""
+    sin_theta = np.sqrt(np.clip(1.0 - cos_theta**2, 0.0, 1.0))
+    cos_phi = np.cos(phi)
+    sin_phi = np.sin(phi)
+
+    near_pole = np.abs(uz) > 0.99999
+    denom = np.sqrt(np.clip(1.0 - uz**2, 1e-24, None))
+
+    nx = sin_theta * (ux * uz * cos_phi - uy * sin_phi) / denom + ux * cos_theta
+    ny = sin_theta * (uy * uz * cos_phi + ux * sin_phi) / denom + uy * cos_theta
+    nz = -sin_theta * cos_phi * denom + uz * cos_theta
+
+    # Electrons travelling along ±z get the simple polar formula.
+    pole_sign = np.sign(uz)
+    nx = np.where(near_pole, sin_theta * cos_phi, nx)
+    ny = np.where(near_pole, sin_theta * sin_phi, ny)
+    nz = np.where(near_pole, pole_sign * cos_theta, nz)
+
+    norm = np.sqrt(nx**2 + ny**2 + nz**2)
+    return nx / norm, ny / norm, nz / norm
+
+
+@dataclass
+class MonteCarloResult:
+    """Outcome of a Monte-Carlo PSF run.
+
+    Attributes:
+        bin_edges: radial histogram edges [µm] (log-spaced).
+        energy: deposited energy per annulus [keV].
+        density: deposited energy density per unit area [keV/µm²].
+        backscatter_yield: fraction of electrons escaping upward.
+        electrons: number of primary electrons simulated.
+        energy_kev: primary beam energy.
+    """
+
+    bin_edges: np.ndarray
+    energy: np.ndarray
+    density: np.ndarray
+    backscatter_yield: float
+    electrons: int
+    energy_kev: float
+
+    def bin_centers(self) -> np.ndarray:
+        """Geometric centres of the radial bins [µm]."""
+        return np.sqrt(self.bin_edges[:-1] * self.bin_edges[1:])
+
+
+class MonteCarloSimulator:
+    """Vectorized single-scattering Monte-Carlo for PSF derivation.
+
+    Args:
+        energy_kev: primary beam energy.
+        resist: resist material (energy booked while inside this layer).
+        substrate: substrate material below the resist.
+        resist_thickness: resist layer thickness [µm].
+        r_min, r_max: radial histogram range [µm].
+        bins: number of log-spaced radial bins.
+        seed: RNG seed (runs are reproducible).
+    """
+
+    def __init__(
+        self,
+        energy_kev: float = 20.0,
+        resist: Material = PMMA_MATERIAL,
+        substrate: Material = SILICON,
+        resist_thickness: float = 0.5,
+        r_min: float = 1e-3,
+        r_max: Optional[float] = None,
+        bins: int = 64,
+        seed: int = 12345,
+    ) -> None:
+        if energy_kev <= MC_CUTOFF_KEV:
+            raise ValueError("beam energy must exceed the tracking cutoff")
+        if resist_thickness <= 0:
+            raise ValueError("resist thickness must be positive")
+        self.energy_kev = energy_kev
+        self.resist = resist
+        self.substrate = substrate
+        self.resist_thickness = resist_thickness
+        self.r_min = r_min
+        self.r_max = r_max if r_max is not None else 40.0 * energy_kev / 20.0
+        self.bins = bins
+        self.seed = seed
+
+    def run(self, electrons: int = 10000, max_steps: int = 2000) -> MonteCarloResult:
+        """Simulate ``electrons`` primaries and histogram resist deposition."""
+        rng = np.random.default_rng(self.seed)
+        n = int(electrons)
+        x = np.zeros(n)
+        y = np.zeros(n)
+        z = np.zeros(n)
+        ux = np.zeros(n)
+        uy = np.zeros(n)
+        uz = np.ones(n)
+        energy = np.full(n, float(self.energy_kev))
+        alive = np.ones(n, dtype=bool)
+        backscattered = np.zeros(n, dtype=bool)
+
+        edges = np.geomspace(self.r_min, self.r_max, self.bins + 1)
+        histogram = np.zeros(self.bins)
+        t_resist = self.resist_thickness
+
+        for _ in range(max_steps):
+            if not alive.any():
+                break
+            idx = np.flatnonzero(alive)
+            e_live = energy[idx]
+            in_resist = z[idx] < t_resist
+            material_z = np.where(
+                in_resist, self.resist.atomic_number, self.substrate.atomic_number
+            )
+
+            mfp = np.where(
+                in_resist,
+                _elastic_mfp_um(self.resist, e_live),
+                _elastic_mfp_um(self.substrate, e_live),
+            )
+            step = -mfp * np.log(rng.random(len(idx)) + 1e-300)
+
+            stopping = np.where(
+                in_resist,
+                _stopping_kev_per_um(self.resist, e_live),
+                _stopping_kev_per_um(self.substrate, e_live),
+            )
+            de = np.minimum(stopping * step, e_live - 1e-6)
+
+            x_new = x[idx] + ux[idx] * step
+            y_new = y[idx] + uy[idx] * step
+            z_new = z[idx] + uz[idx] * step
+
+            # Book energy deposited along segments that lie in the resist.
+            z0 = z[idx]
+            z1 = z_new
+            frac = _resist_fraction(z0, z1, t_resist)
+            deposit = de * frac
+            has_deposit = deposit > 0
+            if has_deposit.any():
+                mid_x = 0.5 * (x[idx] + x_new)
+                mid_y = 0.5 * (y[idx] + y_new)
+                radius = np.hypot(mid_x[has_deposit], mid_y[has_deposit])
+                radius = np.clip(radius, edges[0], edges[-1] * (1 - 1e-12))
+                bin_index = np.searchsorted(edges, radius, side="right") - 1
+                np.add.at(histogram, bin_index, deposit[has_deposit])
+
+            x[idx] = x_new
+            y[idx] = y_new
+            z[idx] = z_new
+            energy[idx] = e_live - de
+
+            escaped = z_new < 0.0
+            exhausted = energy[idx] < MC_CUTOFF_KEV
+            dead = escaped | exhausted
+            backscattered[idx[escaped]] = True
+            alive[idx[dead]] = False
+
+            survivors = idx[~dead]
+            if len(survivors) == 0:
+                continue
+            e_s = energy[survivors]
+            in_resist_s = z[survivors] < t_resist
+            z_mat = np.where(
+                in_resist_s,
+                self.resist.atomic_number,
+                self.substrate.atomic_number,
+            )
+            a = 3.4e-3 * z_mat**0.67 / e_s
+            r_uniform = rng.random(len(survivors))
+            cos_theta = 1.0 - 2.0 * a * r_uniform / (1.0 + a - r_uniform)
+            phi = rng.random(len(survivors)) * 2.0 * np.pi
+            ux[survivors], uy[survivors], uz[survivors] = _scatter_directions(
+                ux[survivors], uy[survivors], uz[survivors], cos_theta, phi
+            )
+
+        areas = np.pi * (edges[1:] ** 2 - edges[:-1] ** 2)
+        density = histogram / areas / n
+        return MonteCarloResult(
+            bin_edges=edges,
+            energy=histogram,
+            density=density,
+            backscatter_yield=float(backscattered.sum()) / n,
+            electrons=n,
+            energy_kev=self.energy_kev,
+        )
+
+
+def _resist_fraction(z0: np.ndarray, z1: np.ndarray, t: float) -> np.ndarray:
+    """Fraction of the segment ``z0 → z1`` lying inside ``[0, t)``."""
+    lo = np.minimum(z0, z1)
+    hi = np.maximum(z0, z1)
+    overlap = np.clip(np.minimum(hi, t) - np.maximum(lo, 0.0), 0.0, None)
+    length = np.maximum(hi - lo, 1e-12)
+    inside_flat = ((hi - lo) < 1e-12) & (lo >= 0.0) & (lo < t)
+    return np.where(inside_flat, 1.0, overlap / length)
+
+
+def fit_double_gaussian(
+    radii: np.ndarray,
+    density: np.ndarray,
+    alpha_guess: float = 0.05,
+    beta_guess: float = 2.0,
+    eta_guess: float = 0.7,
+) -> DoubleGaussianPSF:
+    """Fit (α, β, η) to a radial energy-density profile.
+
+    The fit minimizes log-density residuals (the profile spans many
+    decades) over radii with non-zero deposition.
+
+    Returns:
+        The fitted :class:`DoubleGaussianPSF` (amplitude normalized away).
+    """
+    from scipy.optimize import least_squares
+
+    mask = density > 0
+    if mask.sum() < 6:
+        raise ValueError("not enough non-zero bins to fit a PSF")
+    r = np.asarray(radii)[mask]
+    d = np.asarray(density)[mask]
+    log_d = np.log(d)
+
+    def model(params: np.ndarray) -> np.ndarray:
+        log_c, log_alpha, log_beta, log_eta = params
+        alpha = np.exp(log_alpha)
+        beta = np.exp(log_beta)
+        eta = np.exp(log_eta)
+        value = (
+            np.exp(-(r**2) / alpha**2) / alpha**2
+            + eta * np.exp(-(r**2) / beta**2) / beta**2
+        )
+        return log_c + np.log(value + 1e-300) - log_d
+
+    start = np.log([d.max() * alpha_guess**2, alpha_guess, beta_guess, eta_guess])
+    result = least_squares(model, start, max_nfev=5000)
+    _, log_alpha, log_beta, log_eta = result.x
+    alpha = float(np.exp(log_alpha))
+    beta = float(np.exp(log_beta))
+    eta = float(np.exp(log_eta))
+    if beta < alpha:
+        # Keep the conventional ordering: alpha = narrow, beta = wide.
+        alpha, beta = beta, alpha
+        eta = 1.0 / max(eta, 1e-12)
+    return DoubleGaussianPSF(alpha=alpha, beta=beta, eta=eta)

@@ -1,0 +1,206 @@
+"""Tests for the scanline boolean engine."""
+
+import math
+
+import pytest
+
+from repro.geometry.boolean import (
+    boolean_polygons,
+    boolean_trapezoids,
+    difference,
+    intersection,
+    symmetric_difference,
+    trapezoids_to_polygons,
+    union,
+)
+from repro.geometry.polygon import Polygon
+
+
+def area_of(traps):
+    return sum(t.area() for t in traps)
+
+
+@pytest.fixture
+def a():
+    return Polygon.rectangle(0, 0, 10, 10)
+
+
+@pytest.fixture
+def b():
+    return Polygon.rectangle(5, 5, 15, 15)
+
+
+class TestRectanglePairs:
+    def test_union_area(self, a, b):
+        assert area_of(boolean_trapezoids([a], [b], "or")) == pytest.approx(175.0)
+
+    def test_intersection_area(self, a, b):
+        assert area_of(boolean_trapezoids([a], [b], "and")) == pytest.approx(25.0)
+
+    def test_difference_area(self, a, b):
+        assert area_of(boolean_trapezoids([a], [b], "sub")) == pytest.approx(75.0)
+
+    def test_xor_area(self, a, b):
+        assert area_of(boolean_trapezoids([a], [b], "xor")) == pytest.approx(150.0)
+
+    def test_inclusion_exclusion(self, a, b):
+        u = area_of(boolean_trapezoids([a], [b], "or"))
+        i = area_of(boolean_trapezoids([a], [b], "and"))
+        assert u + i == pytest.approx(a.area() + b.area())
+
+    def test_disjoint_rectangles(self):
+        p = Polygon.rectangle(0, 0, 1, 1)
+        q = Polygon.rectangle(5, 5, 6, 6)
+        assert area_of(boolean_trapezoids([p], [q], "or")) == pytest.approx(2.0)
+        assert boolean_trapezoids([p], [q], "and") == []
+
+    def test_identical_rectangles(self, a):
+        assert area_of(boolean_trapezoids([a], [a], "or")) == pytest.approx(100.0)
+        assert area_of(boolean_trapezoids([a], [a], "xor")) == pytest.approx(0.0)
+
+    def test_contained_rectangle_difference_is_donut(self, a):
+        inner = Polygon.rectangle(3, 3, 7, 7)
+        traps = boolean_trapezoids([a], [inner], "sub")
+        assert area_of(traps) == pytest.approx(84.0)
+
+
+class TestNonRectilinear:
+    def test_triangle_area_preserved(self):
+        t = Polygon([(0, 0), (10, 0), (5, 8)])
+        assert area_of(boolean_trapezoids([t], [], "or")) == pytest.approx(
+            t.area(), rel=1e-6
+        )
+
+    def test_rotated_square_self_union(self):
+        sq = Polygon.rectangle(0, 0, 10, 10).rotated(math.radians(30))
+        assert area_of(boolean_trapezoids([sq], [], "or")) == pytest.approx(
+            100.0, rel=1e-4
+        )
+
+    def test_triangle_rect_intersection(self):
+        t = Polygon([(0, 0), (10, 0), (5, 10)])
+        r = Polygon.rectangle(0, 0, 10, 2)
+        # Trapezoid with parallel sides 10 (y=0) and 8 (y=2).
+        assert area_of(boolean_trapezoids([t], [r], "and")) == pytest.approx(
+            18.0, rel=1e-6
+        )
+
+    def test_circle_approx_minus_half_plane_box(self):
+        circle = Polygon.regular((0, 0), 5, 128)
+        box = Polygon.rectangle(-6, 0, 6, 6)
+        top = area_of(boolean_trapezoids([circle], [box], "and"))
+        assert top == pytest.approx(circle.area() / 2, rel=1e-3)
+
+
+class TestFillRules:
+    def test_overlapping_same_group_nonzero_counts_once(self):
+        p = Polygon.rectangle(0, 0, 10, 10)
+        q = Polygon.rectangle(5, 0, 15, 10)
+        assert area_of(boolean_trapezoids([p, q], [], "or")) == pytest.approx(150.0)
+
+    def test_evenodd_cancels_overlap(self):
+        p = Polygon.rectangle(0, 0, 10, 10)
+        q = Polygon.rectangle(5, 0, 15, 10)
+        traps = boolean_trapezoids([p, q], [], "or", fill_rule="evenodd")
+        assert area_of(traps) == pytest.approx(100.0)
+
+    def test_unknown_operation_raises(self, a):
+        with pytest.raises(ValueError, match="unknown operation"):
+            boolean_trapezoids([a], [], "nand")
+
+    def test_unknown_fill_rule_raises(self, a):
+        with pytest.raises(ValueError, match="fill rule"):
+            boolean_trapezoids([a], [], "or", fill_rule="winding")
+
+
+class TestEdgeCases:
+    def test_empty_inputs(self):
+        assert boolean_trapezoids([], [], "or") == []
+
+    def test_empty_second_operand_difference(self, a):
+        assert area_of(boolean_trapezoids([a], [], "sub")) == pytest.approx(100.0)
+
+    def test_difference_with_self_is_empty(self, a):
+        assert area_of(boolean_trapezoids([a], [a], "sub")) == pytest.approx(0.0)
+
+    def test_corner_touching_squares(self):
+        p = Polygon.rectangle(0, 0, 5, 5)
+        q = Polygon.rectangle(5, 5, 10, 10)
+        assert area_of(boolean_trapezoids([p], [q], "or")) == pytest.approx(50.0)
+        assert area_of(boolean_trapezoids([p], [q], "and")) == pytest.approx(0.0)
+
+    def test_edge_touching_squares_union_merges(self):
+        p = Polygon.rectangle(0, 0, 5, 10)
+        q = Polygon.rectangle(5, 0, 10, 10)
+        traps = boolean_trapezoids([p], [q], "or")
+        assert area_of(traps) == pytest.approx(100.0)
+        assert len(traps) == 1  # merged into one rectangle
+
+    def test_sub_micron_grid_snapping(self):
+        # Features below half a database unit vanish by snapping.
+        tiny = Polygon.rectangle(0, 0, 4e-4, 4e-4)
+        assert boolean_trapezoids([tiny], [], "or", grid=1e-3) == []
+
+    def test_trapezoids_are_disjoint(self, a, b):
+        traps = boolean_trapezoids([a], [b], "or")
+        # Pairwise interior-disjoint: sample midpoints cannot be inside
+        # another trapezoid.
+        polys = [t.to_polygon() for t in traps]
+        for i, t in enumerate(traps):
+            c = t.centroid()
+            for j, p in enumerate(polys):
+                if i != j:
+                    assert not p.contains_point(c, include_boundary=False)
+
+
+class TestPolygonReassembly:
+    def test_union_single_polygon(self, a, b):
+        polys = boolean_polygons([a], [b], "or")
+        assert len(polys) == 1
+        assert polys[0].area() == pytest.approx(175.0)
+
+    def test_donut_produces_hole(self, a):
+        inner = Polygon.rectangle(3, 3, 7, 7)
+        polys = boolean_polygons([a], [inner], "sub")
+        signed = sorted(p.signed_area() for p in polys)
+        assert signed[0] == pytest.approx(-16.0)  # CW hole
+        assert signed[1] == pytest.approx(100.0)  # CCW outer
+
+    def test_net_signed_area_equals_trap_area(self, a, b):
+        traps = boolean_trapezoids([a], [b], "xor")
+        polys = trapezoids_to_polygons(traps)
+        assert sum(p.signed_area() for p in polys) == pytest.approx(
+            area_of(traps), rel=1e-9
+        )
+
+    def test_reassembly_of_checkerboard_corners(self):
+        squares = [
+            Polygon.rectangle(i * 5, j * 5, i * 5 + 5, j * 5 + 5)
+            for i in range(4)
+            for j in range(4)
+            if (i + j) % 2 == 0
+        ]
+        traps = boolean_trapezoids(squares, [], "or")
+        polys = trapezoids_to_polygons(traps)
+        assert sum(p.signed_area() for p in polys) == pytest.approx(8 * 25.0)
+
+    def test_empty_input(self):
+        assert trapezoids_to_polygons([]) == []
+
+
+class TestConvenienceWrappers:
+    def test_union_wrapper(self, a, b):
+        polys = union([a, b])
+        assert sum(p.signed_area() for p in polys) == pytest.approx(175.0)
+
+    def test_intersection_wrapper(self, a, b):
+        polys = intersection([a], [b])
+        assert sum(p.signed_area() for p in polys) == pytest.approx(25.0)
+
+    def test_difference_wrapper(self, a, b):
+        polys = difference([a], [b])
+        assert sum(p.signed_area() for p in polys) == pytest.approx(75.0)
+
+    def test_symmetric_difference_wrapper(self, a, b):
+        polys = symmetric_difference([a], [b])
+        assert sum(p.signed_area() for p in polys) == pytest.approx(150.0)

@@ -1,0 +1,155 @@
+"""Tests for the CIF writer/reader."""
+
+import pytest
+
+from repro.geometry.polygon import Polygon
+from repro.layout.cell import Cell
+from repro.layout.cif import CifError, dumps_cif, loads_cif, read_cif, write_cif
+from repro.layout.flatten import flatten_cell
+from repro.layout.library import Library
+from repro.layout import generators
+
+
+def flat_area(cell):
+    flat = flatten_cell(cell)
+    return sum(p.area() for v in flat.values() for p in v)
+
+
+def flat_vertices(cell):
+    flat = flatten_cell(cell)
+    return sorted(
+        (round(v.x, 4), round(v.y, 4))
+        for polys in flat.values()
+        for p in polys
+        for v in p.vertices
+    )
+
+
+class TestWriter:
+    def test_contains_symbol_definitions(self):
+        lib = Library("T")
+        lib.new_cell("TOP").add_rectangle(0, 0, 1, 1)
+        text = dumps_cif(lib)
+        assert "DS 1 1 1;" in text
+        assert "9 TOP;" in text
+        assert text.rstrip().endswith("E")
+
+    def test_layer_commands(self):
+        lib = Library("T")
+        lib.new_cell("TOP").add_rectangle(0, 0, 1, 1, layer=(8, 2))
+        assert "L L8D2;" in dumps_cif(lib)
+
+    def test_magnified_reference_rejected(self):
+        lib = Library("T")
+        child = lib.new_cell("CHILD")
+        child.add_rectangle(0, 0, 1, 1)
+        top = lib.new_cell("TOP")
+        top.instantiate(child, (0, 0), magnification=2.0)
+        with pytest.raises(CifError, match="magnification"):
+            dumps_cif(lib)
+
+    def test_array_expanded_to_calls(self):
+        lib = generators.contact_array(columns=3, rows=2, hierarchical=True)
+        text = dumps_cif(lib)
+        assert text.count("C 2") >= 6 or text.count("C 1") >= 6
+
+
+class TestRoundTrip:
+    def test_polygon_roundtrip(self):
+        lib = Library("T")
+        lib.new_cell("TOP").add_polygon(Polygon([(0, 0), (10, 0), (5, 8)]))
+        lib2 = loads_cif(dumps_cif(lib))
+        assert flat_area(lib2.top_cell()) == pytest.approx(40.0, abs=1e-3)
+
+    def test_cell_names_preserved(self):
+        lib = Library("T")
+        lib.new_cell("MYCELL").add_rectangle(0, 0, 1, 1)
+        lib2 = loads_cif(dumps_cif(lib))
+        assert "MYCELL" in lib2
+
+    def test_reference_with_rotation(self):
+        lib = Library("T")
+        child = lib.new_cell("CHILD")
+        child.add_rectangle(0, 0, 2, 1)
+        top = lib.new_cell("TOP")
+        top.instantiate(child, (5, 5), rotation_deg=90)
+        lib2 = loads_cif(dumps_cif(lib))
+        assert flat_vertices(lib2.top_cell()) == flat_vertices(top)
+
+    def test_reference_with_mirror(self):
+        lib = Library("T")
+        child = lib.new_cell("CHILD")
+        child.add_rectangle(0, 0, 2, 1)
+        top = lib.new_cell("TOP")
+        top.instantiate(child, (3, -2), x_reflection=True)
+        lib2 = loads_cif(dumps_cif(lib))
+        assert flat_vertices(lib2.top_cell()) == flat_vertices(top)
+
+    def test_mirror_plus_rotation(self):
+        lib = Library("T")
+        child = lib.new_cell("CHILD")
+        child.add_rectangle(0, 0, 2, 1)
+        top = lib.new_cell("TOP")
+        top.instantiate(child, (1, 2), rotation_deg=270, x_reflection=True)
+        lib2 = loads_cif(dumps_cif(lib))
+        assert flat_vertices(lib2.top_cell()) == flat_vertices(top)
+
+    def test_hierarchical_array_flat_area(self):
+        lib = generators.memory_array(words=4, bits=4, blocks=(2, 2))
+        lib2 = loads_cif(dumps_cif(lib))
+        assert flat_area(lib2.top_cell()) == pytest.approx(
+            flat_area(lib.top_cell()), rel=1e-6
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        lib = generators.grating(lines=5)
+        path = tmp_path / "test.cif"
+        n = write_cif(lib, path)
+        assert path.stat().st_size == n
+        lib2 = read_cif(path)
+        assert flat_area(lib2.top_cell()) == pytest.approx(
+            flat_area(lib.top_cell()), abs=1e-3
+        )
+
+
+class TestReader:
+    def test_box_command(self):
+        text = "DS 1 1 1;\n9 TOP;\nB 200 100 100 50;\nDF;\nC 1;\nE\n"
+        lib = loads_cif(text)
+        cell = lib["TOP"]
+        assert cell.polygon_count() == 1
+        assert cell.area() == pytest.approx(2.0)  # 2 µm x 1 µm
+
+    def test_rotated_box(self):
+        text = "DS 1 1 1;\n9 TOP;\nB 200 100 0 0 0 1;\nDF;\nC 1;\nE\n"
+        lib = loads_cif(text)
+        box = lib["TOP"].bounding_box()
+        # Rotated 90 degrees: now 1 µm x 2 µm.
+        assert box[2] - box[0] == pytest.approx(1.0)
+        assert box[3] - box[1] == pytest.approx(2.0)
+
+    def test_comments_stripped(self):
+        text = "( a comment ); DS 1 1 1; 9 TOP; B 100 100 0 0; DF; C 1; E"
+        lib = loads_cif(text)
+        assert lib["TOP"].polygon_count() == 1
+
+    def test_call_to_undefined_symbol(self):
+        text = "DS 1 1 1;\n9 TOP;\nC 99;\nDF;\nC 1;\nE\n"
+        with pytest.raises(CifError, match="undefined symbol"):
+            loads_cif(text)
+
+    def test_malformed_polygon(self):
+        text = "DS 1 1 1;\nP 0 0 10;\nDF;\nE\n"
+        with pytest.raises(CifError, match="malformed P"):
+            loads_cif(text)
+
+    def test_malformed_box(self):
+        text = "DS 1 1 1;\nB 100;\nDF;\nE\n"
+        with pytest.raises(CifError, match="malformed B"):
+            loads_cif(text)
+
+    def test_top_level_geometry_goes_to_top_cell(self):
+        text = "B 100 100 0 0;\nE\n"
+        lib = loads_cif(text)
+        assert "TOP" in lib
+        assert lib["TOP"].polygon_count() == 1

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.layout import generators
+from repro.layout.gdsii import write_gdsii
+
+
+@pytest.fixture
+def gds_file(tmp_path):
+    path = tmp_path / "grating.gds"
+    write_gdsii(generators.grating(lines=5), path)
+    return str(path)
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--workload", "grating"]) == 0
+        out = capsys.readouterr().out
+        assert "figures:" in out
+        assert "raster" in out
+
+    def test_demo_with_pec(self, capsys):
+        assert main(["demo", "--workload", "line_and_pad", "--pec"]) == 0
+        assert "dose range" in capsys.readouterr().out
+
+    def test_demo_vsb_fracture(self, capsys):
+        assert main(["demo", "--workload", "grating", "--fracture", "vsb"]) == 0
+
+    def test_unknown_workload(self, capsys):
+        assert main(["demo", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestPrep:
+    def test_prep_gdsii(self, gds_file, capsys):
+        assert main(["prep", gds_file]) == 0
+        out = capsys.readouterr().out
+        assert "figures:   5" in out
+
+    def test_prep_with_dose(self, gds_file, capsys):
+        assert main(["prep", gds_file, "--dose", "10"]) == 0
+
+    def test_prep_writes_jobfile(self, gds_file, tmp_path, capsys):
+        from repro.core.jobfile import read_job
+
+        out_path = tmp_path / "job.ebj"
+        assert main(["prep", gds_file, "--output", str(out_path)]) == 0
+        assert "wrote machine job file" in capsys.readouterr().out
+        job = read_job(out_path)
+        assert job.figure_count() == 5
+
+
+class TestStats:
+    def test_stats(self, gds_file, capsys):
+        assert main(["stats", gds_file]) == 0
+        out = capsys.readouterr().out
+        assert "cells:" in out
+        assert "compaction" in out
+
+
+class TestArgParsing:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

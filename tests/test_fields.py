@@ -1,0 +1,166 @@
+"""Tests for field partitioning and shot ordering."""
+
+import math
+
+import pytest
+
+from repro.core.fields import (
+    FieldedJob,
+    deflection_travel,
+    order_shots,
+    partition_fields,
+    split_shot_x,
+    split_shot_y,
+    travel_settle_time,
+)
+from repro.core.job import MachineJob
+from repro.fracture.base import Shot
+from repro.geometry.trapezoid import Trapezoid
+
+
+def rect_shot(x0, y0, x1, y1, dose=1.0):
+    return Shot(Trapezoid.from_rectangle(x0, y0, x1, y1), dose)
+
+
+class TestShotSplitting:
+    def test_split_x_preserves_area_and_dose(self):
+        shot = rect_shot(0, 0, 10, 4, dose=1.5)
+        pieces = split_shot_x(shot, 4.0)
+        assert len(pieces) == 2
+        assert sum(p.area() for p in pieces) == pytest.approx(40.0)
+        assert all(p.dose == 1.5 for p in pieces)
+
+    def test_split_x_outside_is_noop(self):
+        shot = rect_shot(0, 0, 10, 4)
+        assert split_shot_x(shot, 20.0) == [shot]
+
+    def test_split_y_preserves_area(self):
+        shot = rect_shot(0, 0, 4, 10)
+        pieces = split_shot_y(shot, 3.0)
+        assert sum(p.area() for p in pieces) == pytest.approx(40.0)
+
+    def test_split_slanted_shot(self):
+        slanted = Shot(Trapezoid(0, 4, 0, 10, 2, 8))
+        pieces = split_shot_y(slanted, 2.0)
+        assert sum(p.area() for p in pieces) == pytest.approx(
+            slanted.area()
+        )
+
+
+class TestPartitioning:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_fields(MachineJob([rect_shot(0, 0, 1, 1)]), 0.0)
+
+    def test_small_job_single_field(self):
+        job = MachineJob([rect_shot(0, 0, 10, 10)])
+        fielded = partition_fields(job, field_size=100.0)
+        assert fielded.field_grid() == (1, 1)
+        assert fielded.split_count == 0
+
+    def test_shot_crossing_boundary_is_split(self):
+        shots = [rect_shot(90, 0, 110, 10)]  # crosses x=100
+        job = MachineJob(shots, bounding_box=(0, 0, 200, 10))
+        fielded = partition_fields(job, field_size=100.0)
+        assert fielded.split_count == 1
+        total = sum(
+            s.area() for group in fielded.fields.values() for s in group
+        )
+        assert total == pytest.approx(200.0)
+
+    def test_area_preserved_over_many_fields(self):
+        shots = [
+            rect_shot(i * 37.0, j * 23.0, i * 37.0 + 30.0, j * 23.0 + 15.0)
+            for i in range(6)
+            for j in range(6)
+        ]
+        job = MachineJob(shots)
+        fielded = partition_fields(job, field_size=50.0)
+        total = sum(
+            s.area() for group in fielded.fields.values() for s in group
+        )
+        assert total == pytest.approx(sum(s.area() for s in shots))
+
+    def test_every_piece_fits_its_field(self):
+        shots = [rect_shot(10, 10, 240, 180)]
+        job = MachineJob(shots, bounding_box=(0, 0, 250, 200))
+        fielded = partition_fields(job, field_size=100.0)
+        x0, y0 = 0.0, 0.0
+        for (ci, cj), group in fielded.fields.items():
+            fx0 = x0 + ci * 100.0
+            fy0 = y0 + cj * 100.0
+            for shot in group:
+                bbox = shot.trapezoid.bounding_box()
+                assert bbox[0] >= fx0 - 1e-9
+                assert bbox[2] <= fx0 + 100.0 + 1e-9
+                assert bbox[1] >= fy0 - 1e-9
+                assert bbox[3] <= fy0 + 100.0 + 1e-9
+
+    def test_boundary_fraction(self):
+        shots = [rect_shot(95, 95, 105, 105)]  # crosses both axes
+        job = MachineJob(shots, bounding_box=(0, 0, 200, 200))
+        fielded = partition_fields(job, field_size=100.0)
+        assert fielded.occupied_fields() == 4
+        assert fielded.boundary_shot_fraction() == pytest.approx(3 / 4)
+
+
+class TestOrdering:
+    def shots_grid(self, n=5, pitch=10.0):
+        return [
+            rect_shot(i * pitch, j * pitch, i * pitch + 2, j * pitch + 2)
+            for j in range(n)
+            for i in range(n)
+        ]
+
+    def test_strategies_preserve_shot_set(self):
+        shots = self.shots_grid()
+        for strategy in ("none", "scanline", "nearest"):
+            ordered = order_shots(shots, strategy)
+            assert sorted(id(s) for s in ordered) == sorted(
+                id(s) for s in shots
+            )
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            order_shots(self.shots_grid(), "random")
+
+    def test_scanline_sorts_by_y_then_x(self):
+        import random
+
+        shots = self.shots_grid()
+        random.Random(0).shuffle(shots)
+        ordered = order_shots(shots, "scanline")
+        centers = [
+            (
+                (s.trapezoid.bounding_box()[1] + s.trapezoid.bounding_box()[3]) / 2,
+                (s.trapezoid.bounding_box()[0] + s.trapezoid.bounding_box()[2]) / 2,
+            )
+            for s in ordered
+        ]
+        assert centers == sorted(centers)
+
+    def test_ordering_reduces_travel_vs_shuffled(self):
+        import random
+
+        shots = self.shots_grid(n=7)
+        random.Random(1).shuffle(shots)
+        shuffled_travel = deflection_travel(shots)
+        scanline_travel = deflection_travel(order_shots(shots, "scanline"))
+        nearest_travel = deflection_travel(order_shots(shots, "nearest"))
+        assert scanline_travel < shuffled_travel
+        assert nearest_travel < shuffled_travel
+
+    def test_nearest_beats_or_matches_scanline_on_clusters(self):
+        # Two distant clusters: nearest-neighbour finishes one first.
+        cluster_a = [rect_shot(i * 3.0, 0, i * 3.0 + 1, 1) for i in range(5)]
+        cluster_b = [
+            rect_shot(i * 3.0, 200.0, i * 3.0 + 1, 201.0) for i in range(5)
+        ]
+        interleaved = [s for pair in zip(cluster_a, cluster_b) for s in pair]
+        nearest = deflection_travel(order_shots(interleaved, "nearest"))
+        assert nearest < deflection_travel(interleaved) / 3
+
+    def test_travel_settle_time_penalizes_long_jumps(self):
+        near = [rect_shot(i * 1.0, 0, i * 1.0 + 0.5, 0.5) for i in range(10)]
+        far = [rect_shot(i * 100.0, 0, i * 100.0 + 0.5, 0.5) for i in range(10)]
+        assert travel_settle_time(far) > travel_settle_time(near)

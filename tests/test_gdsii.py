@@ -1,0 +1,200 @@
+"""Tests for the GDSII stream reader/writer, including failure injection."""
+
+import struct
+
+import pytest
+
+from repro.geometry.polygon import Polygon
+from repro.layout.cell import Cell
+from repro.layout.flatten import flatten_cell
+from repro.layout.gdsii import dumps_gdsii, loads_gdsii, read_gdsii, write_gdsii
+from repro.layout.gdsii_records import (
+    DataType,
+    GdsiiError,
+    RecordType,
+    decode_real8,
+    encode_real8,
+    iter_records,
+    pack_ascii,
+    pack_int16,
+    pack_record,
+)
+from repro.layout.library import Library
+from repro.layout.reference import CellArray, CellReference
+from repro.layout import generators
+
+
+def flat_area(cell):
+    flat = flatten_cell(cell)
+    return sum(p.area() for v in flat.values() for p in v)
+
+
+def flat_vertices(cell):
+    flat = flatten_cell(cell)
+    return sorted(
+        (round(v.x, 6), round(v.y, 6))
+        for polys in flat.values()
+        for p in polys
+        for v in p.vertices
+    )
+
+
+class TestReal8:
+    @pytest.mark.parametrize(
+        "value",
+        [0.0, 1.0, -1.0, 1e-9, 1e-6, 0.001, 3.14159265, 12345.678, -2.5e-4],
+    )
+    def test_roundtrip(self, value):
+        assert decode_real8(encode_real8(value)) == pytest.approx(value, rel=1e-14)
+
+    def test_zero_encoding(self):
+        assert encode_real8(0.0) == b"\x00" * 8
+
+    def test_sign_bit(self):
+        assert encode_real8(-1.0)[0] & 0x80
+
+    def test_decode_validates_length(self):
+        with pytest.raises(GdsiiError):
+            decode_real8(b"\x00" * 4)
+
+
+class TestRecords:
+    def test_pack_and_iter(self):
+        data = pack_int16(RecordType.HEADER, [600]) + pack_record(
+            RecordType.ENDLIB, DataType.NONE
+        )
+        records = list(iter_records(data))
+        assert records[0][0] == RecordType.HEADER
+        assert records[1][0] == RecordType.ENDLIB
+
+    def test_odd_payload_rejected(self):
+        with pytest.raises(GdsiiError):
+            pack_record(RecordType.LIBNAME, DataType.ASCII, b"abc")
+
+    def test_ascii_pads_to_even(self):
+        record = pack_ascii(RecordType.LIBNAME, "abc")
+        assert len(record) % 2 == 0
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(GdsiiError, match="truncated"):
+            list(iter_records(b"\x00\x08\x00"))
+
+    def test_truncated_payload_raises(self):
+        bad = struct.pack(">HBB", 100, 0x02, 6) + b"xy"
+        with pytest.raises(GdsiiError, match="truncated"):
+            list(iter_records(bad))
+
+    def test_zero_padding_tail_tolerated(self):
+        data = pack_int16(RecordType.HEADER, [600]) + b"\x00\x00\x00\x00"
+        assert len(list(iter_records(data))) == 1
+
+
+class TestRoundTrip:
+    def test_simple_polygon(self):
+        lib = Library("T")
+        cell = lib.new_cell("TOP")
+        cell.add_polygon(Polygon([(0, 0), (10, 0), (5, 8)]), layer=(3, 1))
+        lib2 = loads_gdsii(dumps_gdsii(lib))
+        assert lib2.name == "T"
+        cell2 = lib2["TOP"]
+        assert cell2.layers()[0].key() == (3, 1)
+        assert flat_area(cell2) == pytest.approx(40.0, abs=1e-6)
+
+    def test_units_roundtrip(self):
+        lib = Library("U", unit=1e-6, precision=1e-9)
+        lib.new_cell("TOP").add_rectangle(0, 0, 1, 1)
+        lib2 = loads_gdsii(dumps_gdsii(lib))
+        assert lib2.unit == pytest.approx(1e-6)
+        assert lib2.precision == pytest.approx(1e-9)
+
+    def test_sref_with_transform(self):
+        lib = Library("T")
+        child = lib.new_cell("CHILD")
+        child.add_rectangle(0, 0, 2, 1)
+        top = lib.new_cell("TOP")
+        top.instantiate(child, (5, 5), rotation_deg=90, x_reflection=True)
+        lib2 = loads_gdsii(dumps_gdsii(lib))
+        assert flat_vertices(lib2.top_cell()) == flat_vertices(top)
+
+    def test_sref_with_magnification(self):
+        lib = Library("T")
+        child = lib.new_cell("CHILD")
+        child.add_rectangle(0, 0, 2, 1)
+        top = lib.new_cell("TOP")
+        top.instantiate(child, (0, 0), magnification=3.0)
+        lib2 = loads_gdsii(dumps_gdsii(lib))
+        assert flat_area(lib2.top_cell()) == pytest.approx(18.0, abs=1e-6)
+
+    def test_aref_roundtrip(self):
+        lib = generators.memory_array()
+        lib2 = loads_gdsii(dumps_gdsii(lib))
+        assert flat_area(lib2.top_cell()) == pytest.approx(
+            flat_area(lib.top_cell()), rel=1e-9
+        )
+        top2 = lib2.top_cell()
+        assert isinstance(top2.references[0], CellArray)
+
+    def test_file_roundtrip(self, tmp_path):
+        lib = generators.contact_array(columns=4, rows=4, hierarchical=True)
+        path = tmp_path / "test.gds"
+        n = write_gdsii(lib, path)
+        assert path.stat().st_size == n
+        lib2 = read_gdsii(path)
+        assert flat_area(lib2.top_cell()) == pytest.approx(16.0, abs=1e-6)
+
+    def test_coordinates_snap_to_precision(self):
+        lib = Library("T", unit=1e-6, precision=1e-9)
+        lib.new_cell("TOP").add_rectangle(0, 0, 1.0000004, 1)
+        lib2 = loads_gdsii(dumps_gdsii(lib))
+        box = lib2.top_cell().bounding_box()
+        assert box[2] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMalformedStreams:
+    def test_missing_header(self):
+        lib = Library("T")
+        lib.new_cell("TOP").add_rectangle(0, 0, 1, 1)
+        data = dumps_gdsii(lib)
+        # Strip the HEADER record (6 bytes).
+        with pytest.raises(GdsiiError, match="HEADER"):
+            loads_gdsii(data[6:])
+
+    def test_missing_units(self):
+        data = pack_int16(RecordType.HEADER, [600]) + pack_record(
+            RecordType.ENDLIB, DataType.NONE
+        )
+        with pytest.raises(GdsiiError, match="UNITS"):
+            loads_gdsii(data)
+
+    def test_boundary_outside_structure(self):
+        from repro.layout.gdsii_records import pack_real8
+
+        data = (
+            pack_int16(RecordType.HEADER, [600])
+            + pack_real8(RecordType.UNITS, [1e-3, 1e-9])
+            + pack_record(RecordType.BOUNDARY, DataType.NONE)
+        )
+        with pytest.raises(GdsiiError, match="outside a structure"):
+            loads_gdsii(data)
+
+    def test_dangling_reference(self):
+        lib = Library("T")
+        child = Cell("CHILD")
+        child.add_rectangle(0, 0, 1, 1)
+        top = lib.new_cell("TOP")
+        top.instantiate(child, (0, 0))
+        # CHILD was never registered, so it is absent from the stream.
+        data = dumps_gdsii(lib)
+        with pytest.raises(GdsiiError, match="undefined cell"):
+            loads_gdsii(data)
+
+    def test_oversized_polygon_rejected_on_write(self):
+        lib = Library("T")
+        big = Polygon.regular((0, 0), 10, 700)
+        lib.new_cell("TOP").add_polygon(big)
+        with pytest.raises(GdsiiError, match="exceeds"):
+            dumps_gdsii(lib)
+
+    def test_garbage_bytes(self):
+        with pytest.raises(GdsiiError):
+            loads_gdsii(b"\x00\x01\x02")

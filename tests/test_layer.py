@@ -1,0 +1,45 @@
+"""Tests for repro.layout.layer."""
+
+import pytest
+
+from repro.layout.layer import DEFAULT_LAYER, Layer
+
+
+class TestLayer:
+    def test_defaults(self):
+        layer = Layer(8)
+        assert layer.number == 8
+        assert layer.datatype == 0
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            Layer(-1)
+        with pytest.raises(ValueError):
+            Layer(40000)
+        with pytest.raises(ValueError):
+            Layer(1, -2)
+
+    def test_of_coercions(self):
+        assert Layer.of(5) == Layer(5, 0)
+        assert Layer.of((5, 2)) == Layer(5, 2)
+        layer = Layer(1, 1)
+        assert Layer.of(layer) is layer
+
+    def test_equality_with_tuple_and_int(self):
+        assert Layer(8, 0) == (8, 0)
+        assert Layer(8, 0) == 8
+        assert Layer(8, 1) != 8
+
+    def test_name_not_part_of_identity(self):
+        assert Layer(8, 0, name="metal") == Layer(8, 0, name="poly")
+        assert hash(Layer(8, 0, name="metal")) == hash(Layer(8, 0))
+
+    def test_sortable(self):
+        layers = [Layer(2, 1), Layer(1, 5), Layer(2, 0)]
+        assert sorted(layers) == [Layer(1, 5), Layer(2, 0), Layer(2, 1)]
+
+    def test_default_layer(self):
+        assert DEFAULT_LAYER.key() == (0, 0)
+
+    def test_repr_contains_numbers(self):
+        assert "8/1" in repr(Layer(8, 1))

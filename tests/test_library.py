@@ -1,0 +1,112 @@
+"""Tests for repro.layout.library."""
+
+import pytest
+
+from repro.layout.cell import Cell
+from repro.layout.library import Library
+
+
+def make_chain(depth: int):
+    """A linear hierarchy CHAIN_0 -> CHAIN_1 -> ... of given depth."""
+    cells = [Cell(f"CHAIN_{i}") for i in range(depth)]
+    for parent, child in zip(cells, cells[1:]):
+        parent.instantiate(child, (0, 0))
+    cells[-1].add_rectangle(0, 0, 1, 1)
+    return cells
+
+
+class TestUnits:
+    def test_defaults_micron_nanometre(self):
+        lib = Library()
+        assert lib.unit == 1e-6
+        assert lib.precision == 1e-9
+        assert lib.grid == pytest.approx(1e-3)
+
+    def test_validates_units(self):
+        with pytest.raises(ValueError):
+            Library(unit=0)
+        with pytest.raises(ValueError):
+            Library(unit=1e-9, precision=1e-6)
+
+
+class TestCellManagement:
+    def test_add_includes_descendants(self):
+        cells = make_chain(3)
+        lib = Library()
+        lib.add(cells[0])
+        assert len(lib) == 3
+        assert "CHAIN_2" in lib
+
+    def test_add_rejects_name_collision(self):
+        lib = Library()
+        lib.add(Cell("X"))
+        with pytest.raises(ValueError, match="collision"):
+            lib.add(Cell("X"))
+
+    def test_add_same_object_idempotent(self):
+        lib = Library()
+        cell = Cell("X")
+        lib.add(cell)
+        lib.add(cell)
+        assert len(lib) == 1
+
+    def test_new_cell(self):
+        lib = Library()
+        cell = lib.new_cell("FRESH")
+        assert lib["FRESH"] is cell
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            Library()["NOPE"]
+
+
+class TestHierarchy:
+    def test_top_cells(self):
+        cells = make_chain(3)
+        lib = Library()
+        lib.add(cells[0])
+        tops = lib.top_cells()
+        assert [c.name for c in tops] == ["CHAIN_0"]
+        assert lib.top_cell() is cells[0]
+
+    def test_multiple_tops_raises(self):
+        lib = Library()
+        lib.add(Cell("A"), Cell("B"))
+        with pytest.raises(ValueError, match="one top cell"):
+            lib.top_cell()
+
+    def test_depth(self):
+        cells = make_chain(4)
+        lib = Library()
+        lib.add(cells[0])
+        assert lib.depth() == 4
+
+    def test_depth_flat(self):
+        lib = Library()
+        lib.add(Cell("ONLY"))
+        assert lib.depth() == 1
+
+    def test_check_acyclic_passes(self):
+        cells = make_chain(3)
+        lib = Library()
+        lib.add(cells[0])
+        lib.check_acyclic()
+
+    def test_check_acyclic_detects_cycle(self):
+        a, b = Cell("A"), Cell("B")
+        a.instantiate(b, (0, 0))
+        lib = Library()
+        lib.add(a)
+        # Introduce the cycle after adding to dodge add()'s traversal.
+        b.instantiate(a, (0, 0))
+        with pytest.raises(ValueError, match="cycle"):
+            lib.check_acyclic()
+
+    def test_hierarchy_graph_edges(self):
+        cells = make_chain(3)
+        lib = Library()
+        lib.add(cells[0])
+        graph = lib.hierarchy_graph()
+        assert graph.has_edge("CHAIN_0", "CHAIN_1")
+        assert graph.has_edge("CHAIN_1", "CHAIN_2")
+        assert not graph.has_edge("CHAIN_2", "CHAIN_0")

@@ -1,0 +1,126 @@
+"""Tests for the Monte-Carlo scattering simulator."""
+
+import numpy as np
+import pytest
+
+from repro.physics.materials import GAAS, PMMA_MATERIAL, SILICON, compound
+from repro.physics.montecarlo import (
+    MonteCarloSimulator,
+    _resist_fraction,
+    fit_double_gaussian,
+)
+from repro.physics.psf import DoubleGaussianPSF
+
+
+@pytest.fixture(scope="module")
+def result_20kv():
+    sim = MonteCarloSimulator(energy_kev=20.0, seed=42)
+    return sim.run(electrons=4000)
+
+
+class TestMaterials:
+    def test_compound_mass_fraction(self):
+        pmma = PMMA_MATERIAL
+        # Effective Z of PMMA is dominated by carbon/oxygen.
+        assert 4.0 < pmma.atomic_number < 7.0
+        assert pmma.density == pytest.approx(1.18)
+
+    def test_mean_ionization_positive(self):
+        for m in (SILICON, GAAS, PMMA_MATERIAL):
+            assert m.mean_ionization_kev() > 0
+
+
+class TestSimulator:
+    def test_validates_energy(self):
+        with pytest.raises(ValueError):
+            MonteCarloSimulator(energy_kev=0.1)
+
+    def test_validates_thickness(self):
+        with pytest.raises(ValueError):
+            MonteCarloSimulator(resist_thickness=0)
+
+    def test_reproducible(self):
+        a = MonteCarloSimulator(energy_kev=10.0, seed=7).run(electrons=500)
+        b = MonteCarloSimulator(energy_kev=10.0, seed=7).run(electrons=500)
+        assert np.array_equal(a.energy, b.energy)
+        assert a.backscatter_yield == b.backscatter_yield
+
+    def test_deposits_energy(self, result_20kv):
+        assert result_20kv.energy.sum() > 0
+
+    def test_backscatter_yield_in_physical_range(self, result_20kv):
+        # Bulk Si backscatter coefficient is ~0.15-0.35 depending on model.
+        assert 0.05 < result_20kv.backscatter_yield < 0.5
+
+    def test_density_decreases_at_large_radius(self, result_20kv):
+        density = result_20kv.density
+        centers = result_20kv.bin_centers()
+        near = density[centers < 0.01].max() if (centers < 0.01).any() else density[0]
+        far = density[centers > 5.0].max()
+        assert near > far * 10
+
+    def test_higher_energy_spreads_further(self):
+        low = MonteCarloSimulator(energy_kev=10.0, seed=1).run(electrons=2000)
+        high = MonteCarloSimulator(energy_kev=50.0, seed=1).run(electrons=2000)
+
+        def spread_radius(res):
+            cumulative = np.cumsum(res.energy)
+            half = np.searchsorted(cumulative, 0.9 * cumulative[-1])
+            return res.bin_centers()[min(half, len(res.energy) - 1)]
+
+        assert spread_radius(high) > spread_radius(low)
+
+    def test_heavier_substrate_backscatters_more(self):
+        si = MonteCarloSimulator(energy_kev=20.0, substrate=SILICON, seed=3).run(
+            electrons=2000
+        )
+        gaas = MonteCarloSimulator(energy_kev=20.0, substrate=GAAS, seed=3).run(
+            electrons=2000
+        )
+        assert gaas.backscatter_yield > si.backscatter_yield
+
+
+class TestResistFraction:
+    def test_fully_inside(self):
+        frac = _resist_fraction(np.array([0.1]), np.array([0.3]), 0.5)
+        assert frac[0] == pytest.approx(1.0)
+
+    def test_fully_below(self):
+        frac = _resist_fraction(np.array([1.0]), np.array([2.0]), 0.5)
+        assert frac[0] == pytest.approx(0.0)
+
+    def test_half_crossing(self):
+        frac = _resist_fraction(np.array([0.25]), np.array([0.75]), 0.5)
+        assert frac[0] == pytest.approx(0.5)
+
+    def test_crossing_surface_upward(self):
+        frac = _resist_fraction(np.array([0.25]), np.array([-0.25]), 0.5)
+        assert frac[0] == pytest.approx(0.5)
+
+
+class TestFit:
+    def test_recovers_synthetic_parameters(self):
+        truth = DoubleGaussianPSF(alpha=0.08, beta=2.2, eta=0.7)
+        r = np.geomspace(1e-3, 15, 80)
+        density = truth.radial(r)
+        fit = fit_double_gaussian(r, density)
+        assert fit.alpha == pytest.approx(truth.alpha, rel=0.05)
+        assert fit.beta == pytest.approx(truth.beta, rel=0.05)
+        assert fit.eta == pytest.approx(truth.eta, rel=0.1)
+
+    def test_orders_alpha_below_beta(self):
+        truth = DoubleGaussianPSF(alpha=0.08, beta=2.2, eta=0.7)
+        r = np.geomspace(1e-3, 15, 80)
+        fit = fit_double_gaussian(
+            r, truth.radial(r), alpha_guess=3.0, beta_guess=0.05, eta_guess=1.5
+        )
+        assert fit.alpha < fit.beta
+
+    def test_needs_enough_bins(self):
+        with pytest.raises(ValueError, match="not enough"):
+            fit_double_gaussian(np.array([1.0, 2.0]), np.array([1.0, 0.5]))
+
+    def test_fits_mc_output_beta_near_literature(self, result_20kv):
+        fit = fit_double_gaussian(result_20kv.bin_centers(), result_20kv.density)
+        # 20 kV on Si: beta ~ 2 µm (allow generous MC tolerance).
+        assert 1.0 < fit.beta < 3.5

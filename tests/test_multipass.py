@@ -1,0 +1,48 @@
+"""Tests for multipass writing in the stitching model."""
+
+import pytest
+
+from repro.machine.deflection import DeflectionField
+from repro.machine.stage import Stage
+from repro.machine.stitching import StitchingModel
+
+
+class TestMultipass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StitchingModel().simulate(passes=0)
+
+    def test_multipass_reduces_stage_butting(self):
+        model = StitchingModel(
+            stage=Stage(position_noise=0.1), calibration_order=3
+        )
+        single = model.simulate(seed=5, passes=1)
+        quad = model.simulate(seed=5, passes=4)
+        # Stage component averages down by ~1/sqrt(passes).
+        assert quad.stage_contribution_rms < single.stage_contribution_rms
+        assert quad.rms < single.rms
+
+    def test_multipass_scaling_near_sqrt(self):
+        model = StitchingModel(
+            stage=Stage(position_noise=0.2),
+            field=DeflectionField(pincushion=0.0, gain_error=0.0,
+                                  rotation_urad=0.0, fifth_order=0.0),
+            calibration_order=None,
+        )
+        single = model.simulate(seed=11, passes=1, columns=8, rows=8)
+        quad = model.simulate(seed=11, passes=4, columns=8, rows=8)
+        ratio = single.stage_contribution_rms / quad.stage_contribution_rms
+        assert ratio == pytest.approx(2.0, rel=0.35)
+
+    def test_systematic_deflection_does_not_average(self):
+        model = StitchingModel(
+            stage=Stage(position_noise=0.0),
+            field=DeflectionField(pincushion=5e-3),
+            calibration_order=None,
+        )
+        single = model.simulate(seed=0, passes=1)
+        multi = model.simulate(seed=0, passes=8)
+        assert multi.deflection_contribution_rms == pytest.approx(
+            single.deflection_contribution_rms
+        )
+        assert multi.rms == pytest.approx(single.rms, rel=1e-9)

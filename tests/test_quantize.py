@@ -1,0 +1,158 @@
+"""Tests for dose-class quantization and GDSII PATH support."""
+
+import numpy as np
+import pytest
+
+from repro.fracture.base import Shot
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.polygon import Polygon
+from repro.geometry.trapezoid import Trapezoid
+from repro.pec.dose_iter import IterativeDoseCorrector
+from repro.pec.quantize import dose_classes, quantize_doses
+from repro.pec.report import correction_report
+from repro.physics.psf import DoubleGaussianPSF
+
+
+class TestDoseClasses:
+    def test_geometric_spacing_constant_ratio(self):
+        classes = dose_classes(levels=8, lo=0.5, hi=4.0)
+        ratios = classes[1:] / classes[:-1]
+        assert np.allclose(ratios, ratios[0])
+        assert classes[0] == pytest.approx(0.5)
+        assert classes[-1] == pytest.approx(4.0)
+
+    def test_linear_spacing(self):
+        classes = dose_classes(levels=5, lo=1.0, hi=3.0, geometric=False)
+        assert np.allclose(np.diff(classes), 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dose_classes(levels=1)
+        with pytest.raises(ValueError):
+            dose_classes(levels=4, lo=2.0, hi=1.0)
+
+
+class TestQuantizeDoses:
+    def shots(self):
+        return [
+            Shot(Trapezoid.from_rectangle(i, 0, i + 1, 1), dose=d)
+            for i, d in enumerate((0.9, 1.0, 1.37, 2.6))
+        ]
+
+    def test_snaps_to_available_classes(self):
+        classes = np.array([1.0, 2.0, 3.0])
+        quantized, worst = quantize_doses(self.shots(), classes)
+        assert [s.dose for s in quantized] == [1.0, 1.0, 1.0, 3.0]
+        assert worst > 0
+
+    def test_exact_doses_untouched(self):
+        classes = np.array([0.9, 1.0, 1.37, 2.6])
+        quantized, worst = quantize_doses(self.shots(), classes)
+        assert worst == pytest.approx(0.0)
+
+    def test_worst_step_bounded_by_class_ratio(self):
+        classes = dose_classes(levels=32, lo=0.5, hi=4.0)
+        corrector = IterativeDoseCorrector()
+        psf = DoubleGaussianPSF(alpha=0.15, beta=2.0, eta=0.74)
+        shots = TrapezoidFracturer().fracture_to_shots(
+            [Polygon.rectangle(0, 0, 20, 20),
+             Polygon.rectangle(22, 0, 22.5, 20)]
+        )
+        corrected = corrector.correct(shots, psf)
+        _, worst = quantize_doses(corrected, classes)
+        # Half the geometric step of 32 classes over [0.5, 4].
+        step = (4.0 / 0.5) ** (1.0 / 31) - 1.0
+        assert worst <= step / 2 + 1e-9
+
+    def test_more_classes_smaller_exposure_error(self):
+        psf = DoubleGaussianPSF(alpha=0.15, beta=2.0, eta=0.74)
+        shots = TrapezoidFracturer().fracture_to_shots(
+            [Polygon.rectangle(0, 0, 20, 20),
+             Polygon.rectangle(22, 0, 22.5, 20)]
+        )
+        corrected = IterativeDoseCorrector().correct(shots, psf)
+        spreads = []
+        for levels in (4, 64):
+            quantized, _ = quantize_doses(
+                corrected, dose_classes(levels=levels)
+            )
+            spreads.append(correction_report(quantized, psf).spread)
+        assert spreads[1] <= spreads[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_doses(self.shots(), np.zeros((2, 2)))
+
+
+class TestGdsiiPath:
+    def test_path_read_as_polygon(self):
+        from repro.layout.gdsii import loads_gdsii
+        from repro.layout.gdsii_records import (
+            DataType,
+            RecordType,
+            pack_ascii,
+            pack_int16,
+            pack_int32,
+            pack_real8,
+            pack_record,
+        )
+
+        # Hand-build a stream with one PATH element (2 µm wide L-wire).
+        data = b"".join(
+            [
+                pack_int16(RecordType.HEADER, [600]),
+                pack_int16(RecordType.BGNLIB, [1979] + [0] * 11),
+                pack_ascii(RecordType.LIBNAME, "P"),
+                pack_real8(RecordType.UNITS, [1e-3, 1e-9]),
+                pack_int16(RecordType.BGNSTR, [1979] + [0] * 11),
+                pack_ascii(RecordType.STRNAME, "TOP"),
+                pack_record(RecordType.PATH, DataType.NONE),
+                pack_int16(RecordType.LAYER, [2]),
+                pack_int16(RecordType.DATATYPE, [0]),
+                pack_int32(RecordType.WIDTH, [2000]),  # 2 µm in nm
+                pack_int32(
+                    RecordType.XY, [0, 0, 10000, 0, 10000, 10000]
+                ),
+                pack_record(RecordType.ENDEL, DataType.NONE),
+                pack_record(RecordType.ENDSTR, DataType.NONE),
+                pack_record(RecordType.ENDLIB, DataType.NONE),
+            ]
+        )
+        lib = loads_gdsii(data)
+        cell = lib["TOP"]
+        assert cell.polygon_count() == 1
+        poly = next(iter(cell.polygons.values()))[0]
+        # Mitred L-wire of width 2, arms 10 µm: area 40 µm².
+        assert poly.area() == pytest.approx(40.0, rel=1e-6)
+
+    def test_zero_width_path_skipped(self):
+        from repro.layout.gdsii import loads_gdsii
+        from repro.layout.gdsii_records import (
+            DataType,
+            RecordType,
+            pack_ascii,
+            pack_int16,
+            pack_int32,
+            pack_real8,
+            pack_record,
+        )
+
+        data = b"".join(
+            [
+                pack_int16(RecordType.HEADER, [600]),
+                pack_int16(RecordType.BGNLIB, [1979] + [0] * 11),
+                pack_ascii(RecordType.LIBNAME, "P"),
+                pack_real8(RecordType.UNITS, [1e-3, 1e-9]),
+                pack_int16(RecordType.BGNSTR, [1979] + [0] * 11),
+                pack_ascii(RecordType.STRNAME, "TOP"),
+                pack_record(RecordType.PATH, DataType.NONE),
+                pack_int16(RecordType.LAYER, [2]),
+                pack_int16(RecordType.DATATYPE, [0]),
+                pack_int32(RecordType.XY, [0, 0, 10000, 0]),
+                pack_record(RecordType.ENDEL, DataType.NONE),
+                pack_record(RecordType.ENDSTR, DataType.NONE),
+                pack_record(RecordType.ENDLIB, DataType.NONE),
+            ]
+        )
+        lib = loads_gdsii(data)
+        assert lib["TOP"].polygon_count() == 0

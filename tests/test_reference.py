@@ -1,0 +1,91 @@
+"""Tests for repro.layout.reference."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.layout.cell import Cell
+from repro.layout.reference import CellArray, CellReference
+
+
+@pytest.fixture
+def child():
+    cell = Cell("CHILD")
+    cell.add_rectangle(0, 0, 1, 1)
+    return cell
+
+
+class TestCellReference:
+    def test_transform_translates(self, child):
+        ref = CellReference(child, (5, 7))
+        assert ref.transform()(Point(0, 0)) == Point(5, 7)
+
+    def test_transform_rotates_then_translates(self, child):
+        ref = CellReference(child, (10, 0), rotation_deg=90)
+        assert ref.transform()(Point(1, 0)).almost_equals(Point(10, 1))
+
+    def test_x_reflection_before_rotation(self, child):
+        ref = CellReference(child, (0, 0), rotation_deg=90, x_reflection=True)
+        # (0,1) -> reflect (0,-1) -> rotate 90 -> (1, 0)
+        assert ref.transform()(Point(0, 1)).almost_equals(Point(1, 0))
+
+    def test_magnification(self, child):
+        ref = CellReference(child, (0, 0), magnification=2.5)
+        assert ref.transform()(Point(1, 1)).almost_equals(Point(2.5, 2.5))
+
+    def test_magnification_must_be_positive(self, child):
+        with pytest.raises(ValueError):
+            CellReference(child, (0, 0), magnification=0)
+
+    def test_placements_single(self, child):
+        ref = CellReference(child, (1, 2))
+        assert len(list(ref.placements())) == 1
+        assert ref.placement_count() == 1
+
+
+class TestCellArray:
+    def test_dimensions_validated(self, child):
+        with pytest.raises(ValueError):
+            CellArray(child, 0, 1, (1, 0), (0, 1))
+
+    def test_placement_count(self, child):
+        array = CellArray(child, 4, 3, (10, 0), (0, 10))
+        assert array.placement_count() == 12
+        assert len(list(array.placements())) == 12
+
+    def test_placement_positions(self, child):
+        array = CellArray(child, 2, 2, (10, 0), (0, 20), origin=(100, 100))
+        origins = sorted(
+            (t(Point(0, 0)).x, t(Point(0, 0)).y) for t in array.placements()
+        )
+        assert origins == [
+            (100.0, 100.0),
+            (100.0, 120.0),
+            (110.0, 100.0),
+            (110.0, 120.0),
+        ]
+
+    def test_skewed_array_vectors(self, child):
+        array = CellArray(child, 2, 1, (10, 5), (0, 10))
+        positions = [t(Point(0, 0)) for t in array.placements()]
+        assert positions[1].almost_equals(Point(10, 5))
+
+    def test_rotated_array_rotates_instances_not_lattice(self, child):
+        # GDSII AREF: lattice vectors are given in parent coordinates.
+        array = CellArray(
+            child, 2, 1, (10, 0), (0, 10), origin=(0, 0), rotation_deg=90
+        )
+        positions = [t(Point(0, 0)) for t in array.placements()]
+        assert positions[0].almost_equals(Point(0, 0))
+        assert positions[1].almost_equals(Point(10, 0))
+        # But the cell contents rotate.
+        corner = [t(Point(1, 0)) for t in array.placements()]
+        assert corner[0].almost_equals(Point(0, 1))
+
+    def test_corner_positions(self, child):
+        array = CellArray(child, 3, 2, (10, 0), (0, 10), origin=(5, 5))
+        corners = array.corner_positions()
+        assert corners[0] == Point(5, 5)
+        assert corners[1] == Point(35, 5)
+        assert corners[2] == Point(5, 25)

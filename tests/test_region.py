@@ -1,0 +1,97 @@
+"""Tests for repro.geometry.region."""
+
+import pytest
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+from repro.geometry.transform import Transform
+
+
+@pytest.fixture
+def left():
+    return Region([Polygon.rectangle(0, 0, 10, 10)])
+
+
+@pytest.fixture
+def right():
+    return Region([Polygon.rectangle(5, 5, 15, 15)])
+
+
+class TestAlgebra:
+    def test_or(self, left, right):
+        assert (left | right).area() == pytest.approx(175.0)
+
+    def test_and(self, left, right):
+        assert (left & right).area() == pytest.approx(25.0)
+
+    def test_sub(self, left, right):
+        assert (left - right).area() == pytest.approx(75.0)
+
+    def test_xor(self, left, right):
+        assert (left ^ right).area() == pytest.approx(150.0)
+
+    def test_merged_resolves_overlap(self):
+        r = Region(
+            [Polygon.rectangle(0, 0, 10, 10), Polygon.rectangle(5, 0, 15, 10)]
+        )
+        assert r.raw_area() == pytest.approx(200.0)
+        assert r.merged().raw_area() == pytest.approx(150.0)
+
+    def test_chained_operations(self, left, right):
+        ring = (left | right) - (left & right)
+        assert ring.area() == pytest.approx(150.0)
+
+    def test_empty_region(self):
+        e = Region.empty()
+        assert e.is_empty()
+        assert not e
+        assert len(e) == 0
+
+    def test_operation_with_empty(self, left):
+        assert (left | Region.empty()).area() == pytest.approx(100.0)
+        assert (left & Region.empty()).area() == pytest.approx(0.0)
+
+
+class TestQueries:
+    def test_area_counts_overlap_once(self):
+        r = Region(
+            [Polygon.rectangle(0, 0, 10, 10), Polygon.rectangle(0, 0, 10, 10)]
+        )
+        assert r.area() == pytest.approx(100.0)
+
+    def test_bounding_box(self, left, right):
+        assert (left | right).bounding_box() == pytest.approx((0, 0, 15, 15))
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            Region.empty().bounding_box()
+
+    def test_contains_point(self, left):
+        assert left.contains_point((5, 5))
+        assert not left.contains_point((50, 50))
+
+    def test_from_rectangles(self):
+        r = Region.from_rectangles([(0, 0, 1, 1), (2, 2, 3, 3)])
+        assert r.area() == pytest.approx(2.0)
+
+    def test_trapezoids_cover_area(self, left, right):
+        u = left | right
+        assert sum(t.area() for t in u.trapezoids()) == pytest.approx(175.0)
+
+
+class TestTransforms:
+    def test_translated(self, left):
+        moved = left.translated(100, 0)
+        assert moved.bounding_box() == pytest.approx((100, 0, 110, 10))
+        assert moved.area() == pytest.approx(100.0)
+
+    def test_transformed_rotation_preserves_area(self, left):
+        import math
+
+        rotated = left.transformed(Transform.rotation(math.radians(45)))
+        assert rotated.area() == pytest.approx(100.0, rel=1e-4)
+
+    def test_immutability(self, left, right):
+        _ = left | right
+        assert left.area() == pytest.approx(100.0)
+        assert len(left.polygons) == 1

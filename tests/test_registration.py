@@ -1,0 +1,137 @@
+"""Tests for mark detection and registration fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine.registration import (
+    RegistrationFit,
+    detect_edge,
+    detect_mark_center,
+    detection_error_model,
+    fit_registration,
+    mark_signal,
+)
+
+
+class TestMarkSignal:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mark_signal(np.linspace(-1, 1, 10), 0.0, beam_size=0.0)
+
+    def test_step_shape(self):
+        x = np.linspace(-2, 2, 401)  # includes x = 0 exactly
+        signal = mark_signal(x, 0.0, beam_size=0.1)
+        assert signal[0] == pytest.approx(0.0, abs=1e-6)
+        assert signal[-1] == pytest.approx(1.0, abs=1e-6)
+        mid = signal[np.argmin(np.abs(x))]
+        assert mid == pytest.approx(0.5, abs=0.01)
+
+    def test_noise_reproducible_with_rng(self):
+        x = np.linspace(-1, 1, 50)
+        a = mark_signal(x, 0.0, 0.1, noise=0.05, rng=np.random.default_rng(3))
+        b = mark_signal(x, 0.0, 0.1, noise=0.05, rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestDetection:
+    def test_detects_clean_edge_exactly(self):
+        x = np.linspace(-2, 2, 800)
+        signal = mark_signal(x, 0.3, beam_size=0.1)
+        assert detect_edge(x, signal) == pytest.approx(0.3, abs=1e-3)
+
+    def test_raises_without_crossing(self):
+        x = np.linspace(-1, 1, 50)
+        with pytest.raises(ValueError):
+            detect_edge(x, np.zeros(50), threshold=0.5)
+
+    def test_detects_under_noise(self):
+        x = np.linspace(-2, 2, 400)
+        rng = np.random.default_rng(7)
+        signal = mark_signal(x, -0.2, beam_size=0.1, noise=0.03, rng=rng)
+        assert detect_edge(x, signal) == pytest.approx(-0.2, abs=0.05)
+
+    def test_mark_center_two_edges(self):
+        x = np.linspace(-3, 3, 1200)
+        rising = mark_signal(x, -1.0, 0.1)
+        falling = 1.0 - mark_signal(x, 1.2, 0.1)
+        line_mark = rising * falling
+        assert detect_mark_center(x, line_mark) == pytest.approx(0.1, abs=0.01)
+
+    def test_mark_center_needs_both_edges(self):
+        x = np.linspace(-2, 2, 400)
+        signal = mark_signal(x, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            detect_mark_center(x, signal)
+
+
+class TestErrorModel:
+    def test_error_grows_with_noise(self):
+        quiet = detection_error_model(beam_size=0.1, noise=0.01, scans=80)
+        loud = detection_error_model(beam_size=0.1, noise=0.1, scans=80)
+        assert loud > quiet
+
+    def test_error_scales_with_beam_size(self):
+        fine = detection_error_model(beam_size=0.05, noise=0.05, scans=80)
+        coarse = detection_error_model(beam_size=0.5, noise=0.05, scans=80)
+        assert coarse > fine
+
+    def test_clean_signal_near_zero_error(self):
+        sigma = detection_error_model(beam_size=0.1, noise=0.0, scans=10)
+        assert sigma < 1e-6
+
+
+class TestRegistrationFit:
+    NOMINAL = [(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0), (1000.0, 1000.0)]
+
+    def test_recovers_translation(self):
+        measured = [(x + 0.3, y - 0.1) for x, y in self.NOMINAL]
+        fit = fit_registration(self.NOMINAL, measured)
+        assert fit.translation[0] == pytest.approx(0.3, abs=1e-9)
+        assert fit.translation[1] == pytest.approx(-0.1, abs=1e-9)
+        assert fit.residual_rms < 1e-9
+
+    def test_recovers_rotation(self):
+        theta = 50e-6  # 50 µrad
+        measured = [
+            (x - theta * y, y + theta * x) for x, y in self.NOMINAL
+        ]
+        fit = fit_registration(self.NOMINAL, measured)
+        assert fit.rotation_urad() == pytest.approx(50.0, rel=1e-6)
+        assert fit.residual_rms < 1e-9
+
+    def test_recovers_scale(self):
+        scale = 20e-6  # 20 ppm
+        measured = [(x * (1 + scale), y * (1 + scale)) for x, y in self.NOMINAL]
+        fit = fit_registration(self.NOMINAL, measured)
+        assert fit.scale_ppm() == pytest.approx(20.0, rel=1e-6)
+
+    def test_apply_matches_measured(self):
+        measured = [(x + 0.2 + 1e-5 * x, y - 0.1) for x, y in self.NOMINAL]
+        fit = fit_registration(self.NOMINAL, measured)
+        for (nx, ny), (mx, my) in zip(self.NOMINAL, measured):
+            ax, ay = fit.apply(nx, ny)
+            assert ax == pytest.approx(mx, abs=1e-9)
+            assert ay == pytest.approx(my, abs=1e-9)
+
+    def test_translation_only_mode(self):
+        measured = [(x + 0.5, y + 0.5) for x, y in self.NOMINAL]
+        fit = fit_registration(self.NOMINAL, measured, linear=False)
+        assert fit.matrix == ((0.0, 0.0), (0.0, 0.0))
+        assert fit.translation == pytest.approx((0.5, 0.5))
+
+    def test_noise_appears_in_residual(self):
+        rng = np.random.default_rng(1)
+        measured = [
+            (x + rng.normal(0, 0.05), y + rng.normal(0, 0.05))
+            for x, y in self.NOMINAL
+        ]
+        fit = fit_registration(self.NOMINAL, measured)
+        assert 0.0 < fit.residual_rms < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_registration([(0, 0)], [(0, 0), (1, 1)])
+        with pytest.raises(ValueError):
+            fit_registration([(0, 0), (1, 1)], [(0, 0), (1, 1)], linear=True)

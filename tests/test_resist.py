@@ -1,0 +1,106 @@
+"""Tests for resist response models."""
+
+import numpy as np
+import pytest
+
+from repro.physics.resist import COP, PBS, PMMA, Resist
+
+
+class TestValidation:
+    def test_tone(self):
+        with pytest.raises(ValueError):
+            Resist("x", tone="neutral", sensitivity=1, contrast=1)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ValueError):
+            Resist("x", tone="positive", sensitivity=0, contrast=1)
+        with pytest.raises(ValueError):
+            Resist("x", tone="positive", sensitivity=1, contrast=-1)
+        with pytest.raises(ValueError):
+            Resist("x", tone="positive", sensitivity=1, contrast=1, thickness=0)
+
+
+class TestNegativeResist:
+    resist = Resist("neg", tone="negative", sensitivity=1.0, contrast=2.0)
+
+    def test_below_gel_dose_clears(self):
+        assert self.resist.remaining_thickness(0.5) == 0.0
+
+    def test_at_gel_dose_zero(self):
+        assert self.resist.remaining_thickness(1.0) == pytest.approx(0.0)
+
+    def test_saturation(self):
+        assert self.resist.remaining_thickness(
+            self.resist.saturation_dose
+        ) == pytest.approx(1.0)
+        assert self.resist.remaining_thickness(100.0) == 1.0
+
+    def test_monotone_increasing(self):
+        doses = np.geomspace(0.1, 100, 50)
+        t = self.resist.remaining_thickness(doses)
+        assert np.all(np.diff(t) >= 0)
+
+    def test_threshold_dose_gives_half(self):
+        assert self.resist.remaining_thickness(
+            self.resist.threshold_dose
+        ) == pytest.approx(0.5)
+
+    def test_higher_contrast_steeper(self):
+        soft = Resist("s", tone="negative", sensitivity=1.0, contrast=1.0)
+        hard = Resist("h", tone="negative", sensitivity=1.0, contrast=4.0)
+        assert hard.exposure_latitude() < soft.exposure_latitude()
+
+
+class TestPositiveResist:
+    resist = Resist("pos", tone="positive", sensitivity=10.0, contrast=2.0)
+
+    def test_underexposed_remains(self):
+        assert self.resist.remaining_thickness(1.0) == 1.0
+
+    def test_fully_cleared(self):
+        assert self.resist.remaining_thickness(
+            self.resist.saturation_dose
+        ) == pytest.approx(0.0)
+
+    def test_monotone_decreasing(self):
+        doses = np.geomspace(1, 1000, 50)
+        t = self.resist.remaining_thickness(doses)
+        assert np.all(np.diff(t) <= 0)
+
+
+class TestDevelopment:
+    def test_negative_develop_keeps_exposed(self):
+        resist = Resist("neg", tone="negative", sensitivity=1.0, contrast=2.0)
+        absorbed = np.array([[0.1, 2.0], [0.5, 3.0]])
+        developed = resist.develop(absorbed, base_dose=1.0)
+        assert developed.tolist() == [[False, True], [False, True]]
+
+    def test_prints_respects_tone(self):
+        neg = Resist("neg", tone="negative", sensitivity=1.0, contrast=2.0)
+        pos = Resist("pos", tone="positive", sensitivity=1.0, contrast=2.0)
+        assert neg.prints(2.0, base_dose=1.0)
+        assert not neg.prints(0.5, base_dose=1.0)
+        assert pos.prints(2.0, base_dose=1.0)  # clears
+        assert not pos.prints(0.5, base_dose=1.0)
+
+    def test_base_dose_scales(self):
+        resist = Resist("neg", tone="negative", sensitivity=10.0, contrast=2.0)
+        absorbed = np.array([1.0])
+        assert not resist.develop(absorbed, base_dose=1.0)[0]
+        assert resist.develop(absorbed, base_dose=100.0)[0]
+
+
+class TestStandardResists:
+    def test_pmma_is_slow_positive(self):
+        assert PMMA.tone == "positive"
+        assert PMMA.sensitivity > 10 * PBS.sensitivity
+
+    def test_cop_is_fast_negative(self):
+        assert COP.tone == "negative"
+        assert COP.sensitivity < 1.0
+
+    def test_scalar_and_array_api(self):
+        scalar = PMMA.remaining_thickness(10.0)
+        array = PMMA.remaining_thickness(np.array([10.0, 20.0]))
+        assert isinstance(scalar, float)
+        assert array.shape == (2,)

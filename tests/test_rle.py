@@ -1,0 +1,118 @@
+"""Tests for the raster RLE datapath encoder."""
+
+import numpy as np
+import pytest
+
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.polygon import Polygon
+from repro.geometry.trapezoid import Trapezoid
+from repro.machine.rle import (
+    RlePattern,
+    decode_to_coverage,
+    encode_figures,
+    stream_rate_required,
+)
+
+
+class TestEncoding:
+    def test_empty(self):
+        pattern = encode_figures([], 0.5)
+        assert pattern.run_count() == 0
+        assert pattern.encoded_bytes() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            encode_figures([Trapezoid.from_rectangle(0, 0, 1, 1)], 0.0)
+
+    def test_single_rectangle_runs(self):
+        rect = Trapezoid.from_rectangle(0, 0, 4, 2)
+        pattern = encode_figures([rect], address_unit=0.5)
+        # 4 scanlines of one 8-address run each.
+        assert pattern.line_count == 4
+        assert pattern.run_count() == 4
+        for runs in pattern.lines.values():
+            assert runs == [(0, 8)]
+
+    def test_written_addresses_match_area(self):
+        rect = Trapezoid.from_rectangle(0, 0, 10, 6)
+        pattern = encode_figures([rect], address_unit=0.5)
+        assert pattern.written_addresses() == (10 / 0.5) * (6 / 0.5)
+
+    def test_adjacent_figures_merge_runs(self):
+        left = Trapezoid.from_rectangle(0, 0, 2, 1)
+        right = Trapezoid.from_rectangle(2, 0, 4, 1)
+        pattern = encode_figures([left, right], address_unit=0.5)
+        for runs in pattern.lines.values():
+            assert len(runs) == 1
+
+    def test_disjoint_figures_keep_separate_runs(self):
+        a = Trapezoid.from_rectangle(0, 0, 1, 1)
+        b = Trapezoid.from_rectangle(5, 0, 6, 1)
+        pattern = encode_figures([a, b], address_unit=0.5)
+        for runs in pattern.lines.values():
+            assert len(runs) == 2
+
+    def test_triangle_runs_shrink_with_height(self):
+        tri = Trapezoid(0, 4, 0, 8, 4, 4)  # triangle tip at top
+        pattern = encode_figures([tri], address_unit=0.5)
+        lengths = [
+            sum(l for _, l in pattern.lines[j]) for j in sorted(pattern.lines)
+        ]
+        assert all(b <= a for a, b in zip(lengths, lengths[1:]))
+
+    def test_encoded_bytes_accounting(self):
+        rect = Trapezoid.from_rectangle(0, 0, 4, 2)
+        pattern = encode_figures([rect], address_unit=0.5)
+        assert pattern.encoded_bytes() == 4 * 4 + 4 * 2
+
+
+class TestDecode:
+    def test_roundtrip_against_rasterizer(self):
+        polys = [
+            Polygon.rectangle(0, 0, 6, 3),
+            Polygon([(8, 0), (14, 0), (11, 5)]),
+        ]
+        figures = TrapezoidFracturer().fracture(polys)
+        a = 0.25
+        pattern = encode_figures(figures, address_unit=a)
+        width = int(np.ceil(14 / a))
+        grid = decode_to_coverage(pattern, width)
+        # Compare covered address count against exact area within half an
+        # address of boundary discretization.
+        area = grid.sum() * a * a
+        expected = sum(f.area() for f in figures)
+        assert area == pytest.approx(expected, rel=0.05)
+
+    def test_decode_respects_width_clip(self):
+        rect = Trapezoid.from_rectangle(0, 0, 10, 1)
+        pattern = encode_figures([rect], address_unit=1.0)
+        grid = decode_to_coverage(pattern, width_addresses=5)
+        assert grid.shape[1] == 5
+        assert grid[0].all()
+
+
+class TestStreamRate:
+    def test_rate_positive(self):
+        rect = Trapezoid.from_rectangle(0, 0, 100, 100)
+        pattern = encode_figures([rect], address_unit=0.5)
+        rate = stream_rate_required(pattern, pixel_rate=2e7, width_addresses=200)
+        assert rate > 0
+
+    def test_busier_lines_need_more_rate(self):
+        sparse = encode_figures(
+            [Trapezoid.from_rectangle(0, 0, 50, 10)], address_unit=0.5
+        )
+        busy_figs = [
+            Trapezoid.from_rectangle(i * 2.0, 0, i * 2.0 + 1.0, 10)
+            for i in range(25)
+        ]
+        busy = encode_figures(busy_figs, address_unit=0.5)
+        width = 100
+        assert stream_rate_required(busy, 2e7, width) > stream_rate_required(
+            sparse, 2e7, width
+        )
+
+    def test_validation(self):
+        pattern = RlePattern((0, 0), 0.5, {}, 1)
+        with pytest.raises(ValueError):
+            stream_rate_required(pattern, 0, 100)

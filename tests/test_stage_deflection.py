@@ -1,0 +1,144 @@
+"""Tests for stage, deflection and stitching models."""
+
+import numpy as np
+import pytest
+
+from repro.machine.deflection import CalibrationResult, DeflectionField
+from repro.machine.stage import Stage
+from repro.machine.stitching import ButtingReport, StitchingModel, overlay_budget
+
+
+class TestStage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Stage(velocity=0)
+        with pytest.raises(ValueError):
+            Stage(settle_time=-1)
+
+    def test_zero_move_is_free(self):
+        assert Stage().move_time(0) == 0.0
+
+    def test_short_move_accel_limited(self):
+        stage = Stage(velocity=1e4, acceleration=1e5, settle_time=0.0)
+        # Short move never reaches cruise velocity.
+        t_short = stage.move_time(10.0)
+        assert t_short == pytest.approx(2 * (10.0 / 1e5) ** 0.5)
+
+    def test_long_move_velocity_limited(self):
+        stage = Stage(velocity=1e4, acceleration=1e12, settle_time=0.0)
+        assert stage.move_time(1e5) == pytest.approx(10.0, rel=0.01)
+
+    def test_settle_added(self):
+        fast = Stage(settle_time=0.0)
+        slow = Stage(settle_time=0.5)
+        assert slow.move_time(100.0) == pytest.approx(
+            fast.move_time(100.0) + 0.5
+        )
+
+    def test_continuous_stage_is_transit_only(self):
+        stage = Stage(velocity=1e4, continuous=True, settle_time=1.0)
+        assert stage.move_time(1e4) == pytest.approx(1.0)
+
+    def test_serpentine_move_count(self):
+        stage = Stage(settle_time=0.0)
+        t_one = stage.move_time(100.0)
+        assert stage.serpentine_time(100.0, 4, 3) == pytest.approx(11 * t_one)
+
+    def test_serpentine_validates(self):
+        with pytest.raises(ValueError):
+            Stage().serpentine_time(100.0, 0, 3)
+
+
+class TestDeflectionField:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeflectionField(size=0)
+
+    def test_distortion_zero_at_center(self):
+        f = DeflectionField()
+        dx, dy = f.distortion(np.array([0.0]), np.array([0.0]))
+        assert dx[0] == pytest.approx(0.0)
+        assert dy[0] == pytest.approx(0.0)
+
+    def test_distortion_grows_toward_corner(self):
+        f = DeflectionField(size=2000.0)
+        dx_mid, dy_mid = f.distortion(np.array([500.0]), np.array([0.0]))
+        dx_corner, dy_corner = f.distortion(np.array([1000.0]), np.array([1000.0]))
+        assert np.hypot(dx_corner, dy_corner)[0] > np.hypot(dx_mid, dy_mid)[0]
+
+    def test_calibration_reduces_residual_with_order(self):
+        f = DeflectionField()
+        uncal = f.calibrate(order=0)
+        linear = f.calibrate(order=1)
+        cubic = f.calibrate(order=3)
+        assert cubic.residual_rms < linear.residual_rms < uncal.residual_rms
+
+    def test_fifth_order_fits_everything(self):
+        f = DeflectionField()
+        r = f.calibrate(order=5)
+        assert r.residual_rms < 1e-9
+
+    def test_noise_floors_the_residual(self):
+        f = DeflectionField()
+        clean = f.calibrate(order=3, noise=0.0)
+        noisy = f.calibrate(order=3, noise=0.05, seed=1)
+        assert noisy.residual_rms > clean.residual_rms
+
+    def test_marks_validated(self):
+        with pytest.raises(ValueError):
+            DeflectionField().calibrate(order=5, marks=3)
+
+    def test_edge_residual_at_least_rms_shape(self):
+        # Pincushion residuals concentrate at the boundary.
+        f = DeflectionField(gain_error=0.0, rotation_urad=0.0)
+        r = f.calibrate(order=1)
+        assert r.edge_residual_rms > 0.5 * r.residual_rms
+
+
+class TestStitching:
+    def test_butting_error_distribution(self):
+        model = StitchingModel(stage=Stage(position_noise=0.05))
+        report = model.simulate(columns=4, rows=4, seed=0)
+        assert report.samples > 0
+        assert report.rms > 0
+        assert report.maximum >= report.rms
+
+    def test_stage_noise_dominates_when_large(self):
+        model = StitchingModel(stage=Stage(position_noise=0.5))
+        report = model.simulate(seed=0)
+        assert report.stage_contribution_rms > report.deflection_contribution_rms
+
+    def test_deflection_dominates_without_calibration(self):
+        model = StitchingModel(
+            field=DeflectionField(pincushion=5e-3),
+            stage=Stage(position_noise=0.001),
+            calibration_order=None,
+        )
+        report = model.simulate(seed=0)
+        assert report.deflection_contribution_rms > report.stage_contribution_rms
+
+    def test_calibration_improves_butting(self):
+        raw = StitchingModel(
+            stage=Stage(position_noise=0.001), calibration_order=None
+        ).simulate(seed=0)
+        calibrated = StitchingModel(
+            stage=Stage(position_noise=0.001), calibration_order=3
+        ).simulate(seed=0)
+        assert calibrated.rms < raw.rms
+
+    def test_single_field_raises(self):
+        with pytest.raises(ValueError):
+            StitchingModel().simulate(columns=1, rows=1)
+
+
+class TestOverlayBudget:
+    def test_rss(self):
+        total, share = overlay_budget({"a": 3.0, "b": 4.0})
+        assert total == pytest.approx(5.0)
+        assert share["a"] == pytest.approx(9 / 25)
+        assert share["b"] == pytest.approx(16 / 25)
+
+    def test_zero_budget(self):
+        total, share = overlay_budget({"a": 0.0})
+        assert total == 0.0
+        assert share["a"] == 0.0

@@ -1,0 +1,110 @@
+"""Tests for repro.geometry.transform."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+
+class TestConstructors:
+    def test_identity(self):
+        t = Transform.identity()
+        assert t.is_identity()
+        assert t(Point(3, 4)) == Point(3, 4)
+
+    def test_translation(self):
+        t = Transform.translation(2, -1)
+        assert t(Point(1, 1)) == Point(3, 0)
+
+    def test_rotation_quarter_turn(self):
+        t = Transform.rotation(math.pi / 2)
+        assert t(Point(1, 0)).almost_equals(Point(0, 1))
+
+    def test_rotation_about_point(self):
+        t = Transform.rotation(math.pi, about=(1, 1))
+        assert t(Point(2, 1)).almost_equals(Point(0, 1))
+
+    def test_scaling_isotropic(self):
+        t = Transform.scaling(2)
+        assert t(Point(1, 2)) == Point(2, 4)
+
+    def test_scaling_anisotropic(self):
+        t = Transform.scaling(2, 3)
+        assert t(Point(1, 1)) == Point(2, 3)
+
+    def test_mirror_x(self):
+        assert Transform.mirror_x()(Point(1, 2)) == Point(1, -2)
+
+    def test_mirror_y(self):
+        assert Transform.mirror_y()(Point(1, 2)) == Point(-1, 2)
+
+
+class TestGdsiiOrder:
+    def test_gdsii_reflection_applied_before_rotation(self):
+        # Mirror then rotate 90: (1, 0) -> (1, 0) -> (0, 1)
+        t = Transform.gdsii(rotation_deg=90, x_reflection=True)
+        assert t(Point(1, 0)).almost_equals(Point(0, 1))
+        # (0, 1) -> mirrored (0, -1) -> rotated (1, 0)
+        assert t(Point(0, 1)).almost_equals(Point(1, 0))
+
+    def test_gdsii_full_stack(self):
+        t = Transform.gdsii(
+            origin=(10, 20), rotation_deg=90, magnification=2, x_reflection=False
+        )
+        assert t(Point(1, 0)).almost_equals(Point(10, 22))
+
+    def test_gdsii_identity_default(self):
+        assert Transform.gdsii().is_identity()
+
+
+class TestComposition:
+    def test_matmul_order(self):
+        t = Transform.translation(1, 0) @ Transform.rotation(math.pi / 2)
+        # Rotation first, then translation.
+        assert t(Point(1, 0)).almost_equals(Point(1, 1))
+
+    def test_inverse_roundtrip(self):
+        t = Transform.gdsii(origin=(3, 4), rotation_deg=37, magnification=1.5)
+        inv = t.inverse()
+        p = Point(2.5, -1.0)
+        assert inv(t(p)).almost_equals(p, tol=1e-9)
+
+    def test_inverse_singular_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Transform(0, 0, 0, 0).inverse()
+
+    def test_determinant_of_mirror_negative(self):
+        assert Transform.mirror_x().determinant() == -1.0
+        assert not Transform.mirror_x().is_orientation_preserving()
+
+    def test_magnification(self):
+        t = Transform.gdsii(magnification=2.5)
+        assert math.isclose(t.magnification(), 2.5)
+
+
+class TestIntrospection:
+    def test_axis_aligned_for_90_deg(self):
+        assert Transform.rotation(math.pi / 2).is_axis_aligned(tol=1e-9)
+        assert not Transform.rotation(math.pi / 4).is_axis_aligned()
+
+    def test_apply_vector_ignores_translation(self):
+        t = Transform.translation(100, 100)
+        assert t.apply_vector(Point(1, 2)) == Point(1, 2)
+
+    def test_apply_many(self):
+        t = Transform.translation(1, 1)
+        pts = t.apply_many([(0, 0), (1, 1)])
+        assert pts == [Point(1, 1), Point(2, 2)]
+
+    def test_as_matrix_shape(self):
+        m = Transform.identity().as_matrix()
+        assert m[0] == (1.0, 0.0, 0.0)
+        assert m[2] == (0.0, 0.0, 1.0)
+
+    def test_equality_and_hash(self):
+        a = Transform.translation(1, 2)
+        b = Transform.translation(1, 2)
+        assert a == b
+        assert hash(a) == hash(b)

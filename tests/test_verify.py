@@ -1,0 +1,99 @@
+"""Tests for XOR pattern verification."""
+
+import pytest
+
+from repro.analysis.verify import verify_patterns
+from repro.fracture.shots import ShotFracturer
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.polygon import Polygon
+from repro.geometry.trapezoid import Trapezoid
+
+
+class TestCleanComparisons:
+    def test_identical_polygons(self):
+        pattern = [Polygon.rectangle(0, 0, 10, 10)]
+        report = verify_patterns(pattern, pattern)
+        assert report.clean
+        assert report.xor_area == pytest.approx(0.0)
+        assert "CLEAN" in report.summary()
+
+    def test_fracture_against_source_is_clean(self):
+        source = [
+            Polygon.rectangle(0, 0, 10, 10),
+            Polygon([(20, 0), (30, 0), (25, 8)]),
+        ]
+        figures = TrapezoidFracturer().fracture(source)
+        report = verify_patterns(source, figures, tolerance=1e-3)
+        assert report.clean
+
+    def test_vsb_tiling_is_clean(self):
+        source = [Polygon.rectangle(0, 0, 7, 5)]
+        shots = ShotFracturer(max_shot=2.0).fracture(source)
+        report = verify_patterns(source, shots, tolerance=1e-3)
+        assert report.clean
+
+    def test_mixed_geometry_inputs(self):
+        ref = [Trapezoid.from_rectangle(0, 0, 4, 4)]
+        cand = [Polygon.rectangle(0, 0, 4, 4)]
+        assert verify_patterns(ref, cand).clean
+
+
+class TestMismatches:
+    def test_missing_figure_detected(self):
+        ref = [
+            Polygon.rectangle(0, 0, 5, 5),
+            Polygon.rectangle(20, 0, 25, 5),
+        ]
+        cand = [Polygon.rectangle(0, 0, 5, 5)]
+        report = verify_patterns(ref, cand)
+        assert not report.clean
+        assert report.xor_area == pytest.approx(25.0)
+        assert len(report.sites) == 1
+        assert report.sites[0].bounding_box == pytest.approx((20, 0, 25, 5))
+        assert "MISMATCH" in report.summary()
+
+    def test_shifted_figure_two_slivers_one_site(self):
+        ref = [Polygon.rectangle(0, 0, 10, 10)]
+        cand = [Polygon.rectangle(0.5, 0, 10.5, 10)]
+        report = verify_patterns(ref, cand, cluster_distance=20.0)
+        assert report.xor_area == pytest.approx(10.0)
+        assert len(report.sites) == 1
+
+    def test_distant_defects_stay_separate(self):
+        ref = [
+            Polygon.rectangle(0, 0, 5, 5),
+            Polygon.rectangle(100, 100, 105, 105),
+        ]
+        cand = []
+        report = verify_patterns(ref, cand, cluster_distance=1.0)
+        assert len(report.sites) == 2
+        # Largest first.
+        assert report.sites[0].area >= report.sites[1].area
+
+    def test_error_fraction(self):
+        ref = [Polygon.rectangle(0, 0, 10, 10)]
+        cand = [Polygon.rectangle(0, 0, 10, 9)]
+        report = verify_patterns(ref, cand)
+        assert report.error_fraction == pytest.approx(0.1)
+
+    def test_extra_geometry_detected(self):
+        ref = [Polygon.rectangle(0, 0, 5, 5)]
+        cand = [Polygon.rectangle(0, 0, 5, 5), Polygon.rectangle(8, 8, 9, 9)]
+        report = verify_patterns(ref, cand)
+        assert report.xor_area == pytest.approx(1.0)
+
+    def test_tolerance_permits_grid_slack(self):
+        ref = [Polygon.rectangle(0, 0, 10, 10)]
+        cand = [Polygon.rectangle(0, 0, 10, 10.0004)]
+        report = verify_patterns(ref, cand, tolerance=0.01)
+        assert report.clean
+
+    def test_empty_reference_with_candidate(self):
+        report = verify_patterns([], [Polygon.rectangle(0, 0, 1, 1)])
+        assert not report.clean
+        assert report.error_fraction == float("inf")
+
+    def test_site_extent(self):
+        ref = [Polygon.rectangle(0, 0, 8, 2)]
+        report = verify_patterns(ref, [])
+        assert report.sites[0].extent == pytest.approx(8.0)
