@@ -6,8 +6,6 @@ scheme (iterative dose, shape bias, GHOST).  Uncorrected CD grows with
 density; correction flattens the curve.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis.tables import Table
 from repro.fracture.trapezoidal import TrapezoidFracturer

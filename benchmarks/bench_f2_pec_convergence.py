@@ -7,7 +7,6 @@ compares the one-shot matrix solve and ablates the representative-point
 choice (centroid vs. bbox centre) and relaxation factor.
 """
 
-import pytest
 
 from repro.analysis.tables import Table
 from repro.fracture.trapezoidal import TrapezoidFracturer

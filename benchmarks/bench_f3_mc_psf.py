@@ -6,7 +6,6 @@ formulas the PSF module ships.  The key shape: β scales as ~E^1.75 and η
 is roughly energy-independent.
 """
 
-import pytest
 
 from repro.analysis.tables import Table
 from repro.physics.montecarlo import MonteCarloSimulator, fit_double_gaussian

@@ -6,7 +6,6 @@ polynomial order, and the decomposition into deflection and stage
 contributions.
 """
 
-import pytest
 
 from repro.analysis.tables import Table
 from repro.machine.deflection import DeflectionField

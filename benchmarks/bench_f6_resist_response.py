@@ -6,7 +6,6 @@ the printed-CD-vs-dose curve of a 1 µm line with its dose latitude.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.tables import Table
 from repro.fracture.base import Shot

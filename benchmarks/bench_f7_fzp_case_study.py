@@ -7,7 +7,6 @@ simulation.  The table reports figures, write time and printed fidelity
 per machine path.
 """
 
-import pytest
 
 from repro.analysis.tables import Table
 from repro.core.metrics import fidelity_report

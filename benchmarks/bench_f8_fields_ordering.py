@@ -14,7 +14,6 @@ vs. signal noise) that feeds the F4 overlay budget.
 
 import random
 
-import pytest
 
 from repro.analysis.tables import Table
 from repro.core.fields import (

@@ -7,14 +7,11 @@ vector and VSB pay per-figure and per-area costs, so the win flips to
 raster for dense fine-featured levels — the classic crossover.
 """
 
-import math
 
 import pytest
 
 from repro.analysis.tables import Table
 from repro.core.job import MachineJob
-from repro.fracture.base import Shot
-from repro.geometry.trapezoid import Trapezoid
 from repro.machine.raster import RasterScanWriter
 from repro.machine.vector import VectorScanWriter
 from repro.machine.vsb import ShapedBeamWriter

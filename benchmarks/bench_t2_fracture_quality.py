@@ -6,7 +6,6 @@ the vertical-merge optimization and the sliver-avoidance heuristic, and a
 database-grid resolution sweep.
 """
 
-import pytest
 
 from repro.analysis.tables import Table
 from repro.fracture.quality import analyze_figures

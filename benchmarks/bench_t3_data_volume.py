@@ -6,7 +6,6 @@ machine stream grows with the instance count.  Also reports the RLE
 bitmap estimate the raster datapath streams.
 """
 
-import pytest
 
 from repro.analysis.tables import Table
 from repro.fracture.trapezoidal import TrapezoidFracturer

@@ -7,7 +7,6 @@ every writer's dwell time.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.tables import Table
 from repro.machine.column import (

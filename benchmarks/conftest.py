@@ -15,6 +15,22 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    """``--quick``: reduced workloads for the CI smoke job."""
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks on reduced workloads (CI smoke mode)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """True when the suite runs in ``--quick`` (reduced) mode."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def save_table():
     """Persist (and echo) an experiment's result table."""

@@ -13,7 +13,6 @@ This reproduces, on one structure, the physics behind benchmark F1.
 Run:  python examples/proximity_correction.py
 """
 
-import numpy as np
 
 from repro import (
     GhostCorrector,

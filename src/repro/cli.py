@@ -28,6 +28,22 @@ from repro.pec.dose_iter import IterativeDoseCorrector
 from repro.physics.psf import psf_for
 
 
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 1 (or 0 for one worker per core)"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return value
+
+
 def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
     machines = [
         RasterScanWriter(),
@@ -49,6 +65,8 @@ def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
         psf=psf,
         machines=machines,
         base_dose=args.dose,
+        workers=args.workers,
+        field_size=args.field_size,
     )
 
 
@@ -66,6 +84,14 @@ def _print_result(result) -> None:
     job = result.job
     report = result.fracture_report
     print(f"job: {job.name}")
+    stats = result.execution
+    if stats is not None and stats.shard_count > 1:
+        mode = "parallel" if stats.parallel else "serial"
+        print(
+            f"  shards:    {stats.occupied_shards}/{stats.shard_count} "
+            f"occupied ({stats.field_size:g} µm fields, "
+            f"{stats.workers} workers, {mode})"
+        )
     print(f"  figures:   {report.figure_count}")
     print(f"  area:      {report.total_area:.2f} µm²")
     print(f"  density:   {job.pattern_density():.1%}")
@@ -142,6 +168,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--output", metavar="FILE",
         help="write the prepared job as a binary machine job file",
+    )
+    parser.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="worker processes for the sharded execution engine "
+        "(1 = serial, 0 = one per core; never changes the result)",
+    )
+    parser.add_argument(
+        "--field-size", type=_positive_float, default=None, metavar="UM",
+        help="writing-field pitch [µm] for layout sharding "
+        "(default: process the layout as one shard)",
     )
 
 

@@ -13,6 +13,13 @@ flow that connects all the substrates:
    (:mod:`repro.core.metrics`).
 """
 
+from repro.core.executor import (
+    ExecutionResult,
+    ExecutionStats,
+    Shard,
+    ShardedExecutor,
+    plan_shards,
+)
 from repro.core.job import MachineJob
 from repro.core.pipeline import PreparationPipeline, PipelineResult
 from repro.core.metrics import FidelityReport, fidelity_report
@@ -30,8 +37,13 @@ from repro.core.hierarchical import (
 )
 
 __all__ = [
+    "ExecutionResult",
+    "ExecutionStats",
     "HierarchicalFractureResult",
+    "Shard",
+    "ShardedExecutor",
     "fracture_hierarchical",
+    "plan_shards",
     "MachineJob",
     "PreparationPipeline",
     "PipelineResult",

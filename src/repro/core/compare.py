@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.job import MachineJob
 from repro.core.pipeline import PreparationPipeline
 from repro.fracture.base import Fracturer
 from repro.fracture.shots import ShotFracturer

@@ -1,0 +1,325 @@
+"""Parallel field-sharded execution engine for the preparation pipeline.
+
+Large layouts are prepared field by field: the writing-field mosaic that
+the machine exposes one field at a time also partitions the *data
+preparation* into independent work units, the same way conflict-avoiding
+codes partition transmissions into difference classes that never collide.
+Each shard (one mosaic tile's polygons) is fractured and proximity-
+corrected on its own, so shards can run concurrently on a process pool;
+the merge step then reassembles one :class:`~repro.core.job.MachineJob`
+in deterministic row-major field order.
+
+Determinism contract
+--------------------
+The shard plan depends only on the geometry and the ``field_size``
+argument — never on the worker count.  Each shard is processed by pure
+deterministic code, and shard results are merged in shard-plan order, so
+``workers=N`` produces a shot-for-shot identical job to ``workers=1``
+for every ``N``.
+
+Sharding semantics
+------------------
+* ``field_size=None`` (the default) plans a single shard covering the
+  whole layout — exactly the historical single-pass pipeline, including
+  global proximity correction.
+* With a ``field_size``, polygons are assigned to mosaic tiles by their
+  bounding-box centre (the convention of
+  :func:`repro.core.fields.field_index_of`, shared with post-fracture
+  shot partitioning).  Proximity correction becomes field-local (no
+  cross-field dose coupling), the standard mosaic approximation when
+  the field pitch is large against the backscatter range β.
+
+Caveat: the boolean union that dedupes overlapping input polygons runs
+per shard, so overlaps *between polygons of different shards* are
+exposed twice (their area double-counts).  Disjoint layouts — anything
+a prior union pass or the hierarchical flattener's per-layer merge
+produced — are sharded exactly; for overlap-heavy data, union first or
+run unsharded (``field_size=None``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.fields import FieldIndex, field_index_of
+from repro.fracture.base import Fracturer, Shot
+from repro.fracture.quality import FractureReport, analyze_figures, merge_reports
+from repro.geometry.polygon import Polygon
+from repro.pec.base import ProximityCorrector
+from repro.physics.psf import DoubleGaussianPSF
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One work unit: the polygons of a single writing-field tile.
+
+    Attributes:
+        index: field index ``(col, row)`` on the mosaic; ``(0, 0)`` for
+            the unsharded single-tile plan.
+        polygons: the tile's polygons, in layout order.
+    """
+
+    index: FieldIndex
+    polygons: Tuple[Polygon, ...]
+
+
+@dataclass
+class ShardResult:
+    """What one shard produced: its shots and fracture bookkeeping."""
+
+    index: FieldIndex
+    shots: List[Shot]
+    report: FractureReport
+    reference_area: float
+
+
+@dataclass
+class ExecutionStats:
+    """How an execution ran (for logs, benchmarks and the CLI)."""
+
+    shard_count: int = 1
+    occupied_shards: int = 1
+    workers: int = 1
+    parallel: bool = False
+    field_size: Optional[float] = None
+
+
+@dataclass
+class ExecutionResult:
+    """Merged output of all shards, in deterministic shard order."""
+
+    shots: List[Shot] = field(default_factory=list)
+    report: FractureReport = field(
+        default_factory=lambda: analyze_figures([])
+    )
+    corrected: bool = False
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+
+def plan_shards(
+    polygons: Sequence[Polygon],
+    field_size: Optional[float] = None,
+    origin: Optional[Tuple[float, float]] = None,
+) -> List[Shard]:
+    """Partition a flattened polygon list into writing-field shards.
+
+    Polygons are assigned whole to the tile containing their bounding-box
+    centre (no polygon is split, so a shard's fracture is exact); the
+    mosaic is anchored at ``origin``, defaulting to the lower-left of the
+    combined bounding box.  Shards come back sorted row-major
+    (bottom row first, left to right) — the merge order.
+
+    ``field_size=None`` returns one shard with everything.
+    """
+    polygons = list(polygons)
+    if not polygons:
+        return []
+    if field_size is None:
+        return [Shard(index=(0, 0), polygons=tuple(polygons))]
+    if field_size <= 0:
+        raise ValueError("field size must be positive")
+    if origin is None:
+        boxes = [p.bounding_box() for p in polygons]
+        origin = (min(b[0] for b in boxes), min(b[1] for b in boxes))
+    x0, y0 = origin
+    buckets: dict = {}
+    for poly in polygons:
+        bx0, by0, bx1, by1 = poly.bounding_box()
+        index = field_index_of(
+            (bx0 + bx1) / 2.0, (by0 + by1) / 2.0, x0, y0, field_size
+        )
+        buckets.setdefault(index, []).append(poly)
+    return [
+        Shard(index=index, polygons=tuple(buckets[index]))
+        for index in sorted(buckets, key=lambda ij: (ij[1], ij[0]))
+    ]
+
+
+def _process_shard(
+    shard: Shard,
+    fracturer: Fracturer,
+    corrector: Optional[ProximityCorrector],
+    psf: Optional[DoubleGaussianPSF],
+) -> ShardResult:
+    """Fracture and (optionally) proximity-correct one shard.
+
+    Module-level so the process pool can pickle it; must stay pure — the
+    determinism contract of the engine rests on it.
+    """
+    shots = fracturer.fracture_to_shots(shard.polygons)
+    figures = [s.trapezoid for s in shots]
+    # The fracture is a disjoint cover, so its own area is the reference
+    # for downstream bookkeeping.
+    reference_area = sum(t.area() for t in figures)
+    report = analyze_figures(figures, reference_area=reference_area)
+    if corrector is not None and shots:
+        shots = corrector.correct(shots, psf)
+    return ShardResult(
+        index=shard.index,
+        shots=shots,
+        report=report,
+        reference_area=reference_area,
+    )
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1 (or None/0 for all cores)")
+    return workers
+
+
+# Shard-processing configuration of a pool worker, installed once per
+# process by the pool initializer (shipping it with every shard payload
+# would re-pickle the same objects thousands of times on large mosaics).
+_worker_config: Optional[tuple] = None
+
+
+def _init_worker(config: tuple) -> None:
+    global _worker_config
+    _worker_config = config
+
+
+def _process_shard_pooled(shard: Shard) -> ShardResult:
+    return _process_shard(shard, *_worker_config)
+
+
+def _map_shards(
+    shards: List[Shard], config: tuple, workers: int
+) -> Tuple[List[ShardResult], bool]:
+    """Run shards through ``config = (fracturer, corrector, psf)``, on a
+    process pool when it pays off.
+
+    Returns the results in shard order plus whether a pool was used.
+    Falls back to the serial path when the platform refuses to spawn
+    workers (restricted sandboxes), keeping results identical.
+    """
+    if workers <= 1 or len(shards) <= 1:
+        return [_process_shard(s, *config) for s in shards], False
+    pool_size = min(workers, len(shards))
+    chunksize = max(1, len(shards) // (pool_size * 4))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=pool_size, initializer=_init_worker, initargs=(config,)
+        ) as pool:
+            results = list(
+                pool.map(_process_shard_pooled, shards, chunksize=chunksize)
+            )
+        return results, True
+    except (OSError, PermissionError):
+        return [_process_shard(s, *config) for s in shards], False
+
+
+def merge_shard_results(
+    results: Sequence[ShardResult], corrected: bool, stats: ExecutionStats
+) -> ExecutionResult:
+    """Concatenate shard shots in shard order and merge the reports."""
+    shots: List[Shot] = []
+    for result in results:
+        shots.extend(result.shots)
+    reference = sum(r.reference_area for r in results)
+    report = merge_reports(
+        [r.report for r in results], reference_area=reference
+    )
+    return ExecutionResult(
+        shots=shots, report=report, corrected=corrected, stats=stats
+    )
+
+
+class ShardedExecutor:
+    """Runs fracture + proximity correction over a field-shard plan.
+
+    Args:
+        fracturer: fracturing strategy applied per shard.
+        corrector: optional proximity corrector (field-local per shard).
+        psf: exposure PSF (required with a corrector).
+        workers: default worker-pool size; 1 = serial, ``None``/0 = all
+            cores.  Never affects results, only wall-clock.
+        field_size: default mosaic pitch [µm]; ``None`` = one shard.
+    """
+
+    def __init__(
+        self,
+        fracturer: Fracturer,
+        corrector: Optional[ProximityCorrector] = None,
+        psf: Optional[DoubleGaussianPSF] = None,
+        workers: int = 1,
+        field_size: Optional[float] = None,
+    ) -> None:
+        if corrector is not None and psf is None:
+            raise ValueError("a corrector requires a PSF")
+        self.fracturer = fracturer
+        self.corrector = corrector
+        self.psf = psf
+        self.workers = workers
+        self.field_size = field_size
+
+    # -- single layout ----------------------------------------------------
+
+    def execute(
+        self,
+        polygons: Sequence[Polygon],
+        workers: Optional[int] = None,
+        field_size: Optional[float] = None,
+    ) -> ExecutionResult:
+        """Shard, process (serially or on a pool) and merge one layout."""
+        results = self.execute_many(
+            [polygons], workers=workers, field_size=field_size
+        )
+        return results[0]
+
+    # -- batched layouts --------------------------------------------------
+
+    def execute_many(
+        self,
+        polygon_sets: Sequence[Sequence[Polygon]],
+        workers: Optional[int] = None,
+        field_size: Optional[float] = None,
+    ) -> List[ExecutionResult]:
+        """Process several layouts through one shared worker pool.
+
+        Shards from all layouts are interleaved into a single work list,
+        so a batch of small layers keeps every worker busy; results come
+        back per input layout, each merged in its own shard order.
+        """
+        if workers is None:
+            workers = self.workers
+        workers = _resolve_workers(workers)
+        if field_size is None:
+            field_size = self.field_size
+
+        plans = [plan_shards(polys, field_size) for polys in polygon_sets]
+        shards: List[Shard] = []
+        owners: List[int] = []
+        for which, plan in enumerate(plans):
+            for shard in plan:
+                shards.append(shard)
+                owners.append(which)
+        config = (self.fracturer, self.corrector, self.psf)
+        shard_results, pooled = _map_shards(shards, config, workers)
+
+        grouped: List[List[ShardResult]] = [[] for _ in polygon_sets]
+        for which, result in zip(owners, shard_results):
+            grouped[which].append(result)
+
+        corrected = self.corrector is not None
+        out: List[ExecutionResult] = []
+        for plan, results in zip(plans, grouped):
+            stats = ExecutionStats(
+                shard_count=len(plan),
+                occupied_shards=sum(1 for r in results if r.shots),
+                workers=workers,
+                parallel=pooled,
+                field_size=field_size,
+            )
+            merged = merge_shard_results(
+                results, corrected=corrected and bool(results), stats=stats
+            )
+            if not merged.shots:
+                merged.corrected = False
+            out.append(merged)
+        return out

@@ -28,6 +28,20 @@ from repro.geometry.trapezoid import Trapezoid
 FieldIndex = Tuple[int, int]
 
 
+def field_index_of(
+    x: float, y: float, x0: float, y0: float, pitch: float
+) -> FieldIndex:
+    """Field index ``(col, row)`` of a point on a mosaic anchored at
+    ``(x0, y0)`` with the given pitch.
+
+    The same convention is used for post-fracture shot assignment
+    (:func:`partition_fields`) and for pre-fracture layout sharding
+    (:mod:`repro.core.executor`), so a shard's shots land in the shard's
+    own field.
+    """
+    return (int((x - x0) / pitch), int((y - y0) / pitch))
+
+
 def split_shot_x(shot: Shot, x_cut: float) -> List[Shot]:
     """Split a shot at a vertical line (both halves keep the dose)."""
     t = shot.trapezoid
@@ -133,10 +147,7 @@ def partition_fields(job: MachineJob, field_size: float) -> FieldedJob:
         bbox = shot.trapezoid.bounding_box()
         cx = (bbox[0] + bbox[2]) / 2.0
         cy = (bbox[1] + bbox[3]) / 2.0
-        index = (
-            int((cx - x0) / field_size),
-            int((cy - y0) / field_size),
-        )
+        index = field_index_of(cx, cy, x0, y0, field_size)
         result.fields.setdefault(index, []).append(shot)
         final += 1
     result.split_count = final - original

@@ -1,13 +1,23 @@
-"""The data-preparation pipeline."""
+"""The data-preparation pipeline.
+
+Thin orchestration over :mod:`repro.core.executor`: gather polygons from
+the source, hand them to the field-sharded execution engine (fracture →
+proximity correction → merge), wrap the merged shots in a
+:class:`~repro.core.job.MachineJob` and estimate writing time per
+machine.  Batch entry points (:meth:`PreparationPipeline.run_layers`,
+:meth:`PreparationPipeline.run_many`) sweep several layers or sources
+through one shared worker pool.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.core.executor import ExecutionStats, ShardedExecutor
 from repro.core.job import MachineJob
-from repro.fracture.base import Fracturer, Shot
-from repro.fracture.quality import FractureReport, analyze_figures
+from repro.fracture.base import Fracturer
+from repro.fracture.quality import FractureReport
 from repro.fracture.trapezoidal import TrapezoidFracturer
 from repro.geometry.polygon import Polygon
 from repro.layout.cell import Cell
@@ -29,6 +39,7 @@ class PipelineResult:
         write_times: per-machine write-time breakdowns (name → breakdown).
         source_polygons: flattened polygon count before fracture.
         corrected: True if proximity correction ran.
+        execution: how the sharded engine ran (shards, workers, pool).
     """
 
     job: MachineJob
@@ -36,6 +47,7 @@ class PipelineResult:
     write_times: Dict[str, WriteTimeBreakdown] = field(default_factory=dict)
     source_polygons: int = 0
     corrected: bool = False
+    execution: Optional[ExecutionStats] = None
 
     def total_write_time(self, machine_name: str) -> float:
         """Convenience: total seconds on a named machine."""
@@ -51,6 +63,12 @@ class PreparationPipeline:
         psf: exposure PSF used by the corrector (required with one).
         machines: machines to estimate writing time on.
         base_dose: physical base dose [µC/cm²].
+        workers: default worker-pool size for the execution engine;
+            1 = serial, ``None``/0 = one per core.  The worker count
+            never changes the result, only the wall-clock (see
+            :mod:`repro.core.executor`).
+        field_size: default writing-field pitch [µm] for layout
+            sharding; ``None`` processes the layout as one shard.
 
     Example:
         >>> from repro.layout import generators
@@ -68,6 +86,8 @@ class PreparationPipeline:
         psf: Optional[DoubleGaussianPSF] = None,
         machines: Sequence[Machine] = (),
         base_dose: float = 1.0,
+        workers: int = 1,
+        field_size: Optional[float] = None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -76,6 +96,21 @@ class PreparationPipeline:
         self.psf = psf
         self.machines = list(machines)
         self.base_dose = base_dose
+        self.workers = workers
+        self.field_size = field_size
+
+    @property
+    def executor(self) -> ShardedExecutor:
+        """The execution engine, bound to the pipeline's current
+        configuration (rebinding ``fracturer``/``corrector``/``psf`` on
+        the pipeline takes effect on the next run)."""
+        return ShardedExecutor(
+            self.fracturer,
+            corrector=self.corrector,
+            psf=self.psf,
+            workers=self.workers,
+            field_size=self.field_size,
+        )
 
     # -- entry points --------------------------------------------------------
 
@@ -84,6 +119,8 @@ class PreparationPipeline:
         source: Union[Library, Cell, Iterable[Polygon]],
         layer: Optional[Layer] = None,
         name: Optional[str] = None,
+        workers: Optional[int] = None,
+        field_size: Optional[float] = None,
     ) -> PipelineResult:
         """Run the full pipeline on a library, cell or raw polygon list.
 
@@ -92,39 +129,112 @@ class PreparationPipeline:
                 cell, cells are flattened with descendants.
             layer: restrict to one layer (all layers merged otherwise).
             name: job name (defaults to the cell/library name).
+            workers: worker-pool size override for this run.
+            field_size: writing-field pitch override for this run.
         """
         polygons, inferred_name = self._gather(source, layer)
-        return self.run_polygons(polygons, name=name or inferred_name)
+        return self.run_polygons(
+            polygons,
+            name=name or inferred_name,
+            workers=workers,
+            field_size=field_size,
+        )
 
     def run_polygons(
-        self, polygons: Sequence[Polygon], name: str = "job"
+        self,
+        polygons: Sequence[Polygon],
+        name: str = "job",
+        workers: Optional[int] = None,
+        field_size: Optional[float] = None,
     ) -> PipelineResult:
         """Run fracture → correction → job build → write-time estimation."""
-        reference_area = None
-        shots = self.fracturer.fracture_to_shots(polygons)
-        figures = [s.trapezoid for s in shots]
-        # The fracture is a disjoint cover, so its own area is the
-        # reference for downstream bookkeeping.
-        reference_area = sum(t.area() for t in figures)
-        report = analyze_figures(figures, reference_area=reference_area)
+        polygons = list(polygons)
+        outcome = self.executor.execute(
+            polygons, workers=workers, field_size=field_size
+        )
+        return self._finish(outcome, name, len(polygons))
 
-        corrected = False
-        if self.corrector is not None and shots:
-            shots = self.corrector.correct(shots, self.psf)
-            corrected = True
+    def run_layers(
+        self,
+        source: Union[Library, Cell],
+        layers: Optional[Sequence[Layer]] = None,
+        workers: Optional[int] = None,
+        field_size: Optional[float] = None,
+    ) -> Dict[Layer, PipelineResult]:
+        """Prepare each layer of a cell as its own job, batched.
 
-        job = MachineJob(shots, base_dose=self.base_dose, name=name)
+        All layers' shards share one worker pool, so a many-layer sweep
+        parallelizes even when individual layers are small.
+
+        Args:
+            source: library (top cell used) or cell.
+            layers: layers to prepare (defaults to every populated one).
+            workers: worker-pool size override.
+            field_size: writing-field pitch override.
+
+        Returns:
+            Mapping layer → result, in layer sort order.
+        """
+        cell = source.top_cell() if isinstance(source, Library) else source
+        flat = flatten_cell(cell)
+        if layers is None:
+            wanted = sorted(flat)
+        else:
+            wanted = list(layers)
+        polygon_sets = [flat.get(layer, []) for layer in wanted]
+        outcomes = self.executor.execute_many(
+            polygon_sets, workers=workers, field_size=field_size
+        )
+        return {
+            layer: self._finish(
+                outcome, f"{cell.name}:{layer}", len(polys)
+            )
+            for layer, polys, outcome in zip(wanted, polygon_sets, outcomes)
+        }
+
+    def run_many(
+        self,
+        sources: Sequence[Union[Library, Cell, Iterable[Polygon]]],
+        names: Optional[Sequence[str]] = None,
+        layer: Optional[Layer] = None,
+        workers: Optional[int] = None,
+        field_size: Optional[float] = None,
+    ) -> List[PipelineResult]:
+        """Prepare several sources through one shared worker pool.
+
+        The batch equivalent of :meth:`run` — one call sweeps a whole
+        scenario matrix (many workloads × this pipeline's machines).
+        """
+        gathered = [self._gather(source, layer) for source in sources]
+        polygon_sets = [polys for polys, _ in gathered]
+        outcomes = self.executor.execute_many(
+            polygon_sets, workers=workers, field_size=field_size
+        )
+        out: List[PipelineResult] = []
+        for i, ((polys, inferred), outcome) in enumerate(
+            zip(gathered, outcomes)
+        ):
+            name = names[i] if names is not None else inferred
+            out.append(self._finish(outcome, name, len(polys)))
+        return out
+
+    # -- helpers ----------------------------------------------------------
+
+    def _finish(
+        self, outcome, name: str, source_polygons: int
+    ) -> PipelineResult:
+        """Wrap an execution outcome in a job and estimate write times."""
+        job = MachineJob(outcome.shots, base_dose=self.base_dose, name=name)
         result = PipelineResult(
             job=job,
-            fracture_report=report,
-            source_polygons=len(list(polygons)),
-            corrected=corrected,
+            fracture_report=outcome.report,
+            source_polygons=source_polygons,
+            corrected=outcome.corrected,
+            execution=outcome.stats,
         )
         for machine in self.machines:
             result.write_times[machine.name] = machine.write_time(job)
         return result
-
-    # -- helpers ----------------------------------------------------------
 
     @staticmethod
     def _gather(

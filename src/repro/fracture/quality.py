@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.geometry.trapezoid import Trapezoid
 
@@ -23,6 +23,9 @@ class FractureReport:
         mean_area: average figure area.
         area_error: |total_area − reference_area| / reference_area, when a
             reference was supplied (else 0).
+        rectangle_count: number of figures that are rectangles (the
+            integer behind ``rectangle_fraction``, kept so per-shard
+            reports merge without float round-trips).
     """
 
     figure_count: int
@@ -33,6 +36,7 @@ class FractureReport:
     min_dimension: float
     mean_area: float
     area_error: float
+    rectangle_count: int = 0
 
     def row(self) -> str:
         """One formatted table row (see :mod:`repro.analysis.tables`)."""
@@ -87,4 +91,46 @@ def analyze_figures(
         min_dimension=min_dim,
         mean_area=total / count,
         area_error=error,
+        rectangle_count=rect_count,
+    )
+
+
+def merge_reports(
+    reports: Sequence[FractureReport],
+    reference_area: Optional[float] = None,
+) -> FractureReport:
+    """Combine per-shard fracture reports into one whole-layout report.
+
+    Counts and areas add; fractions and the mean are recomputed from the
+    combined counts; the minimum dimension is the minimum over shards.
+    ``area_error`` is recomputed against ``reference_area`` when given
+    (per-shard errors cannot be combined without their references).
+    """
+    populated = [r for r in reports if r.figure_count > 0]
+    if not populated:
+        return FractureReport(0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0)
+    count = sum(r.figure_count for r in populated)
+    total = sum(r.total_area for r in populated)
+    # Reports from analyze_figures carry the integer count; fall back to
+    # the fraction for hand-built reports that left it defaulted.
+    rect_count = sum(
+        r.rectangle_count
+        if r.rectangle_count
+        else round(r.rectangle_fraction * r.figure_count)
+        for r in populated
+    )
+    sliver_count = sum(r.sliver_count for r in populated)
+    error = 0.0
+    if reference_area is not None and reference_area > 0:
+        error = abs(total - reference_area) / reference_area
+    return FractureReport(
+        figure_count=count,
+        total_area=total,
+        rectangle_fraction=rect_count / count,
+        sliver_count=sliver_count,
+        sliver_fraction=sliver_count / count,
+        min_dimension=min(r.min_dimension for r in populated),
+        mean_area=total / count,
+        area_error=error,
+        rectangle_count=rect_count,
     )

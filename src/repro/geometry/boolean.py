@@ -21,7 +21,6 @@ where slanted edges meet slab boundaries.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.geometry.polygon import Polygon

@@ -32,6 +32,12 @@ class Point:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Point is immutable")
 
+    def __reduce__(self) -> Tuple:
+        # The immutability guard above breaks the default slots-based
+        # unpickling path; rebuild through the constructor instead (the
+        # parallel executor ships geometry across process boundaries).
+        return (Point, (self.x, self.y))
+
     # -- conversions -------------------------------------------------
 
     @classmethod
@@ -146,7 +152,9 @@ class Point:
     def __hash__(self) -> int:
         return hash((self.x, self.y))
 
-    def almost_equals(self, other: "Point | Tuple[float, float]", tol: float = 1e-9) -> bool:
+    def almost_equals(
+        self, other: "Point | Tuple[float, float]", tol: float = 1e-9
+    ) -> bool:
         """True if both coordinates match within absolute tolerance ``tol``."""
         other = Point.of(other)
         return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol

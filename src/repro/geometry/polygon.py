@@ -317,7 +317,10 @@ class Polygon:
         """Copy scaled isotropically about ``about``."""
         c = Point.of(about)
         return Polygon(
-            [Point(c.x + (v.x - c.x) * factor, c.y + (v.y - c.y) * factor) for v in self.vertices]
+            [
+                Point(c.x + (v.x - c.x) * factor, c.y + (v.y - c.y) * factor)
+                for v in self.vertices
+            ]
         )
 
     def rotated(self, angle_rad: float, about: Coordinate = (0.0, 0.0)) -> "Polygon":

@@ -8,7 +8,7 @@ not overflow).  Points are plain ``(x, y)`` tuples of ints.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 IntPoint = Tuple[int, int]
 

@@ -15,7 +15,7 @@ winding-consistent).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.geometry.boolean import boolean_polygons, boolean_trapezoids
 from repro.geometry.polygon import Polygon

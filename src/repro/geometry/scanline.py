@@ -275,7 +275,10 @@ def merge_trapezoids(traps: List[Trapezoid], tol: float = 1e-9) -> List[Trapezoi
     consumed = [False] * len(traps)
     merged: List[Trapezoid] = []
 
-    order = sorted(range(len(traps)), key=lambda i: (traps[i].y_bottom, traps[i].x_bottom_left))
+    order = sorted(
+        range(len(traps)),
+        key=lambda i: (traps[i].y_bottom, traps[i].x_bottom_left),
+    )
     for idx in order:
         if consumed[idx]:
             continue

@@ -61,7 +61,9 @@ class Transform:
         return cls(1.0, 0.0, 0.0, 1.0, dx, dy)
 
     @classmethod
-    def rotation(cls, angle_rad: float, about: Point | Tuple[float, float] | None = None) -> "Transform":
+    def rotation(
+        cls, angle_rad: float, about: Point | Tuple[float, float] | None = None
+    ) -> "Transform":
         """Counter-clockwise rotation by ``angle_rad`` about ``about``."""
         cos_a, sin_a = math.cos(angle_rad), math.sin(angle_rad)
         t = cls(cos_a, -sin_a, sin_a, cos_a, 0.0, 0.0)

@@ -24,7 +24,6 @@ import re
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
 from repro.layout.cell import Cell
 from repro.layout.layer import Layer
@@ -97,7 +96,11 @@ def _dump_call(ref: CellReference, numbering: Dict[str, int]) -> List[str]:
         for row in range(ref.rows):
             for col in range(ref.columns):
                 offset = ref.column_vector * col + ref.row_vector * row
-                shifted = ops + f" T {_to_cu(ref.origin.x + offset.x)} {_to_cu(ref.origin.y + offset.y)}"
+                shifted = (
+                    ops
+                    + f" T {_to_cu(ref.origin.x + offset.x)}"
+                    + f" {_to_cu(ref.origin.y + offset.y)}"
+                )
                 lines.append(f"C {symbol}{shifted};")
     else:
         shifted = ops + f" T {_to_cu(ref.origin.x)} {_to_cu(ref.origin.y)}"

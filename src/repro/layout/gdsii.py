@@ -8,7 +8,6 @@ database-unit quantization.
 
 from __future__ import annotations
 
-import math
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 

@@ -14,7 +14,7 @@ format of the IBM System/360 (GDSII predates IEEE 754).
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import List
 
 
 class RecordType:

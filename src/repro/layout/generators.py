@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.geometry.polygon import Polygon
 from repro.layout.cell import Cell

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING, Iterator, List, Tuple
 
 from repro.geometry.point import Point

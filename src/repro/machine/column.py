@@ -54,7 +54,9 @@ TUNGSTEN = ElectronSource("W hairpin", brightness=1.0e5, energy_spread_ev=2.5)
 LAB6 = ElectronSource("LaB6", brightness=1.0e6, energy_spread_ev=1.5)
 
 #: Cold field emission (the emerging option in 1979).
-FIELD_EMISSION = ElectronSource("Field emission", brightness=1.0e8, energy_spread_ev=0.3)
+FIELD_EMISSION = ElectronSource(
+    "Field emission", brightness=1.0e8, energy_spread_ev=0.3
+)
 
 
 class Column:

@@ -19,7 +19,6 @@ The achievable pixel rate is limited by two couplings modelled here:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.machine.base import Machine, WriteTimeBreakdown

@@ -10,7 +10,6 @@ machine in experiment T1.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.machine.base import Machine, WriteTimeBreakdown

@@ -13,7 +13,6 @@ measured by the test suite against the FFT exposure engine).
 from __future__ import annotations
 
 import abc
-import math
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -27,10 +26,10 @@ from repro.physics.psf import DoubleGaussianPSF
 def _rect_gauss_integral(
     px: np.ndarray,
     py: np.ndarray,
-    x0: float,
-    x1: float,
-    y0: float,
-    y1: float,
+    x0: "float | np.ndarray",
+    x1: "float | np.ndarray",
+    y0: "float | np.ndarray",
+    y1: "float | np.ndarray",
     sigma: float,
 ) -> np.ndarray:
     """∫∫_rect g(p − q) dq for the unit Gaussian ``g`` of range ``sigma``.
@@ -134,6 +133,82 @@ def edge_sample_points(
     return points, owners
 
 
+def _shot_bbox_arrays(
+    shots: Sequence[Shot],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-shot bounding boxes and area-ratio scales as flat arrays."""
+    n = len(shots)
+    x0 = np.empty(n)
+    y0 = np.empty(n)
+    x1 = np.empty(n)
+    y1 = np.empty(n)
+    scale = np.empty(n)
+    for j, shot in enumerate(shots):
+        t = shot.trapezoid
+        bx0, by0, bx1, by1 = t.bounding_box()
+        x0[j], y0[j], x1[j], y1[j] = bx0, by0, bx1, by1
+        bbox_area = (bx1 - bx0) * (by1 - by0)
+        scale[j] = t.area() / bbox_area if bbox_area > 0 else 0.0
+    return x0, y0, x1, y1, scale
+
+
+def _exposure_matrix(
+    points: np.ndarray,
+    shots: Sequence[Shot],
+    psf: DoubleGaussianPSF,
+    cutoff_factor: float,
+    block: int = 64,
+) -> np.ndarray:
+    """Vectorized exposure matrix ``K[p, j]`` = level at point p from
+    shot j at unit dose.
+
+    Columns are assembled in blocks with broadcast erf products (one
+    numpy expression per block instead of a Python loop per shot); the
+    distance cutoff zeroes entries beyond ``cutoff_factor · β`` from the
+    shot, treating the far tail as constant.  Elementwise the arithmetic
+    matches :func:`trapezoid_exposure`, so results are bit-identical to
+    the per-shot assembly it replaces.
+    """
+    n_points = len(points)
+    n_shots = len(shots)
+    matrix = np.zeros((n_points, n_shots))
+    if n_points == 0 or n_shots == 0:
+        return matrix
+    x0, y0, x1, y1, scale = _shot_bbox_arrays(shots)
+    cx = (x0 + x1) / 2.0
+    cy = (y0 + y1) / 2.0
+    half_diag = np.hypot(x1 - x0, y1 - y0) / 2.0
+    reach = cutoff_factor * psf.beta + half_diag
+    px_all = points[:, 0][:, None]
+    py_all = points[:, 1][:, None]
+    norm = 1.0 + psf.eta
+    # Visit columns in 2-D tile order so each block is spatially compact
+    # and its pruned row set (points inside some column's cutoff) stays
+    # small; fracture order alone is only y-coherent.
+    tile = max(cutoff_factor * psf.beta, 1e-9)
+    order = np.lexsort((cx, np.floor(cx / tile), np.floor(cy / tile)))
+    for j0 in range(0, n_shots, block):
+        cols = order[j0 : j0 + block]
+        near = (
+            np.hypot(px_all - cx[None, cols], py_all - cy[None, cols])
+            <= reach[None, cols]
+        )
+        # The erf products are the expensive part; evaluate them only on
+        # the rows the cutoff keeps.
+        rows = np.flatnonzero(near.any(axis=1))
+        if rows.size == 0:
+            continue
+        px = px_all[rows]
+        py = py_all[rows]
+        bx0, bx1 = x0[None, cols], x1[None, cols]
+        by0, by1 = y0[None, cols], y1[None, cols]
+        fwd = _rect_gauss_integral(px, py, bx0, bx1, by0, by1, psf.alpha)
+        back = _rect_gauss_integral(px, py, bx0, bx1, by0, by1, psf.beta)
+        levels = scale[None, cols] * ((fwd + psf.eta * back) / norm)
+        matrix[np.ix_(rows, cols)] = np.where(near[rows], levels, 0.0)
+    return matrix
+
+
 def interaction_matrix_at_points(
     points: np.ndarray,
     shots: Sequence[Shot],
@@ -143,19 +218,7 @@ def interaction_matrix_at_points(
     """Exposure matrix K with ``K[p, j]`` = level at point p from shot j
     at unit dose (distance-cutoff pruned like
     :func:`shot_interaction_matrix`)."""
-    n_points = len(points)
-    matrix = np.zeros((n_points, len(shots)))
-    cutoff = cutoff_factor * psf.beta
-    for j, shot in enumerate(shots):
-        bbox = shot.trapezoid.bounding_box()
-        cx = (bbox[0] + bbox[2]) / 2.0
-        cy = (bbox[1] + bbox[3]) / 2.0
-        half_diag = math.hypot(bbox[2] - bbox[0], bbox[3] - bbox[1]) / 2.0
-        distances = np.hypot(points[:, 0] - cx, points[:, 1] - cy)
-        near = distances <= cutoff + half_diag
-        if near.any():
-            matrix[near, j] = trapezoid_exposure(points[near], shot.trapezoid, psf)
-    return matrix
+    return _exposure_matrix(points, shots, psf, cutoff_factor)
 
 
 def shot_interaction_matrix(
@@ -171,23 +234,8 @@ def shot_interaction_matrix(
     tail (effectively zero), keeping the matrix cheap without the sparse
     machinery the originals could not afford either.
     """
-    n = len(shots)
     points = shot_sample_points(shots, sample_mode)
-    matrix = np.zeros((n, n))
-    cutoff = cutoff_factor * psf.beta
-    centers = points
-    for j, shot in enumerate(shots):
-        bbox = shot.trapezoid.bounding_box()
-        cx = (bbox[0] + bbox[2]) / 2.0
-        cy = (bbox[1] + bbox[3]) / 2.0
-        half_diag = math.hypot(bbox[2] - bbox[0], bbox[3] - bbox[1]) / 2.0
-        distances = np.hypot(centers[:, 0] - cx, centers[:, 1] - cy)
-        near = distances <= cutoff + half_diag
-        if near.any():
-            matrix[near, j] = trapezoid_exposure(
-                points[near], shot.trapezoid, psf
-            )
-    return matrix
+    return _exposure_matrix(points, shots, psf, cutoff_factor)
 
 
 def exposure_at_points(

@@ -19,7 +19,6 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
-import numpy as np
 
 from repro.fracture.base import Shot
 from repro.geometry.trapezoid import Trapezoid
@@ -66,7 +65,12 @@ class ShapeBiasCorrector(ProximityCorrector):
         for shot, level in zip(shots, exposure):
             excess = max(0.0, float(level) - self.reference_level)
             bias = self.gain * excess / edge_slope
-            corrected.append(Shot(_inset(shot.trapezoid, bias, self.max_bias_fraction), shot.dose))
+            corrected.append(
+                Shot(
+                    _inset(shot.trapezoid, bias, self.max_bias_fraction),
+                    shot.dose,
+                )
+            )
         return corrected
 
 

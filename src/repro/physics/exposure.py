@@ -13,7 +13,7 @@ literature uses.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 from scipy.signal import fftconvolve

@@ -60,7 +60,9 @@ def edge_positions(
         if above[i] != above[i + 1]:
             v0, v1 = values[i], values[i + 1]
             t = (threshold - v0) / (v1 - v0)
-            crossings.append(float(coordinates[i] + t * (coordinates[i + 1] - coordinates[i])))
+            crossings.append(
+                float(coordinates[i] + t * (coordinates[i + 1] - coordinates[i]))
+            )
     return crossings
 
 

@@ -15,7 +15,6 @@ remaining thickness, the usual metrology convention.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Union
 

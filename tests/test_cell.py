@@ -5,7 +5,6 @@ import pytest
 from repro.geometry.polygon import Polygon
 from repro.layout.cell import Cell
 from repro.layout.layer import Layer
-from repro.layout.reference import CellArray, CellReference
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.geometry.polygon import Polygon
-from repro.layout.cell import Cell
 from repro.layout.cif import CifError, dumps_cif, loads_cif, read_cif, write_cif
 from repro.layout.flatten import flatten_cell
 from repro.layout.library import Library

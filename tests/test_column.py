@@ -4,13 +4,7 @@ import math
 
 import pytest
 
-from repro.machine.column import (
-    Column,
-    ElectronSource,
-    FIELD_EMISSION,
-    LAB6,
-    TUNGSTEN,
-)
+from repro.machine.column import Column, FIELD_EMISSION, LAB6, TUNGSTEN
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import pytest
 from repro.core.compare import compare_machines
 from repro.core.job import MachineJob
 from repro.core.metrics import fidelity_report
-from repro.core.pipeline import PipelineResult, PreparationPipeline
+from repro.core.pipeline import PreparationPipeline
 from repro.fracture.base import Shot
 from repro.fracture.shots import ShotFracturer
 from repro.geometry.polygon import Polygon

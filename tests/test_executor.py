@@ -1,0 +1,225 @@
+"""Tests for the parallel field-sharded execution engine."""
+
+import pytest
+
+from repro.core.executor import (
+    ShardedExecutor,
+    merge_shard_results,
+    plan_shards,
+    _process_shard,
+)
+from repro.core.pipeline import PreparationPipeline
+from repro.fracture.quality import analyze_figures, merge_reports
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.polygon import Polygon
+from repro.layout import generators
+from repro.layout.layer import Layer
+from repro.pec.dose_iter import IterativeDoseCorrector
+from repro.physics.psf import DoubleGaussianPSF
+
+
+def shot_key(shot):
+    t = shot.trapezoid
+    return (
+        t.y_bottom,
+        t.y_top,
+        t.x_bottom_left,
+        t.x_bottom_right,
+        t.x_top_left,
+        t.x_top_right,
+        shot.dose,
+    )
+
+
+def grid_of_squares(cols, rows, pitch=10.0, side=4.0):
+    return [
+        Polygon.rectangle(
+            c * pitch, r * pitch, c * pitch + side, r * pitch + side
+        )
+        for r in range(rows)
+        for c in range(cols)
+    ]
+
+
+class TestPlanShards:
+    def test_no_field_size_gives_single_shard(self):
+        polys = grid_of_squares(3, 3)
+        plan = plan_shards(polys)
+        assert len(plan) == 1
+        assert plan[0].index == (0, 0)
+        assert len(plan[0].polygons) == 9
+
+    def test_empty_input(self):
+        assert plan_shards([], field_size=10.0) == []
+
+    def test_sharding_covers_all_polygons(self):
+        polys = grid_of_squares(4, 4)
+        plan = plan_shards(polys, field_size=20.0)
+        assert sum(len(s.polygons) for s in plan) == len(polys)
+        assert len(plan) == 4
+
+    def test_row_major_order(self):
+        polys = grid_of_squares(4, 4)
+        plan = plan_shards(polys, field_size=20.0)
+        indices = [s.index for s in plan]
+        assert indices == sorted(indices, key=lambda ij: (ij[1], ij[0]))
+
+    def test_rejects_bad_field_size(self):
+        with pytest.raises(ValueError):
+            plan_shards(grid_of_squares(1, 1), field_size=0.0)
+
+
+class TestDeterminism:
+    """workers=N must be shot-for-shot identical to workers=1."""
+
+    def test_parallel_matches_serial_fracture_only(self):
+        polys = grid_of_squares(6, 6)
+        pipe = PreparationPipeline()
+        serial = pipe.run_polygons(polys, workers=1, field_size=20.0)
+        parallel = pipe.run_polygons(polys, workers=4, field_size=20.0)
+        assert [shot_key(s) for s in serial.job.shots] == [
+            shot_key(s) for s in parallel.job.shots
+        ]
+        assert serial.fracture_report == parallel.fracture_report
+
+    def test_parallel_matches_serial_with_pec(self):
+        psf = DoubleGaussianPSF(alpha=0.2, beta=2.0, eta=0.74)
+        pipe = PreparationPipeline(
+            corrector=IterativeDoseCorrector(), psf=psf
+        )
+        lib = generators.grating(lines=30)
+        serial = pipe.run(lib, workers=1, field_size=25.0)
+        parallel = pipe.run(lib, workers=3, field_size=25.0)
+        assert serial.corrected and parallel.corrected
+        assert [shot_key(s) for s in serial.job.shots] == [
+            shot_key(s) for s in parallel.job.shots
+        ]
+
+    def test_worker_count_never_changes_plan(self):
+        polys = grid_of_squares(5, 5)
+        for workers in (1, 2, 5):
+            result = PreparationPipeline().run_polygons(
+                polys, workers=workers, field_size=25.0
+            )
+            assert result.execution.shard_count == 4
+
+
+class TestShardMerge:
+    def test_merge_preserves_shard_order(self):
+        polys = grid_of_squares(4, 2, pitch=20.0, side=6.0)
+        plan = plan_shards(polys, field_size=20.0)
+        fracturer = TrapezoidFracturer()
+        results = [
+            _process_shard(shard, fracturer, None, None) for shard in plan
+        ]
+        merged = merge_shard_results(
+            results, corrected=False, stats=None
+        )
+        expected = [k for r in results for k in map(shot_key, r.shots)]
+        assert [shot_key(s) for s in merged.shots] == expected
+
+    def test_merged_report_matches_unsharded_totals(self):
+        polys = grid_of_squares(4, 4)
+        pipe = PreparationPipeline()
+        whole = pipe.run_polygons(polys)
+        sharded = pipe.run_polygons(polys, field_size=20.0)
+        assert (
+            sharded.fracture_report.figure_count
+            == whole.fracture_report.figure_count
+        )
+        assert sharded.fracture_report.total_area == pytest.approx(
+            whole.fracture_report.total_area
+        )
+
+    def test_merge_reports_empty(self):
+        report = merge_reports([])
+        assert report.figure_count == 0
+        merged_with_empty = merge_reports(
+            [analyze_figures([]), analyze_figures([])]
+        )
+        assert merged_with_empty.figure_count == 0
+
+
+class TestWorkersFallback:
+    def test_workers_one_never_uses_pool(self):
+        polys = grid_of_squares(4, 4)
+        result = PreparationPipeline().run_polygons(
+            polys, workers=1, field_size=20.0
+        )
+        assert result.execution.parallel is False
+        assert result.execution.workers == 1
+
+    def test_single_shard_never_uses_pool(self):
+        polys = grid_of_squares(3, 3)
+        result = PreparationPipeline().run_polygons(polys, workers=4)
+        assert result.execution.shard_count == 1
+        assert result.execution.parallel is False
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            PreparationPipeline().run_polygons(
+                grid_of_squares(2, 2), workers=-2
+            )
+
+    def test_default_run_is_single_shard_serial(self):
+        result = PreparationPipeline().run(generators.grating(lines=5))
+        assert result.execution.shard_count == 1
+        assert result.execution.parallel is False
+        assert result.job.figure_count() == 5
+
+
+class TestBatchAPIs:
+    def test_run_many_matches_individual_runs(self):
+        pipe = PreparationPipeline()
+        sources = [generators.grating(lines=4), generators.grating(lines=7)]
+        batch = pipe.run_many(sources, workers=2, field_size=15.0)
+        singles = [
+            pipe.run(s, workers=1, field_size=15.0) for s in sources
+        ]
+        assert len(batch) == 2
+        for b, s in zip(batch, singles):
+            assert [shot_key(x) for x in b.job.shots] == [
+                shot_key(x) for x in s.job.shots
+            ]
+
+    def test_run_many_names(self):
+        pipe = PreparationPipeline()
+        results = pipe.run_many(
+            [generators.grating(lines=3)], names=["custom"]
+        )
+        assert results[0].job.name == "custom"
+
+    def test_run_layers_prepares_each_layer(self):
+        from repro.layout.cell import Cell
+
+        cell = Cell("TWO_LAYERS")
+        cell.add_rectangle(0, 0, 5, 5, Layer(1))
+        cell.add_rectangle(10, 0, 15, 5, Layer(2))
+        results = PreparationPipeline().run_layers(cell, workers=2)
+        assert set(results) == {Layer(1), Layer(2)}
+        for layer, result in results.items():
+            assert result.job.figure_count() == 1
+            assert result.job.name == f"TWO_LAYERS:{layer}"
+
+    def test_run_layers_subset(self):
+        from repro.layout.cell import Cell
+
+        cell = Cell("TWO_LAYERS")
+        cell.add_rectangle(0, 0, 5, 5, Layer(1))
+        cell.add_rectangle(10, 0, 15, 5, Layer(2))
+        results = PreparationPipeline().run_layers(cell, layers=[Layer(2)])
+        assert list(results) == [Layer(2)]
+
+
+class TestExecutorClass:
+    def test_corrector_requires_psf(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(
+                TrapezoidFracturer(), corrector=IterativeDoseCorrector()
+            )
+
+    def test_execute_empty(self):
+        outcome = ShardedExecutor(TrapezoidFracturer()).execute([])
+        assert outcome.shots == []
+        assert outcome.report.figure_count == 0
+        assert outcome.corrected is False

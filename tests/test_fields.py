@@ -1,11 +1,9 @@
 """Tests for field partitioning and shot ordering."""
 
-import math
 
 import pytest
 
 from repro.core.fields import (
-    FieldedJob,
     deflection_travel,
     order_shots,
     partition_fields,

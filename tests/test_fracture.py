@@ -1,6 +1,5 @@
 """Tests for the fracturing package."""
 
-import math
 
 import pytest
 

@@ -20,7 +20,7 @@ from repro.layout.gdsii_records import (
     pack_record,
 )
 from repro.layout.library import Library
-from repro.layout.reference import CellArray, CellReference
+from repro.layout.reference import CellArray
 from repro.layout import generators
 
 

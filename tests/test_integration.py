@@ -8,7 +8,6 @@ from repro.core.job import MachineJob
 from repro.core.metrics import fidelity_report
 from repro.core.pipeline import PreparationPipeline
 from repro.fracture.shots import ShotFracturer
-from repro.fracture.trapezoidal import TrapezoidFracturer
 from repro.layout import generators
 from repro.layout.flatten import flat_area, flatten_cell
 from repro.layout.gdsii import dumps_gdsii, loads_gdsii
@@ -16,7 +15,7 @@ from repro.machine.raster import RasterScanWriter
 from repro.machine.vector import VectorScanWriter
 from repro.machine.vsb import ShapedBeamWriter
 from repro.pec.dose_iter import IterativeDoseCorrector
-from repro.physics.psf import DoubleGaussianPSF, psf_for
+from repro.physics.psf import DoubleGaussianPSF
 
 
 PSF = DoubleGaussianPSF(alpha=0.15, beta=2.0, eta=0.74)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.physics.materials import GAAS, PMMA_MATERIAL, SILICON, compound
+from repro.physics.materials import GAAS, PMMA_MATERIAL, SILICON
 from repro.physics.montecarlo import (
     MonteCarloSimulator,
     _resist_fraction,

@@ -1,6 +1,5 @@
 """Tests for polygon offsetting (sizing)."""
 
-import math
 
 import pytest
 

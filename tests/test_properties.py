@@ -49,22 +49,29 @@ def rectangle_sets(draw, max_size=5):
 
 @st.composite
 def convex_polygons(draw):
-    """Random convex polygon via sorted angles around a centre."""
+    """Random well-conditioned convex polygon via angles around a centre.
+
+    Vertices sit on a circle at angles drawn from a 10° grid (so no two
+    can collide or go collinear after duplicate-point collapse) and must
+    span more than a half turn (centre strictly inside), which keeps the
+    hull fat enough that fracture never produces degenerate slivers.
+    """
     n = draw(st.integers(min_value=3, max_value=10))
     radius = draw(st.integers(min_value=2, max_value=20))
     cx = draw(coords)
     cy = draw(coords)
-    angles = sorted(
-        draw(
-            st.lists(
-                st.floats(0, 2 * math.pi, allow_nan=False),
-                min_size=n,
-                max_size=n,
-                unique=True,
-            )
+    steps = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=35),
+            min_size=n,
+            max_size=n,
+            unique=True,
         )
     )
-    assume(len(angles) >= 3)
+    angles = sorted(2.0 * math.pi * step / 36.0 for step in steps)
+    gaps = [b - a for a, b in zip(angles, angles[1:])]
+    gaps.append(2.0 * math.pi - angles[-1] + angles[0])
+    assume(max(gaps) < math.pi)
     pts = [
         (cx + radius * math.cos(a), cy + radius * math.sin(a)) for a in angles
     ]

@@ -5,9 +5,7 @@ round-trips, field-partition area conservation, and the hierarchical
 fracture equivalence.
 """
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
@@ -18,13 +16,13 @@ from repro.core.job import MachineJob
 from repro.core.jobfile import dumps_job, loads_job
 from repro.fracture.base import Shot
 from repro.fracture.trapezoidal import TrapezoidFracturer
-from repro.geometry.boolean import boolean_polygons, boolean_trapezoids
+from repro.geometry.boolean import boolean_polygons
 from repro.geometry.offset import offset
 from repro.geometry.polygon import Polygon
 from repro.geometry.transform import Transform
 from repro.geometry.trapezoid import Trapezoid
 from repro.layout.cell import Cell
-from repro.machine.rle import decode_to_coverage, encode_figures
+from repro.machine.rle import encode_figures
 
 coords = st.integers(min_value=-40, max_value=40)
 

@@ -1,6 +1,5 @@
 """Tests for repro.geometry.rasterize."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for repro.layout.reference."""
 
-import math
 
 import pytest
 

@@ -1,12 +1,10 @@
 """Tests for mark detection and registration fitting."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.machine.registration import (
-    RegistrationFit,
     detect_edge,
     detect_mark_center,
     detection_error_model,

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.machine.deflection import CalibrationResult, DeflectionField
+from repro.machine.deflection import DeflectionField
 from repro.machine.stage import Stage
-from repro.machine.stitching import ButtingReport, StitchingModel, overlay_budget
+from repro.machine.stitching import StitchingModel, overlay_budget
 
 
 class TestStage:

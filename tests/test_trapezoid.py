@@ -1,6 +1,5 @@
 """Tests for repro.geometry.trapezoid."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,7 @@ from repro.core.job import MachineJob
 from repro.fracture.base import Shot
 from repro.geometry.trapezoid import Trapezoid
 from repro.machine.base import WriteTimeBreakdown
-from repro.machine.column import Column, FIELD_EMISSION, LAB6
+from repro.machine.column import Column, LAB6
 from repro.machine.datapath import (
     ChannelCheck,
     bitmap_bytes,
@@ -17,7 +17,6 @@ from repro.machine.datapath import (
     vector_channel_check,
 )
 from repro.machine.raster import RasterScanWriter
-from repro.machine.stage import Stage
 from repro.machine.vector import VectorScanWriter
 from repro.machine.vsb import ShapedBeamWriter
 
