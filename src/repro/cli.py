@@ -59,6 +59,7 @@ def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
     if args.pec:
         psf = psf_for(args.energy)
         corrector = IterativeDoseCorrector()
+    cache_dir = None if args.no_cache else args.cache_dir
     return PreparationPipeline(
         fracturer=fracturer,
         corrector=corrector,
@@ -67,6 +68,7 @@ def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
         base_dose=args.dose,
         workers=args.workers,
         field_size=args.field_size,
+        cache_dir=cache_dir,
     )
 
 
@@ -92,6 +94,14 @@ def _print_result(result) -> None:
             f"occupied ({stats.field_size:g} µm fields, "
             f"{stats.workers} workers, {mode})"
         )
+    if stats is not None and stats.cache_enabled:
+        lookups = stats.cache_hits + stats.cache_misses
+        rate = stats.cache_hits / lookups if lookups else 0.0
+        print(
+            f"  cache:     {stats.cache_hits} hits, "
+            f"{stats.cache_misses} misses ({rate:.0%} hit rate)"
+        )
+    print(f"  digest:    {job.digest()}")
     print(f"  figures:   {report.figure_count}")
     print(f"  area:      {report.total_area:.2f} µm²")
     print(f"  density:   {job.pattern_density():.1%}")
@@ -178,6 +188,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--field-size", type=_positive_float, default=None, metavar="UM",
         help="writing-field pitch [µm] for layout sharding "
         "(default: process the layout as one shard)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed shard cache directory; repeat runs "
+        "re-compute only shards whose inputs changed (results are "
+        "byte-identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the shard cache even if --cache-dir is given",
     )
 
 

@@ -13,11 +13,18 @@ flow that connects all the substrates:
    (:mod:`repro.core.metrics`).
 """
 
+from repro.core.cache import (
+    CacheStats,
+    ShardCache,
+    fingerprint,
+    shard_cache_key,
+)
 from repro.core.executor import (
     ExecutionResult,
     ExecutionStats,
     Shard,
     ShardedExecutor,
+    ShardOverlapWarning,
     plan_shards,
 )
 from repro.core.job import MachineJob
@@ -37,13 +44,18 @@ from repro.core.hierarchical import (
 )
 
 __all__ = [
+    "CacheStats",
     "ExecutionResult",
     "ExecutionStats",
     "HierarchicalFractureResult",
     "Shard",
+    "ShardCache",
+    "ShardOverlapWarning",
     "ShardedExecutor",
+    "fingerprint",
     "fracture_hierarchical",
     "plan_shards",
+    "shard_cache_key",
     "MachineJob",
     "PreparationPipeline",
     "PipelineResult",

@@ -1,0 +1,377 @@
+"""Persistent content-addressed shard-result cache.
+
+PR 1 made a single run fast by sharding the layout into writing-field
+work units; this module makes *repeat* runs nearly free.  Every shard is
+identified by a canonical hash of everything that can influence its
+result — the shard polygons, its field index, the fracturer / proximity
+corrector / PSF configuration, and a schema salt — so a shard that
+hashes to an already-computed key is never fractured or
+proximity-corrected twice, the same way a conflict-avoiding code never
+re-transmits an already-delivered difference class.
+
+Guarantees
+----------
+* **Correctness**: the key covers the full shard input.  Perturbing any
+  single parameter (a polygon vertex, the field index, a PSF range, a
+  fracture grid) changes the key; equal inputs always collide on the
+  same key.  Runtime state of correctors (convergence traces and other
+  attributes named in a class's ``CACHE_VOLATILE``) is excluded, so a
+  corrector that has already run hashes the same as a fresh one.
+* **Determinism**: cached payloads store exact IEEE-754 doubles
+  (:func:`repro.core.jobfile.dumps_shard_result`), so a warm run is
+  byte-identical to a cold serial run.
+* **Concurrency**: entries are written to a temporary file and
+  published with an atomic :func:`os.replace`, so concurrent writers
+  (process pools, parallel CI jobs sharing a cache directory) can never
+  expose a torn entry.  Corrupt or truncated entries read as misses and
+  are evicted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.executor import Shard, ShardResult
+
+#: Bump when the shard-processing semantics or the payload format
+#: change; old entries then miss instead of replaying stale results.
+CACHE_SCHEMA_VERSION = 1
+
+_F64 = struct.Struct("!d")
+
+
+class CacheKeyError(TypeError):
+    """Raised when a configuration object cannot be fingerprinted."""
+
+
+# ---------------------------------------------------------------------------
+# Canonical fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def _update(h, obj) -> None:
+    """Feed ``obj`` into hash ``h`` as a canonical type-tagged stream.
+
+    Covers the primitives configuration objects are built from plus the
+    geometry types, and falls back to public-attribute introspection for
+    strategy objects (fracturers, correctors).  Attributes whose name
+    starts with ``_`` or appears in the class's ``CACHE_VOLATILE`` set
+    are runtime state, not configuration, and are skipped.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif obj is True:
+        h.update(b"T")
+    elif obj is False:
+        h.update(b"F")
+    elif isinstance(obj, int):
+        h.update(b"i")
+        h.update(str(obj).encode())
+        h.update(b";")
+    elif isinstance(obj, float):
+        h.update(b"f")
+        h.update(_F64.pack(obj))
+    elif isinstance(obj, str):
+        encoded = obj.encode()
+        h.update(b"s")
+        h.update(str(len(encoded)).encode())
+        h.update(b":")
+        h.update(encoded)
+    elif isinstance(obj, bytes):
+        h.update(b"b")
+        h.update(str(len(obj)).encode())
+        h.update(b":")
+        h.update(obj)
+    elif isinstance(obj, Point):
+        h.update(b"P")
+        h.update(_F64.pack(obj.x))
+        h.update(_F64.pack(obj.y))
+    elif isinstance(obj, Polygon):
+        h.update(b"G")
+        h.update(str(len(obj.vertices)).encode())
+        h.update(b":")
+        for v in obj.vertices:
+            h.update(_F64.pack(v.x))
+            h.update(_F64.pack(v.y))
+    elif isinstance(obj, np.generic):
+        # Numpy scalars carry their value outside attribute
+        # introspection; hash the equivalent Python value (type-tagged
+        # with the numpy dtype so e.g. float32 sweeps stay distinct).
+        h.update(b"n")
+        h.update(obj.dtype.str.encode())
+        _update(h, obj.item())
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"l")
+        h.update(str(len(obj)).encode())
+        h.update(b":")
+        for item in obj:
+            _update(h, item)
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"e")
+        digests = sorted(fingerprint(item) for item in obj)
+        _update(h, digests)
+    elif isinstance(obj, dict):
+        h.update(b"d")
+        try:
+            keys = sorted(obj)
+        except TypeError as exc:  # unsortable keys have no canonical order
+            raise CacheKeyError(
+                f"cannot canonicalize dict keys of {obj!r}"
+            ) from exc
+        h.update(str(len(keys)).encode())
+        h.update(b":")
+        for key in keys:
+            _update(h, key)
+            _update(h, obj[key])
+    else:
+        _update_object(h, obj)
+
+
+def _update_object(h, obj) -> None:
+    """Fingerprint a strategy/config object by class + public attributes.
+
+    Objects whose state is invisible to attribute introspection (no
+    ``__dict__`` and no ``__slots__``, e.g. C-implemented value types)
+    would silently collide on their class name alone, so they are
+    rejected — a key that under-covers its input is a correctness bug,
+    not a degraded mode.  Callable attributes are rejected for the same
+    reason: two configs differing only in a stored callback must not
+    share a key.
+    """
+    cls = type(obj)
+    has_dict = hasattr(obj, "__dict__")
+    if has_dict:
+        names = sorted(obj.__dict__)
+    else:
+        slot_names = [
+            name
+            for klass in cls.__mro__
+            for name in getattr(klass, "__slots__", ())
+        ]
+        if not slot_names:
+            raise CacheKeyError(
+                f"cannot fingerprint {cls.__module__}.{cls.__qualname__}: "
+                "no __dict__ or __slots__ to derive the configuration from"
+            )
+        names = sorted(name for name in slot_names if hasattr(obj, name))
+    h.update(b"o")
+    h.update(f"{cls.__module__}.{cls.__qualname__}".encode())
+    h.update(b"{")
+    volatile = getattr(cls, "CACHE_VOLATILE", frozenset())
+    for name in names:
+        if name.startswith("_") or name in volatile:
+            continue
+        value = getattr(obj, name)
+        if callable(value):
+            raise CacheKeyError(
+                f"cannot fingerprint callable attribute {name!r} of "
+                f"{cls.__qualname__}; exclude it via CACHE_VOLATILE if "
+                "it is not configuration"
+            )
+        _update(h, name)
+        h.update(b"=")
+        _update(h, value)
+    h.update(b"}")
+
+
+def fingerprint(obj) -> str:
+    """Canonical SHA-256 hex digest of a configuration/geometry tree."""
+    h = hashlib.sha256()
+    _update(h, obj)
+    return h.hexdigest()
+
+
+def shard_cache_key(
+    shard: "Shard",
+    fracturer,
+    corrector=None,
+    psf=None,
+    salt: Union[int, str] = CACHE_SCHEMA_VERSION,
+) -> str:
+    """Content address of one shard's preparation result.
+
+    The key is a SHA-256 over the canonical serialization of the shard
+    polygons, the field index, the fracturer configuration, the
+    proximity-corrector configuration (or ``None``), the PSF parameters
+    (or ``None``), and a version salt.
+    """
+    h = hashlib.sha256()
+    _update(h, ("repro-shard", salt))
+    _update(h, shard.index)
+    _update(h, shard.polygons)
+    _update(h, fracturer)
+    _update(h, corrector)
+    _update(h, psf)
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The on-disk store
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`ShardCache` instance.
+
+    Attributes:
+        hits: lookups answered from the store.
+        misses: lookups that fell through to computation.
+        stores: entries written.
+        evictions: corrupt/unreadable entries dropped during lookup.
+        write_errors: failed stores (read-only/full filesystem) —
+            degraded to storing nothing, never to a crashed run.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    write_errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ShardCache:
+    """Content-addressed store of shard results under a directory tree.
+
+    Entries live at ``<root>/<key[:2]>/<key[2:]>.ebc`` (two-character
+    fan-out keeps directories small on million-entry caches).  The store
+    is safe for concurrent writers: payloads are staged in a temp file
+    in the root and published atomically via :func:`os.replace`, so a
+    reader sees either nothing or a complete entry.
+
+    Args:
+        root: cache directory (created on first store; ``~`` expands).
+        salt: extra user salt mixed into every shard key *on top of*
+            :data:`CACHE_SCHEMA_VERSION` — change it to invalidate a
+            directory wholesale without deleting files.  Schema bumps
+            invalidate salted caches too.
+    """
+
+    SUFFIX = ".ebc"
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        salt: Union[int, str, None] = None,
+    ) -> None:
+        self.root = Path(root).expanduser()
+        self.salt = salt
+        self.stats = CacheStats()
+
+    # -- keys and paths ---------------------------------------------------
+
+    def key_for(self, shard, fracturer, corrector=None, psf=None) -> str:
+        """Cache key of ``shard`` under this cache's salt."""
+        return shard_cache_key(
+            shard,
+            fracturer,
+            corrector=corrector,
+            psf=psf,
+            salt=(CACHE_SCHEMA_VERSION, self.salt),
+        )
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of ``key`` (existing or not)."""
+        return self.root / key[:2] / (key[2:] + self.SUFFIX)
+
+    # -- lookup / store ---------------------------------------------------
+
+    def get(self, key: str) -> Optional["ShardResult"]:
+        """Return the stored result for ``key``, or ``None`` on a miss.
+
+        Corrupt or truncated entries are evicted and count as misses.
+        """
+        from repro.core.jobfile import JobFileError, loads_shard_result
+
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            result = loads_shard_result(data)
+        except JobFileError:
+            self.stats.misses += 1
+            self.stats.evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: "ShardResult") -> None:
+        """Store ``result`` under ``key`` with an atomic publish.
+
+        Write failures (read-only directory, full disk) are swallowed
+        and counted in ``stats.write_errors`` — the cache must never
+        turn a successfully computed run into a crash; it degrades to
+        storing nothing.
+        """
+        from repro.core.jobfile import dumps_shard_result
+
+        data = dumps_shard_result(result)
+        path = self.path_for(key)
+        staging = self.root / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            staging.write_bytes(data)
+            os.replace(staging, path)
+        except OSError:
+            self.stats.write_errors += 1
+            try:
+                staging.unlink()
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
+
+    # -- maintenance ------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of complete entries currently in the store."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob(f"??/*{self.SUFFIX}"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob(f"??/*{self.SUFFIX}"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardCache({str(self.root)!r}, entries={self.entry_count()}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

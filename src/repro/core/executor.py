@@ -29,27 +29,64 @@ Sharding semantics
   cross-field dose coupling), the standard mosaic approximation when
   the field pitch is large against the backscatter range β.
 
-Caveat: the boolean union that dedupes overlapping input polygons runs
-per shard, so overlaps *between polygons of different shards* are
-exposed twice (their area double-counts).  Disjoint layouts — anything
-a prior union pass or the hierarchical flattener's per-layer merge
-produced — are sharded exactly; for overlap-heavy data, union first or
-run unsharded (``field_size=None``).
+Overlap semantics
+-----------------
+The boolean union that dedupes overlapping input polygons runs per
+shard, so overlaps *between polygons of different shards* would be
+exposed twice (their area double-counts).  The shard planner therefore
+enforces an ``overlap_policy``:
+
+* ``"warn"`` (default) — detect polygons whose interiors overlap across
+  shard boundaries and emit a :class:`ShardOverlapWarning`; the plan is
+  kept as-is (the historical behaviour, now audible).
+* ``"union"`` — boolean-union the layout before bucketing, which makes
+  sharding exact for arbitrary overlap-heavy data at the cost of one
+  global union pass.
+* ``"ignore"`` — skip the check (for callers that guarantee disjoint
+  inputs, e.g. the hierarchical flattener's per-layer merge).
+
+This matters doubly with the shard cache: a silently double-counted
+shard would be double-counted on every warm run as well.
+
+Caching
+-------
+With a :class:`~repro.core.cache.ShardCache` attached, every shard's
+content address (polygons + field index + fracturer/corrector/PSF
+configuration) is computed before dispatch; hits skip fracture and
+proximity correction entirely and misses are stored after processing.
+Cache keys never depend on worker count or shard arrival order, and
+payloads store exact doubles, so a warm run is byte-identical to a cold
+serial run.
 """
 
 from __future__ import annotations
 
+import math
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.core.cache import ShardCache
 from repro.core.fields import FieldIndex, field_index_of
 from repro.fracture.base import Fracturer, Shot
 from repro.fracture.quality import FractureReport, analyze_figures, merge_reports
 from repro.geometry.polygon import Polygon
 from repro.pec.base import ProximityCorrector
 from repro.physics.psf import DoubleGaussianPSF
+
+
+class ShardOverlapWarning(UserWarning):
+    """Polygons of different shards overlap — their area double-counts."""
+
+
+#: Pairwise interior-overlap checks budgeted per plan; beyond this the
+#: planner warns conservatively instead of scaling quadratically.
+_OVERLAP_CHECK_CAP = 20000
+#: Penetration depth [µm] below which edges count as tangent, not
+#: crossing — 1 pm, far under the 1 nm database grid.
+_TANGENT_EPS = 1e-6
 
 
 @dataclass(frozen=True)
@@ -78,13 +115,22 @@ class ShardResult:
 
 @dataclass
 class ExecutionStats:
-    """How an execution ran (for logs, benchmarks and the CLI)."""
+    """How an execution ran (for logs, benchmarks and the CLI).
+
+    Attributes:
+        cache_enabled: a shard cache was consulted for this run.
+        cache_hits: shards answered from the cache (skipped entirely).
+        cache_misses: shards computed (and stored) this run.
+    """
 
     shard_count: int = 1
     occupied_shards: int = 1
     workers: int = 1
     parallel: bool = False
     field_size: Optional[float] = None
+    cache_enabled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -103,6 +149,7 @@ def plan_shards(
     polygons: Sequence[Polygon],
     field_size: Optional[float] = None,
     origin: Optional[Tuple[float, float]] = None,
+    overlap_policy: str = "warn",
 ) -> List[Shard]:
     """Partition a flattened polygon list into writing-field shards.
 
@@ -113,7 +160,17 @@ def plan_shards(
     (bottom row first, left to right) — the merge order.
 
     ``field_size=None`` returns one shard with everything.
+
+    ``overlap_policy`` governs polygons whose interiors overlap across
+    shard boundaries (their area would double-count): ``"warn"`` emits a
+    :class:`ShardOverlapWarning`, ``"union"`` boolean-unions the layout
+    before bucketing, ``"ignore"`` skips the check.
     """
+    if overlap_policy not in ("warn", "union", "ignore"):
+        raise ValueError(
+            f"overlap_policy must be 'warn', 'union' or 'ignore', "
+            f"got {overlap_policy!r}"
+        )
     polygons = list(polygons)
     if not polygons:
         return []
@@ -121,6 +178,10 @@ def plan_shards(
         return [Shard(index=(0, 0), polygons=tuple(polygons))]
     if field_size <= 0:
         raise ValueError("field size must be positive")
+    if overlap_policy == "union" and len(polygons) > 1:
+        from repro.geometry.boolean import union
+
+        polygons = union(polygons)
     if origin is None:
         boxes = [p.bounding_box() for p in polygons]
         origin = (min(b[0] for b in boxes), min(b[1] for b in boxes))
@@ -132,10 +193,172 @@ def plan_shards(
             (bx0 + bx1) / 2.0, (by0 + by1) / 2.0, x0, y0, field_size
         )
         buckets.setdefault(index, []).append(poly)
+    if overlap_policy == "warn":
+        _warn_on_cross_shard_overlap(buckets, (x0, y0), field_size)
     return [
         Shard(index=index, polygons=tuple(buckets[index]))
         for index in sorted(buckets, key=lambda ij: (ij[1], ij[0]))
     ]
+
+
+def _window_edges(
+    poly: Polygon, window: Tuple[float, float, float, float]
+) -> List[Tuple[float, float, float, float]]:
+    """Edges of ``poly`` whose bounding box meets the window, as
+    ``(x1, y1, x2, y2)`` tuples — two overlapping polygons can only
+    interact inside the intersection of their bounding boxes."""
+    wx0, wy0, wx1, wy1 = window
+    verts = poly.vertices
+    edges = []
+    for i, a in enumerate(verts):
+        b = verts[(i + 1) % len(verts)]
+        if (
+            max(a.x, b.x) >= wx0
+            and min(a.x, b.x) <= wx1
+            and max(a.y, b.y) >= wy0
+            and min(a.y, b.y) <= wy1
+        ):
+            edges.append((a.x, a.y, b.x, b.y))
+    return edges
+
+
+def _interiors_overlap(
+    a: Polygon,
+    b: Polygon,
+    bb_a: Tuple[float, float, float, float],
+    bb_b: Tuple[float, float, float, float],
+) -> bool:
+    """True iff the interiors of two simple polygons share positive area.
+
+    Two simple polygons overlap with positive area iff an edge of one
+    properly crosses an edge of the other, or a boundary point of one
+    lies strictly inside the other (containment without crossings).
+    Both tests are strict with a sub-nanometre tolerance — well under
+    the 1 nm database grid — so abutting or corner-touching polygons
+    (the normal mosaic case, including nearly-collinear shared edges
+    with last-ulp trigonometric jitter) are not flagged.  Much cheaper
+    than a boolean intersection: edges are pruned to the shared
+    bounding-box window first.
+    """
+    window = (
+        max(bb_a[0], bb_b[0]),
+        max(bb_a[1], bb_b[1]),
+        min(bb_a[2], bb_b[2]),
+        min(bb_a[3], bb_b[3]),
+    )
+    edges_a = _window_edges(a, window)
+    edges_b = _window_edges(b, window)
+
+    def cross(ox, oy, px, py, qx, qy):
+        return (px - ox) * (qy - oy) - (py - oy) * (qx - ox)
+
+    # A crossing is "proper" only if each segment's endpoints sit on
+    # strictly opposite sides of the other segment's line by more than
+    # _TANGENT_EPS (the cross products below are point-to-line distances
+    # scaled by the segment length).
+    for ax1, ay1, ax2, ay2 in edges_a:
+        len_a = math.hypot(ax2 - ax1, ay2 - ay1)
+        tol_a = _TANGENT_EPS * len_a
+        for bx1, by1, bx2, by2 in edges_b:
+            d1 = cross(ax1, ay1, ax2, ay2, bx1, by1)
+            d2 = cross(ax1, ay1, ax2, ay2, bx2, by2)
+            if not (
+                (d1 > tol_a and d2 < -tol_a)
+                or (d1 < -tol_a and d2 > tol_a)
+            ):
+                continue
+            tol_b = _TANGENT_EPS * math.hypot(bx2 - bx1, by2 - by1)
+            d3 = cross(bx1, by1, bx2, by2, ax1, ay1)
+            d4 = cross(bx1, by1, bx2, by2, ax2, ay2)
+            if (d3 > tol_b and d4 < -tol_b) or (
+                d3 < -tol_b and d4 > tol_b
+            ):
+                return True
+
+    for edges, other in ((edges_a, b), (edges_b, a)):
+        for x1, y1, x2, y2 in edges:
+            if other.contains_point((x1, y1), include_boundary=False):
+                return True
+            mid = ((x1 + x2) / 2.0, (y1 + y2) / 2.0)
+            if other.contains_point(mid, include_boundary=False):
+                return True
+    return False
+
+
+def _warn_on_cross_shard_overlap(
+    buckets: dict, origin: Tuple[float, float], field_size: float
+) -> None:
+    """Emit :class:`ShardOverlapWarning` if polygons of different shards
+    have positive-area interior overlap.
+
+    An overlapping cross-shard pair always involves at least one polygon
+    whose bounding box escapes its own tile, so the exact interior test
+    runs only on bbox-overlapping pairs with a boundary crosser in them
+    — a sorted sweep keeps the candidate set small for mosaic-friendly
+    layouts, and fully tile-contained layouts skip the sweep entirely.
+    """
+    x0, y0 = origin
+    entries: List[
+        Tuple[FieldIndex, Polygon, Tuple[float, float, float, float], bool]
+    ] = []
+    any_crosser = False
+    for index, polys in buckets.items():
+        tile_x0 = x0 + index[0] * field_size
+        tile_y0 = y0 + index[1] * field_size
+        tile_x1 = tile_x0 + field_size
+        tile_y1 = tile_y0 + field_size
+        for poly in polys:
+            bb = poly.bounding_box()
+            crosser = (
+                bb[0] < tile_x0
+                or bb[1] < tile_y0
+                or bb[2] > tile_x1
+                or bb[3] > tile_y1
+            )
+            any_crosser = any_crosser or crosser
+            entries.append((index, poly, bb, crosser))
+    # Two polygons both contained in their own tiles cannot overlap, so
+    # every overlapping cross-shard pair involves a boundary crosser.
+    if not any_crosser:
+        return
+    entries.sort(key=lambda item: item[2][0])
+    active: List[
+        Tuple[FieldIndex, Polygon, Tuple[float, float, float, float], bool]
+    ] = []
+    checked = 0
+    for index, poly, bb, crosser in entries:
+        active = [item for item in active if item[2][2] > bb[0]]
+        for other_index, other_poly, other_bb, other_crosser in active:
+            if other_index == index:
+                continue
+            if not (crosser or other_crosser):
+                continue
+            if min(bb[3], other_bb[3]) <= max(bb[1], other_bb[1]):
+                continue
+            checked += 1
+            if checked > _OVERLAP_CHECK_CAP:
+                warnings.warn(
+                    "too many boundary-crossing polygon pairs to verify "
+                    "exactly; layout may overlap across shards and "
+                    "double-count exposed area — pre-union the layout, "
+                    "pass overlap_policy='union', or run with "
+                    "field_size=None",
+                    ShardOverlapWarning,
+                    stacklevel=3,
+                )
+                return
+            if _interiors_overlap(poly, other_poly, bb, other_bb):
+                warnings.warn(
+                    f"polygons of shards {other_index} and {index} "
+                    "overlap; their overlap area is exposed twice (and "
+                    "would be replayed from the shard cache) — "
+                    "pre-union the layout, pass overlap_policy='union', "
+                    "or run with field_size=None",
+                    ShardOverlapWarning,
+                    stacklevel=3,
+                )
+                return
+        active.append((index, poly, bb, crosser))
 
 
 def _process_shard(
@@ -240,6 +463,12 @@ class ShardedExecutor:
         workers: default worker-pool size; 1 = serial, ``None``/0 = all
             cores.  Never affects results, only wall-clock.
         field_size: default mosaic pitch [µm]; ``None`` = one shard.
+        cache: optional shard-result cache consulted before dispatching
+            a shard and updated after.  Never affects results, only
+            wall-clock (payloads are exact; keys cover the full shard
+            input).
+        overlap_policy: cross-shard overlap handling for the planner —
+            ``"warn"`` (default), ``"union"`` or ``"ignore"``.
     """
 
     def __init__(
@@ -249,6 +478,8 @@ class ShardedExecutor:
         psf: Optional[DoubleGaussianPSF] = None,
         workers: int = 1,
         field_size: Optional[float] = None,
+        cache: Optional[ShardCache] = None,
+        overlap_policy: str = "warn",
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -257,6 +488,25 @@ class ShardedExecutor:
         self.psf = psf
         self.workers = workers
         self.field_size = field_size
+        self.cache = cache
+        self.overlap_policy = overlap_policy
+
+    def _resolve_cache(
+        self, cache: Union[ShardCache, bool, None]
+    ) -> Optional[ShardCache]:
+        """Per-call cache override: ``None`` = default, ``False`` = off,
+        ``True`` = require the configured default, or an explicit cache."""
+        if cache is None:
+            return self.cache
+        if cache is False:
+            return None
+        if cache is True:
+            if self.cache is None:
+                raise ValueError(
+                    "cache=True requested but no cache is configured"
+                )
+            return self.cache
+        return cache
 
     # -- single layout ----------------------------------------------------
 
@@ -265,10 +515,11 @@ class ShardedExecutor:
         polygons: Sequence[Polygon],
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
+        cache: Union[ShardCache, bool, None] = None,
     ) -> ExecutionResult:
         """Shard, process (serially or on a pool) and merge one layout."""
         results = self.execute_many(
-            [polygons], workers=workers, field_size=field_size
+            [polygons], workers=workers, field_size=field_size, cache=cache
         )
         return results[0]
 
@@ -279,20 +530,27 @@ class ShardedExecutor:
         polygon_sets: Sequence[Sequence[Polygon]],
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
+        cache: Union[ShardCache, bool, None] = None,
     ) -> List[ExecutionResult]:
         """Process several layouts through one shared worker pool.
 
         Shards from all layouts are interleaved into a single work list,
         so a batch of small layers keeps every worker busy; results come
-        back per input layout, each merged in its own shard order.
+        back per input layout, each merged in its own shard order.  With
+        a cache, shards whose content address is already stored skip the
+        work list entirely.
         """
         if workers is None:
             workers = self.workers
         workers = _resolve_workers(workers)
         if field_size is None:
             field_size = self.field_size
+        active_cache = self._resolve_cache(cache)
 
-        plans = [plan_shards(polys, field_size) for polys in polygon_sets]
+        plans = [
+            plan_shards(polys, field_size, overlap_policy=self.overlap_policy)
+            for polys in polygon_sets
+        ]
         shards: List[Shard] = []
         owners: List[int] = []
         for which, plan in enumerate(plans):
@@ -300,21 +558,51 @@ class ShardedExecutor:
                 shards.append(shard)
                 owners.append(which)
         config = (self.fracturer, self.corrector, self.psf)
-        shard_results, pooled = _map_shards(shards, config, workers)
+
+        hit_flags = [False] * len(shards)
+        if active_cache is None:
+            shard_results, pooled = _map_shards(shards, config, workers)
+        else:
+            # Keys are computed for every shard up front, before any
+            # processing can touch corrector state, so hit/miss decisions
+            # never depend on execution order.
+            keys = [
+                active_cache.key_for(shard, *config) for shard in shards
+            ]
+            shard_results = [active_cache.get(key) for key in keys]
+            pending = [
+                i for i, result in enumerate(shard_results) if result is None
+            ]
+            for i, result in enumerate(shard_results):
+                hit_flags[i] = result is not None
+            computed, pooled = _map_shards(
+                [shards[i] for i in pending], config, workers
+            )
+            for i, result in zip(pending, computed):
+                shard_results[i] = result
+                active_cache.put(keys[i], result)
 
         grouped: List[List[ShardResult]] = [[] for _ in polygon_sets]
-        for which, result in zip(owners, shard_results):
+        grouped_hits: List[int] = [0] * len(polygon_sets)
+        for which, result, hit in zip(owners, shard_results, hit_flags):
             grouped[which].append(result)
+            if hit:
+                grouped_hits[which] += 1
 
         corrected = self.corrector is not None
         out: List[ExecutionResult] = []
-        for plan, results in zip(plans, grouped):
+        for which, (plan, results) in enumerate(zip(plans, grouped)):
             stats = ExecutionStats(
                 shard_count=len(plan),
                 occupied_shards=sum(1 for r in results if r.shots),
                 workers=workers,
                 parallel=pooled,
                 field_size=field_size,
+                cache_enabled=active_cache is not None,
+                cache_hits=grouped_hits[which],
+                cache_misses=(
+                    len(plan) - grouped_hits[which] if active_cache else 0
+                ),
             )
             merged = merge_shard_results(
                 results, corrected=corrected and bool(results), stats=stats

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import List, Optional, Sequence, Tuple
 
 from repro.fracture.base import Shot
+
+_SHOT_PACK = struct.Struct("!7d")
 
 
 class MachineJob:
@@ -109,6 +113,72 @@ class MachineJob:
         """Exposed fraction of the chip bounding box."""
         chip = self.chip_area()
         return self.pattern_area() / chip if chip > 0 else 0.0
+
+    # -- digests ----------------------------------------------------------
+
+    def digest(self) -> str:
+        """Exact SHA-256 over the shot list and base dose.
+
+        Every coordinate and dose enters as its IEEE-754 double, so two
+        jobs share a digest iff they are shot-for-shot bit-identical —
+        the determinism oracle for the sharded/cached execution paths.
+        """
+        h = hashlib.sha256()
+        h.update(_SHOT_PACK.pack(self.base_dose, 0, 0, 0, 0, 0, 0))
+        for s in self.shots:
+            t = s.trapezoid
+            h.update(
+                _SHOT_PACK.pack(
+                    t.y_bottom,
+                    t.y_top,
+                    t.x_bottom_left,
+                    t.x_bottom_right,
+                    t.x_top_left,
+                    t.x_top_right,
+                    s.dose,
+                )
+            )
+        return h.hexdigest()
+
+    def portable_digest(self, sig_digits: int = 9) -> str:
+        """Digest with values canonicalized to ``sig_digits`` significant
+        digits.
+
+        Library-version drift in transcendental routines (the PEC erf
+        kernels) can nudge doses in the last few ulps; rounding before
+        hashing makes the digest stable enough to commit as a golden
+        reference while still pinning geometry and dose maps tightly.
+        """
+        h = hashlib.sha256()
+        fmt = f"%.{sig_digits}e"
+
+        def feed(value: float) -> None:
+            h.update((fmt % value).encode())
+            h.update(b",")
+
+        feed(self.base_dose)
+        for s in self.shots:
+            t = s.trapezoid
+            for value in (
+                t.y_bottom,
+                t.y_top,
+                t.x_bottom_left,
+                t.x_bottom_right,
+                t.x_top_left,
+                t.x_top_right,
+                s.dose,
+            ):
+                feed(value)
+        return h.hexdigest()
+
+    def dose_digest(self, sig_digits: int = 9) -> str:
+        """Portable digest over the dose map alone (shot-order doses)."""
+        h = hashlib.sha256()
+        fmt = f"%.{sig_digits}e"
+        for s in self.shots:
+            h.update((fmt % s.dose).encode())
+            h.update(b",")
+        return h.hexdigest()
 
     def dose_range(self) -> Tuple[float, float]:
         """(min, max) relative dose over all shots."""

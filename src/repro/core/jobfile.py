@@ -1,7 +1,9 @@
 """Binary machine job file: the "pattern tape" format.
 
 Pattern generators consumed a flat binary stream of dosed figures.  This
-module defines a compact period-flavoured format and a reader/writer:
+module defines a compact period-flavoured format and a reader/writer,
+plus the exact (full double precision) shard-result serialization the
+content-addressed cache stores (:mod:`repro.core.cache`):
 
 Header (32 bytes)::
 
@@ -132,3 +134,133 @@ def read_job(path: Union[str, Path]) -> MachineJob:
 def job_file_bytes(figure_count: int) -> int:
     """Size of a job file with ``figure_count`` records."""
     return _HEADER.size + figure_count * _RECORD.size
+
+
+# ---------------------------------------------------------------------------
+# Shard-result payloads (cache storage)
+# ---------------------------------------------------------------------------
+#
+# Unlike the machine tape above, cache payloads must reproduce a cold
+# run *byte for byte*, so nothing is quantized: every coordinate and
+# dose is stored as its exact IEEE-754 double.  The fracture report is
+# stored alongside the shots so a warm run merges the same aggregate
+# bookkeeping a cold run would.
+
+SHARD_MAGIC = b"EBC1"
+#: header: magic, payload version, shot count, field index (col, row).
+_SHARD_HEADER = struct.Struct(">4sIIii")
+#: reference_area plus the nine FractureReport fields.
+_SHARD_REPORT = struct.Struct(">dqddqddddq")
+#: y_bottom, y_top, x_bottom_left, x_bottom_right, x_top_left,
+#: x_top_right, dose — exact doubles.
+_SHARD_RECORD = struct.Struct(">ddddddd")
+SHARD_PAYLOAD_VERSION = 1
+
+
+def dumps_shard_result(result) -> bytes:
+    """Serialize a :class:`~repro.core.executor.ShardResult` exactly."""
+    from repro.core.executor import ShardResult
+
+    if not isinstance(result, ShardResult):
+        raise JobFileError(f"expected a ShardResult, got {type(result)!r}")
+    report = result.report
+    chunks = [
+        _SHARD_HEADER.pack(
+            SHARD_MAGIC,
+            SHARD_PAYLOAD_VERSION,
+            len(result.shots),
+            result.index[0],
+            result.index[1],
+        ),
+        _SHARD_REPORT.pack(
+            result.reference_area,
+            report.figure_count,
+            report.total_area,
+            report.rectangle_fraction,
+            report.sliver_count,
+            report.sliver_fraction,
+            report.min_dimension,
+            report.mean_area,
+            report.area_error,
+            report.rectangle_count,
+        ),
+    ]
+    for shot in result.shots:
+        t = shot.trapezoid
+        chunks.append(
+            _SHARD_RECORD.pack(
+                t.y_bottom,
+                t.y_top,
+                t.x_bottom_left,
+                t.x_bottom_right,
+                t.x_top_left,
+                t.x_top_right,
+                shot.dose,
+            )
+        )
+    return b"".join(chunks)
+
+
+def loads_shard_result(data: bytes):
+    """Parse a shard-result payload written by :func:`dumps_shard_result`.
+
+    Raises:
+        JobFileError: on bad magic, unknown version or truncation — the
+            cache treats these as misses and evicts the entry.
+    """
+    from repro.core.executor import ShardResult
+    from repro.fracture.quality import FractureReport
+
+    if len(data) < _SHARD_HEADER.size:
+        raise JobFileError("truncated shard header")
+    magic, version, count, col, row = _SHARD_HEADER.unpack_from(data, 0)
+    if magic != SHARD_MAGIC:
+        raise JobFileError(f"bad shard magic {magic!r}")
+    if version != SHARD_PAYLOAD_VERSION:
+        raise JobFileError(f"unknown shard payload version {version}")
+    expected = (
+        _SHARD_HEADER.size + _SHARD_REPORT.size + count * _SHARD_RECORD.size
+    )
+    if len(data) != expected:
+        raise JobFileError(
+            f"shard payload size mismatch: need {expected} bytes, "
+            f"have {len(data)}"
+        )
+    offset = _SHARD_HEADER.size
+    (
+        reference_area,
+        figure_count,
+        total_area,
+        rectangle_fraction,
+        sliver_count,
+        sliver_fraction,
+        min_dimension,
+        mean_area,
+        area_error,
+        rectangle_count,
+    ) = _SHARD_REPORT.unpack_from(data, offset)
+    offset += _SHARD_REPORT.size
+    shots: List[Shot] = []
+    for _ in range(count):
+        y0, y1, xbl, xbr, xtl, xtr, dose = _SHARD_RECORD.unpack_from(
+            data, offset
+        )
+        offset += _SHARD_RECORD.size
+        shots.append(Shot(Trapezoid(y0, y1, xbl, xbr, xtl, xtr), dose))
+    report = FractureReport(
+        figure_count=figure_count,
+        total_area=total_area,
+        rectangle_fraction=rectangle_fraction,
+        sliver_count=sliver_count,
+        sliver_fraction=sliver_fraction,
+        min_dimension=min_dimension,
+        mean_area=mean_area,
+        area_error=area_error,
+        rectangle_count=rectangle_count,
+    )
+    return ShardResult(
+        index=(col, row),
+        shots=shots,
+        report=report,
+        reference_area=reference_area,
+    )

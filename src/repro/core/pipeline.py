@@ -12,8 +12,10 @@ through one shared worker pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.core.cache import ShardCache
 from repro.core.executor import ExecutionStats, ShardedExecutor
 from repro.core.job import MachineJob
 from repro.fracture.base import Fracturer
@@ -69,6 +71,16 @@ class PreparationPipeline:
             :mod:`repro.core.executor`).
         field_size: default writing-field pitch [µm] for layout
             sharding; ``None`` processes the layout as one shard.
+        cache_dir: directory for the content-addressed shard cache;
+            ``None`` disables caching.  Editing one field of a cached
+            layout re-computes only that field's shards; a warm full-hit
+            re-run skips fracture and PEC entirely and is byte-identical
+            to a cold serial run.
+        cache: an explicit :class:`~repro.core.cache.ShardCache` to use
+            instead of building one from ``cache_dir``.
+        overlap_policy: cross-shard overlap handling when sharding —
+            ``"warn"`` (default), ``"union"`` or ``"ignore"`` (see
+            :mod:`repro.core.executor`).
 
     Example:
         >>> from repro.layout import generators
@@ -88,6 +100,9 @@ class PreparationPipeline:
         base_dose: float = 1.0,
         workers: int = 1,
         field_size: Optional[float] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        cache: Optional[ShardCache] = None,
+        overlap_policy: str = "warn",
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -98,6 +113,10 @@ class PreparationPipeline:
         self.base_dose = base_dose
         self.workers = workers
         self.field_size = field_size
+        if cache is None and cache_dir is not None:
+            cache = ShardCache(cache_dir)
+        self.cache = cache
+        self.overlap_policy = overlap_policy
 
     @property
     def executor(self) -> ShardedExecutor:
@@ -110,6 +129,8 @@ class PreparationPipeline:
             psf=self.psf,
             workers=self.workers,
             field_size=self.field_size,
+            cache=self.cache,
+            overlap_policy=self.overlap_policy,
         )
 
     # -- entry points --------------------------------------------------------
@@ -121,6 +142,7 @@ class PreparationPipeline:
         name: Optional[str] = None,
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
+        cache: Union[ShardCache, bool, None] = None,
     ) -> PipelineResult:
         """Run the full pipeline on a library, cell or raw polygon list.
 
@@ -131,6 +153,9 @@ class PreparationPipeline:
             name: job name (defaults to the cell/library name).
             workers: worker-pool size override for this run.
             field_size: writing-field pitch override for this run.
+            cache: cache override for this run — ``False`` bypasses the
+                configured cache, an explicit
+                :class:`~repro.core.cache.ShardCache` replaces it.
         """
         polygons, inferred_name = self._gather(source, layer)
         return self.run_polygons(
@@ -138,6 +163,7 @@ class PreparationPipeline:
             name=name or inferred_name,
             workers=workers,
             field_size=field_size,
+            cache=cache,
         )
 
     def run_polygons(
@@ -146,11 +172,12 @@ class PreparationPipeline:
         name: str = "job",
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
+        cache: Union[ShardCache, bool, None] = None,
     ) -> PipelineResult:
         """Run fracture → correction → job build → write-time estimation."""
         polygons = list(polygons)
         outcome = self.executor.execute(
-            polygons, workers=workers, field_size=field_size
+            polygons, workers=workers, field_size=field_size, cache=cache
         )
         return self._finish(outcome, name, len(polygons))
 
@@ -160,6 +187,7 @@ class PreparationPipeline:
         layers: Optional[Sequence[Layer]] = None,
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
+        cache: Union[ShardCache, bool, None] = None,
     ) -> Dict[Layer, PipelineResult]:
         """Prepare each layer of a cell as its own job, batched.
 
@@ -171,6 +199,7 @@ class PreparationPipeline:
             layers: layers to prepare (defaults to every populated one).
             workers: worker-pool size override.
             field_size: writing-field pitch override.
+            cache: cache override (``False`` = off for this run).
 
         Returns:
             Mapping layer → result, in layer sort order.
@@ -183,7 +212,7 @@ class PreparationPipeline:
             wanted = list(layers)
         polygon_sets = [flat.get(layer, []) for layer in wanted]
         outcomes = self.executor.execute_many(
-            polygon_sets, workers=workers, field_size=field_size
+            polygon_sets, workers=workers, field_size=field_size, cache=cache
         )
         return {
             layer: self._finish(
@@ -199,6 +228,7 @@ class PreparationPipeline:
         layer: Optional[Layer] = None,
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
+        cache: Union[ShardCache, bool, None] = None,
     ) -> List[PipelineResult]:
         """Prepare several sources through one shared worker pool.
 
@@ -208,7 +238,7 @@ class PreparationPipeline:
         gathered = [self._gather(source, layer) for source in sources]
         polygon_sets = [polys for polys, _ in gathered]
         outcomes = self.executor.execute_many(
-            polygon_sets, workers=workers, field_size=field_size
+            polygon_sets, workers=workers, field_size=field_size, cache=cache
         )
         out: List[PipelineResult] = []
         for i, ((polys, inferred), outcome) in enumerate(

@@ -249,7 +249,11 @@ def loads_gdsii(data: bytes) -> Library:
             raise GdsiiError(f"reference to undefined cell {ref_spec['sname']!r}")
         parent.add_reference(_build_reference(target, ref_spec, library))
 
-    library.add(*cells.values(), include_descendants=False)
+    # Register cells one by one so the library preserves stream order
+    # (a batched add pushes through a LIFO work list and would reverse
+    # it, making write→read→write oscillate instead of round-tripping).
+    for cell in cells.values():
+        library.add(cell, include_descendants=False)
     return library
 
 

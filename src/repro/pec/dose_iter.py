@@ -54,6 +54,10 @@ class ConvergenceTrace:
 class IterativeDoseCorrector(ProximityCorrector):
     """Self-consistent dose assignment.
 
+    ``last_trace`` is run bookkeeping, not configuration — the shard
+    cache must hash a corrector that has already run identically to a
+    fresh one (see :mod:`repro.core.cache`).
+
     Args:
         target: desired absorbed level at every shot (1.0 = large pad).
         max_iterations: iteration cap.
@@ -68,6 +72,8 @@ class IterativeDoseCorrector(ProximityCorrector):
         dose_limits: clip corrected doses to ``(min, max)`` — hardware
             dose range of the writer.
     """
+
+    CACHE_VOLATILE = frozenset({"last_trace"})
 
     def __init__(
         self,

@@ -1,0 +1,23 @@
+"""Shared test configuration.
+
+Adds the ``--update-golden`` flag used by the golden-job regression
+suite (:mod:`tests.test_golden_jobs`) to re-snapshot the reference
+digests after an intentional behaviour change.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden job snapshots instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden snapshots."""
+    return request.config.getoption("--update-golden")

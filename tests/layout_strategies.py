@@ -1,0 +1,127 @@
+"""Hypothesis strategies that draw whole layouts from the workload
+generators (:mod:`repro.layout.generators`), plus shared geometry test
+helpers.
+
+Shared by the writer round-trip property tests: instead of hand-rolled
+random polygons, these sweep the *parameter spaces* of the canonical
+pattern families — gratings, contact arrays (flat and hierarchical),
+serpentines, checkerboards, zone plates and random logic — so format
+round-trips are exercised on realistic hierarchies, AREFs and curved
+data rather than toy rectangles.
+"""
+
+from hypothesis import strategies as st
+
+from repro.geometry.polygon import Polygon
+from repro.layout import generators
+from repro.layout.flatten import flatten_cell
+
+
+def flat_perimeter(cell):
+    """Total perimeter of a cell's flattened polygons — the scale factor
+    for quantization-induced area drift in format round-trip tests."""
+    flat = flatten_cell(cell)
+    return sum(p.perimeter() for v in flat.values() for p in v)
+
+
+def grid_of_squares(cols, rows, pitch=10.0, side=4.0):
+    """A disjoint ``cols × rows`` square array — the canonical cleanly
+    shardable layout for executor/cache tests."""
+    return [
+        Polygon.rectangle(
+            c * pitch, r * pitch, c * pitch + side, r * pitch + side
+        )
+        for r in range(rows)
+        for c in range(cols)
+    ]
+
+
+@st.composite
+def grating_libraries(draw):
+    return generators.grating(
+        pitch=draw(st.floats(min_value=0.5, max_value=4.0)),
+        duty=draw(st.floats(min_value=0.1, max_value=0.9)),
+        lines=draw(st.integers(min_value=1, max_value=12)),
+        length=draw(st.floats(min_value=1.0, max_value=40.0)),
+    )
+
+
+@st.composite
+def contact_libraries(draw):
+    size = draw(st.floats(min_value=0.5, max_value=2.0))
+    return generators.contact_array(
+        size=size,
+        pitch=size * draw(st.floats(min_value=1.0, max_value=4.0)),
+        columns=draw(st.integers(min_value=1, max_value=6)),
+        rows=draw(st.integers(min_value=1, max_value=6)),
+        hierarchical=draw(st.booleans()),
+    )
+
+
+@st.composite
+def serpentine_libraries(draw):
+    width = draw(st.floats(min_value=0.5, max_value=1.5))
+    return generators.serpentine(
+        wire_width=width,
+        pitch=width * draw(st.floats(min_value=2.0, max_value=5.0)),
+        turns=draw(st.integers(min_value=1, max_value=10)),
+        length=draw(st.floats(min_value=5.0, max_value=40.0)),
+    )
+
+
+@st.composite
+def checkerboard_libraries(draw):
+    return generators.checkerboard(
+        cells=draw(st.integers(min_value=1, max_value=6)),
+        square=draw(st.floats(min_value=1.0, max_value=8.0)),
+    )
+
+
+@st.composite
+def zone_plate_libraries(draw):
+    return generators.fresnel_zone_plate(
+        zones=draw(st.integers(min_value=2, max_value=8)),
+        points_per_arc=draw(st.integers(min_value=8, max_value=24)),
+    )
+
+
+@st.composite
+def logic_libraries(draw):
+    return generators.random_logic(
+        chip_size=draw(st.floats(min_value=20.0, max_value=60.0)),
+        target_density=draw(st.floats(min_value=0.05, max_value=0.25)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+
+
+@st.composite
+def memory_libraries(draw):
+    return generators.memory_array(
+        words=draw(st.integers(min_value=1, max_value=4)),
+        bits=draw(st.integers(min_value=1, max_value=4)),
+        blocks=(
+            draw(st.integers(min_value=1, max_value=3)),
+            draw(st.integers(min_value=1, max_value=3)),
+        ),
+    )
+
+
+def flat_libraries():
+    """Workload families that produce a single flat cell (no references
+    or arrays) — layouts with no serialization-order freedom."""
+    return st.one_of(
+        grating_libraries(),
+        serpentine_libraries(),
+        checkerboard_libraries(),
+        zone_plate_libraries(),
+        logic_libraries(),
+    )
+
+
+def generated_libraries():
+    """Any workload family, any parameters: the full sweep."""
+    return st.one_of(
+        flat_libraries(),
+        contact_libraries(),
+        memory_libraries(),
+    )

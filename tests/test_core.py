@@ -222,3 +222,50 @@ class TestCompare:
             [("grating", generators.grating(lines=3))], [RasterScanWriter()]
         )
         assert "grating" in rows[0].row()
+
+
+class TestJobDigests:
+    def shots(self, dose=1.0):
+        return [
+            Shot(Trapezoid.from_rectangle(0, 0, 2, 1), dose),
+            Shot(Trapezoid.from_rectangle(3, 0, 5, 1), dose),
+        ]
+
+    def test_digest_is_deterministic(self):
+        a = MachineJob(self.shots(), name="a")
+        b = MachineJob(self.shots(), name="b")  # name is not content
+        assert a.digest() == b.digest()
+        assert a.portable_digest() == b.portable_digest()
+        assert a.dose_digest() == b.dose_digest()
+
+    def test_digest_sees_geometry_and_dose(self):
+        base = MachineJob(self.shots())
+        moved = MachineJob(
+            [Shot(Trapezoid.from_rectangle(0, 0, 2.0001, 1), 1.0)]
+            + self.shots()[1:]
+        )
+        dosed = MachineJob(self.shots(dose=1.5))
+        rebased = MachineJob(self.shots(), base_dose=2.0)
+        assert base.digest() != moved.digest()
+        assert base.digest() != dosed.digest()
+        assert base.digest() != rebased.digest()
+        assert base.dose_digest() != dosed.dose_digest()
+        # The dose map alone ignores geometry.
+        assert base.dose_digest() == moved.dose_digest()
+
+    def test_digest_sees_shot_order(self):
+        shots = self.shots()
+        assert (
+            MachineJob(shots).digest()
+            != MachineJob(list(reversed(shots))).digest()
+        )
+
+    def test_portable_digest_absorbs_last_ulp_noise(self):
+        shots = self.shots()
+        wobble = [
+            Shot(s.trapezoid, s.dose * (1.0 + 2e-16)) for s in shots
+        ]
+        assert (
+            MachineJob(shots).portable_digest()
+            == MachineJob(wobble).portable_digest()
+        )

@@ -1,9 +1,12 @@
 """Tests for the parallel field-sharded execution engine."""
 
+import warnings
+
 import pytest
 
 from repro.core.executor import (
     ShardedExecutor,
+    ShardOverlapWarning,
     merge_shard_results,
     plan_shards,
     _process_shard,
@@ -209,6 +212,99 @@ class TestBatchAPIs:
         cell.add_rectangle(10, 0, 15, 5, Layer(2))
         results = PreparationPipeline().run_layers(cell, layers=[Layer(2)])
         assert list(results) == [Layer(2)]
+
+
+class TestOverlapPolicy:
+    """Regression: cross-shard overlaps must not double-count silently.
+
+    The PR 1 engine documented (docstring caveat) that overlaps between
+    polygons of different shards are exposed twice; with cached shard
+    results such a layout would replay the double-count on every warm
+    run.  Sharded planning now warns on it, or unions it away.
+    """
+
+    def overlapping_layout(self):
+        """Two overlapping rectangles whose bbox centres land in
+        different 20 µm fields."""
+        return [
+            Polygon.rectangle(0.0, 0.0, 18.0, 6.0),
+            Polygon.rectangle(14.0, 0.0, 30.0, 6.0),
+        ]
+
+    def test_cross_shard_overlap_warns(self):
+        with pytest.warns(ShardOverlapWarning):
+            plan = plan_shards(self.overlapping_layout(), field_size=20.0)
+        assert len(plan) == 2  # plan itself is unchanged by the warning
+
+    def test_pipeline_run_surfaces_the_warning(self):
+        with pytest.warns(ShardOverlapWarning):
+            PreparationPipeline(field_size=20.0).run_polygons(
+                self.overlapping_layout()
+            )
+
+    def test_union_policy_removes_double_count(self):
+        polys = self.overlapping_layout()
+        whole = PreparationPipeline().run_polygons(polys)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ShardOverlapWarning)
+            sharded = PreparationPipeline(
+                field_size=20.0, overlap_policy="union"
+            ).run_polygons(polys)
+        assert sharded.fracture_report.total_area == pytest.approx(
+            whole.fracture_report.total_area
+        )
+
+    def test_warn_policy_double_counts_as_documented(self):
+        polys = self.overlapping_layout()
+        whole = PreparationPipeline().run_polygons(polys)
+        with pytest.warns(ShardOverlapWarning):
+            sharded = PreparationPipeline(field_size=20.0).run_polygons(polys)
+        overlap_area = 4.0 * 6.0  # x in [14, 18], y in [0, 6]
+        assert sharded.fracture_report.total_area == pytest.approx(
+            whole.fracture_report.total_area + overlap_area
+        )
+
+    def test_disjoint_layout_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ShardOverlapWarning)
+            plan_shards(grid_of_squares(6, 6), field_size=20.0)
+
+    def test_abutting_polygons_do_not_warn(self):
+        """Edge- and corner-touching across a field boundary is the
+        normal mosaic case, not an overlap."""
+        polys = [
+            Polygon.rectangle(0.0, 0.0, 18.0, 6.0),
+            Polygon.rectangle(18.0, 0.0, 36.0, 6.0),  # shares the x=18 edge
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ShardOverlapWarning)
+            plan_shards(polys, field_size=18.0)
+
+    def test_ignore_policy_skips_check(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ShardOverlapWarning)
+            plan_shards(
+                self.overlapping_layout(),
+                field_size=20.0,
+                overlap_policy="ignore",
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards(grid_of_squares(2, 2), overlap_policy="explode")
+
+    def test_same_shard_overlap_is_fine(self):
+        """Overlap inside one shard is unioned by the fracture step."""
+        polys = [
+            Polygon.rectangle(0.0, 0.0, 6.0, 6.0),
+            Polygon.rectangle(4.0, 0.0, 10.0, 6.0),
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ShardOverlapWarning)
+            result = PreparationPipeline(field_size=50.0).run_polygons(polys)
+        assert result.fracture_report.total_area == pytest.approx(
+            10.0 * 6.0
+        )
 
 
 class TestExecutorClass:

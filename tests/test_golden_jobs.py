@@ -1,0 +1,126 @@
+"""Golden-job regression suite.
+
+Snapshots the fully prepared :class:`~repro.core.job.MachineJob` (shot
+list + dose map digests) for three small canonical layouts and pins
+every execution path to it: a cold run, a warm-cache re-run and a
+``workers=2`` run must all reproduce the stored digests.  Any change to
+fracture order, PEC dosing, shard planning or the cache payload that
+alters the prepared job — intentionally or not — fails here first.
+
+After an intentional change, refresh the snapshots with::
+
+    pytest tests/test_golden_jobs.py --update-golden
+
+Digests are ``portable_digest`` values (9 significant digits) so they
+survive last-ulp drift in transcendental library routines across
+platforms, while the cross-path comparisons within one run use the
+exact bit-level digest.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import PreparationPipeline
+from repro.layout import generators
+from repro.pec.dose_iter import IterativeDoseCorrector
+from repro.physics.psf import DoubleGaussianPSF
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+PSF = DoubleGaussianPSF(alpha=0.2, beta=2.0, eta=0.74)
+FIELD_SIZE = 20.0
+
+#: The three canonical layouts: a line/space grating (machine-friendly
+#: Manhattan data), a Fresnel zone-plate ring (curved, fracture-hostile)
+#: and a pseudo-random logic cell (overlap-heavy wiring, pre-unioned by
+#: the ``union`` overlap policy).
+CANONICAL_LAYOUTS = {
+    "grating": lambda: generators.grating(
+        pitch=2.0, duty=0.5, lines=12, length=24.0
+    ),
+    "fzp_ring": lambda: generators.fresnel_zone_plate(
+        zones=6, points_per_arc=24
+    ),
+    "logic_cell": lambda: generators.random_logic(
+        chip_size=40.0, wire_width=1.0, target_density=0.15, seed=7
+    ),
+}
+
+
+def build_pipeline(cache_dir=None):
+    return PreparationPipeline(
+        corrector=IterativeDoseCorrector(),
+        psf=PSF,
+        field_size=FIELD_SIZE,
+        cache_dir=cache_dir,
+        overlap_policy="union",
+    )
+
+
+def snapshot_of(result):
+    job = result.job
+    return {
+        "figure_count": job.figure_count(),
+        "job_digest": job.portable_digest(),
+        "dose_digest": job.dose_digest(),
+    }
+
+
+def golden_path(name):
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def load_golden(name):
+    path = golden_path(name)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden snapshot {path}; generate it with "
+            f"`pytest tests/test_golden_jobs.py --update-golden`"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL_LAYOUTS))
+def test_prepared_job_matches_golden(name, update_golden, tmp_path):
+    """Cold, warm-cache and workers=2 runs all reproduce the snapshot."""
+    layout = CANONICAL_LAYOUTS[name]()
+    pipe = build_pipeline(cache_dir=tmp_path / "cache")
+
+    cold = pipe.run(layout)
+    warm = pipe.run(layout)
+    parallel = pipe.run(layout, workers=2, cache=False)
+
+    # Within one session the three paths must be bit-identical, not just
+    # digit-identical — the engine's determinism contract.
+    assert cold.job.digest() == warm.job.digest() == parallel.job.digest()
+    assert warm.execution.cache_hits == warm.execution.shard_count
+    assert warm.execution.cache_misses == 0
+
+    record = snapshot_of(cold)
+    assert record == snapshot_of(warm)
+    assert record == snapshot_of(parallel)
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path(name).write_text(json.dumps(record, indent=2) + "\n")
+        return
+    assert record == load_golden(name), (
+        f"prepared job for {name!r} diverged from the golden snapshot; "
+        f"if the change is intentional, re-run with --update-golden"
+    )
+
+
+def test_golden_snapshots_are_committed():
+    """Every canonical layout has a snapshot on disk (guards against a
+    fresh checkout silently skipping the comparison)."""
+    for name in CANONICAL_LAYOUTS:
+        assert golden_path(name).exists(), (
+            f"tests/golden/{name}.json is missing from the repository"
+        )
+
+
+def test_snapshots_distinguish_layouts():
+    """The three goldens are genuinely different jobs."""
+    digests = [load_golden(name)["job_digest"] for name in CANONICAL_LAYOUTS]
+    assert len(set(digests)) == len(digests)
