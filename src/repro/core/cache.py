@@ -47,7 +47,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 #: Bump when the shard-processing semantics or the payload format
 #: change; old entries then miss instead of replaying stale results.
-CACHE_SCHEMA_VERSION = 1
+#: v2: correctors grew ``matrix_mode``/``grid_cell`` configuration (the
+#: sparse/hybrid exposure-operator backends).
+CACHE_SCHEMA_VERSION = 2
 
 _F64 = struct.Struct("!d")
 

@@ -61,10 +61,12 @@ serial run.
 
 from __future__ import annotations
 
+import copy
+import functools
 import math
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -396,44 +398,92 @@ def _resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-# Shard-processing configuration of a pool worker, installed once per
-# process by the pool initializer (shipping it with every shard payload
-# would re-pickle the same objects thousands of times on large mosaics).
-_worker_config: Optional[tuple] = None
+# The persistent worker pool, shared by every executor in the process.
+# Spawning a pool costs a fork+import per worker — dominant on small
+# workloads — so the pool outlives individual runs and is only rebuilt
+# when a different size is requested.  Shard-processing configuration is
+# bound per map call (pickled once per chunk, not per shard), so the
+# same warm pool serves runs with different fracturer/corrector/PSF
+# configurations.
+_shared_pool: Optional[ProcessPoolExecutor] = None
+_shared_pool_size: int = 0
 
 
-def _init_worker(config: tuple) -> None:
-    global _worker_config
-    _worker_config = config
+def _get_pool(pool_size: int) -> ProcessPoolExecutor:
+    """The shared pool, rebuilt only when the requested size changes."""
+    global _shared_pool, _shared_pool_size
+    if _shared_pool is not None and _shared_pool_size != pool_size:
+        shutdown_worker_pool()
+    if _shared_pool is None:
+        _shared_pool = ProcessPoolExecutor(max_workers=pool_size)
+        _shared_pool_size = pool_size
+    return _shared_pool
 
 
-def _process_shard_pooled(shard: Shard) -> ShardResult:
-    return _process_shard(shard, *_worker_config)
+def shutdown_worker_pool() -> None:
+    """Tear down the shared worker pool (tests, benchmarks, atexit)."""
+    global _shared_pool, _shared_pool_size
+    if _shared_pool is not None:
+        _shared_pool.shutdown(wait=True, cancel_futures=True)
+        _shared_pool = None
+        _shared_pool_size = 0
+
+
+def warm_worker_pool(workers: Optional[int] = None) -> int:
+    """Pre-spawn the shared pool's worker processes.
+
+    Benchmarks call this so their timings report pool-warm numbers —
+    the steady state of a long-running service — instead of charging
+    one-off process spawn cost to the first measured run.  Returns the
+    pool size (0 when ``workers <= 1`` means no pool is used).
+    """
+    workers = _resolve_workers(workers)
+    if workers <= 1:
+        return 0
+    try:
+        pool = _get_pool(workers)
+        # One blocking task per worker forces every process to spawn.
+        list(pool.map(_noop, range(workers), chunksize=1))
+    except (OSError, PermissionError, BrokenExecutor):
+        shutdown_worker_pool()
+        return 0
+    return workers
+
+
+def _noop(value):
+    return value
+
+
+def _process_shard_config(config: tuple, shard: Shard) -> ShardResult:
+    """Pool entry point: ``config`` is bound via ``functools.partial``
+    so it pickles once per chunk instead of once per shard."""
+    return _process_shard(shard, *config)
 
 
 def _map_shards(
     shards: List[Shard], config: tuple, workers: int
 ) -> Tuple[List[ShardResult], bool]:
-    """Run shards through ``config = (fracturer, corrector, psf)``, on a
-    process pool when it pays off.
+    """Run shards through ``config = (fracturer, corrector, psf)``, on
+    the shared persistent process pool when it pays off.
 
     Returns the results in shard order plus whether a pool was used.
     Falls back to the serial path when the platform refuses to spawn
-    workers (restricted sandboxes), keeping results identical.
+    workers (restricted sandboxes) or the pool dies mid-run, keeping
+    results identical.
     """
     if workers <= 1 or len(shards) <= 1:
         return [_process_shard(s, *config) for s in shards], False
-    pool_size = min(workers, len(shards))
-    chunksize = max(1, len(shards) // (pool_size * 4))
+    # The pool is sized by the workers setting, not the shard count, so
+    # consecutive runs with the same setting always reuse it.
+    active = min(workers, len(shards))
+    chunksize = max(1, len(shards) // (active * 4))
+    bound = functools.partial(_process_shard_config, config)
     try:
-        with ProcessPoolExecutor(
-            max_workers=pool_size, initializer=_init_worker, initargs=(config,)
-        ) as pool:
-            results = list(
-                pool.map(_process_shard_pooled, shards, chunksize=chunksize)
-            )
+        pool = _get_pool(workers)
+        results = list(pool.map(bound, shards, chunksize=chunksize))
         return results, True
-    except (OSError, PermissionError):
+    except (OSError, PermissionError, BrokenExecutor):
+        shutdown_worker_pool()
         return [_process_shard(s, *config) for s in shards], False
 
 
@@ -469,6 +519,12 @@ class ShardedExecutor:
             input).
         overlap_policy: cross-shard overlap handling for the planner —
             ``"warn"`` (default), ``"union"`` or ``"ignore"``.
+        matrix_mode: override for the corrector's exposure-operator
+            backend (``"dense"``, ``"sparse"`` or ``"hybrid"``, see
+            :mod:`repro.pec.operator`).  Applied to the corrector
+            configuration, so it ships to pool workers with the shard
+            config and participates in shard cache keys — a dense-mode
+            result is never replayed for a hybrid-mode request.
     """
 
     def __init__(
@@ -480,9 +536,27 @@ class ShardedExecutor:
         field_size: Optional[float] = None,
         cache: Optional[ShardCache] = None,
         overlap_policy: str = "warn",
+        matrix_mode: Optional[str] = None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
+        if matrix_mode is not None:
+            from repro.pec.operator import validate_matrix_mode
+
+            validate_matrix_mode(matrix_mode)
+            if corrector is None:
+                raise ValueError("matrix_mode requires a corrector")
+            if not hasattr(corrector, "matrix_mode"):
+                raise ValueError(
+                    f"{type(corrector).__name__} does not support "
+                    "matrix_mode"
+                )
+            if corrector.matrix_mode != matrix_mode:
+                # Reconfigure a copy: the caller's corrector may be
+                # shared with other pipelines and must not change under
+                # them.
+                corrector = copy.copy(corrector)
+                corrector.matrix_mode = matrix_mode
         self.fracturer = fracturer
         self.corrector = corrector
         self.psf = psf
@@ -490,6 +564,7 @@ class ShardedExecutor:
         self.field_size = field_size
         self.cache = cache
         self.overlap_policy = overlap_policy
+        self.matrix_mode = matrix_mode
 
     def _resolve_cache(
         self, cache: Union[ShardCache, bool, None]

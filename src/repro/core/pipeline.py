@@ -81,6 +81,14 @@ class PreparationPipeline:
         overlap_policy: cross-shard overlap handling when sharding —
             ``"warn"`` (default), ``"union"`` or ``"ignore"`` (see
             :mod:`repro.core.executor`).
+        matrix_mode: exposure-operator backend override for the
+            proximity corrector — ``"dense"`` (exact, the default),
+            ``"sparse"`` (exact entries in CSR storage; memory scales
+            with the interaction count) or ``"hybrid"`` (exact α term
+            plus FFT backscatter grid); see :mod:`repro.pec.operator`.
+            ``None`` keeps whatever the corrector was built with.  The
+            mode is part of the corrector configuration and therefore of
+            every shard cache key.
 
     Example:
         >>> from repro.layout import generators
@@ -103,6 +111,7 @@ class PreparationPipeline:
         cache_dir: Optional[Union[str, Path]] = None,
         cache: Optional[ShardCache] = None,
         overlap_policy: str = "warn",
+        matrix_mode: Optional[str] = None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -117,6 +126,7 @@ class PreparationPipeline:
             cache = ShardCache(cache_dir)
         self.cache = cache
         self.overlap_policy = overlap_policy
+        self.matrix_mode = matrix_mode
 
     @property
     def executor(self) -> ShardedExecutor:
@@ -131,6 +141,7 @@ class PreparationPipeline:
             field_size=self.field_size,
             cache=self.cache,
             overlap_policy=self.overlap_policy,
+            matrix_mode=self.matrix_mode,
         )
 
     # -- entry points --------------------------------------------------------

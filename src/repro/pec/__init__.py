@@ -23,7 +23,16 @@ from repro.pec.base import (
     edge_sample_points,
     exposure_at_points,
     interaction_matrix_at_points,
+    interaction_matrix_csr,
     shot_interaction_matrix,
+)
+from repro.pec.operator import (
+    MATRIX_MODES,
+    DenseExposureOperator,
+    ExposureOperator,
+    HybridExposureOperator,
+    SparseExposureOperator,
+    build_exposure_operator,
 )
 from repro.pec.dose_iter import IterativeDoseCorrector, ConvergenceTrace
 from repro.pec.dose_matrix import MatrixDoseCorrector
@@ -36,8 +45,15 @@ __all__ = [
     "ProximityCorrector",
     "shot_interaction_matrix",
     "interaction_matrix_at_points",
+    "interaction_matrix_csr",
     "edge_sample_points",
     "exposure_at_points",
+    "MATRIX_MODES",
+    "ExposureOperator",
+    "DenseExposureOperator",
+    "SparseExposureOperator",
+    "HybridExposureOperator",
+    "build_exposure_operator",
     "IterativeDoseCorrector",
     "ConvergenceTrace",
     "MatrixDoseCorrector",

@@ -13,6 +13,7 @@ measured by the test suite against the FFT exposure engine).
 from __future__ import annotations
 
 import abc
+import math
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -82,24 +83,84 @@ def trapezoid_exposure(
     )
 
 
+def _trap_field_arrays(
+    shots: Sequence[Shot],
+) -> Tuple[np.ndarray, ...]:
+    """The six trapezoid coordinate fields of a shot list, stacked.
+
+    One pass of attribute access builds a single ``(n, 6)`` array; every
+    geometric quantity downstream (sample points, bounding boxes, areas)
+    is then pure vectorized arithmetic on its columns.
+
+    Returns:
+        ``(y_bottom, y_top, x_bottom_left, x_bottom_right, x_top_left,
+        x_top_right)`` as length-n float arrays.
+    """
+    if not shots:
+        empty = np.empty(0)
+        return (empty,) * 6
+    stacked = np.array(
+        [
+            (
+                t.y_bottom,
+                t.y_top,
+                t.x_bottom_left,
+                t.x_bottom_right,
+                t.x_top_left,
+                t.x_top_right,
+            )
+            for t in (shot.trapezoid for shot in shots)
+        ]
+    )
+    return tuple(stacked[:, k] for k in range(6))
+
+
 def shot_sample_points(
     shots: Sequence[Shot], mode: str = "centroid"
 ) -> np.ndarray:
     """Representative sample point for each shot.
 
     ``mode="centroid"`` uses the area centroid; ``mode="center"`` the
-    bounding-box centre (the cheaper choice ablated in F2).
+    bounding-box centre (the cheaper choice ablated in F2).  Both modes
+    are vectorized over the stacked trapezoid fields; the centroid
+    arithmetic replicates the polygon shoelace sum term for term (the
+    cross product of a collapsed zero-length edge is exactly 0.0, so
+    skipping it never changes an IEEE sum), making the result
+    bit-identical to the per-shot :meth:`Trapezoid.centroid` loop it
+    replaces.
     """
+    if mode not in ("centroid", "center"):
+        raise ValueError(f"unknown sample mode {mode!r}")
     points = np.empty((len(shots), 2))
-    for i, shot in enumerate(shots):
-        if mode == "centroid":
-            c = shot.trapezoid.centroid()
-            points[i] = (c.x, c.y)
-        elif mode == "center":
-            bbox = shot.trapezoid.bounding_box()
-            points[i] = ((bbox[0] + bbox[2]) / 2.0, (bbox[1] + bbox[3]) / 2.0)
-        else:
-            raise ValueError(f"unknown sample mode {mode!r}")
+    if not shots:
+        return points
+    yb, yt, xbl, xbr, xtl, xtr = _trap_field_arrays(shots)
+    if mode == "center":
+        bx0 = np.minimum(xbl, xtl)
+        bx1 = np.maximum(xbr, xtr)
+        points[:, 0] = (bx0 + bx1) / 2.0
+        points[:, 1] = (yb + yt) / 2.0
+        return points
+    # Shoelace over the vertex cycle (xbl,yb) (xbr,yb) (xtr,yt) (xtl,yt),
+    # accumulated in the same order as the scalar loop.
+    c0 = xbl * yb - xbr * yb
+    c1 = xbr * yt - xtr * yb
+    c2 = xtr * yt - xtl * yt
+    c3 = xtl * yb - xbl * yt
+    a2 = ((c0 + c1) + c2) + c3
+    cx = (((xbl + xbr) * c0 + (xbr + xtr) * c1) + (xtr + xtl) * c2) + (
+        xtl + xbl
+    ) * c3
+    cy = (((yb + yb) * c0 + (yb + yt) * c1) + (yt + yt) * c2) + (
+        yt + yb
+    ) * c3
+    degenerate = np.abs(a2) < 1e-300
+    safe = np.where(degenerate, 1.0, a2)
+    points[:, 0] = cx / (3.0 * safe)
+    points[:, 1] = cy / (3.0 * safe)
+    for i in np.flatnonzero(degenerate):
+        c = shots[i].trapezoid.centroid()
+        points[i] = (c.x, c.y)
     return points
 
 
@@ -119,17 +180,18 @@ def edge_sample_points(
     """
     n = len(shots)
     points = np.empty((2 * n, 2))
-    owners = np.empty(2 * n, dtype=int)
-    for i, shot in enumerate(shots):
-        t = shot.trapezoid
-        y_mid = 0.5 * (t.y_bottom + t.y_top)
-        left = 0.5 * (t.x_bottom_left + t.x_top_left)
-        right = 0.5 * (t.x_bottom_right + t.x_top_right)
-        inset = inset_fraction * max(right - left, 1e-9)
-        points[2 * i] = (left + inset, y_mid)
-        points[2 * i + 1] = (right - inset, y_mid)
-        owners[2 * i] = i
-        owners[2 * i + 1] = i
+    owners = np.repeat(np.arange(n, dtype=int), 2)
+    if n == 0:
+        return points, owners
+    yb, yt, xbl, xbr, xtl, xtr = _trap_field_arrays(shots)
+    y_mid = 0.5 * (yb + yt)
+    left = 0.5 * (xbl + xtl)
+    right = 0.5 * (xbr + xtr)
+    inset = inset_fraction * np.maximum(right - left, 1e-9)
+    points[0::2, 0] = left + inset
+    points[0::2, 1] = y_mid
+    points[1::2, 0] = right - inset
+    points[1::2, 1] = y_mid
     return points, owners
 
 
@@ -137,19 +199,16 @@ def _shot_bbox_arrays(
     shots: Sequence[Shot],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Per-shot bounding boxes and area-ratio scales as flat arrays."""
-    n = len(shots)
-    x0 = np.empty(n)
-    y0 = np.empty(n)
-    x1 = np.empty(n)
-    y1 = np.empty(n)
-    scale = np.empty(n)
-    for j, shot in enumerate(shots):
-        t = shot.trapezoid
-        bx0, by0, bx1, by1 = t.bounding_box()
-        x0[j], y0[j], x1[j], y1[j] = bx0, by0, bx1, by1
-        bbox_area = (bx1 - bx0) * (by1 - by0)
-        scale[j] = t.area() / bbox_area if bbox_area > 0 else 0.0
-    return x0, y0, x1, y1, scale
+    yb, yt, xbl, xbr, xtl, xtr = _trap_field_arrays(shots)
+    x0 = np.minimum(xbl, xtl)
+    x1 = np.maximum(xbr, xtr)
+    bbox_area = (x1 - x0) * (yt - yb)
+    area = 0.5 * ((xbr - xbl) + (xtr - xtl)) * (yt - yb)
+    positive = bbox_area > 0
+    scale = np.where(
+        positive, area / np.where(positive, bbox_area, 1.0), 0.0
+    )
+    return x0, yb, x1, yt, scale
 
 
 def _exposure_matrix(
@@ -209,6 +268,170 @@ def _exposure_matrix(
     return matrix
 
 
+def _bucket_points(
+    px: np.ndarray, py: np.ndarray, pitch: float
+) -> Tuple[dict, Tuple[float, float]]:
+    """Uniform-grid spatial index over sample points.
+
+    Returns a mapping ``(ix, iy) → row indices`` plus the grid origin;
+    the sparse sweep uses it to restrict the exact distance test to the
+    rows that can possibly fall inside a column block's cutoff.
+    """
+    origin = (float(px.min()), float(py.min()))
+    ix = np.floor((px - origin[0]) / pitch).astype(np.int64)
+    iy = np.floor((py - origin[1]) / pitch).astype(np.int64)
+    order = np.lexsort((iy, ix))
+    ix_sorted = ix[order]
+    iy_sorted = iy[order]
+    change = np.flatnonzero(
+        (np.diff(ix_sorted) != 0) | (np.diff(iy_sorted) != 0)
+    )
+    starts = np.concatenate(([0], change + 1))
+    ends = np.concatenate((change + 1, [len(order)]))
+    buckets = {
+        (int(ix_sorted[s]), int(iy_sorted[s])): order[s:e]
+        for s, e in zip(starts, ends)
+    }
+    return buckets, origin
+
+
+def _candidate_rows(
+    buckets: dict,
+    origin: Tuple[float, float],
+    pitch: float,
+    window: Tuple[float, float, float, float],
+) -> np.ndarray:
+    """Row indices whose bucket intersects ``(x0, x1, y0, y1)``."""
+    wx0, wx1, wy0, wy1 = window
+    ix0 = int(math.floor((wx0 - origin[0]) / pitch))
+    ix1 = int(math.floor((wx1 - origin[0]) / pitch))
+    iy0 = int(math.floor((wy0 - origin[1]) / pitch))
+    iy1 = int(math.floor((wy1 - origin[1]) / pitch))
+    found = [
+        buckets[key]
+        for key in (
+            (ix, iy)
+            for ix in range(ix0, ix1 + 1)
+            for iy in range(iy0, iy1 + 1)
+        )
+        if key in buckets
+    ]
+    if not found:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(found)
+
+
+def _exposure_matrix_csr(
+    points: np.ndarray,
+    shots: Sequence[Shot],
+    psf: DoubleGaussianPSF,
+    cutoff_factor: float,
+    block: int = 64,
+    term: str = "full",
+):
+    """CSR companion of :func:`_exposure_matrix`.
+
+    Runs the same tile-ordered block sweep but emits only the
+    within-cutoff entries, so memory scales with the interaction count
+    instead of ``n_points × n_shots``.  Every emitted value is computed
+    by the exact expression of the dense path on the exact same floats,
+    so ``csr.toarray()`` equals the dense matrix bit for bit; a spatial
+    bucket index over the sample points additionally prunes the distance
+    test itself to near-linear cost (the dense path must evaluate it for
+    every point × block pair regardless, since it writes full columns).
+
+    ``term`` selects the emitted PSF component: ``"full"`` is the double
+    Gaussian (matching the dense matrix); ``"forward"`` emits only the
+    α term ``scale · fwd / (1 + η)`` within ``cutoff_factor · α`` — the
+    sharp short-range part the hybrid operator keeps exact.
+    """
+    from scipy.sparse import csr_matrix
+
+    if term not in ("full", "forward"):
+        raise ValueError(f"unknown PSF term {term!r}")
+    n_points = len(points)
+    n_shots = len(shots)
+    if n_points == 0 or n_shots == 0:
+        return csr_matrix((n_points, n_shots))
+    x0, y0, x1, y1, scale = _shot_bbox_arrays(shots)
+    cx = (x0 + x1) / 2.0
+    cy = (y0 + y1) / 2.0
+    half_diag = np.hypot(x1 - x0, y1 - y0) / 2.0
+    sigma = psf.beta if term == "full" else psf.alpha
+    reach = cutoff_factor * sigma + half_diag
+    px_all = points[:, 0]
+    py_all = points[:, 1]
+    norm = 1.0 + psf.eta
+    # Identical tile order to the dense sweep: blocks stay spatially
+    # compact, so each block's candidate window is small.
+    tile = max(cutoff_factor * psf.beta, 1e-9)
+    order = np.lexsort((cx, np.floor(cx / tile), np.floor(cy / tile)))
+    pitch = max(tile, float(reach.max()), 1e-9)
+    buckets, origin = _bucket_points(px_all, py_all, pitch)
+    rows_out = []
+    cols_out = []
+    data_out = []
+    for j0 in range(0, n_shots, block):
+        cols = order[j0 : j0 + block]
+        col_reach = reach[cols]
+        window = (
+            float((cx[cols] - col_reach).min()),
+            float((cx[cols] + col_reach).max()),
+            float((cy[cols] - col_reach).min()),
+            float((cy[cols] + col_reach).max()),
+        )
+        cand = _candidate_rows(buckets, origin, pitch, window)
+        if cand.size == 0:
+            continue
+        px = px_all[cand][:, None]
+        py = py_all[cand][:, None]
+        near = (
+            np.hypot(px - cx[None, cols], py - cy[None, cols])
+            <= col_reach[None, :]
+        )
+        keep = near.any(axis=1)
+        if not keep.any():
+            continue
+        rows = cand[keep]
+        near = near[keep]
+        px = px[keep]
+        py = py[keep]
+        bx0, bx1 = x0[None, cols], x1[None, cols]
+        by0, by1 = y0[None, cols], y1[None, cols]
+        if term == "full":
+            fwd = _rect_gauss_integral(px, py, bx0, bx1, by0, by1, psf.alpha)
+            back = _rect_gauss_integral(px, py, bx0, bx1, by0, by1, psf.beta)
+            levels = scale[None, cols] * ((fwd + psf.eta * back) / norm)
+        else:
+            fwd = _rect_gauss_integral(px, py, bx0, bx1, by0, by1, psf.alpha)
+            levels = scale[None, cols] * (fwd / norm)
+        r_local, c_local = np.nonzero(near)
+        rows_out.append(rows[r_local])
+        cols_out.append(cols[c_local])
+        data_out.append(levels[r_local, c_local])
+    if not rows_out:
+        return csr_matrix((n_points, n_shots))
+    rows_cat = np.concatenate(rows_out)
+    cols_cat = np.concatenate(cols_out)
+    data_cat = np.concatenate(data_out)
+    matrix = csr_matrix(
+        (data_cat, (rows_cat, cols_cat)), shape=(n_points, n_shots)
+    )
+    return matrix
+
+
+def interaction_matrix_csr(
+    points: np.ndarray,
+    shots: Sequence[Shot],
+    psf: DoubleGaussianPSF,
+    cutoff_factor: float = 4.0,
+):
+    """Sparse (CSR) exposure matrix — bit-identical entries to
+    :func:`interaction_matrix_at_points`, only the within-cutoff entries
+    stored."""
+    return _exposure_matrix_csr(points, shots, psf, cutoff_factor)
+
+
 def interaction_matrix_at_points(
     points: np.ndarray,
     shots: Sequence[Shot],
@@ -239,13 +462,29 @@ def shot_interaction_matrix(
 
 
 def exposure_at_points(
-    points: np.ndarray, shots: Sequence[Shot], psf: DoubleGaussianPSF
+    points: np.ndarray,
+    shots: Sequence[Shot],
+    psf: DoubleGaussianPSF,
+    matrix_mode: str = "dense",
+    cutoff_factor: float = 4.0,
 ) -> np.ndarray:
-    """Absorbed level at arbitrary points from a dosed shot list."""
-    total = np.zeros(len(points))
-    for shot in shots:
-        total += shot.dose * trapezoid_exposure(points, shot.trapezoid, psf)
-    return total
+    """Absorbed level at arbitrary points from a dosed shot list.
+
+    One exposure-operator application ``K @ doses`` instead of the
+    historical per-shot accumulation loop; ``matrix_mode`` selects the
+    operator backend (``"sparse"`` keeps memory at the interaction count
+    for large point/shot sets, ``"hybrid"`` adds the gridded backscatter
+    approximation).  Entries beyond ``cutoff_factor · β`` are treated as
+    the far tail (zero), matching the interaction matrices the
+    correctors solve against.
+    """
+    from repro.pec.operator import build_exposure_operator
+
+    doses = np.array([s.dose for s in shots], dtype=float)
+    operator = build_exposure_operator(
+        points, shots, psf, cutoff_factor=cutoff_factor, mode=matrix_mode
+    )
+    return operator @ doses
 
 
 class ProximityCorrector(abc.ABC):

@@ -25,9 +25,9 @@ from repro.fracture.base import Shot
 from repro.pec.base import (
     ProximityCorrector,
     edge_sample_points,
-    interaction_matrix_at_points,
-    shot_interaction_matrix,
+    shot_sample_points,
 )
+from repro.pec.operator import build_exposure_operator, validate_matrix_mode
 from repro.physics.psf import DoubleGaussianPSF
 
 
@@ -71,6 +71,13 @@ class IterativeDoseCorrector(ProximityCorrector):
             CD offset interior targeting leaves.
         dose_limits: clip corrected doses to ``(min, max)`` — hardware
             dose range of the writer.
+        matrix_mode: exposure-operator backend — ``"dense"`` (the seed
+            behaviour, bit-identical), ``"sparse"`` (CSR, same entries,
+            memory scales with the interaction count) or ``"hybrid"``
+            (exact α term + FFT backscatter grid); see
+            :mod:`repro.pec.operator`.
+        grid_cell: hybrid backscatter grid cell [µm] (default ``β/4``);
+            ignored by the exact backends.
     """
 
     CACHE_VOLATILE = frozenset({"last_trace"})
@@ -83,6 +90,8 @@ class IterativeDoseCorrector(ProximityCorrector):
         relaxation: float = 1.0,
         sample_mode: str = "centroid",
         dose_limits: tuple = (0.1, 8.0),
+        matrix_mode: str = "dense",
+        grid_cell: Optional[float] = None,
     ) -> None:
         if target <= 0:
             raise ValueError("target level must be positive")
@@ -94,6 +103,8 @@ class IterativeDoseCorrector(ProximityCorrector):
         self.relaxation = relaxation
         self.sample_mode = sample_mode
         self.dose_limits = dose_limits
+        self.matrix_mode = validate_matrix_mode(matrix_mode)
+        self.grid_cell = grid_cell
         #: Trace of the most recent :meth:`correct` call.
         self.last_trace: Optional[ConvergenceTrace] = None
 
@@ -106,18 +117,24 @@ class IterativeDoseCorrector(ProximityCorrector):
             return []
         if self.sample_mode == "edge":
             points, owners = edge_sample_points(shots)
-            matrix = interaction_matrix_at_points(points, shots, psf)
             target = self.target * 0.5
         else:
-            matrix = shot_interaction_matrix(shots, psf, self.sample_mode)
+            points = shot_sample_points(shots, self.sample_mode)
             owners = np.arange(len(shots))
             target = self.target
+        operator = build_exposure_operator(
+            points,
+            shots,
+            psf,
+            mode=self.matrix_mode,
+            grid_cell=self.grid_cell,
+        )
         n = len(shots)
         doses = np.array([s.dose for s in shots], dtype=float)
         trace = ConvergenceTrace()
         lo, hi = self.dose_limits
         for _ in range(self.max_iterations):
-            exposure = matrix @ doses
+            exposure = operator @ doses
             # Collapse per-point exposure to a per-shot mean.
             sums = np.bincount(owners, weights=exposure, minlength=n)
             counts = np.bincount(owners, minlength=n)

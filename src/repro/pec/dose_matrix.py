@@ -1,21 +1,27 @@
 """Direct (matrix) dose correction.
 
 Solves the linear system ``K d = E_target`` for the dose vector in one
-step, where K is the shot interaction matrix.  Mathematically this is the
-fixed point the iterative scheme approaches; in practice the solution can
-go negative for aggressive geometries and must be clipped, after which a
-single re-normalization pass restores the mean level.  The trade-off
-against iteration (accuracy vs. O(n³) cost) is part of experiment F2.
+step, where K is the shot interaction operator.  Mathematically this is
+the fixed point the iterative scheme approaches; in practice the solution
+can go negative for aggressive geometries and must be clipped, after
+which a single re-normalization pass restores the mean level.  The
+trade-off against iteration (accuracy vs. O(n³) cost) is part of
+experiment F2.
+
+The solver backend follows the operator's ``matrix_mode``: dense uses
+``np.linalg.solve`` (lstsq fallback), sparse a CSR ``spsolve`` with an
+``lsqr`` fallback, and hybrid ``lsqr`` on the matrix-free operator.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.fracture.base import Shot
-from repro.pec.base import ProximityCorrector, shot_interaction_matrix
+from repro.pec.base import ProximityCorrector, shot_sample_points
+from repro.pec.operator import build_exposure_operator, validate_matrix_mode
 from repro.physics.psf import DoubleGaussianPSF
 
 
@@ -28,6 +34,9 @@ class MatrixDoseCorrector(ProximityCorrector):
         dose_limits: post-solve clipping range.
         regularization: Tikhonov term added to the diagonal; stabilizes
             near-singular systems from heavily overlapping sample points.
+        matrix_mode: exposure-operator backend (``"dense"``, ``"sparse"``
+            or ``"hybrid"``); see :mod:`repro.pec.operator`.
+        grid_cell: hybrid backscatter grid cell [µm] (default ``β/4``).
     """
 
     def __init__(
@@ -36,6 +45,8 @@ class MatrixDoseCorrector(ProximityCorrector):
         sample_mode: str = "centroid",
         dose_limits: tuple = (0.1, 8.0),
         regularization: float = 0.0,
+        matrix_mode: str = "dense",
+        grid_cell: Optional[float] = None,
     ) -> None:
         if target <= 0:
             raise ValueError("target level must be positive")
@@ -45,6 +56,8 @@ class MatrixDoseCorrector(ProximityCorrector):
         self.sample_mode = sample_mode
         self.dose_limits = dose_limits
         self.regularization = regularization
+        self.matrix_mode = validate_matrix_mode(matrix_mode)
+        self.grid_cell = grid_cell
 
     def correct(
         self, shots: Sequence[Shot], psf: DoubleGaussianPSF
@@ -52,20 +65,22 @@ class MatrixDoseCorrector(ProximityCorrector):
         """Solve for doses; clipped to the hardware range."""
         if not shots:
             return []
-        matrix = shot_interaction_matrix(shots, psf, self.sample_mode)
+        points = shot_sample_points(shots, self.sample_mode)
+        operator = build_exposure_operator(
+            points,
+            shots,
+            psf,
+            mode=self.matrix_mode,
+            grid_cell=self.grid_cell,
+        )
         n = len(shots)
-        if self.regularization > 0:
-            matrix = matrix + self.regularization * np.eye(n)
         rhs = np.full(n, self.target)
-        try:
-            doses = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError:
-            doses, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
+        doses = operator.solve(rhs, regularization=self.regularization)
         lo, hi = self.dose_limits
         clipped = np.clip(doses, lo, hi)
         # Re-normalize the mean exposure if clipping bit.
         if not np.array_equal(clipped, doses):
-            exposure = matrix @ clipped
+            exposure = operator @ clipped
             mean_level = exposure.mean()
             if mean_level > 0:
                 clipped = np.clip(clipped * self.target / mean_level, lo, hi)

@@ -58,7 +58,11 @@ class ShapeBiasCorrector(ProximityCorrector):
         if not shots:
             return []
         points = shot_sample_points(shots, "centroid")
-        exposure = exposure_at_points(points, shots, psf)
+        # Sparse operator: entries are bit-identical to dense, but the
+        # n × n matrix never materializes on large shot lists.
+        exposure = exposure_at_points(
+            points, shots, psf, matrix_mode="sparse"
+        )
         # Edge slope of the forward Gaussian at a feature edge.
         edge_slope = 1.0 / (psf.alpha * math.sqrt(math.pi) * (1.0 + psf.eta))
         corrected: List[Shot] = []

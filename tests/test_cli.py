@@ -28,6 +28,53 @@ class TestDemo:
     def test_demo_vsb_fracture(self, capsys):
         assert main(["demo", "--workload", "grating", "--fracture", "vsb"]) == 0
 
+    def test_demo_pec_matrix_modes_agree(self, capsys):
+        outputs = {}
+        for mode in ("dense", "sparse"):
+            assert (
+                main(
+                    [
+                        "demo",
+                        "--workload",
+                        "line_and_pad",
+                        "--pec",
+                        "--pec-matrix",
+                        mode,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert f"pec matrix: {mode}" in out
+            outputs[mode] = [
+                line
+                for line in out.splitlines()
+                if "dose range" in line
+            ]
+        assert outputs["dense"] == outputs["sparse"]
+
+    def test_demo_pec_hybrid_with_grid_cell(self, capsys):
+        assert (
+            main(
+                [
+                    "demo",
+                    "--workload",
+                    "line_and_pad",
+                    "--pec",
+                    "--pec-matrix",
+                    "hybrid",
+                    "--pec-grid-cell",
+                    "0.4",
+                ]
+            )
+            == 0
+        )
+        assert "pec matrix: hybrid" in capsys.readouterr().out
+
+    def test_rejects_unknown_pec_matrix(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["demo", "--workload", "grating", "--pec-matrix", "csr"])
+
     def test_unknown_workload(self, capsys):
         assert main(["demo", "--workload", "nope"]) == 2
         assert "unknown workload" in capsys.readouterr().err

@@ -1,0 +1,451 @@
+"""Tests for the exposure-operator protocol (dense / sparse / hybrid).
+
+The sparse backend's contract is *tolerance zero*: the CSR matrix must
+hold exactly the dense matrix's within-cutoff entries (same nonzero
+pattern, bit-identical values) on arbitrary hypothesis-drawn shot
+lists.  The hybrid backend's contract is a tolerance: its exposure must
+track the dense reference within a small absolute error.  The
+``matrix_mode`` knob must reach the shard cache key, the pipeline and
+the CLI.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import shard_cache_key
+from repro.core.executor import Shard, ShardedExecutor
+from repro.core.pipeline import PreparationPipeline
+from repro.fracture.base import Shot
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.polygon import Polygon
+from repro.geometry.trapezoid import Trapezoid
+from repro.pec.base import (
+    edge_sample_points,
+    exposure_at_points,
+    interaction_matrix_at_points,
+    interaction_matrix_csr,
+    shot_sample_points,
+    trapezoid_exposure,
+)
+from repro.pec.dose_iter import IterativeDoseCorrector
+from repro.pec.dose_matrix import MatrixDoseCorrector
+from repro.pec.ghost import GhostCorrector, GhostExposure, split_ghost
+from repro.pec.operator import (
+    MATRIX_MODES,
+    build_exposure_operator,
+    validate_matrix_mode,
+)
+from repro.physics.psf import DoubleGaussianPSF
+
+PSF = DoubleGaussianPSF(alpha=0.2, beta=2.0, eta=0.74)
+
+
+# -- hypothesis strategies ----------------------------------------------
+
+coordinate = st.floats(
+    min_value=-40.0, max_value=40.0, allow_nan=False, allow_infinity=False
+).map(lambda v: round(v, 3))
+
+extent = st.floats(
+    min_value=0.05, max_value=12.0, allow_nan=False, allow_infinity=False
+).map(lambda v: round(v, 3))
+
+
+@st.composite
+def trapezoids(draw):
+    """Arbitrary positive-area horizontal trapezoids, triangles included
+    (at most one parallel edge collapses — the fracturer invariant)."""
+    yb = draw(coordinate)
+    height = draw(extent)
+    xbl = draw(coordinate)
+    xtl = draw(coordinate)
+    bottom = draw(st.one_of(st.just(0.0), extent))
+    if bottom == 0.0:
+        top = draw(extent)
+    else:
+        top = draw(st.one_of(st.just(0.0), extent))
+    return Trapezoid(yb, yb + height, xbl, xbl + bottom, xtl, xtl + top)
+
+
+@st.composite
+def shot_lists(draw, min_size=1, max_size=40):
+    traps = draw(
+        st.lists(trapezoids(), min_size=min_size, max_size=max_size)
+    )
+    doses = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=4.0).map(
+                lambda v: round(v, 3)
+            ),
+            min_size=len(traps),
+            max_size=len(traps),
+        )
+    )
+    return [Shot(t, d) for t, d in zip(traps, doses)]
+
+
+# -- sparse == dense, tolerance zero ------------------------------------
+
+
+class TestSparseEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(shots=shot_lists())
+    def test_csr_equals_dense_bitwise(self, shots):
+        points = shot_sample_points(shots, "centroid")
+        dense = interaction_matrix_at_points(points, shots, PSF)
+        sparse = interaction_matrix_csr(points, shots, PSF)
+        assert sparse.shape == dense.shape
+        full = sparse.toarray()
+        assert np.array_equal(full, dense)
+        assert np.array_equal(full != 0, dense != 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shots=shot_lists(), factor=st.sampled_from([1.0, 2.5, 6.0]))
+    def test_csr_equals_dense_across_cutoffs(self, shots, factor):
+        points, _ = edge_sample_points(shots)
+        dense = interaction_matrix_at_points(
+            points, shots, PSF, cutoff_factor=factor
+        )
+        sparse = interaction_matrix_csr(
+            points, shots, PSF, cutoff_factor=factor
+        )
+        assert np.array_equal(sparse.toarray(), dense)
+
+    def test_empty_inputs(self):
+        empty = np.empty((0, 2))
+        assert interaction_matrix_csr(empty, [], PSF).shape == (0, 0)
+        op = build_exposure_operator(empty, [], PSF, mode="sparse")
+        assert (op @ np.empty(0)).shape == (0,)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shots=shot_lists())
+    def test_operator_apply_matches_dense_levels(self, shots):
+        points = shot_sample_points(shots, "centroid")
+        doses = np.array([s.dose for s in shots])
+        dense = build_exposure_operator(points, shots, PSF, mode="dense")
+        sparse = build_exposure_operator(points, shots, PSF, mode="sparse")
+        np.testing.assert_allclose(
+            sparse @ doses, dense @ doses, rtol=1e-12, atol=1e-15
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(shots=shot_lists(min_size=2, max_size=25))
+    def test_sparse_doses_match_dense_digest(self, shots):
+        from repro.core.job import MachineJob
+
+        dense = IterativeDoseCorrector(matrix_mode="dense").correct(
+            shots, PSF
+        )
+        sparse = IterativeDoseCorrector(matrix_mode="sparse").correct(
+            shots, PSF
+        )
+        assert (
+            MachineJob(sparse).dose_digest()
+            == MachineJob(dense).dose_digest()
+        )
+
+
+# -- hybrid within tolerance --------------------------------------------
+
+
+class TestHybridAccuracy:
+    @settings(max_examples=30, deadline=None)
+    @given(shots=shot_lists(min_size=1, max_size=25))
+    def test_hybrid_exposure_tracks_dense(self, shots):
+        points = shot_sample_points(shots, "centroid")
+        doses = np.array([s.dose for s in shots])
+        dense = build_exposure_operator(points, shots, PSF, mode="dense")
+        hybrid = build_exposure_operator(points, shots, PSF, mode="hybrid")
+        reference = dense @ doses
+        # Absolute tolerance in large-pad units: the backscatter grid
+        # is the only approximation, and its error is a small fraction
+        # of the η/(1+η) background scale.
+        np.testing.assert_allclose(
+            hybrid @ doses, reference, atol=0.02 * max(doses.max(), 1.0)
+        )
+
+    def test_grid_cell_knob_tightens_error(self):
+        shots = TrapezoidFracturer().fracture_to_shots(
+            [Polygon.rectangle(i * 1.5, 0, i * 1.5 + 0.9, 12) for i in range(8)]
+        )
+        points = shot_sample_points(shots, "centroid")
+        doses = np.ones(len(shots))
+        reference = (
+            build_exposure_operator(points, shots, PSF, mode="dense")
+            @ doses
+        )
+        errors = []
+        for cell in (2.0, 0.25):
+            hybrid = build_exposure_operator(
+                points, shots, PSF, mode="hybrid", grid_cell=cell
+            )
+            errors.append(np.abs(hybrid @ doses - reference).max())
+        assert errors[1] < errors[0]
+
+    def test_hybrid_memory_below_dense(self):
+        from repro.fracture.shots import ShotFracturer
+
+        shots = ShotFracturer(max_shot=2.0).fracture_to_shots(
+            [Polygon.rectangle(i * 2.0, 0, i * 2.0 + 1.0, 60) for i in range(60)]
+        )
+        points = shot_sample_points(shots, "centroid")
+        dense = build_exposure_operator(points, shots, PSF, mode="dense")
+        hybrid = build_exposure_operator(points, shots, PSF, mode="hybrid")
+        sparse = build_exposure_operator(points, shots, PSF, mode="sparse")
+        assert hybrid.matrix_nbytes < dense.matrix_nbytes / 10
+        assert sparse.matrix_nbytes < dense.matrix_nbytes / 10
+
+    def test_invalid_grid_cell(self):
+        shots = [Shot(Trapezoid.from_rectangle(0, 0, 1, 1))]
+        points = shot_sample_points(shots)
+        with pytest.raises(ValueError):
+            build_exposure_operator(
+                points, shots, PSF, mode="hybrid", grid_cell=0.0
+            )
+
+
+# -- solve paths ---------------------------------------------------------
+
+
+class TestOperatorSolve:
+    def _shots(self):
+        return TrapezoidFracturer().fracture_to_shots(
+            [
+                Polygon.rectangle(0, 0, 20, 20),
+                Polygon.rectangle(22, 0, 22.5, 20),
+            ]
+        )
+
+    def test_sparse_solve_matches_dense(self):
+        shots = self._shots()
+        dense = MatrixDoseCorrector(matrix_mode="dense").correct(shots, PSF)
+        sparse = MatrixDoseCorrector(matrix_mode="sparse").correct(
+            shots, PSF
+        )
+        np.testing.assert_allclose(
+            [s.dose for s in sparse], [s.dose for s in dense], rtol=1e-9
+        )
+
+    def test_hybrid_solve_close_to_dense(self):
+        shots = self._shots()
+        dense = MatrixDoseCorrector(matrix_mode="dense").correct(shots, PSF)
+        hybrid = MatrixDoseCorrector(matrix_mode="hybrid").correct(
+            shots, PSF
+        )
+        np.testing.assert_allclose(
+            [s.dose for s in hybrid], [s.dose for s in dense], rtol=0.05
+        )
+
+    def test_regularized_sparse_solve(self):
+        shots = self._shots()
+        dense = MatrixDoseCorrector(
+            matrix_mode="dense", regularization=1e-3
+        ).correct(shots, PSF)
+        sparse = MatrixDoseCorrector(
+            matrix_mode="sparse", regularization=1e-3
+        ).correct(shots, PSF)
+        np.testing.assert_allclose(
+            [s.dose for s in sparse], [s.dose for s in dense], rtol=1e-6
+        )
+
+
+# -- mode validation and wiring -----------------------------------------
+
+
+class TestModeWiring:
+    def test_validate_matrix_mode(self):
+        for mode in MATRIX_MODES:
+            assert validate_matrix_mode(mode) == mode
+        with pytest.raises(ValueError):
+            validate_matrix_mode("csr")
+
+    def test_corrector_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            IterativeDoseCorrector(matrix_mode="banana")
+        with pytest.raises(ValueError):
+            MatrixDoseCorrector(matrix_mode="banana")
+
+    def test_matrix_mode_changes_shard_cache_key(self):
+        shard = Shard(
+            index=(0, 0),
+            polygons=(Polygon.rectangle(0, 0, 4, 4),),
+        )
+        fracturer = TrapezoidFracturer()
+        keys = {
+            mode: shard_cache_key(
+                shard,
+                fracturer,
+                IterativeDoseCorrector(matrix_mode=mode),
+                PSF,
+            )
+            for mode in MATRIX_MODES
+        }
+        assert len(set(keys.values())) == len(MATRIX_MODES)
+        # Equal configuration still collides on the same key.
+        assert keys["sparse"] == shard_cache_key(
+            shard,
+            fracturer,
+            IterativeDoseCorrector(matrix_mode="sparse"),
+            PSF,
+        )
+
+    def test_grid_cell_changes_shard_cache_key(self):
+        shard = Shard(
+            index=(0, 0),
+            polygons=(Polygon.rectangle(0, 0, 4, 4),),
+        )
+        fracturer = TrapezoidFracturer()
+        a = shard_cache_key(
+            shard,
+            fracturer,
+            IterativeDoseCorrector(matrix_mode="hybrid", grid_cell=0.5),
+            PSF,
+        )
+        b = shard_cache_key(
+            shard,
+            fracturer,
+            IterativeDoseCorrector(matrix_mode="hybrid", grid_cell=0.25),
+            PSF,
+        )
+        assert a != b
+
+    def test_executor_threads_matrix_mode_to_corrector(self):
+        corrector = IterativeDoseCorrector()
+        executor = ShardedExecutor(
+            TrapezoidFracturer(),
+            corrector=corrector,
+            psf=PSF,
+            matrix_mode="sparse",
+        )
+        assert executor.corrector.matrix_mode == "sparse"
+        # The caller's corrector is never mutated — it may be shared
+        # with other pipelines.
+        assert corrector.matrix_mode == "dense"
+
+    def test_executor_rejects_mode_without_corrector(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(TrapezoidFracturer(), matrix_mode="sparse")
+        with pytest.raises(ValueError):
+            ShardedExecutor(
+                TrapezoidFracturer(),
+                corrector=GhostCorrector(),
+                psf=PSF,
+                matrix_mode="sparse",
+            )
+
+    def test_pipeline_sparse_mode_digest_matches_dense(self):
+        layout = [
+            Polygon.rectangle(i * 2.0, 0, i * 2.0 + 1.0, 18.0)
+            for i in range(9)
+        ]
+        results = {}
+        for mode in ("dense", "sparse"):
+            pipe = PreparationPipeline(
+                corrector=IterativeDoseCorrector(),
+                psf=PSF,
+                matrix_mode=mode,
+            )
+            results[mode] = pipe.run_polygons(layout)
+        assert (
+            results["sparse"].job.dose_digest()
+            == results["dense"].job.dose_digest()
+        )
+        assert (
+            results["sparse"].job.portable_digest()
+            == results["dense"].job.portable_digest()
+        )
+
+
+# -- vectorized sample helpers stay bit-identical ------------------------
+
+
+class TestVectorizedSampling:
+    @settings(max_examples=60, deadline=None)
+    @given(shots=shot_lists(max_size=30))
+    def test_centroid_matches_scalar_loop(self, shots):
+        expected = np.empty((len(shots), 2))
+        for i, shot in enumerate(shots):
+            c = shot.trapezoid.centroid()
+            expected[i] = (c.x, c.y)
+        assert np.array_equal(
+            shot_sample_points(shots, "centroid"), expected
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(shots=shot_lists(max_size=30))
+    def test_center_matches_scalar_loop(self, shots):
+        expected = np.empty((len(shots), 2))
+        for i, shot in enumerate(shots):
+            b = shot.trapezoid.bounding_box()
+            expected[i] = ((b[0] + b[2]) / 2.0, (b[1] + b[3]) / 2.0)
+        assert np.array_equal(
+            shot_sample_points(shots, "center"), expected
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(shots=shot_lists(max_size=30))
+    def test_edge_points_match_scalar_loop(self, shots):
+        n = len(shots)
+        expected = np.empty((2 * n, 2))
+        owners = np.empty(2 * n, dtype=int)
+        for i, shot in enumerate(shots):
+            t = shot.trapezoid
+            y_mid = 0.5 * (t.y_bottom + t.y_top)
+            left = 0.5 * (t.x_bottom_left + t.x_top_left)
+            right = 0.5 * (t.x_bottom_right + t.x_top_right)
+            inset = 0.02 * max(right - left, 1e-9)
+            expected[2 * i] = (left + inset, y_mid)
+            expected[2 * i + 1] = (right - inset, y_mid)
+            owners[2 * i] = i
+            owners[2 * i + 1] = i
+        points, got_owners = edge_sample_points(shots)
+        assert np.array_equal(points, expected)
+        assert np.array_equal(got_owners, owners)
+
+    def test_empty_shot_list(self):
+        assert shot_sample_points([], "centroid").shape == (0, 2)
+        points, owners = edge_sample_points([])
+        assert points.shape == (0, 2)
+        assert owners.shape == (0,)
+
+
+# -- exposure_at_points through the operator -----------------------------
+
+
+class TestExposureAtPoints:
+    @settings(max_examples=25, deadline=None)
+    @given(shots=shot_lists(max_size=20))
+    def test_matches_per_shot_accumulation(self, shots):
+        points = shot_sample_points(shots, "centroid")
+        legacy = np.zeros(len(points))
+        for shot in shots:
+            legacy += shot.dose * trapezoid_exposure(
+                points, shot.trapezoid, PSF
+            )
+        for mode in ("dense", "sparse"):
+            levels = exposure_at_points(points, shots, PSF, matrix_mode=mode)
+            np.testing.assert_allclose(levels, legacy, rtol=1e-6, atol=1e-6)
+
+    def test_ghost_absorbed_at_points(self):
+        from repro.geometry.rasterize import RasterFrame
+
+        shots = TrapezoidFracturer().fracture_to_shots(
+            [Polygon.rectangle(0, 0, 10, 10)]
+        )
+        ghost = GhostCorrector(margin=5.0)
+        corrected = ghost.correct(shots, PSF)
+        pattern, ghost_shots = split_ghost(corrected, len(shots))
+        frame = RasterFrame.around((0, 0, 10, 10), 0.1, margin=6.0)
+        exposure = GhostExposure(PSF, frame)
+        points = np.array([[5.0, 5.0], [0.0, 5.0], [-3.0, 5.0]])
+        for mode in ("dense", "sparse"):
+            levels = exposure.absorbed_at_points(
+                pattern, ghost_shots, points, matrix_mode=mode
+            )
+            image = exposure.absorbed(pattern, ghost_shots)
+            sampled = [
+                exposure._pattern_sim.sample(image, x, y) for x, y in points
+            ]
+            np.testing.assert_allclose(levels, sampled, atol=0.06)
