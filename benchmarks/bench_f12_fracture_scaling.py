@@ -1,0 +1,222 @@
+"""F12 — Fracture kernel scaling and hierarchy reuse.
+
+Two effects introduced by the vectorized geometry kernel PR:
+
+* **Kernel speedup** — the NumPy exact-integer scanline engine
+  (``kernel="fast"``) vs. the pure-Python ``Fraction`` reference
+  (``kernel="exact"``) on the FZP (all-curves) and memory-array
+  (Manhattan, array-dominated) workloads, at growing polygon counts.
+  The two kernels must agree **bitwise** on every workload; in full
+  mode the fast kernel must clear a 3x floor on the large cases, in
+  ``--quick`` (CI) mode it must simply never be slower.
+
+* **Hierarchy reuse through the real pipeline** — ``hierarchy="cells"``
+  vs. flat preparation on memory arrays, both through
+  :class:`~repro.core.pipeline.PreparationPipeline`.  To isolate the
+  *reuse* effect from the kernel speedup the comparison holds the
+  kernel fixed (the Fraction reference, where fracture dominates —
+  the F8c setting); in full mode the 8x8 array must clear a 10x floor.
+  The fast-kernel pipeline numbers are reported alongside.
+"""
+
+import time
+
+from repro.analysis.tables import Table
+from repro.core.pipeline import PreparationPipeline
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.boolean import boolean_trapezoids
+from repro.layout import generators
+from repro.layout.flatten import flatten_cell
+
+
+def _flat_polygons(library):
+    flat = flatten_cell(library.top_cell())
+    return [p for v in flat.values() for p in v]
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _triangle_band(n):
+    """n disjoint slanted triangles sharing one y band — the worst case
+    for crossing-candidate generation (every edge pair y-overlaps, none
+    cross), guarding the batched-pruning path against regressions."""
+    from repro.geometry.polygon import Polygon
+    from repro.layout.cell import Cell
+    from repro.layout.library import Library
+
+    cell = Cell("TRIBAND")
+    for i in range(n):
+        cell.add_polygon(
+            Polygon(
+                [(i * 3.0, 0.0), (i * 3.0 + 2.0, 0.1), (i * 3.0 + 1.0, 10.0)]
+            )
+        )
+    lib = Library("TRIBAND_LIB")
+    lib.add(cell)
+    return lib
+
+
+def kernel_workloads(quick):
+    if quick:
+        return [
+            ("fzp z8", generators.fresnel_zone_plate(zones=8, points_per_arc=32)),
+            ("mem 2x2", generators.memory_array(words=8, bits=8, blocks=(2, 2))),
+            ("tri band 400", _triangle_band(400)),
+        ]
+    return [
+        ("fzp z8", generators.fresnel_zone_plate(zones=8, points_per_arc=32)),
+        ("fzp z20", generators.fresnel_zone_plate(zones=20, points_per_arc=64)),
+        ("mem 2x2", generators.memory_array(words=8, bits=8, blocks=(2, 2))),
+        ("mem 4x4", generators.memory_array(words=8, bits=8, blocks=(4, 4))),
+        ("mem 8x8", generators.memory_array(words=8, bits=8, blocks=(8, 8))),
+        ("tri band 2k", _triangle_band(2000)),
+    ]
+
+
+def run_kernel_scaling(quick):
+    repeats = 1 if quick else 2
+    table = Table(
+        ["workload", "polygons", "figures", "exact [s]", "fast [s]",
+         "speedup"],
+        title="F12: scanline kernel — Fraction reference vs. vectorized "
+        "exact-integer (bitwise-identical output)",
+    )
+    rows = []
+    for name, lib in kernel_workloads(quick):
+        polys = _flat_polygons(lib)
+        t_exact, exact = _best_of(
+            lambda: boolean_trapezoids(polys, [], "or", kernel="exact"),
+            repeats,
+        )
+        t_fast, fast = _best_of(
+            lambda: boolean_trapezoids(polys, [], "or", kernel="fast"),
+            repeats,
+        )
+        # The contract under test: bit-identical trapezoids.
+        assert fast == exact, f"kernel outputs diverge on {name}"
+        speedup = t_exact / t_fast
+        rows.append(
+            {
+                "workload": name,
+                "polygons": len(polys),
+                "figures": len(exact),
+                "exact_s": t_exact,
+                "fast_s": t_fast,
+                "speedup": speedup,
+            }
+        )
+        table.add_row(
+            [name, len(polys), len(exact), t_exact, t_fast,
+             f"{speedup:.1f}x"]
+        )
+    # Floors: CI (--quick) demands "never slower"; the full run demands
+    # a 3x win on every large workload.
+    for row in rows:
+        assert row["speedup"] >= 1.0, (
+            f"fast kernel slower than reference on {row['workload']}: "
+            f"{row['speedup']:.2f}x"
+        )
+    if not quick:
+        for row in rows:
+            if row["polygons"] >= 1000 or row["figures"] >= 1000:
+                assert row["speedup"] >= 3.0, (
+                    f"fast kernel below the 3x floor on "
+                    f"{row['workload']}: {row['speedup']:.2f}x"
+                )
+    return table.render(), rows
+
+
+def hierarchy_cases(quick):
+    if quick:
+        return [(2, 2)]
+    return [(2, 2), (4, 4), (8, 8)]
+
+
+def run_hierarchy_reuse(quick):
+    table = Table(
+        ["array", "figures", "flat [s]", "cells [s]", "reuse win",
+         "fast flat [s]", "fast cells [s]"],
+        title="F12a: pipeline hierarchy reuse — flat vs. cells "
+        "(reference kernel isolates reuse; fast-kernel columns for "
+        "the shipping configuration)",
+    )
+    exact_pipe = PreparationPipeline(
+        fracturer=TrapezoidFracturer(kernel="exact")
+    )
+    fast_pipe = PreparationPipeline()
+    rows = []
+    for blocks in hierarchy_cases(quick):
+        lib = generators.memory_array(words=8, bits=8, blocks=blocks)
+        t0 = time.perf_counter()
+        flat = exact_pipe.run(lib, hierarchy="flat")
+        t1 = time.perf_counter()
+        cells = exact_pipe.run(lib, hierarchy="cells")
+        t2 = time.perf_counter()
+        fast_flat = fast_pipe.run(lib, hierarchy="flat")
+        t3 = time.perf_counter()
+        fast_cells = fast_pipe.run(lib, hierarchy="cells")
+        t4 = time.perf_counter()
+        assert cells.job.figure_count() == flat.job.figure_count()
+        assert fast_cells.job.figure_count() == flat.job.figure_count()
+        assert cells.execution.instances_reused > 0
+        win = (t1 - t0) / (t2 - t1)
+        rows.append(
+            {
+                "blocks": f"{blocks[0]}x{blocks[1]}",
+                "figures": cells.job.figure_count(),
+                "flat_s": t1 - t0,
+                "cells_s": t2 - t1,
+                "reuse_win": win,
+                "fast_flat_s": t3 - t2,
+                "fast_cells_s": t4 - t3,
+                "instances_reused": cells.execution.instances_reused,
+            }
+        )
+        table.add_row(
+            [
+                f"{blocks[0]}x{blocks[1]}",
+                cells.job.figure_count(),
+                t1 - t0,
+                t2 - t1,
+                f"{win:.1f}x",
+                t3 - t2,
+                t4 - t3,
+            ]
+        )
+    for row in rows:
+        assert row["reuse_win"] >= 1.0, (
+            f"cells mode slower than flat on {row['blocks']}: "
+            f"{row['reuse_win']:.2f}x"
+        )
+    if not quick:
+        big = [r for r in rows if r["blocks"] == "8x8"]
+        assert big and big[0]["reuse_win"] >= 10.0, (
+            "hierarchy reuse below the 10x floor on the 8x8 array: "
+            f"{big[0]['reuse_win']:.2f}x"
+        )
+    return table.render(), rows
+
+
+def test_f12_kernel_scaling(quick, save_table, benchmark):
+    text, rows = run_kernel_scaling(quick)
+    save_table("f12_kernel_scaling", text, data={"rows": rows})
+    polys = _flat_polygons(
+        generators.fresnel_zone_plate(zones=8, points_per_arc=32)
+    )
+    benchmark(boolean_trapezoids, polys, [], "or")
+
+
+def test_f12a_hierarchy_reuse(quick, save_table, benchmark):
+    text, rows = run_hierarchy_reuse(quick)
+    save_table("f12a_hierarchy_reuse", text, data={"rows": rows})
+    lib = generators.memory_array(words=8, bits=8, blocks=(2, 2))
+    pipe = PreparationPipeline(hierarchy="cells")
+    benchmark(pipe.run, lib)

@@ -71,6 +71,7 @@ def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
         workers=args.workers,
         field_size=args.field_size,
         cache_dir=cache_dir,
+        hierarchy=args.hierarchy,
     )
 
 
@@ -95,6 +96,12 @@ def _print_result(result, pec_matrix=None) -> None:
             f"  shards:    {stats.occupied_shards}/{stats.shard_count} "
             f"occupied ({stats.field_size:g} µm fields, "
             f"{stats.workers} workers, {mode})"
+        )
+    if stats is not None and stats.hierarchy == "cells":
+        print(
+            f"  hierarchy: {stats.cells_fractured} cells fractured, "
+            f"{stats.instances_reused} instances reused, "
+            f"{stats.instances_fallback} fallback"
         )
     if stats is not None and stats.cache_enabled:
         lookups = stats.cache_hits + stats.cache_misses
@@ -204,6 +211,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--field-size", type=_positive_float, default=None, metavar="UM",
         help="writing-field pitch [µm] for layout sharding "
         "(default: process the layout as one shard)",
+    )
+    parser.add_argument(
+        "--hierarchy", choices=["flat", "cells"], default="flat",
+        help="hierarchical-source handling: flat (expand every "
+        "placement, fracture per shard) or cells (fracture each cell "
+        "once, replicate figures per placement — the array-reuse fast "
+        "path)",
     )
     parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,

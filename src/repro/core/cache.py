@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
+from repro.geometry.trapezoid import Trapezoid
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.executor import Shard, ShardResult
@@ -107,6 +108,14 @@ def _update(h, obj) -> None:
         for v in obj.vertices:
             h.update(_F64.pack(v.x))
             h.update(_F64.pack(v.y))
+    elif isinstance(obj, Trapezoid):
+        h.update(b"Z")
+        h.update(_F64.pack(obj.y_bottom))
+        h.update(_F64.pack(obj.y_top))
+        h.update(_F64.pack(obj.x_bottom_left))
+        h.update(_F64.pack(obj.x_bottom_right))
+        h.update(_F64.pack(obj.x_top_left))
+        h.update(_F64.pack(obj.x_top_right))
     elif isinstance(obj, np.generic):
         # Numpy scalars carry their value outside attribute
         # introspection; hash the equivalent Python value (type-tagged
@@ -208,12 +217,23 @@ def shard_cache_key(
     polygons, the field index, the fracturer configuration, the
     proximity-corrector configuration (or ``None``), the PSF parameters
     (or ``None``), and a version salt.
+
+    Pre-fractured shards (hierarchy-aware runs, ``shard.figures`` set)
+    are keyed by their figures instead of polygons + fracturer: the
+    figures *are* the full geometric input there — the fracturer never
+    runs — and the distinct type tag keeps the two key families from
+    ever colliding.
     """
     h = hashlib.sha256()
-    _update(h, ("repro-shard", salt))
-    _update(h, shard.index)
-    _update(h, shard.polygons)
-    _update(h, fracturer)
+    if getattr(shard, "figures", None) is not None:
+        _update(h, ("repro-shard-figures", salt))
+        _update(h, shard.index)
+        _update(h, shard.figures)
+    else:
+        _update(h, ("repro-shard", salt))
+        _update(h, shard.index)
+        _update(h, shard.polygons)
+        _update(h, fracturer)
     _update(h, corrector)
     _update(h, psf)
     return h.hexdigest()

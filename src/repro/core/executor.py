@@ -75,6 +75,7 @@ from repro.core.fields import FieldIndex, field_index_of
 from repro.fracture.base import Fracturer, Shot
 from repro.fracture.quality import FractureReport, analyze_figures, merge_reports
 from repro.geometry.polygon import Polygon
+from repro.geometry.trapezoid import Trapezoid
 from repro.pec.base import ProximityCorrector
 from repro.physics.psf import DoubleGaussianPSF
 
@@ -99,10 +100,16 @@ class Shard:
         index: field index ``(col, row)`` on the mosaic; ``(0, 0)`` for
             the unsharded single-tile plan.
         polygons: the tile's polygons, in layout order.
+        figures: pre-fractured machine figures instead of polygons —
+            set by hierarchy-aware runs, where each cell was fractured
+            once up front and the executor only applies proximity
+            correction per shard.  When set, ``polygons`` is empty and
+            the fracturer is never invoked.
     """
 
     index: FieldIndex
     polygons: Tuple[Polygon, ...]
+    figures: Optional[Tuple[Trapezoid, ...]] = None
 
 
 @dataclass
@@ -123,6 +130,15 @@ class ExecutionStats:
         cache_enabled: a shard cache was consulted for this run.
         cache_hits: shards answered from the cache (skipped entirely).
         cache_misses: shards computed (and stored) this run.
+        hierarchy: how the figures were produced — ``"flat"`` (fracture
+            per shard) or ``"cells"`` (each cell fractured once, figures
+            replicated per placement, PEC per shard).
+        cells_fractured: distinct (cell, layer) fracture computations
+            in a ``"cells"`` run.
+        instances_reused: placements served from the per-cell figure
+            cache in a ``"cells"`` run.
+        instances_fallback: placements that required re-fracturing
+            (90°/270° rotations) in a ``"cells"`` run.
     """
 
     shard_count: int = 1
@@ -133,6 +149,10 @@ class ExecutionStats:
     cache_enabled: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    hierarchy: str = "flat"
+    cells_fractured: int = 0
+    instances_reused: int = 0
+    instances_fallback: int = 0
 
 
 @dataclass
@@ -184,23 +204,91 @@ def plan_shards(
         from repro.geometry.boolean import union
 
         polygons = union(polygons)
-    if origin is None:
-        boxes = [p.bounding_box() for p in polygons]
-        origin = (min(b[0] for b in boxes), min(b[1] for b in boxes))
-    x0, y0 = origin
-    buckets: dict = {}
-    for poly in polygons:
-        bx0, by0, bx1, by1 = poly.bounding_box()
-        index = field_index_of(
-            (bx0 + bx1) / 2.0, (by0 + by1) / 2.0, x0, y0, field_size
-        )
-        buckets.setdefault(index, []).append(poly)
+    buckets, origin = _bucket_row_major(polygons, field_size, origin)
     if overlap_policy == "warn":
-        _warn_on_cross_shard_overlap(buckets, (x0, y0), field_size)
+        _warn_on_cross_shard_overlap(
+            buckets, origin, field_size, lambda poly: poly
+        )
     return [
         Shard(index=index, polygons=tuple(buckets[index]))
         for index in sorted(buckets, key=lambda ij: (ij[1], ij[0]))
     ]
+
+
+def plan_figure_shards(
+    figures: Sequence[Trapezoid],
+    field_size: Optional[float] = None,
+    origin: Optional[Tuple[float, float]] = None,
+    overlap_policy: str = "warn",
+) -> List[Shard]:
+    """Partition pre-fractured machine figures into writing-field shards.
+
+    The figure-level counterpart of :func:`plan_shards` for
+    hierarchy-aware runs: each figure is assigned whole to the tile
+    containing its bounding-box centre, shards come back row-major.
+
+    Figures of one fracture are disjoint, but figures of *different*
+    instances (or ill-formed overlapping placements) may overlap —
+    exactly like input polygons in :func:`plan_shards` — so
+    ``overlap_policy="warn"`` runs the same cross-shard interior check.
+    ``"union"`` is rejected: pre-unioning would require re-fracturing,
+    which is what a pre-fractured run exists to avoid — run flat or
+    choose ``"warn"``/``"ignore"`` instead.
+    """
+    if overlap_policy not in ("warn", "ignore"):
+        if overlap_policy == "union":
+            raise ValueError(
+                "overlap_policy='union' is incompatible with "
+                "pre-fractured figure shards (it would re-fracture the "
+                "layout); use hierarchy='flat' or overlap_policy "
+                "'warn'/'ignore'"
+            )
+        raise ValueError(
+            f"overlap_policy must be 'warn', 'union' or 'ignore', "
+            f"got {overlap_policy!r}"
+        )
+    figures = list(figures)
+    if not figures:
+        return []
+    if field_size is None:
+        return [Shard(index=(0, 0), polygons=(), figures=tuple(figures))]
+    buckets, origin = _bucket_row_major(figures, field_size, origin)
+    if overlap_policy == "warn":
+        _warn_on_cross_shard_overlap(
+            buckets, origin, field_size, lambda trap: trap.to_polygon()
+        )
+    return [
+        Shard(index=index, polygons=(), figures=tuple(buckets[index]))
+        for index in sorted(buckets, key=lambda ij: (ij[1], ij[0]))
+    ]
+
+
+def _bucket_row_major(
+    items: Sequence,
+    field_size: float,
+    origin: Optional[Tuple[float, float]],
+) -> Tuple[dict, Tuple[float, float]]:
+    """Bucket geometry by bounding-box centre onto the field mosaic.
+
+    Shared by the polygon and figure planners so flat and cells runs
+    shard identically: mosaic anchored at ``origin`` (lower-left of the
+    combined bounding box by default), items assigned whole via
+    :func:`repro.core.fields.field_index_of`, input order preserved
+    within each bucket.
+    """
+    if field_size <= 0:
+        raise ValueError("field size must be positive")
+    boxes = [item.bounding_box() for item in items]
+    if origin is None:
+        origin = (min(b[0] for b in boxes), min(b[1] for b in boxes))
+    x0, y0 = origin
+    buckets: dict = {}
+    for item, (bx0, by0, bx1, by1) in zip(items, boxes):
+        index = field_index_of(
+            (bx0 + bx1) / 2.0, (by0 + by1) / 2.0, x0, y0, field_size
+        )
+        buckets.setdefault(index, []).append(item)
+    return buckets, origin
 
 
 def _window_edges(
@@ -288,29 +376,35 @@ def _interiors_overlap(
 
 
 def _warn_on_cross_shard_overlap(
-    buckets: dict, origin: Tuple[float, float], field_size: float
+    buckets: dict,
+    origin: Tuple[float, float],
+    field_size: float,
+    as_polygon,
 ) -> None:
-    """Emit :class:`ShardOverlapWarning` if polygons of different shards
+    """Emit :class:`ShardOverlapWarning` if items of different shards
     have positive-area interior overlap.
 
-    An overlapping cross-shard pair always involves at least one polygon
-    whose bounding box escapes its own tile, so the exact interior test
-    runs only on bbox-overlapping pairs with a boundary crosser in them
-    — a sorted sweep keeps the candidate set small for mosaic-friendly
-    layouts, and fully tile-contained layouts skip the sweep entirely.
+    ``as_polygon`` converts a bucket item to a :class:`Polygon` for the
+    exact interior test (identity for polygon shards, ``to_polygon``
+    for pre-fractured figure shards).  An overlapping cross-shard pair
+    always involves at least one item whose bounding box escapes its
+    own tile, so the exact interior test runs only on bbox-overlapping
+    pairs with a boundary crosser in them — a sorted sweep keeps the
+    candidate set small for mosaic-friendly layouts, and fully
+    tile-contained layouts skip the sweep entirely.
     """
     x0, y0 = origin
     entries: List[
         Tuple[FieldIndex, Polygon, Tuple[float, float, float, float], bool]
     ] = []
     any_crosser = False
-    for index, polys in buckets.items():
+    for index, items in buckets.items():
         tile_x0 = x0 + index[0] * field_size
         tile_y0 = y0 + index[1] * field_size
         tile_x1 = tile_x0 + field_size
         tile_y1 = tile_y0 + field_size
-        for poly in polys:
-            bb = poly.bounding_box()
+        for item in items:
+            bb = item.bounding_box()
             crosser = (
                 bb[0] < tile_x0
                 or bb[1] < tile_y0
@@ -318,7 +412,7 @@ def _warn_on_cross_shard_overlap(
                 or bb[3] > tile_y1
             )
             any_crosser = any_crosser or crosser
-            entries.append((index, poly, bb, crosser))
+            entries.append((index, item, bb, crosser))
     # Two polygons both contained in their own tiles cannot overlap, so
     # every overlapping cross-shard pair involves a boundary crosser.
     if not any_crosser:
@@ -328,9 +422,9 @@ def _warn_on_cross_shard_overlap(
         Tuple[FieldIndex, Polygon, Tuple[float, float, float, float], bool]
     ] = []
     checked = 0
-    for index, poly, bb, crosser in entries:
-        active = [item for item in active if item[2][2] > bb[0]]
-        for other_index, other_poly, other_bb, other_crosser in active:
+    for index, item, bb, crosser in entries:
+        active = [entry for entry in active if entry[2][2] > bb[0]]
+        for other_index, other_item, other_bb, other_crosser in active:
             if other_index == index:
                 continue
             if not (crosser or other_crosser):
@@ -349,7 +443,9 @@ def _warn_on_cross_shard_overlap(
                     stacklevel=3,
                 )
                 return
-            if _interiors_overlap(poly, other_poly, bb, other_bb):
+            if _interiors_overlap(
+                as_polygon(item), as_polygon(other_item), bb, other_bb
+            ):
                 warnings.warn(
                     f"polygons of shards {other_index} and {index} "
                     "overlap; their overlap area is exposed twice (and "
@@ -360,7 +456,7 @@ def _warn_on_cross_shard_overlap(
                     stacklevel=3,
                 )
                 return
-        active.append((index, poly, bb, crosser))
+        active.append((index, item, bb, crosser))
 
 
 def _process_shard(
@@ -371,10 +467,15 @@ def _process_shard(
 ) -> ShardResult:
     """Fracture and (optionally) proximity-correct one shard.
 
-    Module-level so the process pool can pickle it; must stay pure — the
-    determinism contract of the engine rests on it.
+    Pre-fractured shards (``shard.figures`` set) skip the fracturer and
+    go straight to dosing/correction.  Module-level so the process pool
+    can pickle it; must stay pure — the determinism contract of the
+    engine rests on it.
     """
-    shots = fracturer.fracture_to_shots(shard.polygons)
+    if shard.figures is not None:
+        shots = [Shot(t) for t in shard.figures]
+    else:
+        shots = fracturer.fracture_to_shots(shard.polygons)
     figures = [s.trapezoid for s in shots]
     # The fracture is a disjoint cover, so its own area is the reference
     # for downstream bookkeeping.
@@ -598,6 +699,29 @@ class ShardedExecutor:
         )
         return results[0]
 
+    def execute_figures(
+        self,
+        figures: Sequence[Trapezoid],
+        workers: Optional[int] = None,
+        field_size: Optional[float] = None,
+        cache: Union[ShardCache, bool, None] = None,
+    ) -> ExecutionResult:
+        """Shard, dose/correct and merge a pre-fractured figure list.
+
+        The hierarchy-aware entry point: fracture already happened (once
+        per cell), so shards carry figures and only proximity correction
+        runs per shard.  Caching, pooling and the determinism contract
+        work exactly as for :meth:`execute`.
+        """
+        results = self.execute_many(
+            [figures],
+            workers=workers,
+            field_size=field_size,
+            cache=cache,
+            prefractured=True,
+        )
+        return results[0]
+
     # -- batched layouts --------------------------------------------------
 
     def execute_many(
@@ -606,6 +730,7 @@ class ShardedExecutor:
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
         cache: Union[ShardCache, bool, None] = None,
+        prefractured: bool = False,
     ) -> List[ExecutionResult]:
         """Process several layouts through one shared worker pool.
 
@@ -614,6 +739,10 @@ class ShardedExecutor:
         back per input layout, each merged in its own shard order.  With
         a cache, shards whose content address is already stored skip the
         work list entirely.
+
+        With ``prefractured=True`` each input set holds
+        :class:`~repro.geometry.trapezoid.Trapezoid` figures instead of
+        polygons (see :meth:`execute_figures`).
         """
         if workers is None:
             workers = self.workers
@@ -622,10 +751,20 @@ class ShardedExecutor:
             field_size = self.field_size
         active_cache = self._resolve_cache(cache)
 
-        plans = [
-            plan_shards(polys, field_size, overlap_policy=self.overlap_policy)
-            for polys in polygon_sets
-        ]
+        if prefractured:
+            plans = [
+                plan_figure_shards(
+                    figs, field_size, overlap_policy=self.overlap_policy
+                )
+                for figs in polygon_sets
+            ]
+        else:
+            plans = [
+                plan_shards(
+                    polys, field_size, overlap_policy=self.overlap_policy
+                )
+                for polys in polygon_sets
+            ]
         shards: List[Shard] = []
         owners: List[int] = []
         for which, plan in enumerate(plans):
@@ -678,6 +817,7 @@ class ShardedExecutor:
                 cache_misses=(
                     len(plan) - grouped_hits[which] if active_cache else 0
                 ),
+                hierarchy="cells" if prefractured else "flat",
             )
             merged = merge_shard_results(
                 results, corrected=corrected and bool(results), stats=stats

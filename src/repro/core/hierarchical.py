@@ -22,12 +22,18 @@ the F8 bench family measures it directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.fracture.base import Fracturer
 from repro.fracture.trapezoidal import TrapezoidFracturer
 from repro.geometry.transform import Transform
 from repro.geometry.trapezoid import Trapezoid
+from repro.geometry.vertex_array import (
+    transform_polygons,
+    transform_trapezoid_array,
+    trapezoid_array,
+    trapezoids_from_array,
+)
 from repro.layout.cell import Cell
 from repro.layout.layer import Layer
 from repro.layout.library import Library
@@ -76,17 +82,23 @@ class HierarchicalFractureResult:
     """Figures plus reuse statistics.
 
     Attributes:
-        figures: per-layer flat figure lists.
+        figures: per-layer flat figure lists.  A ``merge_layers``
+            fracture stores all figures under the single key ``None``.
         cells_fractured: distinct (cell, layer) fracture computations.
         instances_reused: placements served from the cache.
         instances_fallback: placements that required re-fracturing
             (90°/270° rotations).
+        source_polygons: flattened polygon count the figure set covers
+            (what a flat run would have fractured).
+        source_polygons_by_layer: the same count split per layer.
     """
 
     figures: Dict[Layer, List[Trapezoid]] = field(default_factory=dict)
     cells_fractured: int = 0
     instances_reused: int = 0
     instances_fallback: int = 0
+    source_polygons: int = 0
+    source_polygons_by_layer: Dict[Layer, int] = field(default_factory=dict)
 
     def figure_count(self) -> int:
         return sum(len(v) for v in self.figures.values())
@@ -98,8 +110,21 @@ class HierarchicalFractureResult:
 def fracture_hierarchical(
     source: "Library | Cell",
     fracturer: Optional[Fracturer] = None,
+    layers: Optional[Set[Layer]] = None,
+    merge_layers: bool = False,
 ) -> HierarchicalFractureResult:
     """Fracture a hierarchy with per-cell caching.
+
+    Args:
+        source: library (unique top cell used) or cell.
+        fracturer: fracturing strategy (trapezoids by default).
+        layers: restrict to these layers (all populated layers when
+            ``None``).
+        merge_layers: fracture each cell's (selected) layers as one
+            union instead of per layer, storing the figures under the
+            single key ``None`` — the per-cell equivalent of the flat
+            pipeline's all-layers-merged preparation, where geometry
+            drawn on several layers exposes once, not once per layer.
 
     Note: per-cell fracture means overlaps *between* different instances
     are not merged (their figures may overlap).  For well-formed layouts
@@ -110,9 +135,54 @@ def fracture_hierarchical(
         fracturer = TrapezoidFracturer()
     top = source.top_cell() if isinstance(source, Library) else source
     result = HierarchicalFractureResult()
-    cache: Dict[Tuple[int, Layer], List[Trapezoid]] = {}
-    _walk(top, Transform.identity(), fracturer, cache, result, path=())
+    cache: Dict[Tuple[int, Optional[Layer]], List[Trapezoid]] = {}
+    _walk(
+        top, Transform.identity(), fracturer, cache, result, layers,
+        merge_layers, path=(),
+    )
     return result
+
+
+def _replicate(
+    cell: Cell,
+    key_layer: Optional[Layer],
+    polys,
+    transform: Transform,
+    fracturer: Fracturer,
+    cache: Dict,
+    result: HierarchicalFractureResult,
+) -> None:
+    """Fracture-once-and-transform one cell/layer group into the result."""
+    bucket = result.figures.setdefault(key_layer, [])
+    if preserves_horizontal(transform):
+        key = (id(cell), key_layer)
+        if key not in cache:
+            cache[key] = fracturer.fracture(polys)
+            result.cells_fractured += 1
+        else:
+            result.instances_reused += 1
+        if transform.is_identity():
+            bucket.extend(cache[key])
+        elif len(cache[key]) > 8:
+            # Replicate through one vectorized affine pass over the
+            # stacked figure array (bit-identical to the scalar
+            # transform_trapezoid).
+            bucket.extend(
+                trapezoids_from_array(
+                    transform_trapezoid_array(
+                        trapezoid_array(cache[key]), transform
+                    )
+                )
+            )
+        else:
+            bucket.extend(
+                transform_trapezoid(t, transform) for t in cache[key]
+            )
+    else:
+        result.instances_fallback += 1
+        bucket.extend(
+            fracturer.fracture(transform_polygons(polys, transform))
+        )
 
 
 def _walk(
@@ -121,35 +191,30 @@ def _walk(
     fracturer: Fracturer,
     cache: Dict,
     result: HierarchicalFractureResult,
+    layers: Optional[Set[Layer]],
+    merge_layers: bool,
     path: Tuple[str, ...],
 ) -> None:
     if cell.name in path:
         cycle = " -> ".join(path + (cell.name,))
         raise ValueError(f"reference cycle while fracturing: {cycle}")
 
-    reusable = preserves_horizontal(transform)
+    merged: List = []
     for layer, polys in cell.polygons.items():
-        if not polys:
+        if not polys or (layers is not None and layer not in layers):
             continue
-        bucket = result.figures.setdefault(layer, [])
-        if reusable:
-            key = (id(cell), layer)
-            if key not in cache:
-                cache[key] = fracturer.fracture(polys)
-                result.cells_fractured += 1
-            else:
-                result.instances_reused += 1
-            if transform.is_identity():
-                bucket.extend(cache[key])
-            else:
-                bucket.extend(
-                    transform_trapezoid(t, transform) for t in cache[key]
-                )
+        result.source_polygons += len(polys)
+        result.source_polygons_by_layer[layer] = (
+            result.source_polygons_by_layer.get(layer, 0) + len(polys)
+        )
+        if merge_layers:
+            merged.extend(polys)
         else:
-            result.instances_fallback += 1
-            bucket.extend(
-                fracturer.fracture([p.transformed(transform) for p in polys])
+            _replicate(
+                cell, layer, polys, transform, fracturer, cache, result
             )
+    if merged:
+        _replicate(cell, None, merged, transform, fracturer, cache, result)
 
     for ref in cell.references:
         for placement in ref.placements():
@@ -159,5 +224,7 @@ def _walk(
                 fracturer,
                 cache,
                 result,
+                layers,
+                merge_layers,
                 path + (cell.name,),
             )

@@ -17,6 +17,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.cache import ShardCache
 from repro.core.executor import ExecutionStats, ShardedExecutor
+from repro.core.hierarchical import (
+    HierarchicalFractureResult,
+    fracture_hierarchical,
+)
 from repro.core.job import MachineJob
 from repro.fracture.base import Fracturer
 from repro.fracture.quality import FractureReport
@@ -29,6 +33,23 @@ from repro.layout.library import Library
 from repro.machine.base import Machine, WriteTimeBreakdown
 from repro.pec.base import ProximityCorrector
 from repro.physics.psf import DoubleGaussianPSF
+
+
+def _validate_hierarchy(hierarchy: str) -> None:
+    if hierarchy not in ("flat", "cells"):
+        raise ValueError(
+            f"hierarchy must be 'flat' or 'cells', got {hierarchy!r}"
+        )
+
+
+def _apply_hierarchy_stats(
+    stats: ExecutionStats, hier: HierarchicalFractureResult
+) -> None:
+    """Copy per-cell reuse counters onto an execution's stats record."""
+    stats.hierarchy = "cells"
+    stats.cells_fractured = hier.cells_fractured
+    stats.instances_reused = hier.instances_reused
+    stats.instances_fallback = hier.instances_fallback
 
 
 @dataclass
@@ -89,6 +110,16 @@ class PreparationPipeline:
             ``None`` keeps whatever the corrector was built with.  The
             mode is part of the corrector configuration and therefore of
             every shard cache key.
+        hierarchy: how hierarchical sources are fractured —
+            ``"flat"`` (default: expand every placement, fracture per
+            shard) or ``"cells"`` (fracture each cell once, replicate
+            the figures per placement, then dose/correct per shard; see
+            :mod:`repro.core.hierarchical`).  On array-dominated
+            layouts ``"cells"`` avoids re-fracturing identical
+            instances; figures from different instances are not merged,
+            so overlapping placements would double-expose (the same
+            contract as :func:`fracture_hierarchical`).  Raw polygon
+            sources carry no hierarchy and always run flat.
 
     Example:
         >>> from repro.layout import generators
@@ -112,9 +143,11 @@ class PreparationPipeline:
         cache: Optional[ShardCache] = None,
         overlap_policy: str = "warn",
         matrix_mode: Optional[str] = None,
+        hierarchy: str = "flat",
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
+        _validate_hierarchy(hierarchy)
         self.fracturer = fracturer if fracturer is not None else TrapezoidFracturer()
         self.corrector = corrector
         self.psf = psf
@@ -127,6 +160,7 @@ class PreparationPipeline:
         self.cache = cache
         self.overlap_policy = overlap_policy
         self.matrix_mode = matrix_mode
+        self.hierarchy = hierarchy
 
     @property
     def executor(self) -> ShardedExecutor:
@@ -154,6 +188,7 @@ class PreparationPipeline:
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
         cache: Union[ShardCache, bool, None] = None,
+        hierarchy: Optional[str] = None,
     ) -> PipelineResult:
         """Run the full pipeline on a library, cell or raw polygon list.
 
@@ -167,7 +202,28 @@ class PreparationPipeline:
             cache: cache override for this run — ``False`` bypasses the
                 configured cache, an explicit
                 :class:`~repro.core.cache.ShardCache` replaces it.
+            hierarchy: per-run override of the pipeline's hierarchy
+                mode (``"flat"`` or ``"cells"``).
         """
+        hierarchy = self._resolve_hierarchy(hierarchy)
+        if hierarchy == "cells" and isinstance(source, (Library, Cell)):
+            # merge_layers mirrors the flat path, which fractures the
+            # union of every requested layer's polygons in one pass.
+            hier = fracture_hierarchical(
+                source,
+                self.fracturer,
+                layers={layer} if layer is not None else None,
+                merge_layers=True,
+            )
+            figures = hier.figures.get(None, [])
+            outcome = self.executor.execute_figures(
+                figures, workers=workers, field_size=field_size, cache=cache
+            )
+            _apply_hierarchy_stats(outcome.stats, hier)
+            cell = source.top_cell() if isinstance(source, Library) else source
+            return self._finish(
+                outcome, name or cell.name, hier.source_polygons
+            )
         polygons, inferred_name = self._gather(source, layer)
         return self.run_polygons(
             polygons,
@@ -199,6 +255,7 @@ class PreparationPipeline:
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
         cache: Union[ShardCache, bool, None] = None,
+        hierarchy: Optional[str] = None,
     ) -> Dict[Layer, PipelineResult]:
         """Prepare each layer of a cell as its own job, batched.
 
@@ -211,11 +268,40 @@ class PreparationPipeline:
             workers: worker-pool size override.
             field_size: writing-field pitch override.
             cache: cache override (``False`` = off for this run).
+            hierarchy: per-run override of the hierarchy mode; with
+                ``"cells"`` every cell is fractured once for the whole
+                sweep (the reuse statistics on each layer's
+                ``ExecutionStats`` describe the whole source).
 
         Returns:
             Mapping layer → result, in layer sort order.
         """
         cell = source.top_cell() if isinstance(source, Library) else source
+        hierarchy = self._resolve_hierarchy(hierarchy)
+        if hierarchy == "cells":
+            hier = fracture_hierarchical(
+                cell,
+                self.fracturer,
+                layers=set(layers) if layers is not None else None,
+            )
+            wanted = sorted(hier.figures) if layers is None else list(layers)
+            figure_sets = [hier.figures.get(layer, []) for layer in wanted]
+            outcomes = self.executor.execute_many(
+                figure_sets,
+                workers=workers,
+                field_size=field_size,
+                cache=cache,
+                prefractured=True,
+            )
+            out: Dict[Layer, PipelineResult] = {}
+            for layer, outcome in zip(wanted, outcomes):
+                _apply_hierarchy_stats(outcome.stats, hier)
+                out[layer] = self._finish(
+                    outcome,
+                    f"{cell.name}:{layer}",
+                    hier.source_polygons_by_layer.get(layer, 0),
+                )
+            return out
         flat = flatten_cell(cell)
         if layers is None:
             wanted = sorted(flat)
@@ -240,26 +326,77 @@ class PreparationPipeline:
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
         cache: Union[ShardCache, bool, None] = None,
+        hierarchy: Optional[str] = None,
     ) -> List[PipelineResult]:
         """Prepare several sources through one shared worker pool.
 
         The batch equivalent of :meth:`run` — one call sweeps a whole
         scenario matrix (many workloads × this pipeline's machines).
+        With ``hierarchy="cells"`` every Library/Cell source goes
+        through per-cell fracture + figure replication; raw polygon
+        sources in the same batch still run flat.
         """
-        gathered = [self._gather(source, layer) for source in sources]
-        polygon_sets = [polys for polys, _ in gathered]
-        outcomes = self.executor.execute_many(
-            polygon_sets, workers=workers, field_size=field_size, cache=cache
+        hierarchy = self._resolve_hierarchy(hierarchy)
+        entries: List[tuple] = []
+        for source in sources:
+            if hierarchy == "cells" and isinstance(source, (Library, Cell)):
+                hier = fracture_hierarchical(
+                    source,
+                    self.fracturer,
+                    layers={layer} if layer is not None else None,
+                    merge_layers=True,
+                )
+                figures = hier.figures.get(None, [])
+                cell = (
+                    source.top_cell()
+                    if isinstance(source, Library)
+                    else source
+                )
+                entries.append(
+                    ("figures", figures, cell.name, hier.source_polygons, hier)
+                )
+            else:
+                polys, inferred = self._gather(source, layer)
+                entries.append(("polygons", polys, inferred, len(polys), None))
+
+        flat_sets = [e[1] for e in entries if e[0] == "polygons"]
+        figure_sets = [e[1] for e in entries if e[0] == "figures"]
+        flat_outcomes = (
+            self.executor.execute_many(
+                flat_sets, workers=workers, field_size=field_size, cache=cache
+            )
+            if flat_sets
+            else []
         )
+        figure_outcomes = (
+            self.executor.execute_many(
+                figure_sets,
+                workers=workers,
+                field_size=field_size,
+                cache=cache,
+                prefractured=True,
+            )
+            if figure_sets
+            else []
+        )
+        flat_iter = iter(flat_outcomes)
+        figure_iter = iter(figure_outcomes)
         out: List[PipelineResult] = []
-        for i, ((polys, inferred), outcome) in enumerate(
-            zip(gathered, outcomes)
-        ):
+        for i, (kind, _, inferred, n_polys, hier) in enumerate(entries):
+            outcome = next(figure_iter if kind == "figures" else flat_iter)
+            if hier is not None:
+                _apply_hierarchy_stats(outcome.stats, hier)
             name = names[i] if names is not None else inferred
-            out.append(self._finish(outcome, name, len(polys)))
+            out.append(self._finish(outcome, name, n_polys))
         return out
 
     # -- helpers ----------------------------------------------------------
+
+    def _resolve_hierarchy(self, hierarchy: Optional[str]) -> str:
+        if hierarchy is None:
+            return self.hierarchy
+        _validate_hierarchy(hierarchy)
+        return hierarchy
 
     def _finish(
         self, outcome, name: str, source_polygons: int

@@ -47,6 +47,8 @@ class ShotFracturer(Fracturer):
         allow_trapezoids: if True, slanted figures are shot directly when
             within size limits (machines with trapezoid apertures);
             otherwise they are staircased at ``max_shot/8`` resolution.
+        kernel: scanline kernel for the underlying boolean sweep
+            (``"fast"`` or ``"exact"``; bit-identical output).
     """
 
     def __init__(
@@ -55,6 +57,7 @@ class ShotFracturer(Fracturer):
         grid: float = DEFAULT_GRID,
         avoid_slivers: bool = True,
         allow_trapezoids: bool = True,
+        kernel: str = "fast",
     ) -> None:
         if max_shot <= 0:
             raise ValueError("max_shot must be positive")
@@ -62,7 +65,8 @@ class ShotFracturer(Fracturer):
         self.grid = grid
         self.avoid_slivers = avoid_slivers
         self.allow_trapezoids = allow_trapezoids
-        self._trapezoids = TrapezoidFracturer(grid=grid)
+        self.kernel = kernel
+        self._trapezoids = TrapezoidFracturer(grid=grid, kernel=kernel)
 
     def fracture(self, polygons: Iterable[Polygon]) -> List[Trapezoid]:
         """Shot geometry list (doses attached by :meth:`fracture_to_shots`)."""

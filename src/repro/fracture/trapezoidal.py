@@ -2,7 +2,8 @@
 
 The union sweep of the geometry kernel already produces a disjoint
 horizontal-trapezoid decomposition; this fracturer exposes it as a strategy
-with the machine-relevant knobs (figure height limit, vertical merging).
+with the machine-relevant knobs (figure height limit, vertical merging,
+kernel selection).
 """
 
 from __future__ import annotations
@@ -27,6 +28,10 @@ class TrapezoidFracturer(Fracturer):
         merge: vertically merge compatible trapezoids before the height
             cap is applied.  Disabling this reproduces the raw slab
             fragmentation for the T2 ablation.
+        kernel: scanline kernel — ``"fast"`` (vectorized exact-integer
+            engine, the default) or ``"exact"`` (the Fraction reference
+            engine).  Output is bit-identical either way; the knob
+            exists for oracle testing and benchmarking.
     """
 
     def __init__(
@@ -34,17 +39,24 @@ class TrapezoidFracturer(Fracturer):
         grid: float = DEFAULT_GRID,
         max_height: Optional[float] = None,
         merge: bool = True,
+        kernel: str = "fast",
     ) -> None:
         if max_height is not None and max_height <= 0:
             raise ValueError("max_height must be positive")
+        if kernel not in ("exact", "fast"):
+            raise ValueError(
+                f"kernel must be 'exact' or 'fast', got {kernel!r}"
+            )
         self.grid = grid
         self.max_height = max_height
         self.merge = merge
+        self.kernel = kernel
 
     def fracture(self, polygons: Iterable[Polygon]) -> List[Trapezoid]:
         """Disjoint trapezoid cover of the union of ``polygons``."""
         traps = boolean_trapezoids(
-            polygons, [], "or", grid=self.grid, merge=self.merge
+            polygons, [], "or",
+            grid=self.grid, merge=self.merge, kernel=self.kernel,
         )
         if self.max_height is None:
             return traps
@@ -57,6 +69,12 @@ def slice_to_height(
     """Slice trapezoids horizontally so none exceeds ``max_height``.
 
     Slices are equal-height so no residual sliver row is produced.
+    Slice boundaries are computed by index (``y_bottom + i * height /
+    pieces``) and the side-edge x values are interpolated directly from
+    the parent trapezoid, so repeated float addition cannot drift: the
+    slices tile the parent exactly (each shares its boundary
+    coordinates with its neighbour, the first/last reproduce the parent
+    edges bit-for-bit).
     """
     if max_height <= 0:
         raise ValueError("max_height must be positive")
@@ -67,10 +85,22 @@ def slice_to_height(
             out.append(trap)
             continue
         pieces = int(-(-height // max_height))  # ceil division
-        step = height / pieces
-        current = trap
-        for _ in range(pieces - 1):
-            lower, current = current.split_at_y(current.y_bottom + step)
-            out.append(lower)
-        out.append(current)
+        y0 = trap.y_bottom
+        xl0, xr0 = trap.x_bottom_left, trap.x_bottom_right
+        dxl = trap.x_top_left - trap.x_bottom_left
+        dxr = trap.x_top_right - trap.x_bottom_right
+        prev_y, prev_xl, prev_xr = y0, xl0, xr0
+        for i in range(1, pieces):
+            y = y0 + i * height / pieces
+            t = (y - y0) / height
+            xl = xl0 + t * dxl
+            xr = xr0 + t * dxr
+            out.append(Trapezoid(prev_y, y, prev_xl, prev_xr, xl, xr))
+            prev_y, prev_xl, prev_xr = y, xl, xr
+        out.append(
+            Trapezoid(
+                prev_y, trap.y_top, prev_xl, prev_xr,
+                trap.x_top_left, trap.x_top_right,
+            )
+        )
     return out

@@ -17,11 +17,22 @@ Supported operations, matching the operators of
 Coordinates are snapped to an integer database-unit grid before the sweep
 (1 nm by default for µm layouts); output coordinates lie on that grid except
 where slanted edges meet slab boundaries.
+
+Two interchangeable kernels drive the sweep (``kernel=`` on
+:func:`boolean_trapezoids`):
+
+* ``"fast"`` (default) — the NumPy-vectorized exact-integer engine of
+  :mod:`repro.geometry.scanline_fast`.  Bit-identical output; falls back
+  to the reference automatically when coordinates exceed its exact
+  range (|coord| > 2**24 database units).
+* ``"exact"`` — the original pure-Python
+  :class:`fractions.Fraction` engine (:mod:`repro.geometry.scanline`),
+  kept as the reference oracle.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.geometry.polygon import Polygon
 from repro.geometry.scanline import (
@@ -41,6 +52,11 @@ _PREDICATES: Dict[str, Callable[[bool, bool], bool]] = {
     "sub": lambda a, b: a and not b,
     "xor": lambda a, b: a != b,
 }
+
+#: Kernel used when callers do not pass one explicitly.
+DEFAULT_KERNEL = "fast"
+
+_KERNELS = ("exact", "fast")
 
 
 def _prepare_edges(
@@ -62,6 +78,7 @@ def boolean_trapezoids(
     grid: float = DEFAULT_GRID,
     fill_rule: str = "nonzero",
     merge: bool = True,
+    kernel: Optional[str] = None,
 ) -> List[Trapezoid]:
     """Boolean combination of two polygon sets as horizontal trapezoids.
 
@@ -72,6 +89,10 @@ def boolean_trapezoids(
         grid: database unit for coordinate snapping.
         fill_rule: ``"nonzero"`` or ``"evenodd"`` winding interpretation.
         merge: vertically merge compatible output trapezoids.
+        kernel: ``"fast"`` (vectorized exact-integer engine, the
+            default) or ``"exact"`` (the Fraction reference engine).
+            Both produce bit-identical trapezoids; ``None`` selects
+            :data:`DEFAULT_KERNEL`.
 
     Returns:
         Disjoint trapezoids covering the result region.
@@ -88,6 +109,25 @@ def boolean_trapezoids(
         rule = evenodd
     else:
         raise ValueError(f"unknown fill rule {fill_rule!r}")
+    if kernel is None:
+        kernel = DEFAULT_KERNEL
+    if kernel not in _KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {_KERNELS}"
+        )
+    polys_a = list(polys_a)
+    polys_b = list(polys_b)
+    if kernel == "fast":
+        from repro.geometry.scanline_fast import sweep_trapezoids_fast
+
+        result = sweep_trapezoids_fast(
+            polys_a, polys_b, operation,
+            fill_rule=fill_rule, grid=grid, merge=merge,
+        )
+        if result is not None:
+            return result
+        # Coordinates exceed the fast kernel's exact-integer range;
+        # fall through to the always-exact reference engine.
     edges = _prepare_edges(polys_a, polys_b, grid)
     return sweep_trapezoids(edges, predicate, rule, grid=grid, merge=merge)
 
@@ -98,6 +138,7 @@ def boolean_polygons(
     operation: str,
     grid: float = DEFAULT_GRID,
     fill_rule: str = "nonzero",
+    kernel: Optional[str] = None,
 ) -> List[Polygon]:
     """Boolean combination returned as reassembled boundary polygons.
 
@@ -106,7 +147,8 @@ def boolean_polygons(
     :func:`boolean_trapezoids`, which is canonical and hole-free.
     """
     traps = boolean_trapezoids(
-        polys_a, polys_b, operation, grid=grid, fill_rule=fill_rule, merge=True
+        polys_a, polys_b, operation, grid=grid, fill_rule=fill_rule,
+        merge=True, kernel=kernel,
     )
     return trapezoids_to_polygons(traps, grid=grid)
 

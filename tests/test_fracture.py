@@ -96,6 +96,40 @@ class TestSliceToHeight:
         with pytest.raises(ValueError):
             slice_to_height([], 0.0)
 
+    def test_slices_tile_parent_exactly(self):
+        # Boundaries are computed by index, not by accumulating
+        # ``y_bottom + step`` — adjacent slices must share their
+        # boundary coordinates bit-for-bit and the outer edges must
+        # reproduce the parent exactly, even for drift-prone heights.
+        parent = Trapezoid(0.1, 0.1 + 1.0, 0.3, 9.7, 2.3, 7.1)
+        pieces = slice_to_height([parent], 1.0 / 7.0)
+        assert len(pieces) == int(-(-parent.height // (1.0 / 7.0)))
+        assert pieces[0].y_bottom == parent.y_bottom
+        assert pieces[0].x_bottom_left == parent.x_bottom_left
+        assert pieces[0].x_bottom_right == parent.x_bottom_right
+        assert pieces[-1].y_top == parent.y_top
+        assert pieces[-1].x_top_left == parent.x_top_left
+        assert pieces[-1].x_top_right == parent.x_top_right
+        for lower, upper in zip(pieces, pieces[1:]):
+            assert upper.y_bottom == lower.y_top
+            assert upper.x_bottom_left == lower.x_top_left
+            assert upper.x_bottom_right == lower.x_top_right
+
+    def test_no_drift_on_many_equal_slices(self):
+        # The old accumulating implementation let rounding drift pile
+        # up across hundreds of additions, skewing slice heights; the
+        # index form keeps every slice within an ulp of the ideal step.
+        parent = Trapezoid.from_rectangle(0.0, 0.0, 1.0, 300.0)
+        max_height = 300.0 / 299.0  # forces hundreds of inexact steps
+        pieces = slice_to_height([parent], max_height)
+        n = int(-(-parent.height // max_height))
+        assert len(pieces) == n
+        heights = [p.height for p in pieces]
+        step = 300.0 / n
+        assert max(heights) <= max_height * (1.0 + 1e-12)
+        assert max(abs(h - step) for h in heights) <= 2e-12
+        assert sum(heights) == pytest.approx(300.0, abs=1e-9)
+
 
 class TestRectangleFracturer:
     def test_rectilinear_is_exact(self, l_shape):

@@ -128,6 +128,23 @@ class TestHierarchicalFracture:
         result = fracture_hierarchical(cell)
         assert len(result.figures) == 2
 
+    def test_layer_filter(self):
+        cell = Cell("C")
+        cell.add_rectangle(0, 0, 1, 1, layer=1)
+        cell.add_rectangle(2, 0, 3, 1, layer=2)
+        layer_one = next(iter(fracture_hierarchical(cell).figures))
+        result = fracture_hierarchical(cell, layers={layer_one})
+        assert set(result.figures) == {layer_one}
+        assert result.source_polygons == 1
+
+    def test_source_polygon_accounting(self):
+        lib = generators.memory_array(words=4, bits=4, blocks=(2, 2))
+        hier = fracture_hierarchical(lib)
+        flat = flatten_cell(lib.top_cell())
+        flat_counts = {layer: len(v) for layer, v in flat.items()}
+        assert hier.source_polygons_by_layer == flat_counts
+        assert hier.source_polygons == sum(flat_counts.values())
+
     def test_faster_than_flat_on_large_array(self):
         import time
 

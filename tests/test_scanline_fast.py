@@ -1,0 +1,258 @@
+"""Equivalence suite: the vectorized kernel vs. the Fraction oracle.
+
+The fast kernel's whole contract is *bit-identity* with the reference
+scanline engine — same trapezoids, same floats, same order.  These
+tests assert exactly that (``Trapezoid.__eq__`` compares exact float
+values) over generator-drawn layouts and over the degenerate inputs the
+sweep is most fragile on: collinear/shared edges, shared vertices,
+zero-height slab candidates, self-touching polygons and proper interior
+crossings (which exercise the rational-slab scalar path).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.boolean import boolean_trapezoids
+from repro.geometry.polygon import Polygon
+from repro.geometry.scanline import snap_polygon
+from repro.geometry.scanline_fast import COORD_LIMIT, sweep_trapezoids_fast
+from repro.geometry.transform import Transform
+from repro.geometry.trapezoid import Trapezoid
+from repro.geometry.vertex_array import (
+    snap_rings,
+    transform_polygons,
+    transform_trapezoid_array,
+    trapezoid_array,
+    trapezoids_from_array,
+)
+from repro.core.hierarchical import transform_trapezoid
+from repro.layout.flatten import flatten_cell
+
+from layout_strategies import generated_libraries
+
+
+def both_kernels(polys_a, polys_b=(), operation="or", **kwargs):
+    exact = boolean_trapezoids(
+        polys_a, polys_b, operation, kernel="exact", **kwargs
+    )
+    fast = boolean_trapezoids(
+        polys_a, polys_b, operation, kernel="fast", **kwargs
+    )
+    return exact, fast
+
+
+def assert_identical(polys_a, polys_b=(), operation="or", **kwargs):
+    exact, fast = both_kernels(polys_a, polys_b, operation, **kwargs)
+    assert fast == exact  # Trapezoid equality is exact float equality
+    return exact
+
+
+class TestGeneratedLayouts:
+    @settings(max_examples=30, deadline=None)
+    @given(generated_libraries())
+    def test_union_bit_identical(self, library):
+        flat = flatten_cell(library.top_cell())
+        polys = [p for v in flat.values() for p in v]
+        assert_identical(polys)
+
+    @settings(max_examples=15, deadline=None)
+    @given(generated_libraries(), generated_libraries())
+    def test_binary_operations_bit_identical(self, lib_a, lib_b):
+        polys_a = [
+            p for v in flatten_cell(lib_a.top_cell()).values() for p in v
+        ]
+        polys_b = [
+            p for v in flatten_cell(lib_b.top_cell()).values() for p in v
+        ]
+        for operation in ("or", "and", "sub", "xor"):
+            assert_identical(polys_a, polys_b, operation)
+
+    @settings(max_examples=15, deadline=None)
+    @given(generated_libraries())
+    def test_evenodd_and_unmerged_bit_identical(self, library):
+        flat = flatten_cell(library.top_cell())
+        polys = [p for v in flat.values() for p in v]
+        assert_identical(polys, fill_rule="evenodd")
+        assert_identical(polys, merge=False)
+
+
+@st.composite
+def crossing_triangles(draw):
+    """Triangles with random slanted edges — proper interior crossings
+    (rational slab boundaries) are the norm here, not the exception."""
+    coord = st.floats(
+        min_value=-40.0, max_value=40.0, allow_nan=False, allow_infinity=False
+    )
+    tris = []
+    for _ in range(draw(st.integers(min_value=2, max_value=5))):
+        pts = [(draw(coord), draw(coord)) for _ in range(3)]
+        ax, ay = pts[0]
+        bx, by = pts[1]
+        cx, cy = pts[2]
+        if abs((bx - ax) * (cy - ay) - (by - ay) * (cx - ax)) < 1e-3:
+            continue  # degenerate sliver; the fixed cases cover those
+        tris.append(Polygon(pts))
+    return tris
+
+
+class TestCrossingHeavyLayouts:
+    @settings(max_examples=40, deadline=None)
+    @given(crossing_triangles(), crossing_triangles())
+    def test_crossing_triangles_bit_identical(self, tris_a, tris_b):
+        for operation in ("or", "and", "sub", "xor"):
+            assert_identical(tris_a, tris_b, operation)
+
+
+class TestDegenerateInputs:
+    def test_collinear_overlapping_edges(self):
+        a = Polygon.rectangle(0, 0, 10, 10)
+        b = Polygon.rectangle(0, 5, 10, 15)  # shares the full x-range
+        c = Polygon.rectangle(3, 2, 7, 10)  # right edge inside a's interior
+        for operation in ("or", "and", "sub", "xor"):
+            assert_identical([a, c], [b], operation)
+
+    def test_shared_vertices(self):
+        a = Polygon([(0, 0), (10, 0), (5, 8)])
+        b = Polygon([(5, 8), (10, 16), (0, 16)])  # touches a at its apex
+        c = Polygon([(10, 0), (20, 0), (20, 8)])  # shares a corner with a
+        assert_identical([a, b, c])
+        assert_identical([a, b], [c], "xor")
+
+    def test_zero_height_slab_candidates(self):
+        # Horizontal edges at many shared ys produce coincident slab
+        # boundaries; the sweep must not emit zero-height slabs.
+        polys = [
+            Polygon.rectangle(i * 2.0, 0.0, i * 2.0 + 1.0, 5.0)
+            for i in range(6)
+        ]
+        polys.append(Polygon.rectangle(0.0, 5.0, 11.0, 5.0 + 1e-9))
+        assert_identical(polys)
+
+    def test_self_touching_polygon(self):
+        # A bow-tie-like ring that touches itself at one point.
+        p = Polygon([(0, 0), (4, 4), (8, 0), (8, 8), (4, 4), (0, 8)])
+        assert_identical([p])
+        assert_identical([p], fill_rule="evenodd")
+
+    def test_self_intersecting_polygon(self):
+        bowtie = Polygon([(0, 0), (10, 10), (10, 0), (0, 10)])
+        assert_identical([bowtie])
+        assert_identical([bowtie], fill_rule="evenodd")
+
+    def test_duplicate_and_sliver_polygons(self):
+        a = Polygon.rectangle(0, 0, 10, 10)
+        sliver = Polygon([(0, 0), (10, 0), (10, 1e-12)])  # snaps flat
+        assert_identical([a, a, sliver])
+
+    def test_proper_interior_crossings(self):
+        tri1 = Polygon([(0, 0), (10, 1), (5, 9)])
+        tri2 = Polygon([(1, 5), (9, 0.5), (8, 8)])
+        for operation in ("or", "and", "sub", "xor"):
+            assert_identical([tri1], [tri2], operation)
+
+    def test_shared_y_band_triangle_row(self):
+        # Many disjoint slanted edges sharing one y band: the worst
+        # case for crossing-candidate generation (every pair y-overlaps
+        # but none cross).  Guards the batched-pruning path.
+        polys = [
+            Polygon(
+                [(i * 3.0, 0.0), (i * 3.0 + 2.0, 0.1), (i * 3.0 + 1.0, 10.0)]
+            )
+            for i in range(300)
+        ]
+        traps = assert_identical(polys)
+        assert len(traps) >= 300
+
+    def test_rotated_squares_star(self):
+        base = Polygon.square((0.0, 0.0), 10.0)
+        rotated = [
+            base.rotated(math.radians(angle)) for angle in (0, 15, 30, 45)
+        ]
+        assert_identical(rotated)
+
+    def test_empty_inputs(self):
+        assert sweep_trapezoids_fast([], [], "or") == []
+        a = Polygon.rectangle(0, 0, 5, 5)
+        assert_identical([a], [], "and")
+
+
+class TestCoordinateLimitFallback:
+    def test_oversized_coordinates_fall_back_to_exact(self):
+        # 2**24 database units is 16.7 mm at the 1 nm default grid;
+        # beyond it the fast kernel must defer to the reference.
+        far = COORD_LIMIT * 1e-3 * 2.0
+        a = Polygon.rectangle(far, far, far + 10.0, far + 10.0)
+        assert sweep_trapezoids_fast([a], [], "or") is None
+        exact = assert_identical([a])  # public API falls back silently
+        assert len(exact) == 1
+
+    def test_within_limit_uses_fast_path(self):
+        a = Polygon.rectangle(0, 0, 10, 10)
+        assert sweep_trapezoids_fast([a], [], "or") is not None
+
+
+class TestVertexArrayHelpers:
+    @settings(max_examples=20, deadline=None)
+    @given(generated_libraries())
+    def test_snap_rings_matches_snap_polygon(self, library):
+        flat = flatten_cell(library.top_cell())
+        polys = [p for v in flat.values() for p in v]
+        ints, offsets = snap_rings(polys, 1e-3)
+        for i, poly in enumerate(polys):
+            ring = [tuple(v) for v in ints[offsets[i] : offsets[i + 1]].tolist()]
+            assert ring == snap_polygon(poly, 1e-3)
+
+    def test_snap_rings_drops_closing_duplicate(self):
+        p = Polygon([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (1e-5, 1e-5)])
+        ints, offsets = snap_rings([p], 1e-3)
+        assert [tuple(v) for v in ints.tolist()] == snap_polygon(p, 1e-3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(generated_libraries())
+    def test_transform_polygons_matches_scalar(self, library):
+        flat = flatten_cell(library.top_cell())
+        polys = [p for v in flat.values() for p in v]
+        t = Transform.gdsii(
+            origin=(3.25, -7.5), rotation_deg=180.0,
+            magnification=1.5, x_reflection=True,
+        )
+        batch = transform_polygons(polys, t)
+        scalar = [p.transformed(t) for p in polys]
+        assert batch == scalar  # Polygon equality is exact Point equality
+
+    def test_transform_trapezoid_array_matches_scalar(self):
+        traps = [
+            Trapezoid(0, 2, 0, 10, 2, 8),
+            Trapezoid(-3, -1, -5, 5, -5, 5),
+            Trapezoid(1, 4, 2, 2, 0, 6),  # zero-length bottom edge
+        ]
+        transforms = [
+            Transform.translation(5, 7),
+            Transform.mirror_x(),
+            Transform.mirror_y(),
+            Transform.rotation(math.pi),
+            Transform.gdsii(origin=(2, 3), rotation_deg=180.0,
+                            magnification=2.0, x_reflection=True),
+        ]
+        for t in transforms:
+            batch = trapezoids_from_array(
+                transform_trapezoid_array(trapezoid_array(traps), t)
+            )
+            scalar = [transform_trapezoid(trap, t) for trap in traps]
+            assert batch == scalar  # exact float equality per corner
+
+    def test_transform_trapezoid_array_rejects_tilt(self):
+        arr = trapezoid_array([Trapezoid(0, 1, 0, 1, 0, 1)])
+        with pytest.raises(ValueError):
+            transform_trapezoid_array(arr, Transform.rotation(0.3))
+
+    def test_trapezoid_array_round_trip(self):
+        traps = [Trapezoid(0, 2, 0, 10, 2, 8), Trapezoid(5, 6, 1, 2, 1, 2)]
+        arr = trapezoid_array(traps)
+        assert arr.shape == (2, 6)
+        assert trapezoids_from_array(arr) == traps
+        assert trapezoids_from_array(np.empty((0, 6))) == []
