@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 from repro.core.job import MachineJob
 from repro.machine.base import Machine
+from repro.machine.datapath import ChannelCheck
 
 
 @dataclass(frozen=True)
@@ -78,9 +79,21 @@ class ThroughputModel:
         machine: Machine,
         job: MachineJob,
         chips: Optional[int] = None,
+        channel: Optional[ChannelCheck] = None,
     ) -> ThroughputReport:
-        """Wafer throughput writing ``job`` at every site with ``machine``."""
+        """Wafer throughput writing ``job`` at every site with ``machine``.
+
+        Args:
+            channel: optional data-channel check from an exported
+                machine program (:mod:`repro.machine.program`); when the
+                channel is the bottleneck, exposure stretches by its
+                slowdown factor on every chip.
+        """
         breakdown = machine.write_time(job)
+        if channel is not None and channel.limited:
+            breakdown.data_limited_extra += breakdown.exposure * (
+                channel.slowdown - 1.0
+            )
         chip_time = breakdown.total
         x0, y0, x1, y1 = job.bounding_box
         if chips is None:

@@ -72,7 +72,24 @@ def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
         field_size=args.field_size,
         cache_dir=cache_dir,
         hierarchy=args.hierarchy,
+        machine=args.machine,
+        address_unit=args.address_unit,
     )
+
+
+def _program_path(args: argparse.Namespace) -> Optional[str]:
+    """Explicit machine-program path: ``--machine-output``, or derived
+    from ``--output``.  ``None`` lets the pipeline derive its sanitized
+    default from the job name."""
+    if not args.machine:
+        return None
+    if args.machine_output:
+        return args.machine_output
+    if getattr(args, "output", None):
+        from pathlib import Path
+
+        return str(Path(args.output).with_suffix(f".{args.machine}.ebp"))
+    return None
 
 
 def _maybe_write_output(result, args: argparse.Namespace) -> None:
@@ -120,6 +137,38 @@ def _print_result(result, pec_matrix=None) -> None:
         print(f"  dose range: {lo:.3f} – {hi:.3f}")
         if pec_matrix is not None:
             print(f"  pec matrix: {pec_matrix}")
+    program = result.machine_program
+    if program is not None:
+        print(
+            f"  machine:   {program.mode} program {program.path} "
+            f"({program.segment_count} segments)"
+        )
+        if program.mode == "raster":
+            detail = f"{program.run_count:,} runs / {program.line_count:,} lines"
+        else:
+            detail = f"{program.figure_count:,} shot records"
+        print(
+            f"    stream:   {program.stream_bytes:,} bytes exact "
+            f"(estimate {program.estimate_bytes:,}), {detail}"
+        )
+        if stats is not None and stats.cache_enabled:
+            print(
+                f"    cache:    {program.cache_hits} hits, "
+                f"{program.cache_misses} misses"
+            )
+        bd = program.breakdown
+        print(
+            f"    write:    exposure {bd.exposure:.3g} s + overhead "
+            f"{bd.figure_overhead:.3g} s + stage {bd.stage:.3g} s + "
+            f"cal {bd.calibration:.3g} s + data {bd.data_limited_extra:.3g} s "
+            f"= {bd.total:.3g} s"
+        )
+        ch = program.channel
+        verdict = f"LIMITED (x{ch.slowdown:.2f} slowdown)" if ch.limited else "ok"
+        print(
+            f"    channel:  {ch.required_rate / 1e6:.2f} MB/s required vs "
+            f"{ch.channel_rate / 1e6:.2f} MB/s available ({verdict})"
+        )
     table = Table(
         ["machine", "exposure [s]", "overhead [s]", "stage [s]", "total [s]"]
     )
@@ -133,7 +182,7 @@ def _print_result(result, pec_matrix=None) -> None:
 def cmd_prep(args: argparse.Namespace) -> int:
     library = read_gdsii(args.gdsii)
     pipeline = _build_pipeline(args)
-    result = pipeline.run(library)
+    result = pipeline.run(library, program_path=_program_path(args))
     _print_result(result, pec_matrix=args.pec_matrix if args.pec else None)
     _maybe_write_output(result, args)
     return 0
@@ -163,7 +212,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
         )
         return 2
     pipeline = _build_pipeline(args)
-    result = pipeline.run(workloads[args.workload], name=args.workload)
+    result = pipeline.run(
+        workloads[args.workload],
+        name=args.workload,
+        program_path=_program_path(args),
+    )
     _print_result(result, pec_matrix=args.pec_matrix if args.pec else None)
     _maybe_write_output(result, args)
     return 0
@@ -220,6 +273,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "path)",
     )
     parser.add_argument(
+        "--machine", choices=["raster", "vsb", "vector"], default=None,
+        help="lower the prepared job into an on-disk machine program: "
+        "raster (per-scanline RLE runs, exact stream size), vsb or "
+        "vector (per-shot dose/flash records); prints the write-time "
+        "breakdown and channel check",
+    )
+    parser.add_argument(
+        "--address-unit", type=_positive_float, default=0.5, metavar="UM",
+        help="raster address (pixel) pitch [µm] for --machine raster",
+    )
+    parser.add_argument(
+        "--machine-output", metavar="FILE", default=None,
+        help="machine program file (default: derived from --output or "
+        "the job name, extension .<mode>.ebp)",
+    )
+    parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="content-addressed shard cache directory; repeat runs "
         "re-compute only shards whose inputs changed (results are "
@@ -256,6 +325,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_demo.set_defaults(func=cmd_demo)
 
     args = parser.parse_args(argv)
+    if getattr(args, "machine_output", None) and not getattr(args, "machine", None):
+        parser.error("--machine-output requires --machine")
     return args.func(args)
 
 

@@ -50,9 +50,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: change; old entries then miss instead of replaying stale results.
 #: v2: correctors grew ``matrix_mode``/``grid_cell`` configuration (the
 #: sparse/hybrid exposure-operator backends).
-CACHE_SCHEMA_VERSION = 2
+#: v3: machine-program segment blobs joined the store (their own key
+#: family), and the raster RLE encoder's scanline membership became
+#: half-open — pre-v3 entries must not be replayed against it.
+CACHE_SCHEMA_VERSION = 3
 
 _F64 = struct.Struct("!d")
+
+#: Framing of machine-program segment blobs in the store.
+_BLOB_MAGIC = b"EBB1"
+_BLOB_HEADER = struct.Struct(">4sI")
 
 
 class CacheKeyError(TypeError):
@@ -239,6 +246,30 @@ def shard_cache_key(
     return h.hexdigest()
 
 
+def program_segment_key(
+    result: "ShardResult",
+    spec,
+    origin,
+    base_dose: float,
+    salt: Union[int, str, tuple] = CACHE_SCHEMA_VERSION,
+) -> str:
+    """Content address of one shard's lowered machine-program segment.
+
+    A segment is a pure function of the shard's corrected shots, the
+    machine spec (mode, address unit, record unit), the global address
+    grid origin and the base dose; the distinct type tag keeps this key
+    family from ever colliding with shard-result keys.
+    """
+    h = hashlib.sha256()
+    _update(h, ("repro-shard-program", salt))
+    _update(h, result.index)
+    _update(h, spec)
+    _update(h, (origin[0], origin[1]))
+    _update(h, base_dose)
+    _update(h, result.shots)
+    return h.hexdigest()
+
+
 # ---------------------------------------------------------------------------
 # The on-disk store
 # ---------------------------------------------------------------------------
@@ -313,6 +344,16 @@ class ShardCache:
             salt=(CACHE_SCHEMA_VERSION, self.salt),
         )
 
+    def program_key_for(self, result, spec, origin, base_dose: float) -> str:
+        """Cache key of one program segment under this cache's salt."""
+        return program_segment_key(
+            result,
+            spec,
+            origin,
+            base_dose,
+            salt=(CACHE_SCHEMA_VERSION, self.salt),
+        )
+
     def path_for(self, key: str) -> Path:
         """On-disk location of ``key`` (existing or not)."""
         return self.root / key[:2] / (key[2:] + self.SUFFIX)
@@ -356,6 +397,52 @@ class ShardCache:
         from repro.core.jobfile import dumps_shard_result
 
         data = dumps_shard_result(result)
+        path = self.path_for(key)
+        staging = self.root / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            staging.write_bytes(data)
+            os.replace(staging, path)
+        except OSError:
+            self.stats.write_errors += 1
+            try:
+                staging.unlink()
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
+
+    # -- machine-program segment blobs ------------------------------------
+
+    def get_blob(self, key: str) -> Optional[bytes]:
+        """Return the raw segment payload stored under ``key``, if any.
+
+        Blobs are framed (magic + length) so truncated or foreign
+        entries read as misses and are evicted, exactly like shard
+        payloads.
+        """
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        if len(data) >= _BLOB_HEADER.size:
+            magic, length = _BLOB_HEADER.unpack_from(data, 0)
+            if magic == _BLOB_MAGIC and len(data) == _BLOB_HEADER.size + length:
+                self.stats.hits += 1
+                return data[_BLOB_HEADER.size :]
+        self.stats.misses += 1
+        self.stats.evictions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+    def put_blob(self, key: str, payload: bytes) -> None:
+        """Store a raw segment payload with the atomic-publish contract."""
+        data = _BLOB_HEADER.pack(_BLOB_MAGIC, len(payload)) + payload
         path = self.path_for(key)
         staging = self.root / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
         try:

@@ -68,7 +68,7 @@ import os
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cache import ShardCache
 from repro.core.fields import FieldIndex, field_index_of
@@ -78,6 +78,9 @@ from repro.geometry.polygon import Polygon
 from repro.geometry.trapezoid import Trapezoid
 from repro.pec.base import ProximityCorrector
 from repro.physics.psf import DoubleGaussianPSF
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.machine.program import MachineProgram
 
 
 class ShardOverlapWarning(UserWarning):
@@ -139,6 +142,10 @@ class ExecutionStats:
             cache in a ``"cells"`` run.
         instances_fallback: placements that required re-fracturing
             (90°/270° rotations) in a ``"cells"`` run.
+        program: the exported machine program for this run, when the
+            pipeline ran with a ``machine`` mode — carries the
+            write-time breakdown, exact stream bytes and channel check
+            (see :mod:`repro.machine.program`).
     """
 
     shard_count: int = 1
@@ -153,11 +160,18 @@ class ExecutionStats:
     cells_fractured: int = 0
     instances_reused: int = 0
     instances_fallback: int = 0
+    program: Optional["MachineProgram"] = None
 
 
 @dataclass
 class ExecutionResult:
-    """Merged output of all shards, in deterministic shard order."""
+    """Merged output of all shards, in deterministic shard order.
+
+    ``shard_results`` keeps the per-shard results (plan order, shot
+    lists shared with ``shots`` by reference) so downstream consumers —
+    the machine-program exporter above all — can stream per shard
+    without re-partitioning the merged list.
+    """
 
     shots: List[Shot] = field(default_factory=list)
     report: FractureReport = field(
@@ -165,6 +179,7 @@ class ExecutionResult:
     )
     corrected: bool = False
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    shard_results: List[ShardResult] = field(default_factory=list)
 
 
 def plan_shards(
@@ -600,7 +615,11 @@ def merge_shard_results(
         [r.report for r in results], reference_area=reference
     )
     return ExecutionResult(
-        shots=shots, report=report, corrected=corrected, stats=stats
+        shots=shots,
+        report=report,
+        corrected=corrected,
+        stats=stats,
+        shard_results=list(results),
     )
 
 

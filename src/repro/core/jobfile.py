@@ -2,7 +2,9 @@
 
 Pattern generators consumed a flat binary stream of dosed figures.  This
 module defines a compact period-flavoured format and a reader/writer,
-plus the exact (full double precision) shard-result serialization the
+the machine-program container streamed by
+:mod:`repro.machine.program` (header + per-shard segments), plus the
+exact (full double precision) shard-result serialization the
 content-addressed cache stores (:mod:`repro.core.cache`):
 
 Header (32 bytes)::
@@ -27,8 +29,9 @@ The delta packing is exact for the slant range the fracturers produce
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Union
+from typing import List, Tuple, Union
 
 from repro.core.job import MachineJob
 from repro.fracture.base import Shot
@@ -134,6 +137,147 @@ def read_job(path: Union[str, Path]) -> MachineJob:
 def job_file_bytes(figure_count: int) -> int:
     """Size of a job file with ``figure_count`` records."""
     return _HEADER.size + figure_count * _RECORD.size
+
+
+# ---------------------------------------------------------------------------
+# Machine-program container (.ebp)
+# ---------------------------------------------------------------------------
+#
+# A machine program is the lowered data stream a writer actually
+# consumes: per-scanline RLE runs for a raster machine, dosed shot/flash
+# records for VSB and vector machines.  The container is a fixed header
+# followed by one segment per occupied shard, concatenated in the shard
+# plan's row-major order — the writer streams segments to disk one at a
+# time (bounded memory), and the reader here reverses the container for
+# verification and golden tests.  Segment payload encodings live in
+# :mod:`repro.machine.program`; this module owns only the framing.
+
+PROGRAM_MAGIC = b"EBP1"
+#: magic, mode code, pad, address_unit, origin x/y, base dose, segments.
+_PROGRAM_HEADER = struct.Struct(">4sBxxxddddI")
+#: field index (col, row), record count, payload byte count.
+_PROGRAM_SEGMENT = struct.Struct(">iiII")
+
+#: Machine-architecture codes of the program header.
+PROGRAM_MODES = {"raster": 1, "vsb": 2, "vector": 3}
+_PROGRAM_MODE_NAMES = {code: name for name, code in PROGRAM_MODES.items()}
+
+
+@dataclass(frozen=True)
+class ProgramSegment:
+    """One shard's slice of a machine program."""
+
+    index: Tuple[int, int]
+    record_count: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class ProgramImage:
+    """A parsed machine-program container."""
+
+    mode: str
+    address_unit: float
+    origin: Tuple[float, float]
+    base_dose: float
+    segments: Tuple[ProgramSegment, ...]
+
+    def record_count(self) -> int:
+        """Total records (runs or shots) across all segments."""
+        return sum(seg.record_count for seg in self.segments)
+
+
+def pack_program_header(
+    mode: str,
+    address_unit: float,
+    origin: Tuple[float, float],
+    base_dose: float,
+    segment_count: int,
+) -> bytes:
+    """Serialize a machine-program file header."""
+    if mode not in PROGRAM_MODES:
+        raise JobFileError(f"unknown machine-program mode {mode!r}")
+    return _PROGRAM_HEADER.pack(
+        PROGRAM_MAGIC,
+        PROGRAM_MODES[mode],
+        address_unit,
+        origin[0],
+        origin[1],
+        base_dose,
+        segment_count,
+    )
+
+
+def pack_program_segment(
+    index: Tuple[int, int], record_count: int, payload: bytes
+) -> bytes:
+    """Serialize one segment (header + payload)."""
+    return (
+        _PROGRAM_SEGMENT.pack(index[0], index[1], record_count, len(payload))
+        + payload
+    )
+
+
+def loads_program(data: bytes) -> ProgramImage:
+    """Parse machine-program bytes back into a :class:`ProgramImage`.
+
+    Raises:
+        JobFileError: on bad magic, unknown mode, truncation, or
+            segment-count/byte-count inconsistencies.
+    """
+    if len(data) < _PROGRAM_HEADER.size:
+        raise JobFileError("truncated program header")
+    magic, mode_code, address_unit, ox, oy, base_dose, count = (
+        _PROGRAM_HEADER.unpack_from(data, 0)
+    )
+    if magic != PROGRAM_MAGIC:
+        raise JobFileError(f"bad program magic {magic!r}")
+    if mode_code not in _PROGRAM_MODE_NAMES:
+        raise JobFileError(f"unknown program mode code {mode_code}")
+    offset = _PROGRAM_HEADER.size
+    segments: List[ProgramSegment] = []
+    for _ in range(count):
+        if len(data) < offset + _PROGRAM_SEGMENT.size:
+            raise JobFileError("truncated segment header")
+        col, row, records, payload_bytes = _PROGRAM_SEGMENT.unpack_from(data, offset)
+        offset += _PROGRAM_SEGMENT.size
+        if len(data) < offset + payload_bytes:
+            raise JobFileError("truncated segment payload")
+        payload = data[offset : offset + payload_bytes]
+        offset += payload_bytes
+        segments.append(ProgramSegment((col, row), records, payload))
+    if offset != len(data):
+        raise JobFileError(
+            f"trailing bytes after the last segment: {len(data) - offset}"
+        )
+    return ProgramImage(
+        mode=_PROGRAM_MODE_NAMES[mode_code],
+        address_unit=address_unit,
+        origin=(ox, oy),
+        base_dose=base_dose,
+        segments=tuple(segments),
+    )
+
+
+def dumps_program(image: ProgramImage) -> bytes:
+    """Serialize a :class:`ProgramImage` (the round-trip inverse)."""
+    chunks = [
+        pack_program_header(
+            image.mode,
+            image.address_unit,
+            image.origin,
+            image.base_dose,
+            len(image.segments),
+        )
+    ]
+    for seg in image.segments:
+        chunks.append(pack_program_segment(seg.index, seg.record_count, seg.payload))
+    return b"".join(chunks)
+
+
+def read_program(path: Union[str, Path]) -> ProgramImage:
+    """Read and parse a machine-program file."""
+    return loads_program(Path(path).read_bytes())
 
 
 # ---------------------------------------------------------------------------

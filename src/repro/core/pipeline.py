@@ -13,7 +13,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.core.cache import ShardCache
 from repro.core.executor import ExecutionStats, ShardedExecutor
@@ -34,12 +42,35 @@ from repro.machine.base import Machine, WriteTimeBreakdown
 from repro.pec.base import ProximityCorrector
 from repro.physics.psf import DoubleGaussianPSF
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.machine.program import MachineProgram
+
+#: Valid machine-program modes (mirrors repro.machine.program, which is
+#: imported lazily to keep the machine package import-cycle free).
+_MACHINE_MODES = ("raster", "vsb", "vector")
+
 
 def _validate_hierarchy(hierarchy: str) -> None:
     if hierarchy not in ("flat", "cells"):
         raise ValueError(
             f"hierarchy must be 'flat' or 'cells', got {hierarchy!r}"
         )
+
+
+def _validate_machine(machine: Optional[str]) -> None:
+    if machine is not None and machine not in _MACHINE_MODES:
+        raise ValueError(
+            f"machine must be one of {_MACHINE_MODES} or None, "
+            f"got {machine!r}"
+        )
+
+
+def _program_slug(name: str) -> str:
+    """A filesystem-safe stem for per-job program files."""
+    cleaned = "".join(
+        ch if (ch.isalnum() or ch in "._-") else "-" for ch in name
+    ).strip("-.")
+    return cleaned or "job"
 
 
 def _apply_hierarchy_stats(
@@ -63,6 +94,8 @@ class PipelineResult:
         source_polygons: flattened polygon count before fracture.
         corrected: True if proximity correction ran.
         execution: how the sharded engine ran (shards, workers, pool).
+        machine_program: the exported machine data stream (also on
+            ``execution.program``) when the run had a ``machine`` mode.
     """
 
     job: MachineJob
@@ -71,6 +104,7 @@ class PipelineResult:
     source_polygons: int = 0
     corrected: bool = False
     execution: Optional[ExecutionStats] = None
+    machine_program: Optional["MachineProgram"] = None
 
     def total_write_time(self, machine_name: str) -> float:
         """Convenience: total seconds on a named machine."""
@@ -120,6 +154,16 @@ class PreparationPipeline:
             so overlapping placements would double-expose (the same
             contract as :func:`fracture_hierarchical`).  Raw polygon
             sources carry no hierarchy and always run flat.
+        machine: lower every prepared job into an on-disk machine
+            program — ``"raster"`` (per-scanline RLE runs), ``"vsb"`` or
+            ``"vector"`` (per-shot dose/flash records); ``None`` (the
+            default) skips program export.  Programs stream one shard at
+            a time and are byte-identical across worker counts and
+            cold/warm cache runs (see :mod:`repro.machine.program`).
+        address_unit: raster address pitch [µm] for program export.
+        program_dir: directory for exported programs (default: the
+            working directory); files are named
+            ``<job-name>.<mode>.ebp``.
 
     Example:
         >>> from repro.layout import generators
@@ -144,10 +188,16 @@ class PreparationPipeline:
         overlap_policy: str = "warn",
         matrix_mode: Optional[str] = None,
         hierarchy: str = "flat",
+        machine: Optional[str] = None,
+        address_unit: float = 0.5,
+        program_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
         _validate_hierarchy(hierarchy)
+        _validate_machine(machine)
+        if address_unit <= 0:
+            raise ValueError("address unit must be positive")
         self.fracturer = fracturer if fracturer is not None else TrapezoidFracturer()
         self.corrector = corrector
         self.psf = psf
@@ -161,6 +211,9 @@ class PreparationPipeline:
         self.overlap_policy = overlap_policy
         self.matrix_mode = matrix_mode
         self.hierarchy = hierarchy
+        self.machine = machine
+        self.address_unit = address_unit
+        self.program_dir = Path(program_dir) if program_dir is not None else None
 
     @property
     def executor(self) -> ShardedExecutor:
@@ -189,6 +242,8 @@ class PreparationPipeline:
         field_size: Optional[float] = None,
         cache: Union[ShardCache, bool, None] = None,
         hierarchy: Optional[str] = None,
+        machine: Optional[str] = None,
+        program_path: Optional[Union[str, Path]] = None,
     ) -> PipelineResult:
         """Run the full pipeline on a library, cell or raw polygon list.
 
@@ -204,6 +259,11 @@ class PreparationPipeline:
                 :class:`~repro.core.cache.ShardCache` replaces it.
             hierarchy: per-run override of the pipeline's hierarchy
                 mode (``"flat"`` or ``"cells"``).
+            machine: per-run override of the machine-program mode
+                (``"raster"``/``"vsb"``/``"vector"``; ``"off"`` disables
+                export for this run).
+            program_path: explicit program file path (defaults to
+                ``<program_dir>/<job-name>.<mode>.ebp``).
         """
         hierarchy = self._resolve_hierarchy(hierarchy)
         if hierarchy == "cells" and isinstance(source, (Library, Cell)):
@@ -222,7 +282,12 @@ class PreparationPipeline:
             _apply_hierarchy_stats(outcome.stats, hier)
             cell = source.top_cell() if isinstance(source, Library) else source
             return self._finish(
-                outcome, name or cell.name, hier.source_polygons
+                outcome,
+                name or cell.name,
+                hier.source_polygons,
+                machine=machine,
+                program_path=program_path,
+                cache=cache,
             )
         polygons, inferred_name = self._gather(source, layer)
         return self.run_polygons(
@@ -231,6 +296,8 @@ class PreparationPipeline:
             workers=workers,
             field_size=field_size,
             cache=cache,
+            machine=machine,
+            program_path=program_path,
         )
 
     def run_polygons(
@@ -240,13 +307,22 @@ class PreparationPipeline:
         workers: Optional[int] = None,
         field_size: Optional[float] = None,
         cache: Union[ShardCache, bool, None] = None,
+        machine: Optional[str] = None,
+        program_path: Optional[Union[str, Path]] = None,
     ) -> PipelineResult:
         """Run fracture → correction → job build → write-time estimation."""
         polygons = list(polygons)
         outcome = self.executor.execute(
             polygons, workers=workers, field_size=field_size, cache=cache
         )
-        return self._finish(outcome, name, len(polygons))
+        return self._finish(
+            outcome,
+            name,
+            len(polygons),
+            machine=machine,
+            program_path=program_path,
+            cache=cache,
+        )
 
     def run_layers(
         self,
@@ -256,6 +332,7 @@ class PreparationPipeline:
         field_size: Optional[float] = None,
         cache: Union[ShardCache, bool, None] = None,
         hierarchy: Optional[str] = None,
+        machine: Optional[str] = None,
     ) -> Dict[Layer, PipelineResult]:
         """Prepare each layer of a cell as its own job, batched.
 
@@ -278,6 +355,7 @@ class PreparationPipeline:
         """
         cell = source.top_cell() if isinstance(source, Library) else source
         hierarchy = self._resolve_hierarchy(hierarchy)
+        program_seen: Dict[tuple, int] = {}
         if hierarchy == "cells":
             hier = fracture_hierarchical(
                 cell,
@@ -300,6 +378,9 @@ class PreparationPipeline:
                     outcome,
                     f"{cell.name}:{layer}",
                     hier.source_polygons_by_layer.get(layer, 0),
+                    machine=machine,
+                    cache=cache,
+                    program_seen=program_seen,
                 )
             return out
         flat = flatten_cell(cell)
@@ -313,7 +394,12 @@ class PreparationPipeline:
         )
         return {
             layer: self._finish(
-                outcome, f"{cell.name}:{layer}", len(polys)
+                outcome,
+                f"{cell.name}:{layer}",
+                len(polys),
+                machine=machine,
+                cache=cache,
+                program_seen=program_seen,
             )
             for layer, polys, outcome in zip(wanted, polygon_sets, outcomes)
         }
@@ -327,6 +413,7 @@ class PreparationPipeline:
         field_size: Optional[float] = None,
         cache: Union[ShardCache, bool, None] = None,
         hierarchy: Optional[str] = None,
+        machine: Optional[str] = None,
     ) -> List[PipelineResult]:
         """Prepare several sources through one shared worker pool.
 
@@ -382,12 +469,22 @@ class PreparationPipeline:
         flat_iter = iter(flat_outcomes)
         figure_iter = iter(figure_outcomes)
         out: List[PipelineResult] = []
+        program_seen: Dict[tuple, int] = {}
         for i, (kind, _, inferred, n_polys, hier) in enumerate(entries):
             outcome = next(figure_iter if kind == "figures" else flat_iter)
             if hier is not None:
                 _apply_hierarchy_stats(outcome.stats, hier)
             name = names[i] if names is not None else inferred
-            out.append(self._finish(outcome, name, n_polys))
+            out.append(
+                self._finish(
+                    outcome,
+                    name,
+                    n_polys,
+                    machine=machine,
+                    cache=cache,
+                    program_seen=program_seen,
+                )
+            )
         return out
 
     # -- helpers ----------------------------------------------------------
@@ -398,10 +495,55 @@ class PreparationPipeline:
         _validate_hierarchy(hierarchy)
         return hierarchy
 
+    def _resolve_machine(self, machine: Optional[str]) -> Optional[str]:
+        """Per-run machine override: ``None`` inherits the pipeline's
+        mode, ``"off"`` disables export for this run."""
+        if machine is None:
+            return self.machine
+        if machine == "off":
+            return None
+        _validate_machine(machine)
+        return machine
+
+    def _resolve_program_cache(
+        self, cache: Union[ShardCache, bool, None]
+    ) -> Optional[ShardCache]:
+        """The cache program segments go through, honouring the same
+        per-run override semantics as the executor's shard cache."""
+        if cache is None or cache is True:
+            return self.cache
+        if cache is False:
+            return None
+        return cache
+
+    def _default_program_path(
+        self, name: str, mode: str, seen: Optional[Dict[tuple, int]]
+    ) -> Path:
+        """``<program_dir>/<slug>.<mode>.ebp``, disambiguated within a
+        batch: two jobs of one ``run_layers``/``run_many`` call whose
+        names slug identically get distinct files (``slug-2``, …)
+        instead of silently overwriting each other's program."""
+        base = self.program_dir if self.program_dir is not None else Path(".")
+        slug = _program_slug(name)
+        if seen is not None:
+            count = seen.get((slug, mode), 0)
+            seen[(slug, mode)] = count + 1
+            if count:
+                slug = f"{slug}-{count + 1}"
+        return base / f"{slug}.{mode}.ebp"
+
     def _finish(
-        self, outcome, name: str, source_polygons: int
+        self,
+        outcome,
+        name: str,
+        source_polygons: int,
+        machine: Optional[str] = None,
+        program_path: Optional[Union[str, Path]] = None,
+        cache: Union[ShardCache, bool, None] = None,
+        program_seen: Optional[Dict[tuple, int]] = None,
     ) -> PipelineResult:
-        """Wrap an execution outcome in a job and estimate write times."""
+        """Wrap an execution outcome in a job, estimate write times and
+        (with a machine mode) export the machine program."""
         job = MachineJob(outcome.shots, base_dose=self.base_dose, name=name)
         result = PipelineResult(
             job=job,
@@ -410,8 +552,24 @@ class PreparationPipeline:
             corrected=outcome.corrected,
             execution=outcome.stats,
         )
-        for machine in self.machines:
-            result.write_times[machine.name] = machine.write_time(job)
+        for writer in self.machines:
+            result.write_times[writer.name] = writer.write_time(job)
+        mode = self._resolve_machine(machine)
+        if mode is not None:
+            from repro.machine.program import MachineSpec, export_program
+
+            spec = MachineSpec(mode=mode, address_unit=self.address_unit)
+            if program_path is None:
+                program_path = self._default_program_path(name, mode, program_seen)
+            program = export_program(
+                outcome.shard_results,
+                job,
+                spec,
+                program_path,
+                cache=self._resolve_program_cache(cache),
+            )
+            result.machine_program = program
+            outcome.stats.program = program
         return result
 
     @staticmethod

@@ -20,6 +20,8 @@ shared subsystems:
 * :mod:`~repro.machine.datapath` — pattern-data volume and data-rate
   ceilings (experiments T3, F5).
 * :mod:`~repro.machine.stitching` — field-butting error model.
+* :mod:`~repro.machine.program` — machine-program export: prepared
+  shards lowered to the RLE / shot-list streams a writer consumes.
 """
 
 from repro.machine.base import Machine, WriteTimeBreakdown
@@ -31,6 +33,13 @@ from repro.machine.vector import VectorScanWriter
 from repro.machine.vsb import ShapedBeamWriter
 from repro.machine.stitching import StitchingModel, ButtingReport
 from repro.machine.rle import RlePattern, encode_figures, decode_to_coverage
+from repro.machine.program import (
+    MACHINE_MODES,
+    MachineProgram,
+    MachineProgramError,
+    MachineSpec,
+    export_program,
+)
 from repro.machine.registration import (
     RegistrationFit,
     detect_edge,
@@ -58,6 +67,11 @@ __all__ = [
     "RlePattern",
     "encode_figures",
     "decode_to_coverage",
+    "MACHINE_MODES",
+    "MachineProgram",
+    "MachineProgramError",
+    "MachineSpec",
+    "export_program",
     "RegistrationFit",
     "detect_edge",
     "detect_mark_center",

@@ -45,9 +45,11 @@ class DataVolumeReport:
     rle_bytes: int
 
 
-def figure_stream_bytes(figures: Sequence[Trapezoid]) -> int:
+def figure_stream_bytes(
+    figures: Sequence[Trapezoid], bytes_per_figure: int = BYTES_PER_FIGURE
+) -> int:
     """Size of the flat machine figure stream [bytes]."""
-    return len(figures) * BYTES_PER_FIGURE
+    return len(figures) * bytes_per_figure
 
 
 def bitmap_bytes(width: float, height: float, address_unit: float) -> int:

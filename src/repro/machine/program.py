@@ -1,0 +1,513 @@
+"""Machine-program export: lowering prepared shards to writable streams.
+
+The preparation pipeline used to stop at fractured, dose-corrected
+figures; the machine models downstream were analysis-only.  This module
+closes the loop: each executed shard's corrected figures are *lowered*
+into the data stream a pattern generator actually consumes —
+
+* ``raster`` — per-scanline (start, length) runs on the machine address
+  grid (:mod:`repro.machine.rle`), the EBES-style run-length datapath.
+  ``stream_bytes`` is the **exact** 2-word-per-run size, replacing the
+  per-figure estimate of :func:`repro.machine.datapath.rle_bytes_estimate`.
+* ``vsb`` / ``vector`` — a shot list with one dose/flash record per
+  figure: quantized geometry, relative dose (milli-units) and the beam-on
+  time of the flash (VSB) or area dwell (vector) in nanoseconds.
+
+Streaming contract
+------------------
+Programs are written incrementally, one segment per occupied shard, in
+the shard plan's deterministic row-major order.  Only a single shard's
+runs/records are ever materialized in memory (``peak_segment_bytes`` is
+recorded so benchmarks can assert it), and the byte stream is identical
+for ``workers=1`` vs ``workers=N`` and for cold vs warm-cache runs —
+the same determinism contract as the executor itself, extended to disk.
+
+Segments are cacheable: with a :class:`~repro.core.cache.ShardCache`
+attached, each segment's content address (shard shots + machine spec +
+grid origin) is consulted before lowering and stored after, a separate
+key family from the shard-result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.jobfile import (
+    JobFileError,
+    ProgramImage,
+    pack_program_header,
+    pack_program_segment,
+)
+from repro.machine.base import Machine, WriteTimeBreakdown
+from repro.machine.datapath import (
+    ChannelCheck,
+    figure_stream_bytes,
+    raster_channel_check,
+    rle_bytes_estimate,
+    vector_channel_check,
+)
+from repro.machine.raster import RasterScanWriter
+from repro.machine.rle import BYTES_PER_LINE, BYTES_PER_RUN, Run, encode_figures
+from repro.machine.vector import VectorScanWriter
+from repro.machine.vsb import ShapedBeamWriter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cache import ShardCache
+    from repro.core.executor import ShardResult
+    from repro.core.job import MachineJob
+
+#: Supported machine-program architectures.
+MACHINE_MODES = ("raster", "vsb", "vector")
+
+#: Raster segment prologue: first scanline index, scanline count.
+_RASTER_PROLOGUE = struct.Struct(">iI")
+#: Per-scanline run-count word and (start, length) run words — the
+#: 16-bit format whose size :func:`repro.machine.rle.encoded_bytes`
+#: accounts for.
+_RUN_COUNT = struct.Struct(">H")
+_RUN = struct.Struct(">HH")
+
+#: Shot/flash record: y_bottom, y_top, x_bottom_left, x_bottom_right as
+#: signed 32-bit coordinate counts, top-edge deltas as signed 16-bit,
+#: relative dose ×1000, beam-on time [ns].
+_SHOT_RECORD = struct.Struct(">iiiihhHI")
+SHOT_RECORD_BYTES = _SHOT_RECORD.size
+
+
+class MachineProgramError(ValueError):
+    """Raised when a job cannot be lowered to the requested stream."""
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """What machine a program is lowered for.
+
+    Args:
+        mode: ``"raster"``, ``"vsb"`` or ``"vector"``.
+        address_unit: raster address pitch [µm] (ignored by shot modes'
+            geometry, which quantize at ``unit``).
+        channel_rate: pattern-data channel bandwidth [bytes/s] for the
+            :class:`~repro.machine.datapath.ChannelCheck`.
+        unit: shot-record coordinate quantum in layout units [µm].
+    """
+
+    mode: str
+    address_unit: float = 0.5
+    channel_rate: float = 5.0e6
+    unit: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.mode not in MACHINE_MODES:
+            raise MachineProgramError(
+                f"machine mode must be one of {MACHINE_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.address_unit <= 0 or self.unit <= 0:
+            raise MachineProgramError("address unit and record unit must be positive")
+        if self.channel_rate <= 0:
+            raise MachineProgramError("channel rate must be positive")
+
+    def machine(self) -> Machine:
+        """A writer of this architecture, matched to the spec."""
+        if self.mode == "raster":
+            return RasterScanWriter(address_unit=self.address_unit)
+        if self.mode == "vsb":
+            return ShapedBeamWriter()
+        return VectorScanWriter()
+
+
+@dataclass
+class MachineProgram:
+    """What one export produced: the on-disk program plus its accounting.
+
+    Attributes:
+        mode: machine architecture the stream targets.
+        path: program file location (``None`` for in-memory exports).
+        address_unit: raster address pitch [µm].
+        origin: address-grid origin (layout coordinates of address 0,0).
+        segment_count: occupied shards lowered into the stream.
+        figure_count: shot records (``vsb``/``vector`` modes).
+        run_count: RLE runs (``raster`` mode).
+        line_count: scanline count words in the stream (``raster`` mode).
+        stream_bytes: **exact** machine data-stream size [bytes] — run
+            and count words for raster, shot records for vsb/vector.
+        estimate_bytes: the legacy per-figure estimate for the same job
+            (:func:`~repro.machine.datapath.rle_bytes_estimate` /
+            :func:`~repro.machine.datapath.figure_stream_bytes`).
+        file_bytes: container size on disk (stream + framing).
+        digest: SHA-256 of the container bytes — the determinism oracle.
+        breakdown: write-time breakdown on the spec's machine, including
+            ``data_limited_extra`` when the channel cannot keep up.
+        channel: channel-rate check of the stream against the writer.
+        cache_hits / cache_misses: segment-cache accounting.
+        peak_segment_bytes: largest single segment held in memory while
+            streaming — the bounded-memory witness.
+    """
+
+    mode: str
+    path: Optional[Path]
+    address_unit: float
+    origin: Tuple[float, float]
+    base_dose: float
+    segment_count: int = 0
+    figure_count: int = 0
+    run_count: int = 0
+    line_count: int = 0
+    stream_bytes: int = 0
+    estimate_bytes: int = 0
+    file_bytes: int = 0
+    digest: str = ""
+    breakdown: WriteTimeBreakdown = field(default_factory=WriteTimeBreakdown)
+    channel: ChannelCheck = field(default_factory=lambda: ChannelCheck(0.0, 1.0))
+    cache_hits: int = 0
+    cache_misses: int = 0
+    peak_segment_bytes: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Segment lowering
+# ---------------------------------------------------------------------------
+
+
+def lower_raster_segment(
+    shots: Sequence,
+    origin: Tuple[float, float],
+    address_unit: float,
+) -> bytes:
+    """Lower one shard's figures to a raster RLE segment payload.
+
+    The address grid is the *global* job grid anchored at ``origin``, so
+    segments from different shards concatenate without re-addressing.
+    """
+    figures = [s.trapezoid for s in shots]
+    pattern = encode_figures(figures, address_unit, origin=origin)
+    if not pattern.lines:
+        return _RASTER_PROLOGUE.pack(0, 0)
+    line_first = min(pattern.lines)
+    line_last = max(pattern.lines) + 1
+    chunks = [_RASTER_PROLOGUE.pack(line_first, line_last - line_first)]
+    for j in range(line_first, line_last):
+        runs = pattern.lines.get(j, [])
+        if len(runs) > 0xFFFF:
+            raise MachineProgramError(
+                f"scanline {j} has {len(runs)} runs; the 16-bit count "
+                "word holds at most 65535"
+            )
+        chunks.append(_RUN_COUNT.pack(len(runs)))
+        for start, length in runs:
+            if start > 0xFFFF or length > 0xFFFF:
+                raise MachineProgramError(
+                    f"run ({start}, {length}) exceeds the 16-bit address "
+                    "range; increase the address unit or shard the job"
+                )
+            chunks.append(_RUN.pack(start, length))
+    return b"".join(chunks)
+
+
+def lower_shot_segment(
+    shots: Sequence,
+    unit: float,
+    ns_per_dose: float,
+    ns_per_dose_area: float = 0.0,
+) -> bytes:
+    """Lower one shard's shots to dose/flash records.
+
+    ``beam_ns = ns_per_dose · dose + ns_per_dose_area · dose · area`` —
+    VSB flashes are size-independent (``ns_per_dose``), vector dwells
+    scale with area (``ns_per_dose_area``).
+    """
+    chunks: List[bytes] = []
+    for shot in shots:
+        t = shot.trapezoid
+
+        def q(v: float) -> int:
+            return int(round(v / unit))
+
+        y0, y1 = q(t.y_bottom), q(t.y_top)
+        xbl, xbr = q(t.x_bottom_left), q(t.x_bottom_right)
+        if not all(-(2**31) <= v <= 2**31 - 1 for v in (y0, y1, xbl, xbr)):
+            raise MachineProgramError(
+                f"coordinate count out of int32 range at unit {unit:g}; "
+                "increase the record unit"
+            )
+        dtl = q(t.x_top_left) - xbl
+        dtr = q(t.x_top_right) - xbr
+        if not (-32768 <= dtl <= 32767 and -32768 <= dtr <= 32767):
+            raise MachineProgramError(
+                f"slant delta out of int16 range: {dtl}, {dtr} counts"
+            )
+        dose_milli = int(round(shot.dose * 1000.0))
+        if not (0 <= dose_milli <= 0xFFFF):
+            raise MachineProgramError(
+                f"dose {shot.dose} outside the representable range"
+            )
+        beam_ns = int(
+            round(
+                ns_per_dose * shot.dose
+                + ns_per_dose_area * shot.dose * t.area()
+            )
+        )
+        if not (0 <= beam_ns <= 0xFFFFFFFF):
+            raise MachineProgramError(
+                f"beam-on time {beam_ns} ns outside the 32-bit range"
+            )
+        chunks.append(
+            _SHOT_RECORD.pack(y0, y1, xbl, xbr, dtl, dtr, dose_milli, beam_ns)
+        )
+    return b"".join(chunks)
+
+
+def _segment_counters(mode: str, payload: bytes) -> Tuple[int, int, int]:
+    """``(record_count, stream_bytes, line_count)`` of one payload.
+
+    Recomputed by a light parse so cached segments account identically
+    to freshly lowered ones.
+    """
+    if mode != "raster":
+        if len(payload) % SHOT_RECORD_BYTES:
+            raise JobFileError("shot segment payload not record-aligned")
+        records = len(payload) // SHOT_RECORD_BYTES
+        return records, records * SHOT_RECORD_BYTES, 0
+    if len(payload) < _RASTER_PROLOGUE.size:
+        raise JobFileError("truncated raster segment prologue")
+    _, line_count = _RASTER_PROLOGUE.unpack_from(payload, 0)
+    offset = _RASTER_PROLOGUE.size
+    runs = 0
+    for _ in range(line_count):
+        if len(payload) < offset + _RUN_COUNT.size:
+            raise JobFileError("truncated raster segment line header")
+        (n,) = _RUN_COUNT.unpack_from(payload, offset)
+        offset += _RUN_COUNT.size + n * _RUN.size
+        runs += n
+    if offset != len(payload):
+        raise JobFileError("raster segment payload size mismatch")
+    return runs, runs * BYTES_PER_RUN + line_count * BYTES_PER_LINE, line_count
+
+
+def decode_raster_segment(payload: bytes) -> Tuple[int, List[List[Run]]]:
+    """``(first_line, runs_per_line)`` of a raster segment payload."""
+    if len(payload) < _RASTER_PROLOGUE.size:
+        raise JobFileError("truncated raster segment prologue")
+    line_first, line_count = _RASTER_PROLOGUE.unpack_from(payload, 0)
+    offset = _RASTER_PROLOGUE.size
+    lines: List[List[Run]] = []
+    for _ in range(line_count):
+        if len(payload) < offset + _RUN_COUNT.size:
+            raise JobFileError("truncated raster segment line header")
+        (n,) = _RUN_COUNT.unpack_from(payload, offset)
+        offset += _RUN_COUNT.size
+        if len(payload) < offset + n * _RUN.size:
+            raise JobFileError("truncated raster segment runs")
+        runs = [_RUN.unpack_from(payload, offset + k * _RUN.size) for k in range(n)]
+        offset += n * _RUN.size
+        lines.append([(s, length) for s, length in runs])
+    if offset != len(payload):
+        raise JobFileError("raster segment payload size mismatch")
+    return line_first, lines
+
+
+@dataclass(frozen=True)
+class ShotRecord:
+    """One decoded shot/flash record (coordinate counts at ``unit``)."""
+
+    y_bottom: int
+    y_top: int
+    x_bottom_left: int
+    x_bottom_right: int
+    top_left_delta: int
+    top_right_delta: int
+    dose_milli: int
+    beam_ns: int
+
+
+def decode_shot_segment(payload: bytes) -> List[ShotRecord]:
+    """Parse a vsb/vector segment payload into records."""
+    if len(payload) % SHOT_RECORD_BYTES:
+        raise JobFileError("shot segment payload not record-aligned")
+    return [
+        ShotRecord(*_SHOT_RECORD.unpack_from(payload, off))
+        for off in range(0, len(payload), SHOT_RECORD_BYTES)
+    ]
+
+
+def raster_coverage_lines(image: ProgramImage) -> Dict[int, List[Run]]:
+    """Merge a raster program's segments onto the global scanline grid.
+
+    Shards of the same mosaic row stream their scanlines separately;
+    for verification the runs are folded back per global line index
+    (runs of different shards are disjoint by the shard contract).
+    """
+    from repro.machine.rle import _merge_runs
+
+    if image.mode != "raster":
+        raise MachineProgramError(f"not a raster program (mode {image.mode!r})")
+    lines: Dict[int, List[Run]] = {}
+    for seg in image.segments:
+        first, seg_lines = decode_raster_segment(seg.payload)
+        for k, runs in enumerate(seg_lines):
+            if runs:
+                lines.setdefault(first + k, []).extend(runs)
+    return {j: _merge_runs(runs) for j, runs in lines.items()}
+
+
+# ---------------------------------------------------------------------------
+# Streaming export
+# ---------------------------------------------------------------------------
+
+
+def export_program(
+    shard_results: Sequence["ShardResult"],
+    job: "MachineJob",
+    spec: MachineSpec,
+    path: Union[str, Path],
+    cache: Optional["ShardCache"] = None,
+) -> MachineProgram:
+    """Lower a job's shard results into an on-disk machine program.
+
+    Segments are written in the given (row-major shard plan) order, one
+    at a time; with a cache, each segment's content address is consulted
+    before lowering and stored after.  The resulting file is
+    byte-identical for any worker count and for cold vs warm runs.
+    """
+    path = Path(path)
+    origin = (job.bounding_box[0], job.bounding_box[1])
+    machine = spec.machine()
+    occupied = [result for result in shard_results if result.shots]
+
+    flash_ns = 0.0
+    dwell_ns_area = 0.0
+    if spec.mode == "vsb":
+        flash_ns = machine.flash_time(job.base_dose) * 1e9
+    elif spec.mode == "vector":
+        dwell_ns_area = machine.dwell_time_per_area(job.base_dose) * 1e9
+
+    program = MachineProgram(
+        mode=spec.mode,
+        path=path,
+        address_unit=spec.address_unit,
+        origin=origin,
+        base_dose=job.base_dose,
+        segment_count=len(occupied),
+    )
+    digest = hashlib.sha256()
+
+    def emit(handle, chunk: bytes) -> None:
+        handle.write(chunk)
+        digest.update(chunk)
+        program.file_bytes += len(chunk)
+
+    # Stream into a staging file and publish atomically, so a lowering
+    # error mid-export (or a concurrent reader) never sees a truncated
+    # program — and never destroys a previous good one.
+    path.parent.mkdir(parents=True, exist_ok=True)
+    staging = path.parent / f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}"
+    try:
+        with open(staging, "wb") as handle:
+            emit(
+                handle,
+                pack_program_header(
+                    spec.mode,
+                    spec.address_unit,
+                    origin,
+                    job.base_dose,
+                    len(occupied),
+                ),
+            )
+            for result in occupied:
+                payload = None
+                key = None
+                if cache is not None:
+                    key = cache.program_key_for(result, spec, origin, job.base_dose)
+                    payload = cache.get_blob(key)
+                if payload is None:
+                    if spec.mode == "raster":
+                        payload = lower_raster_segment(
+                            result.shots, origin, spec.address_unit
+                        )
+                    else:
+                        payload = lower_shot_segment(
+                            result.shots, spec.unit, flash_ns, dwell_ns_area
+                        )
+                    program.cache_misses += 1
+                    if cache is not None:
+                        cache.put_blob(key, payload)
+                else:
+                    program.cache_hits += 1
+                records, stream_bytes, line_count = _segment_counters(
+                    spec.mode, payload
+                )
+                if spec.mode == "raster":
+                    program.run_count += records
+                else:
+                    program.figure_count += records
+                program.line_count += line_count
+                program.stream_bytes += stream_bytes
+                program.peak_segment_bytes = max(
+                    program.peak_segment_bytes, len(payload)
+                )
+                emit(handle, pack_program_segment(result.index, records, payload))
+        os.replace(staging, path)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise
+    if cache is None:
+        program.cache_hits = program.cache_misses = 0
+    program.digest = digest.hexdigest()
+
+    figures = [s.trapezoid for r in occupied for s in r.shots]
+    x0, y0, x1, y1 = job.bounding_box
+    if spec.mode == "raster":
+        program.estimate_bytes = rle_bytes_estimate(
+            figures, max(y1 - y0, spec.address_unit), spec.address_unit
+        )
+    else:
+        program.estimate_bytes = figure_stream_bytes(
+            figures, bytes_per_figure=SHOT_RECORD_BYTES
+        )
+
+    breakdown = machine.write_time(job)
+    program.channel = _channel_check(spec, machine, job, program, breakdown)
+    if program.channel.limited:
+        # The beam stalls while the channel catches up: exposure
+        # stretches by the slowdown factor.
+        breakdown.data_limited_extra = breakdown.exposure * (
+            program.channel.slowdown - 1.0
+        )
+    program.breakdown = breakdown
+    return program
+
+
+def _channel_check(
+    spec: MachineSpec,
+    machine: Machine,
+    job: "MachineJob",
+    program: MachineProgram,
+    breakdown: WriteTimeBreakdown,
+) -> ChannelCheck:
+    """Stream-size-aware channel check for the lowered program."""
+    if spec.mode == "raster":
+        if breakdown.exposure <= 0 or program.stream_bytes == 0:
+            return ChannelCheck(0.0, spec.channel_rate)
+        return raster_channel_check(
+            machine.effective_pixel_rate(job.base_dose),
+            program.stream_bytes,
+            breakdown.exposure,
+            channel_rate=spec.channel_rate,
+        )
+    busy = breakdown.exposure + breakdown.figure_overhead
+    if busy <= 0 or program.figure_count == 0:
+        return ChannelCheck(0.0, spec.channel_rate)
+    return vector_channel_check(
+        program.figure_count / busy,
+        channel_rate=spec.channel_rate,
+        bytes_per_figure=SHOT_RECORD_BYTES,
+    )

@@ -13,7 +13,14 @@ the blanker.  This module performs that expansion faithfully:
 
 Runs use the pixel-centre convention: address ``i`` on scanline ``j`` is
 written when the point ``(x0 + (i + 0.5)·a, y0 + (j + 0.5)·a)`` lies in
-the figure.
+the figure.  Membership is half-open on both axes (``y_bottom <= y <
+y_top`` and ``left <= x < right``), so two figures abutting on an edge
+that falls exactly on a pixel centre expose that row/column once, not
+twice — even when the two figures land in *different* shards of a
+machine program, where no run merging can dedupe them — and a figure of
+height ``h`` never produces more than ``ceil(h / a)`` scanlines: the
+exact stream is bounded by the per-figure estimate of
+:func:`repro.machine.datapath.rle_bytes_estimate`.
 """
 
 from __future__ import annotations
@@ -80,6 +87,13 @@ def encode_figures(
     Returns:
         The encoded pattern, with overlapping/adjacent runs merged per
         scanline.
+
+    Raises:
+        ValueError: when an explicitly-passed ``origin`` sits above or
+            right of a figure, so that a run would fall on a negative
+            scanline or address — the grid cannot represent it, and
+            silently clipping it would desynchronize ``encoded_bytes``/
+            ``line_count`` from ``lines``.
     """
     if address_unit <= 0:
         raise ValueError("address unit must be positive")
@@ -108,24 +122,40 @@ def _add_figure_runs(
     y0: float,
     a: float,
 ) -> None:
+    # Zero-height (degenerate) figures carry no area and no scanline can
+    # have its centre strictly inside them; skip instead of dividing by
+    # a zero height below.
+    if figure.height <= 0.0:
+        return
     bbox = figure.bounding_box()
-    first = max(0, int(np.floor((bbox[1] - y0) / a)))
+    first = int(np.floor((bbox[1] - y0) / a))
     last = int(np.ceil((bbox[3] - y0) / a))
     for j in range(first, last):
         y = y0 + (j + 0.5) * a
-        if not (figure.y_bottom <= y <= figure.y_top):
+        # Half-open membership: a shared horizontal edge exactly on a
+        # pixel-centre row belongs to the upper figure only.
+        if not (figure.y_bottom <= y < figure.y_top):
             continue
         t = (y - figure.y_bottom) / figure.height
         left = figure.x_bottom_left + t * (figure.x_top_left - figure.x_bottom_left)
         right = figure.x_bottom_right + t * (
             figure.x_top_right - figure.x_bottom_right
         )
-        # Addresses whose centres fall inside [left, right].
+        # Addresses whose centres fall inside [left, right): the right
+        # edge is exclusive, mirroring the scanline convention, so a
+        # shared vertical edge exactly on a pixel centre belongs to the
+        # right-hand figure only (ceil - 1 drops an exactly-on-edge
+        # centre that floor would keep).
         start = int(np.ceil((left - x0) / a - 0.5))
-        end = int(np.floor((right - x0) / a - 0.5))
+        end = int(np.ceil((right - x0) / a - 0.5)) - 1
         if end < start:
             continue
-        start = max(start, 0)
+        if j < 0 or start < 0:
+            raise ValueError(
+                f"figure {figure!r} extends below/left of the address-grid "
+                f"origin ({x0:g}, {y0:g}); pass an origin at or below the "
+                "figure bounding box"
+            )
         lines.setdefault(j, []).append((start, end - start + 1))
 
 

@@ -65,28 +65,62 @@ class StitchingModel:
         self.calibration_order = calibration_order
         self.calibration_marks = calibration_marks
 
-    def _edge_residuals(self, n_points: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Residual (dx, dy) along the right field edge after calibration."""
+    def _edge_residuals(
+        self,
+        n_points: int,
+        edge: str = "right",
+        fit: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Residual (dx, dy) along one field edge after calibration.
+
+        ``edge="right"`` samples the right edge (x = +size/2, y swept) —
+        the edge meeting a *vertical* mosaic boundary; ``edge="top"``
+        samples the top edge (y = +size/2, x swept) — the edge meeting a
+        *horizontal* boundary.  The two are not interchangeable for any
+        distortion that is not exchange-symmetric in x and y.
+
+        ``fit`` passes pre-computed calibration coefficients (the fit is
+        edge-independent, so one fit serves both orientations); without
+        it the fit is computed fresh from the current model state.
+        """
         half = self.field.size / 2.0
-        ys = np.linspace(-half, half, n_points)
-        xs = np.full_like(ys, half)
+        sweep = np.linspace(-half, half, n_points)
+        if edge == "right":
+            xs, ys = np.full_like(sweep, half), sweep
+        elif edge == "top":
+            xs, ys = sweep, np.full_like(sweep, half)
+        else:
+            raise ValueError(f"edge must be 'right' or 'top', got {edge!r}")
         dx, dy = self.field.distortion(xs, ys)
         if self.calibration_order is None:
             return dx, dy
-        # Fit the correction polynomial on the calibration mark grid and
-        # subtract its prediction along the edge.
+        # Subtract the correction polynomial's prediction along the edge.
         from repro.machine.deflection import _poly_basis
 
-        marks = self.calibration_marks
-        axis = np.linspace(-half, half, marks)
+        coeff_x, coeff_y = fit if fit is not None else self._calibration_coefficients()
+        edge_basis = _poly_basis(xs / half, ys / half, self.calibration_order)
+        return dx - edge_basis @ coeff_x, dy - edge_basis @ coeff_y
+
+    def _calibration_coefficients(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Correction-polynomial coefficients fitted on the mark grid.
+
+        The fit depends only on the field, the order and the mark count
+        — not on which edge is sampled.  Computed fresh on every call so
+        mutating the model's public attributes between calls never
+        yields a stale fit; callers that need both edges pass the result
+        to :meth:`_edge_residuals` once per orientation.
+        """
+        from repro.machine.deflection import _poly_basis
+
+        half = self.field.size / 2.0
+        axis = np.linspace(-half, half, self.calibration_marks)
         gx, gy = np.meshgrid(axis, axis)
         mx, my = gx.ravel(), gy.ravel()
         mdx, mdy = self.field.distortion(mx, my)
         basis = _poly_basis(mx / half, my / half, self.calibration_order)
         coeff_x, *_ = np.linalg.lstsq(basis, mdx, rcond=None)
         coeff_y, *_ = np.linalg.lstsq(basis, mdy, rcond=None)
-        edge_basis = _poly_basis(xs / half, ys / half, self.calibration_order)
-        return dx - edge_basis @ coeff_x, dy - edge_basis @ coeff_y
+        return coeff_x, coeff_y
 
     def simulate(
         self,
@@ -102,7 +136,10 @@ class StitchingModel:
         and the right field's left edge place the same feature; their
         disagreement is the deflection residual difference (left-edge
         residuals mirror the right-edge ones by field symmetry) plus the
-        difference of two independent stage placement errors.
+        difference of two independent stage placement errors.  Horizontal
+        boundaries pair the lower field's *top* edge with the upper
+        field's bottom edge the same way — their residuals are sampled on
+        the top edge, not recycled from the vertical-boundary edge.
 
         Args:
             passes: multipass writing — the pattern is written ``passes``
@@ -116,15 +153,38 @@ class StitchingModel:
         if passes < 1:
             raise ValueError("passes must be at least 1")
         rng = np.random.default_rng(seed)
-        res_dx, res_dy = self._edge_residuals(samples_per_edge)
+        n_boundaries_v = max(0, (columns - 1) * rows)
+        n_boundaries_h = max(0, (rows - 1) * columns)
+
+        # The deflection mismatch along a boundary is systematic — it
+        # does not depend on the Monte-Carlo draw — so it is computed
+        # once per boundary orientation, outside the sampling loop, and
+        # only for orientations the mosaic actually has.
+        # Vertical boundary: right edge of A vs left edge of B; the
+        # opposing edge's residuals are the point-mirror of the sampled
+        # ones (residual(-p) = -residual(p) for the odd distortion
+        # terms), i.e. ``-res[::-1]`` over the symmetric sweep.
+        fit = (
+            self._calibration_coefficients()
+            if self.calibration_order is not None
+            else None
+        )
+        ddx_v = ddy_v = ddx_h = ddy_h = None
+        if n_boundaries_v:
+            res_dx, res_dy = self._edge_residuals(samples_per_edge, "right", fit)
+            ddx_v = res_dx - (-res_dx[::-1])
+            ddy_v = res_dy - (-res_dy[::-1])
+        # Horizontal boundary: top edge of A vs bottom edge of B,
+        # mirrored the same way along the x sweep.
+        if n_boundaries_h:
+            res_dx, res_dy = self._edge_residuals(samples_per_edge, "top", fit)
+            ddx_h = res_dx - (-res_dx[::-1])
+            ddy_h = res_dy - (-res_dy[::-1])
 
         stage_only: List[float] = []
         deflection_only: List[float] = []
         combined: List[float] = []
-
-        n_boundaries_v = max(0, (columns - 1) * rows)
-        n_boundaries_h = max(0, (rows - 1) * columns)
-        for _ in range(n_boundaries_v + n_boundaries_h):
+        for boundary in range(n_boundaries_v + n_boundaries_h):
             # Average the random stage placement over the passes; the
             # deflection residual is systematic and survives averaging.
             stage_a = rng.normal(
@@ -134,10 +194,10 @@ class StitchingModel:
                 0.0, self.stage.position_noise, (passes, 2)
             ).mean(axis=0)
             stage_delta = stage_a - stage_b
-            # Deflection mismatch: right edge of A vs left edge of B.
-            # Left-edge residuals are the point-mirror of right-edge ones.
-            ddx = res_dx - (-res_dx[::-1])
-            ddy = res_dy - (-res_dy[::-1])
+            if boundary < n_boundaries_v:
+                ddx, ddy = ddx_v, ddy_v
+            else:
+                ddx, ddy = ddx_h, ddy_h
             total = np.hypot(ddx + stage_delta[0], ddy + stage_delta[1])
             combined.extend(total.tolist())
             deflection_only.extend(np.hypot(ddx, ddy).tolist())

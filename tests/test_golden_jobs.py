@@ -67,6 +67,17 @@ def snapshot_of(result):
     }
 
 
+#: Every key a golden snapshot may carry; an unknown (e.g. renamed and
+#: orphaned) key in a committed file is an error, not silently ignored.
+GOLDEN_KEYS = {
+    "figure_count",
+    "job_digest",
+    "dose_digest",
+    "raster_program_digest",
+    "vsb_program_digest",
+}
+
+
 def golden_path(name):
     return GOLDEN_DIR / f"{name}.json"
 
@@ -78,7 +89,10 @@ def load_golden(name):
             f"missing golden snapshot {path}; generate it with "
             f"`pytest tests/test_golden_jobs.py --update-golden`"
         )
-    return json.loads(path.read_text())
+    golden = json.loads(path.read_text())
+    stale = set(golden) - GOLDEN_KEYS
+    assert not stale, f"golden snapshot {path} carries unknown keys {stale}"
+    return golden
 
 
 @pytest.mark.parametrize("name", sorted(CANONICAL_LAYOUTS))
@@ -103,11 +117,69 @@ def test_prepared_job_matches_golden(name, update_golden, tmp_path):
 
     if update_golden:
         GOLDEN_DIR.mkdir(exist_ok=True)
-        golden_path(name).write_text(json.dumps(record, indent=2) + "\n")
+        merged = {}
+        if golden_path(name).exists():
+            merged = json.loads(golden_path(name).read_text())
+        merged.update(record)
+        golden_path(name).write_text(json.dumps(merged, indent=2) + "\n")
         return
-    assert record == load_golden(name), (
+    golden = load_golden(name)
+    assert record == {k: golden.get(k) for k in record}, (
         f"prepared job for {name!r} diverged from the golden snapshot; "
         f"if the change is intentional, re-run with --update-golden"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL_LAYOUTS))
+def test_machine_programs_match_golden(name, update_golden, tmp_path):
+    """Raster and VSB machine programs are deterministic and pinned.
+
+    Cold, warm-cache and ``workers=2`` exports must be byte-identical on
+    disk, and their stream digests must match the committed snapshots —
+    any change to fracture order, dosing, shard planning, RLE encoding
+    or the program container fails here.
+    """
+    layout = CANONICAL_LAYOUTS[name]()
+    pipe = build_pipeline(cache_dir=tmp_path / "cache")
+
+    record = {}
+    for mode in ("raster", "vsb"):
+        paths = {
+            which: tmp_path / f"{which}.{mode}.ebp"
+            for which in ("cold", "warm", "parallel")
+        }
+        cold = pipe.run(layout, machine=mode, program_path=paths["cold"])
+        warm = pipe.run(layout, machine=mode, program_path=paths["warm"])
+        parallel = pipe.run(
+            layout,
+            workers=2,
+            cache=False,
+            machine=mode,
+            program_path=paths["parallel"],
+        )
+        cold_bytes = paths["cold"].read_bytes()
+        assert cold_bytes == paths["warm"].read_bytes()
+        assert cold_bytes == paths["parallel"].read_bytes()
+        # The warm export answers every segment from the program cache.
+        assert warm.machine_program.cache_hits == warm.machine_program.segment_count
+        assert warm.machine_program.cache_misses == 0
+        assert cold.machine_program.stream_bytes > 0
+        assert parallel.machine_program.digest == cold.machine_program.digest
+        record[f"{mode}_program_digest"] = cold.machine_program.digest
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        merged = {}
+        if golden_path(name).exists():
+            merged = json.loads(golden_path(name).read_text())
+        merged.update(record)
+        golden_path(name).write_text(json.dumps(merged, indent=2) + "\n")
+        return
+    golden = load_golden(name)
+    assert record == {k: golden.get(k) for k in record}, (
+        f"machine programs for {name!r} diverged from the golden "
+        f"snapshot; if the change is intentional, re-run with "
+        f"--update-golden"
     )
 
 

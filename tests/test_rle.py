@@ -1,10 +1,15 @@
 """Tests for the raster RLE datapath encoder."""
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.fracture.trapezoidal import TrapezoidFracturer
 from repro.geometry.polygon import Polygon
+from repro.geometry.rasterize import RasterFrame, rasterize_trapezoids
 from repro.geometry.trapezoid import Trapezoid
 from repro.machine.rle import (
     RlePattern,
@@ -12,6 +17,55 @@ from repro.machine.rle import (
     encode_figures,
     stream_rate_required,
 )
+
+
+def reference_coverage(figures, address_unit, origin, width, line_count):
+    """Independent pixel-centre membership oracle (vectorized, no runs).
+
+    A pixel is covered iff its centre satisfies ``y_bottom <= y < y_top``
+    and ``left <= x < right`` on the figure's interpolated x-span — the
+    encoder's half-open contract, computed without any run/merge/index
+    arithmetic.
+    """
+    x0, y0 = origin
+    xs = x0 + (np.arange(width) + 0.5) * address_unit
+    ys = y0 + (np.arange(line_count) + 0.5) * address_unit
+    grid = np.zeros((line_count, width), dtype=bool)
+    for f in figures:
+        if f.height <= 0:
+            continue
+        inside_y = (ys >= f.y_bottom) & (ys < f.y_top)
+        t = (ys - f.y_bottom) / f.height
+        left = f.x_bottom_left + t * (f.x_top_left - f.x_bottom_left)
+        right = f.x_bottom_right + t * (f.x_top_right - f.x_bottom_right)
+        grid |= (
+            inside_y[:, None]
+            & (xs[None, :] >= left[:, None])
+            & (xs[None, :] < right[:, None])
+        )
+    return grid
+
+
+def pattern_width(figures, pattern):
+    x_max = max(f.bounding_box()[2] for f in figures)
+    return max(1, int(math.ceil((x_max - pattern.origin[0]) / pattern.address_unit)))
+
+
+#: Quarter-unit grid coordinates so figure edges frequently land exactly
+#: on pixel centres and pixel boundaries of the sampled address units
+#: (0.25-grid points coincide with pixel centres of 0.5 µm addresses).
+_GRID = 0.25
+
+
+@st.composite
+def quantized_trapezoids(draw):
+    y0 = draw(st.integers(0, 20)) * _GRID
+    height = draw(st.integers(1, 12)) * _GRID
+    xbl = draw(st.integers(0, 20)) * _GRID
+    bottom = draw(st.integers(0, 12)) * _GRID
+    xtl = draw(st.integers(0, 20)) * _GRID
+    top = draw(st.integers(1, 12)) * _GRID
+    return Trapezoid(y0, y0 + height, xbl, xbl + bottom, xtl, xtl + top)
 
 
 class TestEncoding:
@@ -64,6 +118,168 @@ class TestEncoding:
         rect = Trapezoid.from_rectangle(0, 0, 4, 2)
         pattern = encode_figures([rect], address_unit=0.5)
         assert pattern.encoded_bytes() == 4 * 4 + 4 * 2
+
+
+class _DegenerateFigure:
+    """Duck-typed zero-height figure (Trapezoid itself forbids it)."""
+
+    y_bottom = 1.0
+    y_top = 1.0
+    height = 0.0
+    x_bottom_left = 0.0
+    x_bottom_right = 2.0
+    x_top_left = 0.0
+    x_top_right = 2.0
+
+    def bounding_box(self):
+        return (0.0, 1.0, 2.0, 1.0)
+
+
+class TestDegenerateAndOrigin:
+    def test_zero_height_figure_is_skipped(self):
+        # Regression: ``t = (y - y_bottom) / height`` used to raise
+        # ZeroDivisionError for degenerate figures.
+        pattern = encode_figures([_DegenerateFigure()], 0.5)
+        assert pattern.run_count() == 0
+
+    def test_zero_height_figure_among_real_ones(self):
+        rect = Trapezoid.from_rectangle(0, 0, 2, 1)
+        pattern = encode_figures([rect, _DegenerateFigure()], 0.5)
+        only = encode_figures([rect], 0.5, origin=pattern.origin)
+        assert pattern.lines == only.lines
+
+    def test_explicit_origin_above_figure_raises(self):
+        rect = Trapezoid.from_rectangle(0, 0, 2, 2)
+        with pytest.raises(ValueError, match="origin"):
+            encode_figures([rect], 0.5, origin=(0.0, 1.0))
+
+    def test_explicit_origin_right_of_figure_raises(self):
+        rect = Trapezoid.from_rectangle(0, 0, 2, 2)
+        with pytest.raises(ValueError, match="origin"):
+            encode_figures([rect], 0.5, origin=(1.0, 0.0))
+
+    def test_explicit_origin_below_extends_grid(self):
+        rect = Trapezoid.from_rectangle(0, 0, 2, 1)
+        base = encode_figures([rect], 0.5, origin=(0.0, 0.0))
+        shifted = encode_figures([rect], 0.5, origin=(-1.0, -1.0))
+        assert shifted.line_count == base.line_count + 2
+        for j, runs in base.lines.items():
+            assert shifted.lines[j + 2] == [
+                (start + 2, length) for start, length in runs
+            ]
+
+    def test_runs_stay_within_line_count(self):
+        figs = [
+            Trapezoid.from_rectangle(0, 0, 3, 1.3),
+            Trapezoid(1.3, 2.9, 0.1, 2.7, 1.0, 1.9),
+        ]
+        pattern = encode_figures(figs, 0.5, origin=(-2.0, -1.5))
+        assert pattern.lines
+        assert all(0 <= j < pattern.line_count for j in pattern.lines)
+
+
+class TestHalfOpenConvention:
+    def test_edge_on_centre_rows_stay_within_estimate(self):
+        # Bottom edge half an address below a centre, height exactly two
+        # address units: the inclusive convention wrote three scanlines
+        # (> ceil(h/a)); half-open writes exactly ceil(h/a).
+        f = Trapezoid.from_rectangle(0, 0.5, 3, 2.5)
+        pattern = encode_figures([f], 1.0, origin=(0.0, 0.0))
+        assert pattern.run_count() == 2
+
+    def test_abutting_edge_on_centre_column_written_once(self):
+        # Shared vertical edge at x = 1.5, exactly the centre of column
+        # 1 at a 1 µm address: the column belongs to the right-hand
+        # figure only, so even without run merging (e.g. the two figures
+        # in different machine-program shards) nothing double-writes.
+        left = Trapezoid.from_rectangle(0, 0, 1.5, 1)
+        right = Trapezoid.from_rectangle(1.5, 0, 4, 1)
+        only_left = encode_figures([left], 1.0, origin=(0.0, 0.0))
+        only_right = encode_figures([right], 1.0, origin=(0.0, 0.0))
+        assert only_left.lines[0] == [(0, 1)]
+        assert only_right.lines[0] == [(1, 3)]
+        both = encode_figures([left, right], 1.0, origin=(0.0, 0.0))
+        assert both.lines[0] == [(0, 4)]
+
+    def test_abutting_edge_on_centre_row_written_once(self):
+        lower = Trapezoid.from_rectangle(0, 0, 4, 1.5)
+        upper = Trapezoid.from_rectangle(0, 1.5, 4, 3.5)
+        pattern = encode_figures([lower, upper], 1.0, origin=(0.0, 0.0))
+        # The shared edge sits exactly on the centre of row 1; it belongs
+        # to the upper figure alone, so every row is one 4-address run
+        # and nothing double-counts.
+        assert all(runs == [(0, 4)] for runs in pattern.lines.values())
+        ref = reference_coverage([lower, upper], 1.0, (0.0, 0.0), 4, pattern.line_count)
+        assert (decode_to_coverage(pattern, 4) == ref).all()
+
+
+class TestPropertyOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(quantized_trapezoids(), min_size=1, max_size=6),
+        st.sampled_from([0.25, 0.5, 1.0]),
+    )
+    def test_encode_matches_membership_oracle(self, figs, address_unit):
+        pattern = encode_figures(figs, address_unit)
+        width = pattern_width(figs, pattern)
+        grid = decode_to_coverage(pattern, width)
+        ref = reference_coverage(
+            figs, address_unit, pattern.origin, width, pattern.line_count
+        )
+        assert (grid == ref).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(quantized_trapezoids(), min_size=1, max_size=4),
+        st.sampled_from([0.25, 0.5]),
+    )
+    def test_encode_consistent_with_rasterizer(self, figs, address_unit):
+        # One figure per y-band: encode_figures' contract is *disjoint*
+        # figures, and the rasterizer's additive-then-clipped coverage
+        # would count overlapping duplicates twice.
+        figs = [
+            Trapezoid(
+                t.y_bottom + i * 4.0,
+                t.y_top + i * 4.0,
+                t.x_bottom_left,
+                t.x_bottom_right,
+                t.x_top_left,
+                t.x_top_right,
+            )
+            for i, t in enumerate(figs)
+        ]
+        pattern = encode_figures(figs, address_unit)
+        width = pattern_width(figs, pattern)
+        grid = decode_to_coverage(pattern, width)
+        frame = RasterFrame(
+            pattern.origin[0],
+            pattern.origin[1],
+            address_unit,
+            width,
+            max(1, pattern.line_count),
+        )
+        cover = rasterize_trapezoids(figs, frame, supersample=4)
+        # A pixel the anti-aliased rasterizer sees as fully covered must
+        # be written by the runs (no holes in fully exposed regions).
+        # The converse is deliberately not asserted: a steep slanted
+        # sliver can cover a pixel's centre row while contributing
+        # almost no area, so low coverage does not imply "unwritten".
+        assert grid[cover > 0.99].all()
+
+    def test_fractured_layout_matches_oracle(self):
+        polys = [
+            Polygon.rectangle(0, 0, 6, 3),
+            Polygon([(8, 0), (14, 0), (11, 5)]),
+            Polygon([(0, 4), (5, 4), (5, 6.5), (0, 6.5)]),
+        ]
+        figs = TrapezoidFracturer().fracture(polys)
+        pattern = encode_figures(figs, 0.25)
+        width = pattern_width(figs, pattern)
+        grid = decode_to_coverage(pattern, width)
+        ref = reference_coverage(
+            figs, 0.25, pattern.origin, width, pattern.line_count
+        )
+        assert (grid == ref).all()
 
 
 class TestDecode:

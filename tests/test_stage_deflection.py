@@ -131,6 +131,67 @@ class TestStitching:
             StitchingModel().simulate(columns=1, rows=1)
 
 
+class _AsymmetricField(DeflectionField):
+    """Distortion that differs between the right and top field edges.
+
+    ``dx = c · (y / half)²`` varies quadratically along the right edge
+    (x = +half, y swept) but is the constant ``c`` along the top edge
+    (y = +half, x swept); ``dy = 0`` everywhere.
+    """
+
+    AMPLITUDE = 0.01
+
+    def distortion(self, x, y):
+        half = self.size / 2.0
+        yn = np.asarray(y, dtype=float) / half
+        dx = self.AMPLITUDE * yn**2
+        return dx, np.zeros_like(dx)
+
+
+class TestStitchingEdgeSelection:
+    """Regression: horizontal boundaries must use top-edge residuals.
+
+    The pre-fix code sampled only the right edge (``xs = half``) and fed
+    those residuals to *every* boundary; with the asymmetric field above
+    the analytic butting error differs between the orientations, so the
+    wrong-edge reuse is provably visible in the RMS.
+    """
+
+    C = _AsymmetricField.AMPLITUDE
+
+    def _model(self):
+        return StitchingModel(
+            field=_AsymmetricField(),
+            stage=Stage(position_noise=0.0),
+            calibration_order=None,
+        )
+
+    def test_horizontal_boundaries_use_top_edge(self):
+        # Rows-only mosaic: every boundary is horizontal.  Top-edge
+        # residual is the constant c, the mirrored bottom edge gives -c,
+        # so every sample's butting error is exactly 2c.  The old code
+        # reused the right edge (c·yn²) and reported RMS(2c·yn²) =
+        # 2c·sqrt(mean(yn⁴)) ≈ 0.66·2c instead.
+        report = self._model().simulate(columns=1, rows=3, seed=0)
+        assert report.rms == pytest.approx(2 * self.C, rel=1e-12)
+        assert report.maximum == pytest.approx(2 * self.C, rel=1e-12)
+
+    def test_vertical_boundaries_unchanged(self):
+        # Columns-only mosaic: every boundary is vertical, right-edge
+        # residuals apply, mismatch 2c·yn² over the symmetric sweep.
+        report = self._model().simulate(columns=3, rows=1, samples_per_edge=21, seed=0)
+        yn = np.linspace(-1.0, 1.0, 21)
+        expected = float(np.sqrt(np.mean((2 * self.C * yn**2) ** 2)))
+        assert report.rms == pytest.approx(expected, rel=1e-12)
+        assert report.rms < 2 * self.C * 0.8
+
+    def test_mixed_mosaic_between_the_extremes(self):
+        mixed = self._model().simulate(columns=2, rows=2, seed=0)
+        vertical = self._model().simulate(columns=3, rows=1, seed=0)
+        horizontal = self._model().simulate(columns=1, rows=3, seed=0)
+        assert vertical.rms < mixed.rms < horizontal.rms
+
+
 class TestOverlayBudget:
     def test_rss(self):
         total, share = overlay_budget({"a": 3.0, "b": 4.0})
