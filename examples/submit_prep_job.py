@@ -1,0 +1,122 @@
+"""Submit a preparation job to a running prep service and poll it home.
+
+Start a server first::
+
+    python -m repro.cli serve --port 8080 --work-dir .prep-service
+
+then submit a job and download its artifacts::
+
+    python examples/submit_prep_job.py --url http://127.0.0.1:8080 \
+        --workload fzp --pec --field-size 15 --machine raster \
+        --output fzp.ebj --program-output fzp.raster.ebp
+
+The script exits non-zero if the submission is rejected, the job fails
+or is cancelled — so CI smoke suites can gate on it directly.  It only
+uses the standard library, like the service itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def _request(url: str, method: str = "GET", payload: dict | None = None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    headers = {"Content-Type": "application/json"} if data else {}
+    req = urllib.request.Request(url, data=data, method=method, headers=headers)
+    with urllib.request.urlopen(req, timeout=60) as response:
+        return response.status, response.read()
+
+
+def submit(base: str, payload: dict) -> dict:
+    try:
+        _, body = _request(f"{base}/jobs", "POST", payload)
+    except urllib.error.HTTPError as err:
+        detail = json.loads(err.read()).get("error", "")
+        sys.exit(f"submission rejected ({err.code}): {detail}")
+    view = json.loads(body)
+    print(f"submitted job {view['id']} ({view['name']}, state {view['state']})")
+    return view
+
+
+def poll(base: str, job_id: str, interval: float) -> dict:
+    last = None
+    while True:
+        _, body = _request(f"{base}/jobs/{job_id}")
+        view = json.loads(body)
+        progress = view["progress"]
+        line = (
+            f"  {view['state']}: {progress['shards_done']}"
+            f"/{progress['shards_total']} shards"
+        )
+        if line != last:
+            print(line)
+            last = line
+        if view["state"] in ("done", "failed", "cancelled"):
+            return view
+        time.sleep(interval)
+
+
+def download(base: str, job_id: str, artifact: str, path: str) -> None:
+    _, body = _request(f"{base}/jobs/{job_id}/result?artifact={artifact}")
+    with open(path, "wb") as stream:
+        stream.write(body)
+    print(f"  wrote {artifact} artifact {path} ({len(body):,} bytes)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="submit a job to the prep service and poll to completion"
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8080")
+    parser.add_argument("--workload", default="fzp")
+    parser.add_argument("--pec", action="store_true")
+    parser.add_argument("--pec-matrix", default=None)
+    parser.add_argument("--field-size", type=float, default=None)
+    parser.add_argument("--hierarchy", default=None)
+    parser.add_argument("--machine", default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument("--output", default=None, help=".ebj destination")
+    parser.add_argument(
+        "--program-output", default=None, help=".ebp destination"
+    )
+    parser.add_argument("--poll-interval", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    payload: dict = {"workload": args.workload, "priority": args.priority}
+    if args.pec:
+        payload["pec"] = True
+    for knob in ("pec_matrix", "field_size", "hierarchy", "machine", "workers"):
+        value = getattr(args, knob)
+        if value is not None:
+            payload[knob] = value
+
+    base = args.url.rstrip("/")
+    view = submit(base, payload)
+    view = poll(base, view["id"], args.poll_interval)
+    if view["state"] != "done":
+        sys.exit(f"job {view['id']} {view['state']}: {view.get('error')}")
+
+    result = view["result"]
+    execution = result["execution"]
+    print(f"  digest:  {result['digest']}")
+    print(f"  figures: {result['figure_count']}")
+    print(
+        f"  cache:   {execution['cache_hits']} hits, "
+        f"{execution['cache_misses']} misses"
+    )
+    if args.output:
+        download(base, view["id"], "job", args.output)
+    if args.program_output:
+        download(base, view["id"], "program", args.program_output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

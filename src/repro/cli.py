@@ -6,6 +6,11 @@ Subcommands:
   the fracture report and per-machine write-time estimates.
 * ``stats`` — hierarchy statistics of a GDSII file.
 * ``demo`` — run the pipeline on a built-in synthetic workload.
+* ``serve`` — run the prep-as-a-service HTTP job server.
+
+Bad inputs (invalid knob values, unknown workloads, unreadable files)
+exit non-zero with a one-line ``error:`` message on stderr — never a
+traceback — so smoke scripts and CI fail loudly and readably.
 """
 
 from __future__ import annotations
@@ -16,16 +21,10 @@ from typing import List, Optional
 
 from repro.analysis.tables import Table
 from repro.core.pipeline import PreparationPipeline
-from repro.fracture.shots import ShotFracturer
-from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.core.recipe import PrepRecipe
 from repro.layout import generators
 from repro.layout.gdsii import read_gdsii
 from repro.layout.stats import library_stats
-from repro.machine.raster import RasterScanWriter
-from repro.machine.vector import VectorScanWriter
-from repro.machine.vsb import ShapedBeamWriter
-from repro.pec.dose_iter import IterativeDoseCorrector
-from repro.physics.psf import psf_for
 
 
 def _worker_count(text: str) -> int:
@@ -44,37 +43,29 @@ def _positive_float(text: str) -> float:
     return value
 
 
-def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
-    machines = [
-        RasterScanWriter(),
-        VectorScanWriter(),
-        ShapedBeamWriter(),
-    ]
-    if args.fracture == "vsb":
-        fracturer = ShotFracturer(max_shot=args.max_shot)
-    else:
-        fracturer = TrapezoidFracturer()
-    corrector = None
-    psf = None
-    if args.pec:
-        psf = psf_for(args.energy)
-        corrector = IterativeDoseCorrector(
-            matrix_mode=args.pec_matrix, grid_cell=args.pec_grid_cell
-        )
-    cache_dir = None if args.no_cache else args.cache_dir
-    return PreparationPipeline(
-        fracturer=fracturer,
-        corrector=corrector,
-        psf=psf,
-        machines=machines,
-        base_dose=args.dose,
+def _recipe_from_args(args: argparse.Namespace) -> PrepRecipe:
+    """The CLI options as a :class:`~repro.core.recipe.PrepRecipe` —
+    the same value object the prep service builds its pipelines from,
+    so HTTP and CLI runs share one construction path."""
+    return PrepRecipe(
+        fracture=args.fracture,
+        max_shot=args.max_shot,
+        pec=args.pec,
+        pec_matrix=args.pec_matrix,
+        pec_grid_cell=args.pec_grid_cell,
+        energy=args.energy,
+        dose=args.dose,
         workers=args.workers,
         field_size=args.field_size,
-        cache_dir=cache_dir,
         hierarchy=args.hierarchy,
         machine=args.machine,
         address_unit=args.address_unit,
     )
+
+
+def _build_pipeline(args: argparse.Namespace) -> PreparationPipeline:
+    cache_dir = None if args.no_cache else args.cache_dir
+    return _recipe_from_args(args).build_pipeline(cache_dir=cache_dir)
 
 
 def _program_path(args: argparse.Namespace) -> Optional[str]:
@@ -202,6 +193,45 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service import create_server
+
+    work_dir = Path(args.work_dir)
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = work_dir / "shard-cache"
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        cache_dir=cache_dir,
+        work_dir=work_dir,
+        concurrency=args.concurrency,
+    )
+    host, port = server.server_address[:2]
+    print(f"prep service listening on http://{host}:{port}")
+    print(f"  work dir:    {work_dir}")
+    print(f"  shard cache: {cache_dir if cache_dir is not None else 'disabled'}")
+    print(f"  concurrency: {args.concurrency} job(s)")
+    print(
+        "  endpoints:   POST /jobs · GET /jobs/{id} · "
+        "GET /jobs/{id}/result · DELETE /jobs/{id} · "
+        "GET /healthz /readyz /stats"
+    )
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     workloads = dict(generators.all_workloads())
     if args.workload not in workloads:
@@ -228,7 +258,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="fracturing strategy",
     )
     parser.add_argument(
-        "--max-shot", type=float, default=2.0, help="VSB maximum shot [µm]"
+        "--max-shot", type=_positive_float, default=2.0,
+        help="VSB maximum shot [µm]",
     )
     parser.add_argument(
         "--pec", action="store_true", help="apply iterative dose correction"
@@ -246,10 +277,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "(default: beta/4)",
     )
     parser.add_argument(
-        "--energy", type=float, default=20.0, help="beam energy [keV]"
+        "--energy", type=_positive_float, default=20.0,
+        help="beam energy [keV]",
     )
     parser.add_argument(
-        "--dose", type=float, default=1.0, help="base dose [µC/cm²]"
+        "--dose", type=_positive_float, default=1.0,
+        help="base dose [µC/cm²]",
     )
     parser.add_argument(
         "--output", metavar="FILE",
@@ -324,10 +357,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_common(p_demo)
     p_demo.set_defaults(func=cmd_demo)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the prep-as-a-service HTTP job server"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--work-dir", default=".prep-service", metavar="DIR",
+        help="artifact root for job results",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared shard-cache directory "
+        "(default: <work-dir>/shard-cache)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a shared shard cache",
+    )
+    p_serve.add_argument(
+        "--concurrency", type=int, default=2, metavar="N",
+        help="maximum jobs running at once",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
     args = parser.parse_args(argv)
     if getattr(args, "machine_output", None) and not getattr(args, "machine", None):
         parser.error("--machine-output requires --machine")
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        # Bad inputs and unworkable option combinations exit with a
+        # clean one-liner, not a traceback — smoke scripts and CI grep
+        # stderr, they don't parse stack frames.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -65,10 +65,23 @@ import copy
 import functools
 import math
 import os
+import threading
 import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.cache import ShardCache
 from repro.core.fields import FieldIndex, field_index_of
@@ -545,6 +558,19 @@ def shutdown_worker_pool() -> None:
         _shared_pool_size = 0
 
 
+def worker_pool_status() -> dict:
+    """A snapshot of the shared pool for monitoring endpoints.
+
+    Returns a mapping with ``size`` (configured worker count, 0 when no
+    pool is alive) and ``alive`` (whether a pool currently exists) —
+    what a service's ``/stats`` endpoint reports as "pool state".
+    """
+    return {
+        "size": _shared_pool_size if _shared_pool is not None else 0,
+        "alive": _shared_pool is not None,
+    }
+
+
 def warm_worker_pool(workers: Optional[int] = None) -> int:
     """Pre-spawn the shared pool's worker processes.
 
@@ -577,7 +603,10 @@ def _process_shard_config(config: tuple, shard: Shard) -> ShardResult:
 
 
 def _map_shards(
-    shards: List[Shard], config: tuple, workers: int
+    shards: List[Shard],
+    config: tuple,
+    workers: int,
+    tick: Optional[Callable[[], None]] = None,
 ) -> Tuple[List[ShardResult], bool]:
     """Run shards through ``config = (fracturer, corrector, psf)``, on
     the shared persistent process pool when it pays off.
@@ -585,22 +614,48 @@ def _map_shards(
     Returns the results in shard order plus whether a pool was used.
     Falls back to the serial path when the platform refuses to spawn
     workers (restricted sandboxes) or the pool dies mid-run, keeping
-    results identical.
+    results identical.  ``tick`` is invoked once per completed shard
+    (in completion order, which is nondeterministic on a pool) — it
+    feeds progress reporting only and must never influence results.
     """
+
+    def _serial(skip: int = 0) -> List[ShardResult]:
+        results = []
+        for i, s in enumerate(shards):
+            results.append(_process_shard(s, *config))
+            if tick is not None and i >= skip:
+                tick()
+        return results
+
     if workers <= 1 or len(shards) <= 1:
-        return [_process_shard(s, *config) for s in shards], False
+        return _serial(), False
     # The pool is sized by the workers setting, not the shard count, so
     # consecutive runs with the same setting always reuse it.
     active = min(workers, len(shards))
     chunksize = max(1, len(shards) // (active * 4))
     bound = functools.partial(_process_shard_config, config)
+    ticked = 0
     try:
         pool = _get_pool(workers)
-        results = list(pool.map(bound, shards, chunksize=chunksize))
+        if tick is None:
+            results = list(pool.map(bound, shards, chunksize=chunksize))
+        else:
+            # Per-shard futures so completions can be observed one by
+            # one; results are still collected in submission order, so
+            # the merge stays deterministic.
+            futures = [pool.submit(bound, shard) for shard in shards]
+            for future in as_completed(futures):
+                if future.exception() is None:
+                    tick()
+                    ticked += 1
+            results = [future.result() for future in futures]
         return results, True
     except (OSError, PermissionError, BrokenExecutor):
         shutdown_worker_pool()
-        return [_process_shard(s, *config) for s in shards], False
+        # Shards ticked before the pool died stay counted; the serial
+        # retry only reports the remainder, so ``done`` never exceeds
+        # the shard total.
+        return _serial(skip=ticked), False
 
 
 def merge_shard_results(
@@ -645,6 +700,12 @@ class ShardedExecutor:
             configuration, so it ships to pool workers with the shard
             config and participates in shard cache keys — a dense-mode
             result is never replayed for a hybrid-mode request.
+        progress: optional per-shard completion callback
+            ``progress(done, total)`` — invoked with ``done=0`` once the
+            shard plan is known, then with the running completion count
+            (cache hits report immediately).  Feeds progress reporting
+            (e.g. a job server's status endpoint); it runs outside the
+            shard computation and never influences results.
     """
 
     def __init__(
@@ -657,6 +718,7 @@ class ShardedExecutor:
         cache: Optional[ShardCache] = None,
         overlap_policy: str = "warn",
         matrix_mode: Optional[str] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -685,6 +747,30 @@ class ShardedExecutor:
         self.cache = cache
         self.overlap_policy = overlap_policy
         self.matrix_mode = matrix_mode
+        self.progress = progress
+
+    def _progress_tick(self, total: int) -> Optional[Callable[[], None]]:
+        """A thread-safe per-shard tick feeding ``self.progress``.
+
+        Announces ``(0, total)`` up front so callers learn the shard
+        count before any work completes; returns ``None`` when no
+        progress callback is configured.
+        """
+        if self.progress is None:
+            return None
+        progress = self.progress
+        lock = threading.Lock()
+        done = 0
+        progress(0, total)
+
+        def tick() -> None:
+            nonlocal done
+            with lock:
+                done += 1
+                current = done
+            progress(current, total)
+
+        return tick
 
     def _resolve_cache(
         self, cache: Union[ShardCache, bool, None]
@@ -792,9 +878,13 @@ class ShardedExecutor:
                 owners.append(which)
         config = (self.fracturer, self.corrector, self.psf)
 
+        tick = self._progress_tick(len(shards))
+
         hit_flags = [False] * len(shards)
         if active_cache is None:
-            shard_results, pooled = _map_shards(shards, config, workers)
+            shard_results, pooled = _map_shards(
+                shards, config, workers, tick=tick
+            )
         else:
             # Keys are computed for every shard up front, before any
             # processing can touch corrector state, so hit/miss decisions
@@ -808,8 +898,10 @@ class ShardedExecutor:
             ]
             for i, result in enumerate(shard_results):
                 hit_flags[i] = result is not None
+                if hit_flags[i] and tick is not None:
+                    tick()
             computed, pooled = _map_shards(
-                [shards[i] for i in pending], config, workers
+                [shards[i] for i in pending], config, workers, tick=tick
             )
             for i, result in zip(pending, computed):
                 shard_results[i] = result

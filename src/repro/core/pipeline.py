@@ -164,6 +164,11 @@ class PreparationPipeline:
         program_dir: directory for exported programs (default: the
             working directory); files are named
             ``<job-name>.<mode>.ebp``.
+        progress: optional per-shard completion callback
+            ``progress(done, total)`` threaded into the execution
+            engine — how a long-running front-end (the prep service's
+            job status endpoint) observes a run advancing.  Never
+            influences results.
 
     Example:
         >>> from repro.layout import generators
@@ -191,6 +196,7 @@ class PreparationPipeline:
         machine: Optional[str] = None,
         address_unit: float = 0.5,
         program_dir: Optional[Union[str, Path]] = None,
+        progress=None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -214,6 +220,7 @@ class PreparationPipeline:
         self.machine = machine
         self.address_unit = address_unit
         self.program_dir = Path(program_dir) if program_dir is not None else None
+        self.progress = progress
 
     @property
     def executor(self) -> ShardedExecutor:
@@ -229,6 +236,7 @@ class PreparationPipeline:
             cache=self.cache,
             overlap_policy=self.overlap_policy,
             matrix_mode=self.matrix_mode,
+            progress=self.progress,
         )
 
     # -- entry points --------------------------------------------------------

@@ -1,0 +1,166 @@
+"""A preparation recipe: the pipeline knobs as a validated value object.
+
+The CLI and the prep service accept the same set of pipeline knobs
+(fracturing strategy, PEC configuration, sharding, hierarchy handling,
+machine-program export).  Both front-ends build their
+:class:`~repro.core.pipeline.PreparationPipeline` through this one
+module, so a job submitted over HTTP runs *the same code path* as the
+identical CLI invocation — the byte-identity contract between the two
+holds by construction, not by keeping two builders in sync.
+
+A :class:`PrepRecipe` is a frozen dataclass: validation happens once at
+construction with clean ``ValueError`` messages (the CLI turns them
+into non-zero exits, the service into ``400`` responses), and the
+recipe is hashable/comparable so callers can dedupe identical requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Optional, Union
+
+FRACTURE_MODES = ("trapezoid", "vsb")
+PEC_MATRIX_MODES = ("dense", "sparse", "hybrid")
+HIERARCHY_MODES = ("flat", "cells")
+MACHINE_MODES = ("raster", "vsb", "vector")
+
+
+@dataclass(frozen=True)
+class PrepRecipe:
+    """Every pipeline knob of one preparation request.
+
+    Mirrors the ``prep``/``demo`` CLI options one-to-one; see
+    :class:`~repro.core.pipeline.PreparationPipeline` for the semantics
+    of each knob.  All values are validated at construction.
+    """
+
+    fracture: str = "trapezoid"
+    max_shot: float = 2.0
+    pec: bool = False
+    pec_matrix: str = "dense"
+    pec_grid_cell: Optional[float] = None
+    energy: float = 20.0
+    dose: float = 1.0
+    workers: int = 1
+    field_size: Optional[float] = None
+    hierarchy: str = "flat"
+    machine: Optional[str] = None
+    address_unit: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fracture not in FRACTURE_MODES:
+            raise ValueError(
+                f"fracture must be one of {FRACTURE_MODES}, "
+                f"got {self.fracture!r}"
+            )
+        if self.pec_matrix not in PEC_MATRIX_MODES:
+            raise ValueError(
+                f"pec_matrix must be one of {PEC_MATRIX_MODES}, "
+                f"got {self.pec_matrix!r}"
+            )
+        if self.hierarchy not in HIERARCHY_MODES:
+            raise ValueError(
+                f"hierarchy must be one of {HIERARCHY_MODES}, "
+                f"got {self.hierarchy!r}"
+            )
+        if self.machine is not None and self.machine not in MACHINE_MODES:
+            raise ValueError(
+                f"machine must be one of {MACHINE_MODES} or None, "
+                f"got {self.machine!r}"
+            )
+        for name in ("max_shot", "energy", "dose", "address_unit"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{name} must be a number, got {value!r}")
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        for name in ("pec_grid_cell", "field_size"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{name} must be a number, got {value!r}")
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+            raise ValueError(f"workers must be an int, got {self.workers!r}")
+        if self.workers < 0:
+            raise ValueError(
+                "workers must be >= 1 (or 0 for one worker per core), "
+                f"got {self.workers!r}"
+            )
+        if not isinstance(self.pec, bool):
+            raise ValueError(f"pec must be a bool, got {self.pec!r}")
+
+    def to_dict(self) -> dict:
+        """The recipe as a plain JSON-serializable mapping."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PrepRecipe":
+        """Build a recipe from a mapping, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown recipe option(s): {', '.join(unknown)}; "
+                f"valid options are {', '.join(sorted(known))}"
+            )
+        return cls(**payload)
+
+    def build_pipeline(
+        self,
+        cache=None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        program_dir: Optional[Union[str, Path]] = None,
+        progress=None,
+    ):
+        """Construct the pipeline this recipe describes.
+
+        ``cache`` (an existing :class:`~repro.core.cache.ShardCache`,
+        e.g. the service's shared one) wins over ``cache_dir``;
+        ``progress`` is the per-shard completion callback threaded into
+        the execution engine (see :mod:`repro.core.executor`).
+        """
+        from repro.core.pipeline import PreparationPipeline
+        from repro.fracture.shots import ShotFracturer
+        from repro.fracture.trapezoidal import TrapezoidFracturer
+        from repro.machine.raster import RasterScanWriter
+        from repro.machine.vector import VectorScanWriter
+        from repro.machine.vsb import ShapedBeamWriter
+        from repro.pec.dose_iter import IterativeDoseCorrector
+        from repro.physics.psf import psf_for
+
+        machines = [
+            RasterScanWriter(),
+            VectorScanWriter(),
+            ShapedBeamWriter(),
+        ]
+        if self.fracture == "vsb":
+            fracturer = ShotFracturer(max_shot=self.max_shot)
+        else:
+            fracturer = TrapezoidFracturer()
+        corrector = None
+        psf = None
+        if self.pec:
+            psf = psf_for(self.energy)
+            corrector = IterativeDoseCorrector(
+                matrix_mode=self.pec_matrix, grid_cell=self.pec_grid_cell
+            )
+        return PreparationPipeline(
+            fracturer=fracturer,
+            corrector=corrector,
+            psf=psf,
+            machines=machines,
+            base_dose=self.dose,
+            workers=self.workers,
+            field_size=self.field_size,
+            cache=cache,
+            cache_dir=None if cache is not None else cache_dir,
+            hierarchy=self.hierarchy,
+            machine=self.machine,
+            address_unit=self.address_unit,
+            program_dir=program_dir,
+            progress=progress,
+        )

@@ -1,0 +1,64 @@
+"""Liveness and readiness probes for the prep service.
+
+``/healthz`` (liveness) answers "is the process up and serving HTTP" —
+it must stay cheap and dependency-free, so a wedged queue never makes
+an orchestrator kill-loop the process.  ``/readyz`` (readiness) answers
+"can this instance accept work right now": all queue workers alive and
+the artifact/cache directories writable.  A not-ready instance keeps
+serving status and results for jobs it already owns.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.app import PrepServer
+
+
+def _writable(directory: Path) -> bool:
+    """Probe a directory for writability by touching a unique file."""
+    probe = directory / f".probe-{os.getpid()}-{uuid.uuid4().hex}"
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        probe.write_bytes(b"")
+        probe.unlink()
+        return True
+    except OSError:
+        return False
+
+
+def liveness(server: "PrepServer") -> dict:
+    """The ``/healthz`` body: process identity and uptime only."""
+    return {
+        "status": "ok",
+        "service": "repro-prep-service",
+        "uptime_s": round(time.time() - server.started_at, 3),
+    }
+
+
+def readiness(server: "PrepServer") -> Tuple[bool, dict]:
+    """The ``/readyz`` verdict and per-check detail."""
+    queue = server.queue
+    checks = {
+        "queue_workers": {
+            "ok": queue.workers_alive() == queue.concurrency,
+            "alive": queue.workers_alive(),
+            "expected": queue.concurrency,
+        },
+        "work_dir": {
+            "ok": _writable(Path(server.work_dir)),
+            "path": str(server.work_dir),
+        },
+    }
+    if server.cache is not None:
+        checks["cache_dir"] = {
+            "ok": _writable(Path(server.cache.root)),
+            "path": str(server.cache.root),
+        }
+    ready = all(check["ok"] for check in checks.values())
+    return ready, {"ready": ready, "checks": checks}

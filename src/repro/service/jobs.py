@@ -1,0 +1,160 @@
+"""The job store: every submission's state machine, thread-safe.
+
+A job moves ``queued → running → done | failed``; a job that is still
+queued can be ``cancelled``.  All transitions go through the store
+under one lock, so the HTTP threads, the queue workers and the
+progress callbacks from the execution engine can never observe a torn
+job record.  Terminal states are final: a finished job's record (and
+its artifacts on disk) stay addressable until the server goes away.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.schemas import JobSpec
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One submission's full record.
+
+    Attributes:
+        id: opaque job handle (URL-safe hex).
+        spec: the parsed submission (workload + recipe + priority).
+        state: one of :data:`JOB_STATES`.
+        sequence: submission order — the FIFO tie-break within a
+            priority class.
+        submitted_at / started_at / finished_at: wall-clock timestamps
+            (unix seconds; ``None`` until reached).
+        shards_done / shards_total: per-shard completion progress,
+            reported live by the execution engine while running.
+        error: ``"ExcType: message"`` for failed jobs.
+        result: summary mapping of a done job (digest, figure count,
+            cache hits/misses, stream stats).
+        job_path / program_path: on-disk artifacts of a done job.
+    """
+
+    id: str
+    spec: "JobSpec"
+    state: str = "queued"
+    sequence: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    shards_done: int = 0
+    shards_total: int = 0
+    error: Optional[str] = None
+    result: Optional[dict] = None
+    job_path: Optional[str] = None
+    program_path: Optional[str] = None
+
+    @property
+    def priority(self) -> int:
+        return self.spec.priority
+
+
+class JobStore:
+    """Thread-safe in-memory registry of every job the server has seen."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._sequence = 0
+
+    # -- creation / lookup -------------------------------------------------
+
+    def create(self, spec: "JobSpec") -> Job:
+        """Register a new queued job and return its record."""
+        with self._lock:
+            self._sequence += 1
+            job = Job(
+                id=uuid.uuid4().hex[:12],
+                spec=spec,
+                sequence=self._sequence,
+            )
+            self._jobs[job.id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> List[Job]:
+        """All jobs in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.sequence)
+
+    def counts(self) -> Dict[str, int]:
+        """How many jobs are in each state (every state always keyed)."""
+        counts = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        return counts
+
+    # -- state machine -----------------------------------------------------
+
+    def to_running(self, job_id: str) -> bool:
+        """``queued → running``; False if the job left the queue first
+        (cancelled between scheduling and pickup)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state != "queued":
+                return False
+            job.state = "running"
+            job.started_at = time.time()
+            return True
+
+    def to_cancelled(self, job_id: str) -> bool:
+        """``queued → cancelled``; False from any other state — a
+        running job cannot be cancelled (its shards are already on the
+        pool) and terminal states are final."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "queued":
+                return False
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            return True
+
+    def to_done(
+        self,
+        job_id: str,
+        result: dict,
+        job_path: Optional[str] = None,
+        program_path: Optional[str] = None,
+    ) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = "done"
+            job.result = result
+            job.job_path = job_path
+            job.program_path = program_path
+            job.finished_at = time.time()
+
+    def to_failed(self, job_id: str, error: str) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = "failed"
+            job.error = error
+            job.finished_at = time.time()
+
+    def update_progress(self, job_id: str, done: int, total: int) -> None:
+        """Per-shard progress from the execution engine (monotonic;
+        late out-of-order callbacks never move the counter backwards)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            job.shards_total = max(job.shards_total, total)
+            job.shards_done = max(job.shards_done, done)

@@ -1,0 +1,167 @@
+"""The priority job queue: admission control for the shared pipeline.
+
+Jobs are drained by a fixed pool of worker threads — the service's
+concurrency limit.  Each worker runs one job at a time through the
+runner; the heavy lifting inside a job still lands on the persistent
+*process* pool of :mod:`repro.core.executor` (when the job's recipe
+asks for workers), so the thread here is an orchestrator, not a
+compute unit.
+
+Ordering: highest priority first, FIFO within a priority class
+(ties broken by submission sequence).  Cancellation is lazy — a
+cancelled job stays in the heap but is skipped at pickup, so cancel is
+O(1) and the heap never needs re-sifting.
+
+A job that raises does not take a worker thread down: the exception is
+captured on the job record (``"ExcType: message"``) and the worker
+moves on — one poisoned submission never makes the server unhealthy.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Callable, List, Optional
+
+from repro.service.jobs import Job, JobStore
+
+
+class JobQueue:
+    """Priority queue + worker threads over a :class:`JobStore`.
+
+    Args:
+        store: the job store transitions go through.
+        runner: ``runner(job)`` — runs one job to completion; raising
+            marks the job failed.
+        concurrency: worker-thread count — the maximum number of jobs
+            in the ``running`` state at once.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        runner: Callable[[Job], None],
+        concurrency: int = 2,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.store = store
+        self.runner = runner
+        self.concurrency = concurrency
+        self._cv = threading.Condition()
+        self._heap: List[tuple] = []
+        self._running: set = set()
+        self._stopping = False
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        with self._cv:
+            if self._threads:
+                return
+            self._stopping = False
+            self._threads = [
+                threading.Thread(
+                    target=self._worker,
+                    name=f"prep-queue-{i}",
+                    daemon=True,
+                )
+                for i in range(self.concurrency)
+            ]
+        for thread in self._threads:
+            thread.start()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; queued jobs stay queued (and resubmittable
+        by a future queue over the same store)."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30.0)
+        with self._cv:
+            self._threads = []
+
+    # -- submission / cancellation ----------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Enqueue a stored job (higher ``priority`` runs earlier)."""
+        with self._cv:
+            heapq.heappush(self._heap, (-job.priority, job.sequence, job.id))
+            self._cv.notify()
+
+    def cancel(self, job_id: str) -> str:
+        """Try to cancel; returns the job's resulting disposition:
+        ``"cancelled"`` (was queued), ``"running"`` (too late — already
+        on a worker), ``"finished"`` (already terminal) or
+        ``"missing"``."""
+        job = self.store.get(job_id)
+        if job is None:
+            return "missing"
+        if self.store.to_cancelled(job_id):
+            return "cancelled"
+        return "running" if job.state == "running" else "finished"
+
+    # -- introspection -----------------------------------------------------
+
+    def depth(self) -> int:
+        """Jobs waiting in the queue (cancelled stragglers excluded)."""
+        with self._cv:
+            ids = [entry[2] for entry in self._heap]
+        return sum(
+            1
+            for job_id in ids
+            if (job := self.store.get(job_id)) is not None
+            and job.state == "queued"
+        )
+
+    def running_count(self) -> int:
+        with self._cv:
+            return len(self._running)
+
+    def workers_alive(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is queued or running (tests, drains)."""
+        with self._cv:
+            return self._cv.wait_for(
+                lambda: not self._heap and not self._running, timeout=timeout
+            )
+
+    # -- the worker loop ---------------------------------------------------
+
+    def _next_job(self) -> Optional[Job]:
+        """Pop the best runnable job, skipping cancelled entries;
+        blocks until one arrives or the queue stops."""
+        with self._cv:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    if self.store.to_running(job_id):
+                        job = self.store.get(job_id)
+                        self._running.add(job_id)
+                        return job
+                    # Cancelled while queued — skip, and wake any
+                    # wait_idle() caller in case this emptied the heap.
+                    self._cv.notify_all()
+                if self._stopping:
+                    return None
+                self._cv.wait()
+
+    def _worker(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            try:
+                self.runner(job)
+            except Exception as exc:  # noqa: BLE001 — captured on the job
+                self.store.to_failed(job.id, f"{type(exc).__name__}: {exc}")
+            finally:
+                with self._cv:
+                    self._running.discard(job.id)
+                    self._cv.notify_all()

@@ -1,0 +1,134 @@
+"""Runs one accepted job through the preparation pipeline.
+
+The runner is where the service meets the existing engine: it builds
+the pipeline from the job's :class:`~repro.core.recipe.PrepRecipe`
+(the same builder the CLI uses), attaches the server's *shared*
+content-addressed :class:`~repro.core.cache.ShardCache` — one cache
+for all tenants, so identical shards are never computed twice for
+anyone — and streams per-shard completion into the job store while the
+engine works.
+
+Artifacts land under ``<work_dir>/jobs/<job-id>/``: the ``.ebj``
+machine job always, plus the ``.ebp`` machine program when the recipe
+asks for one.  Both are written by the exact functions the CLI uses,
+so HTTP and CLI runs of the same recipe are byte-identical.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.cache import ShardCache
+from repro.core.executor import ExecutionStats
+from repro.core.jobfile import write_job
+from repro.service.jobs import Job, JobStore
+
+
+def _stats_view(stats: Optional[ExecutionStats]) -> dict:
+    """The JSON view of one run's :class:`ExecutionStats`."""
+    if stats is None:
+        return {}
+    view = {
+        "shard_count": stats.shard_count,
+        "occupied_shards": stats.occupied_shards,
+        "workers": stats.workers,
+        "parallel": stats.parallel,
+        "field_size": stats.field_size,
+        "cache_enabled": stats.cache_enabled,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "hierarchy": stats.hierarchy,
+    }
+    if stats.hierarchy == "cells":
+        view["cells_fractured"] = stats.cells_fractured
+        view["instances_reused"] = stats.instances_reused
+        view["instances_fallback"] = stats.instances_fallback
+    return view
+
+
+class JobRunner:
+    """Executes jobs against one shared cache and one artifact tree.
+
+    Args:
+        store: job store receiving progress and results.
+        work_dir: artifact root; each job gets its own subdirectory.
+        cache: the shared shard cache (``None`` disables caching).
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        work_dir: Union[str, Path],
+        cache: Optional[ShardCache] = None,
+    ) -> None:
+        self.store = store
+        self.work_dir = Path(work_dir)
+        self.cache = cache
+
+    def workload_library(self, name: str):
+        """Resolve a workload name to its library (fresh per job, so
+        every run sees the identical deterministic geometry)."""
+        from repro.layout import generators
+
+        workloads = dict(generators.all_workloads())
+        if name not in workloads:
+            raise ValueError(
+                f"unknown workload {name!r}; choose from {sorted(workloads)}"
+            )
+        return workloads[name]
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.work_dir / "jobs" / job_id
+
+    def __call__(self, job: Job) -> None:
+        """Run ``job`` to completion and mark it done in the store.
+
+        Exceptions propagate to the queue worker, which records them on
+        the job — this method only handles the success path.
+        """
+        spec = job.spec
+        library = self.workload_library(spec.workload)
+        job_dir = self.job_dir(job.id)
+        job_dir.mkdir(parents=True, exist_ok=True)
+
+        def progress(done: int, total: int) -> None:
+            self.store.update_progress(job.id, done, total)
+
+        pipeline = spec.recipe.build_pipeline(
+            cache=self.cache, progress=progress
+        )
+        program_path = None
+        if spec.recipe.machine is not None:
+            program_path = job_dir / f"program.{spec.recipe.machine}.ebp"
+        result = pipeline.run(
+            library, name=spec.job_name, program_path=program_path
+        )
+        job_path = job_dir / "job.ebj"
+        job_bytes = write_job(result.job, job_path)
+
+        summary = {
+            "digest": result.job.digest(),
+            "figure_count": result.fracture_report.figure_count,
+            "source_polygons": result.source_polygons,
+            "corrected": result.corrected,
+            "job_bytes": job_bytes,
+            "execution": _stats_view(result.execution),
+        }
+        program = result.machine_program
+        if program is not None:
+            summary["program"] = {
+                "mode": program.mode,
+                "digest": program.digest,
+                "stream_bytes": program.stream_bytes,
+                "file_bytes": program.file_bytes,
+                "segment_count": program.segment_count,
+                "cache_hits": program.cache_hits,
+                "cache_misses": program.cache_misses,
+            }
+        self.store.to_done(
+            job.id,
+            summary,
+            job_path=str(job_path),
+            program_path=str(program_path) if program_path else None,
+        )

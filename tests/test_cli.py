@@ -79,6 +79,27 @@ class TestDemo:
         assert main(["demo", "--workload", "nope"]) == 2
         assert "unknown workload" in capsys.readouterr().err
 
+    @pytest.mark.parametrize(
+        "flag",
+        ["--max-shot", "--energy", "--dose", "--field-size", "--address-unit"],
+    )
+    def test_rejects_nonpositive_knobs_without_traceback(self, flag, capsys):
+        # argparse exits 2 with a one-line usage error, never a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "--workload", "grating", flag, "-1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be positive" in err
+        assert "Traceback" not in err
+
+    def test_bad_combo_exits_cleanly(self, capsys):
+        # ValueError from pipeline construction surfaces as `error: ...`
+        # on stderr with exit code 2, not a stack trace.
+        assert main(["demo", "--workload", "nope", "--pec"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") or "unknown workload" in err
+        assert "Traceback" not in err
+
 
 class TestPrep:
     def test_prep_gdsii(self, gds_file, capsys):

@@ -319,3 +319,77 @@ class TestExecutorClass:
         assert outcome.shots == []
         assert outcome.report.figure_count == 0
         assert outcome.corrected is False
+
+
+class TestProgressCallback:
+    """Per-shard progress reporting (the service's job status feed)."""
+
+    def _run(self, executor, polygons, **kwargs):
+        events = []
+        executor.progress = lambda done, total: events.append((done, total))
+        result = executor.execute(polygons, **kwargs)
+        return result, events
+
+    def test_serial_progress_counts_every_shard(self):
+        executor = ShardedExecutor(TrapezoidFracturer(), field_size=10.0)
+        polygons = grid_of_squares(3, 2)
+        result, events = self._run(executor, polygons)
+        total = result.stats.shard_count
+        assert events[0] == (0, total)
+        assert events[1:] == [(i + 1, total) for i in range(total)]
+
+    def test_progress_never_changes_results(self):
+        executor = ShardedExecutor(TrapezoidFracturer(), field_size=10.0)
+        polygons = grid_of_squares(3, 3)
+        silent = executor.execute(polygons)
+        result, events = self._run(executor, polygons)
+        assert [shot_key(s) for s in result.shots] == [
+            shot_key(s) for s in silent.shots
+        ]
+        assert events  # the callback really fired
+
+    def test_cache_hits_report_progress_immediately(self, tmp_path):
+        from repro.core.cache import ShardCache
+
+        cache = ShardCache(tmp_path / "cache")
+        executor = ShardedExecutor(
+            TrapezoidFracturer(), field_size=10.0, cache=cache
+        )
+        polygons = grid_of_squares(2, 2)
+        executor.execute(polygons)  # cold: fill the cache
+        result, events = self._run(executor, polygons)  # warm: all hits
+        total = result.stats.shard_count
+        assert result.stats.cache_hits == total
+        assert events == [(0, total)] + [
+            (i + 1, total) for i in range(total)
+        ]
+
+    def test_single_shard_still_reports(self):
+        executor = ShardedExecutor(TrapezoidFracturer())
+        _, events = self._run(executor, grid_of_squares(2, 1))
+        assert events == [(0, 1), (1, 1)]
+
+    def test_pipeline_threads_progress_through(self):
+        events = []
+        pipeline = PreparationPipeline(
+            field_size=15.0,
+            progress=lambda done, total: events.append((done, total)),
+        )
+        result = pipeline.run(generators.fresnel_zone_plate(), name="fzp")
+        total = result.execution.shard_count
+        assert events[0] == (0, total)
+        assert events[-1] == (total, total)
+        assert len(events) == total + 1
+
+    def test_pooled_progress_reports_every_shard(self):
+        executor = ShardedExecutor(
+            TrapezoidFracturer(), field_size=10.0, workers=2
+        )
+        polygons = grid_of_squares(4, 2)
+        result, events = self._run(executor, polygons)
+        total = result.stats.shard_count
+        # Pool completion order is nondeterministic, but the running
+        # count is: one tick per shard, monotonically increasing.
+        assert events[0] == (0, total)
+        assert [done for done, _ in events[1:]] == list(range(1, total + 1))
+        assert all(t == total for _, t in events)

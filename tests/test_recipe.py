@@ -1,0 +1,97 @@
+"""Tests for the shared CLI/service preparation recipe."""
+
+import pytest
+
+from repro.core.pipeline import PreparationPipeline
+from repro.core.recipe import PrepRecipe
+from repro.fracture.shots import ShotFracturer
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.layout import generators
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        recipe = PrepRecipe()
+        assert recipe.fracture == "trapezoid"
+        assert recipe.machine is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fracture": "squares"},
+            {"pec_matrix": "banded"},
+            {"hierarchy": "deep"},
+            {"machine": "laser"},
+            {"max_shot": 0.0},
+            {"max_shot": -1.0},
+            {"energy": -3.0},
+            {"dose": 0.0},
+            {"address_unit": -0.5},
+            {"pec_grid_cell": 0.0},
+            {"field_size": -15.0},
+            {"workers": -1},
+            {"workers": 1.5},
+            {"workers": True},
+            {"pec": "yes"},
+            {"dose": "high"},
+        ],
+    )
+    def test_bad_values_raise_value_error(self, kwargs):
+        with pytest.raises(ValueError):
+            PrepRecipe(**kwargs)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown recipe option"):
+            PrepRecipe.from_dict({"fractur": "vsb"})
+
+    def test_round_trips_through_dict(self):
+        recipe = PrepRecipe(pec=True, field_size=15.0, machine="raster")
+        assert PrepRecipe.from_dict(recipe.to_dict()) == recipe
+
+    def test_recipes_are_hashable_and_comparable(self):
+        assert PrepRecipe() == PrepRecipe()
+        assert len({PrepRecipe(), PrepRecipe(), PrepRecipe(pec=True)}) == 2
+
+
+class TestBuildPipeline:
+    def test_builds_trapezoid_pipeline(self):
+        pipeline = PrepRecipe().build_pipeline()
+        assert isinstance(pipeline, PreparationPipeline)
+        assert isinstance(pipeline.fracturer, TrapezoidFracturer)
+        assert pipeline.corrector is None
+        assert pipeline.cache is None
+
+    def test_builds_vsb_pec_pipeline(self):
+        recipe = PrepRecipe(
+            fracture="vsb", max_shot=1.5, pec=True, pec_matrix="sparse"
+        )
+        pipeline = recipe.build_pipeline()
+        assert isinstance(pipeline.fracturer, ShotFracturer)
+        assert pipeline.fracturer.max_shot == 1.5
+        assert pipeline.corrector is not None
+        assert pipeline.corrector.matrix_mode == "sparse"
+        assert pipeline.psf is not None
+
+    def test_explicit_cache_wins_over_cache_dir(self, tmp_path):
+        from repro.core.cache import ShardCache
+
+        cache = ShardCache(tmp_path / "a")
+        pipeline = PrepRecipe().build_pipeline(
+            cache=cache, cache_dir=tmp_path / "b"
+        )
+        assert pipeline.cache is cache
+
+    def test_cache_dir_builds_cache(self, tmp_path):
+        pipeline = PrepRecipe().build_pipeline(cache_dir=tmp_path / "c")
+        assert pipeline.cache is not None
+        assert pipeline.cache.root == tmp_path / "c"
+
+    def test_recipe_run_matches_direct_pipeline(self):
+        recipe = PrepRecipe(field_size=15.0)
+        via_recipe = recipe.build_pipeline().run(
+            generators.fresnel_zone_plate(), name="fzp"
+        )
+        direct = PreparationPipeline(field_size=15.0).run(
+            generators.fresnel_zone_plate(), name="fzp"
+        )
+        assert via_recipe.job.digest() == direct.job.digest()

@@ -1,0 +1,419 @@
+"""HTTP-level tests of the prep service.
+
+A real server runs on a loopback socket (port 0 → ephemeral); requests
+go through ``urllib`` exactly as an external client's would.  The
+load-bearing assertion is the service determinism contract: a job
+submitted over HTTP yields byte-identical artifacts and digests to the
+same job run through the CLI.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.core.recipe import PrepRecipe
+from repro.service import create_server
+from repro.service.schemas import (
+    SchemaError,
+    job_view,
+    parse_job_spec,
+)
+
+_TIMEOUT = 60.0
+
+
+class Client:
+    """Tiny JSON/bytes client for one server instance."""
+
+    def __init__(self, server):
+        host, port = server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+
+    def request(self, method, path, payload=None):
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            self.base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=_TIMEOUT) as response:
+                return response.status, response.read(), dict(response.headers)
+        except urllib.error.HTTPError as err:
+            return err.code, err.read(), dict(err.headers)
+
+    def get_json(self, path):
+        status, body, _ = self.request("GET", path)
+        return status, json.loads(body)
+
+    def post_json(self, path, payload):
+        status, body, headers = self.request("POST", path, payload)
+        return status, json.loads(body), headers
+
+    def submit(self, payload):
+        status, body, _ = self.post_json("/jobs", payload)
+        assert status == 201, body
+        return body["id"]
+
+    def wait(self, job_id, states=("done", "failed", "cancelled")):
+        deadline = time.time() + _TIMEOUT
+        while time.time() < deadline:
+            status, view = self.get_json(f"/jobs/{job_id}")
+            assert status == 200
+            if view["state"] in states:
+                return view
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never reached {states}")
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = create_server(
+        port=0,
+        work_dir=tmp_path / "service",
+        cache_dir=tmp_path / "service" / "shard-cache",
+        concurrency=2,
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.stop()
+    thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def client(server):
+    return Client(server)
+
+
+class TestHealth:
+    def test_healthz(self, client):
+        status, body = client.get_json("/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0
+
+    def test_readyz(self, client):
+        status, body = client.get_json("/readyz")
+        assert status == 200
+        assert body["ready"] is True
+        assert body["checks"]["queue_workers"]["ok"] is True
+        assert body["checks"]["cache_dir"]["ok"] is True
+
+    def test_readyz_degrades_when_workers_die(self, server, client):
+        server.queue.shutdown(wait=True)
+        status, body = client.get_json("/readyz")
+        assert status == 503
+        assert body["ready"] is False
+        # Liveness is unaffected — the process still serves HTTP.
+        status, _ = client.get_json("/healthz")
+        assert status == 200
+
+    def test_stats_shape(self, client):
+        status, body = client.get_json("/stats")
+        assert status == 200
+        assert body["queue"]["concurrency"] == 2
+        assert body["cache"]["enabled"] is True
+        assert "hit_rate" in body["cache"]
+        assert set(body["jobs"]) == {
+            "queued",
+            "running",
+            "done",
+            "failed",
+            "cancelled",
+        }
+        assert "size" in body["pool"] and "alive" in body["pool"]
+
+
+class TestSubmission:
+    def test_submit_and_complete(self, client):
+        status, view, headers = client.post_json(
+            "/jobs", {"workload": "grating"}
+        )
+        assert status == 201
+        assert headers["Location"] == f"/jobs/{view['id']}"
+        assert view["state"] == "queued"
+        done = client.wait(view["id"])
+        assert done["state"] == "done"
+        assert done["result"]["figure_count"] == 50
+        assert done["progress"]["shards_total"] >= 1
+        assert done["progress"]["shards_done"] == (
+            done["progress"]["shards_total"]
+        )
+        assert done["result"]["execution"]["cache_enabled"] is True
+
+    def test_rejects_bad_payloads(self, client):
+        cases = [
+            {"workload": "nope"},
+            {"workload": "grating", "fractur": "vsb"},
+            {"workload": "grating", "dose": -1.0},
+            {"workload": "grating", "priority": "high"},
+            {"priority": 1},
+            ["not", "an", "object"],
+        ]
+        for payload in cases:
+            status, body, _ = client.post_json("/jobs", payload)
+            assert status == 400, payload
+            assert "error" in body
+        # A rejected submission never creates a job.
+        status, listing = client.get_json("/jobs")
+        assert listing["jobs"] == []
+
+    def test_unknown_routes_and_jobs_are_404(self, client):
+        assert client.request("GET", "/nope")[0] == 404
+        assert client.request("GET", "/jobs/nope")[0] == 404
+        assert client.request("DELETE", "/jobs/nope")[0] == 404
+        assert client.request("GET", "/jobs/nope/result")[0] == 404
+
+    def test_job_listing(self, client):
+        first = client.submit({"workload": "grating"})
+        second = client.submit({"workload": "grating", "priority": 2})
+        status, listing = client.get_json("/jobs")
+        assert status == 200
+        assert [j["id"] for j in listing["jobs"]] == [first, second]
+        client.wait(first)
+        client.wait(second)
+
+
+class TestDeterminism:
+    """The acceptance criterion: HTTP ≡ CLI, byte for byte."""
+
+    def test_http_job_matches_cli_artifacts(self, client, tmp_path):
+        payload = {
+            "workload": "fzp",
+            "field_size": 15.0,
+            "machine": "raster",
+        }
+        job_id = client.submit(payload)
+        view = client.wait(job_id)
+        assert view["state"] == "done", view["error"]
+
+        cli_job = tmp_path / "cli.ebj"
+        cli_prog = tmp_path / "cli.raster.ebp"
+        assert (
+            main(
+                [
+                    "demo",
+                    "--workload",
+                    "fzp",
+                    "--field-size",
+                    "15",
+                    "--machine",
+                    "raster",
+                    "--no-cache",
+                    "--output",
+                    str(cli_job),
+                    "--machine-output",
+                    str(cli_prog),
+                ]
+            )
+            == 0
+        )
+        status, http_job, _ = client.request(
+            "GET", f"/jobs/{job_id}/result"
+        )
+        assert status == 200
+        assert http_job == cli_job.read_bytes()
+        status, http_prog, _ = client.request(
+            "GET", f"/jobs/{job_id}/result?artifact=program"
+        )
+        assert status == 200
+        assert http_prog == cli_prog.read_bytes()
+        assert view["result"]["program"]["mode"] == "raster"
+
+    def test_second_submission_is_all_cache_hits(self, client):
+        payload = {"workload": "fzp", "field_size": 15.0}
+        first = client.wait(client.submit(payload))
+        second = client.wait(client.submit(payload))
+        assert first["state"] == second["state"] == "done"
+        stats1 = first["result"]["execution"]
+        stats2 = second["result"]["execution"]
+        assert stats1["cache_misses"] == stats1["shard_count"]
+        assert stats2["cache_hits"] == stats2["shard_count"]
+        assert stats2["cache_misses"] == 0
+        assert first["result"]["digest"] == second["result"]["digest"]
+        body1 = client.request("GET", f"/jobs/{first['id']}/result")[1]
+        body2 = client.request("GET", f"/jobs/{second['id']}/result")[1]
+        assert body1 == body2
+        status, stats = client.get_json("/stats")
+        assert stats["cache"]["hits"] >= stats2["cache_hits"]
+
+
+class TestResults:
+    def test_result_of_running_job_is_409(self, server, client):
+        gate = threading.Event()
+        original = server.queue.runner
+
+        def blocking_runner(job):
+            assert gate.wait(_TIMEOUT)
+            original(job)
+
+        server.queue.runner = blocking_runner
+        try:
+            job_id = client.submit({"workload": "grating"})
+            deadline = time.time() + _TIMEOUT
+            while client.get_json(f"/jobs/{job_id}")[1]["state"] != "running":
+                assert time.time() < deadline
+                time.sleep(0.02)
+            status, body, _ = client.request("GET", f"/jobs/{job_id}/result")
+            assert status == 409
+        finally:
+            gate.set()
+        client.wait(job_id)
+
+    def test_program_artifact_absent_without_machine_mode(self, client):
+        job_id = client.submit({"workload": "grating"})
+        view = client.wait(job_id)
+        assert view["state"] == "done"
+        assert "program" not in view.get("artifacts", {})
+        status, _, _ = client.request(
+            "GET", f"/jobs/{job_id}/result?artifact=program"
+        )
+        assert status == 404
+        status, _, _ = client.request(
+            "GET", f"/jobs/{job_id}/result?artifact=bogus"
+        )
+        assert status == 400
+
+
+class TestCancellation:
+    def test_cancel_queued_then_conflict_on_finished(self, server, client):
+        gate = threading.Event()
+        original = server.queue.runner
+
+        def blocking_runner(job):
+            assert gate.wait(_TIMEOUT)
+            original(job)
+
+        server.queue.runner = blocking_runner
+        try:
+            # Fill both workers, then queue a victim behind them.
+            blockers = [
+                client.submit({"workload": "grating"}) for _ in range(2)
+            ]
+            victim = client.submit({"workload": "grating"})
+            status, view = self._delete(client, victim)
+            assert status == 200
+            assert view["state"] == "cancelled"
+            # Cancelling again conflicts: the job is terminal now.
+            status, view = self._delete(client, victim)
+            assert status == 409
+        finally:
+            gate.set()
+        for job_id in blockers:
+            assert client.wait(job_id)["state"] == "done"
+        # A cancelled job has no result to download.
+        status, _, _ = client.request("GET", f"/jobs/{victim}/result")
+        assert status == 404
+
+    def test_cancel_running_is_409(self, server, client):
+        gate = threading.Event()
+        original = server.queue.runner
+
+        def blocking_runner(job):
+            assert gate.wait(_TIMEOUT)
+            original(job)
+
+        server.queue.runner = blocking_runner
+        try:
+            job_id = client.submit({"workload": "grating"})
+            deadline = time.time() + _TIMEOUT
+            while client.get_json(f"/jobs/{job_id}")[1]["state"] != "running":
+                assert time.time() < deadline
+                time.sleep(0.02)
+            status, body, _ = client.request("DELETE", f"/jobs/{job_id}")
+            assert status == 409
+        finally:
+            gate.set()
+        assert client.wait(job_id)["state"] == "done"
+
+    @staticmethod
+    def _delete(client, job_id):
+        status, body, _ = client.request("DELETE", f"/jobs/{job_id}")
+        return status, json.loads(body)
+
+
+class TestFailedJobs:
+    def test_runtime_failure_surfaces_and_server_stays_healthy(
+        self, server, client
+    ):
+        original = server.queue.runner
+
+        def exploding_runner(job):
+            if job.spec.workload == "serpentine":
+                raise RuntimeError("synthetic shard failure")
+            original(job)
+
+        server.queue.runner = exploding_runner
+        bad = client.submit({"workload": "serpentine"})
+        view = client.wait(bad)
+        assert view["state"] == "failed"
+        assert view["error"] == "RuntimeError: synthetic shard failure"
+        # Failed jobs have no downloadable result.
+        status, _, _ = client.request("GET", f"/jobs/{bad}/result")
+        assert status == 404
+        # The server is still healthy and still runs jobs.
+        assert client.get_json("/readyz")[0] == 200
+        good = client.submit({"workload": "grating"})
+        assert client.wait(good)["state"] == "done"
+        status, stats = client.get_json("/stats")
+        assert stats["jobs"]["failed"] == 1
+        assert stats["jobs"]["done"] == 1
+
+
+class TestSchemas:
+    def test_parse_round_trip(self):
+        spec = parse_job_spec(
+            {
+                "workload": "fzp",
+                "pec": True,
+                "field_size": 15.0,
+                "machine": "raster",
+                "priority": 7,
+                "name": "hot-lot",
+            }
+        )
+        assert spec.workload == "fzp"
+        assert spec.priority == 7
+        assert spec.job_name == "hot-lot"
+        assert spec.recipe == PrepRecipe(
+            pec=True, field_size=15.0, machine="raster"
+        )
+
+    def test_default_name_is_workload(self):
+        assert parse_job_spec({"workload": "fzp"}).job_name == "fzp"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            42,
+            {},
+            {"workload": ""},
+            {"workload": 3},
+            {"workload": "fzp", "priority": True},
+            {"workload": "fzp", "name": 5},
+            {"workload": "fzp", "bogus_knob": 1},
+        ],
+    )
+    def test_bad_payloads_raise_schema_error(self, payload):
+        with pytest.raises(SchemaError):
+            parse_job_spec(payload)
+
+    def test_job_view_of_fresh_job(self):
+        from repro.service.jobs import JobStore
+
+        store = JobStore()
+        job = store.create(parse_job_spec({"workload": "grating"}))
+        view = job_view(job)
+        assert view["state"] == "queued"
+        assert view["recipe"]["fracture"] == "trapezoid"
+        assert view["error"] is None
+        assert "artifacts" not in view

@@ -1,0 +1,208 @@
+"""Job-queue semantics: priority, concurrency, cancellation, failure.
+
+These tests drive :class:`~repro.service.queue.JobQueue` with
+controllable fake runners (events instead of real pipeline runs), so
+every scheduling property is asserted deterministically.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.recipe import PrepRecipe
+from repro.service.jobs import JobStore
+from repro.service.queue import JobQueue
+from repro.service.schemas import JobSpec
+
+_TIMEOUT = 10.0
+
+
+def make_spec(priority=0, workload="grating"):
+    return JobSpec(workload=workload, recipe=PrepRecipe(), priority=priority)
+
+
+class RecordingRunner:
+    """Runner that logs execution order and optionally blocks."""
+
+    def __init__(self, store, gate=None):
+        self.store = store
+        self.gate = gate
+        self.order = []
+        self.started = threading.Semaphore(0)
+
+    def __call__(self, job):
+        self.order.append(job.id)
+        self.started.release()
+        if self.gate is not None:
+            assert self.gate.wait(_TIMEOUT)
+        self.store.to_done(job.id, {"ok": True})
+
+
+@pytest.fixture
+def store():
+    return JobStore()
+
+
+def drain(queue):
+    assert queue.wait_idle(timeout=_TIMEOUT)
+    queue.shutdown()
+
+
+class TestPriorityOrdering:
+    def test_higher_priority_runs_first(self, store):
+        gate = threading.Event()
+        runner = RecordingRunner(store, gate=gate)
+        queue = JobQueue(store, runner, concurrency=1)
+        # Occupy the single worker so the rest queue up.
+        blocker = store.create(make_spec())
+        queue.start()
+        queue.submit(blocker)
+        assert runner.started.acquire(timeout=_TIMEOUT)
+        low = store.create(make_spec(priority=0))
+        high = store.create(make_spec(priority=5))
+        mid = store.create(make_spec(priority=1))
+        for job in (low, high, mid):
+            queue.submit(job)
+        gate.set()
+        drain(queue)
+        assert runner.order == [blocker.id, high.id, mid.id, low.id]
+
+    def test_fifo_within_a_priority_class(self, store):
+        gate = threading.Event()
+        runner = RecordingRunner(store, gate=gate)
+        queue = JobQueue(store, runner, concurrency=1)
+        blocker = store.create(make_spec())
+        queue.start()
+        queue.submit(blocker)
+        assert runner.started.acquire(timeout=_TIMEOUT)
+        same = [store.create(make_spec(priority=3)) for _ in range(4)]
+        for job in same:
+            queue.submit(job)
+        gate.set()
+        drain(queue)
+        assert runner.order[1:] == [job.id for job in same]
+
+
+class TestConcurrencyLimit:
+    def test_never_more_than_concurrency_running(self, store):
+        gate = threading.Event()
+        runner = RecordingRunner(store, gate=gate)
+        queue = JobQueue(store, runner, concurrency=2)
+        queue.start()
+        jobs = [store.create(make_spec()) for _ in range(5)]
+        for job in jobs:
+            queue.submit(job)
+        # Exactly two start; the other three wait in the queue.
+        assert runner.started.acquire(timeout=_TIMEOUT)
+        assert runner.started.acquire(timeout=_TIMEOUT)
+        assert not runner.started.acquire(timeout=0.2)
+        assert queue.running_count() == 2
+        assert queue.depth() == 3
+        assert store.counts()["running"] == 2
+        gate.set()
+        drain(queue)
+        assert sorted(runner.order) == sorted(job.id for job in jobs)
+
+    def test_concurrency_must_be_positive(self, store):
+        with pytest.raises(ValueError):
+            JobQueue(store, lambda job: None, concurrency=0)
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self, store):
+        gate = threading.Event()
+        runner = RecordingRunner(store, gate=gate)
+        queue = JobQueue(store, runner, concurrency=1)
+        blocker = store.create(make_spec())
+        victim = store.create(make_spec())
+        queue.start()
+        queue.submit(blocker)
+        assert runner.started.acquire(timeout=_TIMEOUT)
+        queue.submit(victim)
+        assert queue.cancel(victim.id) == "cancelled"
+        assert store.get(victim.id).state == "cancelled"
+        gate.set()
+        drain(queue)
+        assert victim.id not in runner.order
+        assert store.get(victim.id).state == "cancelled"
+        assert store.get(victim.id).finished_at is not None
+
+    def test_cancel_running_job_is_refused(self, store):
+        gate = threading.Event()
+        runner = RecordingRunner(store, gate=gate)
+        queue = JobQueue(store, runner, concurrency=1)
+        job = store.create(make_spec())
+        queue.start()
+        queue.submit(job)
+        assert runner.started.acquire(timeout=_TIMEOUT)
+        assert queue.cancel(job.id) == "running"
+        assert store.get(job.id).state == "running"
+        gate.set()
+        drain(queue)
+        assert store.get(job.id).state == "done"
+
+    def test_cancel_finished_and_missing(self, store):
+        runner = RecordingRunner(store)
+        queue = JobQueue(store, runner, concurrency=1)
+        job = store.create(make_spec())
+        queue.start()
+        queue.submit(job)
+        drain(queue)
+        assert queue.cancel(job.id) == "finished"
+        assert queue.cancel("nope") == "missing"
+
+
+class TestFailureCapture:
+    def test_exception_marks_failed_and_worker_survives(self, store):
+        calls = []
+
+        def runner(job):
+            calls.append(job.id)
+            if len(calls) == 1:
+                raise RuntimeError("shard exploded")
+            store.to_done(job.id, {"ok": True})
+
+        queue = JobQueue(store, runner, concurrency=1)
+        bad = store.create(make_spec())
+        good = store.create(make_spec())
+        queue.start()
+        queue.submit(bad)
+        queue.submit(good)
+        drain(queue)
+        assert store.get(bad.id).state == "failed"
+        assert store.get(bad.id).error == "RuntimeError: shard exploded"
+        # The worker survived the poisoned job and ran the next one.
+        assert store.get(good.id).state == "done"
+        assert queue.workers_alive() == 0  # after shutdown
+
+
+class TestJobStore:
+    def test_sequence_orders_submissions(self, store):
+        a, b = store.create(make_spec()), store.create(make_spec())
+        assert a.sequence < b.sequence
+        assert [j.id for j in store.list()] == [a.id, b.id]
+
+    def test_state_machine_guards(self, store):
+        job = store.create(make_spec())
+        assert store.to_running(job.id)
+        assert not store.to_running(job.id)
+        assert not store.to_cancelled(job.id)
+        store.to_done(job.id, {"ok": True})
+        assert store.get(job.id).state == "done"
+
+    def test_progress_is_monotonic(self, store):
+        job = store.create(make_spec())
+        store.update_progress(job.id, 3, 10)
+        store.update_progress(job.id, 2, 10)
+        assert store.get(job.id).shards_done == 3
+        assert store.get(job.id).shards_total == 10
+
+    def test_counts_key_every_state(self, store):
+        counts = store.counts()
+        assert set(counts) == {
+            "queued",
+            "running",
+            "done",
+            "failed",
+            "cancelled",
+        }
