@@ -69,6 +69,7 @@ import threading
 import warnings
 from concurrent.futures import (
     BrokenExecutor,
+    CancelledError,
     ProcessPoolExecutor,
     as_completed,
 )
@@ -534,28 +535,66 @@ def _resolve_workers(workers: Optional[int]) -> int:
 # bound per map call (pickled once per chunk, not per shard), so the
 # same warm pool serves runs with different fracturer/corrector/PSF
 # configurations.
+#
+# Concurrent runs (a job server's worker threads) share the pool too:
+# every run holds a lease for the duration of its map, and a lease-held
+# pool is never torn down — a run requesting a different size simply
+# reuses the live pool (worker count is a wall-clock knob, never a
+# correctness knob), so one tenant's ``workers`` setting cannot cancel
+# another tenant's in-flight shards.
+_pool_lock = threading.Lock()
 _shared_pool: Optional[ProcessPoolExecutor] = None
 _shared_pool_size: int = 0
+_pool_leases: int = 0
 
 
-def _get_pool(pool_size: int) -> ProcessPoolExecutor:
-    """The shared pool, rebuilt only when the requested size changes."""
-    global _shared_pool, _shared_pool_size
-    if _shared_pool is not None and _shared_pool_size != pool_size:
-        shutdown_worker_pool()
-    if _shared_pool is None:
-        _shared_pool = ProcessPoolExecutor(max_workers=pool_size)
-        _shared_pool_size = pool_size
-    return _shared_pool
+def _lease_pool(pool_size: int) -> ProcessPoolExecutor:
+    """Acquire the shared pool for one map, creating/resizing if safe.
+
+    The pool is rebuilt at the requested size only when no other run is
+    using it; while leases are held the live pool is reused regardless
+    of the size asked for.  Every call must be paired with
+    :func:`_release_pool` (use ``try/finally``).
+    """
+    global _shared_pool, _shared_pool_size, _pool_leases
+    with _pool_lock:
+        if (
+            _shared_pool is not None
+            and _shared_pool_size != pool_size
+            and _pool_leases == 0
+        ):
+            _shutdown_pool_locked()
+        if _shared_pool is None:
+            _shared_pool = ProcessPoolExecutor(max_workers=pool_size)
+            _shared_pool_size = pool_size
+        _pool_leases += 1
+        return _shared_pool
 
 
-def shutdown_worker_pool() -> None:
-    """Tear down the shared worker pool (tests, benchmarks, atexit)."""
+def _release_pool() -> None:
+    global _pool_leases
+    with _pool_lock:
+        _pool_leases = max(0, _pool_leases - 1)
+
+
+def _shutdown_pool_locked() -> None:
+    """Tear down the pool; caller holds ``_pool_lock``."""
     global _shared_pool, _shared_pool_size
     if _shared_pool is not None:
         _shared_pool.shutdown(wait=True, cancel_futures=True)
         _shared_pool = None
         _shared_pool_size = 0
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the shared worker pool (tests, benchmarks, atexit).
+
+    Concurrent runs still holding a lease fall back to their serial
+    path (their in-flight futures are cancelled) — results are
+    unchanged, only wall-clock suffers.
+    """
+    with _pool_lock:
+        _shutdown_pool_locked()
 
 
 def worker_pool_status() -> dict:
@@ -565,10 +604,11 @@ def worker_pool_status() -> dict:
     pool is alive) and ``alive`` (whether a pool currently exists) —
     what a service's ``/stats`` endpoint reports as "pool state".
     """
-    return {
-        "size": _shared_pool_size if _shared_pool is not None else 0,
-        "alive": _shared_pool is not None,
-    }
+    with _pool_lock:
+        return {
+            "size": _shared_pool_size if _shared_pool is not None else 0,
+            "alive": _shared_pool is not None,
+        }
 
 
 def warm_worker_pool(workers: Optional[int] = None) -> int:
@@ -583,11 +623,16 @@ def warm_worker_pool(workers: Optional[int] = None) -> int:
     if workers <= 1:
         return 0
     try:
-        pool = _get_pool(workers)
-        # One blocking task per worker forces every process to spawn.
-        list(pool.map(_noop, range(workers), chunksize=1))
+        pool = _lease_pool(workers)
+        try:
+            # One blocking task per worker forces every process to spawn.
+            list(pool.map(_noop, range(workers), chunksize=1))
+        finally:
+            _release_pool()
     except (OSError, PermissionError, BrokenExecutor):
         shutdown_worker_pool()
+        return 0
+    except (CancelledError, RuntimeError):
         return 0
     return workers
 
@@ -636,25 +681,38 @@ def _map_shards(
     bound = functools.partial(_process_shard_config, config)
     ticked = 0
     try:
-        pool = _get_pool(workers)
-        if tick is None:
-            results = list(pool.map(bound, shards, chunksize=chunksize))
-        else:
-            # Per-shard futures so completions can be observed one by
-            # one; results are still collected in submission order, so
-            # the merge stays deterministic.
-            futures = [pool.submit(bound, shard) for shard in shards]
-            for future in as_completed(futures):
-                if future.exception() is None:
-                    tick()
-                    ticked += 1
-            results = [future.result() for future in futures]
-        return results, True
+        pool = _lease_pool(workers)
+        try:
+            if tick is None:
+                results = list(pool.map(bound, shards, chunksize=chunksize))
+            else:
+                # Per-shard futures so completions can be observed one
+                # by one; results are still collected in submission
+                # order, so the merge stays deterministic.
+                futures = [pool.submit(bound, shard) for shard in shards]
+                for future in as_completed(futures):
+                    if future.exception() is None:
+                        tick()
+                        ticked += 1
+                results = [future.result() for future in futures]
+            return results, True
+        finally:
+            _release_pool()
     except (OSError, PermissionError, BrokenExecutor):
         shutdown_worker_pool()
         # Shards ticked before the pool died stay counted; the serial
         # retry only reports the remainder, so ``done`` never exceeds
         # the shard total.
+        return _serial(skip=ticked), False
+    except (CancelledError, RuntimeError):
+        # Someone tore the pool down mid-map (explicit shutdown):
+        # pending futures raise CancelledError, submitting to the
+        # shut-down executor raises RuntimeError.  On supported Pythons
+        # CancelledError is a BaseException, so it must be caught here
+        # or it would escape a plain ``except Exception`` in callers
+        # and kill e.g. a service's queue-worker thread.  Don't shut
+        # down again: the pool the cancellation came from is already
+        # gone, and a fresh one may belong to other runs.
         return _serial(skip=ticked), False
 
 

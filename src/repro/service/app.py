@@ -108,9 +108,17 @@ class PrepRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         """Silence per-request stderr chatter (tests, CI logs)."""
 
+    def _begin_response(self, status: int) -> None:
+        """``send_response`` + bookkeeping: once any bytes of a
+        response are on the wire, a late failure must close the
+        connection instead of emitting a second response (which would
+        corrupt HTTP/1.1 keep-alive framing for the client)."""
+        self._response_begun = True
+        self.send_response(status)
+
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode()
-        self.send_response(status)
+        self._begin_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
@@ -133,14 +141,22 @@ class PrepRequestHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         parts = [p for p in split.path.split("/") if p]
         query = parse_qs(split.query)
+        self._response_begun = False
         try:
             handled = self._route(method, parts, query)
         except SchemaError as exc:
             self._send_error_json(400, str(exc))
             return
         except BrokenPipeError:  # client went away mid-response
+            self.close_connection = True
             return
         except Exception as exc:  # noqa: BLE001 - server must stay up
+            if self._response_begun:
+                # Headers (and possibly part of a body) are already on
+                # the wire — a second response would corrupt keep-alive
+                # framing, so drop the connection instead.
+                self.close_connection = True
+                return
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")
             return
         if not handled:
@@ -181,7 +197,10 @@ class PrepRequestHandler(BaseHTTPRequestHandler):
 
     def _job_routes(self, method: str, parts: list, query: dict) -> bool:
         job_id = parts[1]
-        job = self.server.store.get(job_id)
+        # snapshot(), not get(): handlers render the record, and a live
+        # record racing a worker's to_done() could be seen half-written
+        # (state "done" with result/job_path still None).
+        job = self.server.store.snapshot(job_id)
         if job is None:
             self._send_error_json(404, f"no such job {job_id!r}")
             return True
@@ -194,11 +213,15 @@ class PrepRequestHandler(BaseHTTPRequestHandler):
         if method == "DELETE" and len(parts) == 2:
             disposition = self.server.queue.cancel(job_id)
             if disposition == "cancelled":
-                self._send_json(200, job_view(self.server.store.get(job_id)))
+                self._send_json(
+                    200, job_view(self.server.store.snapshot(job_id))
+                )
             else:
+                current = self.server.store.snapshot(job_id)
+                state = current.state if current is not None else job.state
                 self._send_error_json(
                     409,
-                    f"job {job_id!r} is {job.state}; only queued jobs "
+                    f"job {job_id!r} is {state}; only queued jobs "
                     "can be cancelled",
                 )
             return True
@@ -211,7 +234,7 @@ class PrepRequestHandler(BaseHTTPRequestHandler):
         job = self.server.store.create(spec)
         self.server.queue.submit(job)
         body = json.dumps(job_view(job)).encode()
-        self.send_response(201)
+        self._begin_response(201)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.send_header("Location", f"/jobs/{job.id}")
@@ -253,7 +276,7 @@ class PrepRequestHandler(BaseHTTPRequestHandler):
                 500, f"artifact of job {job.id!r} is missing on disk"
             )
             return
-        self.send_response(200)
+        self._begin_response(200)
         self.send_header("Content-Type", "application/octet-stream")
         self.send_header("Content-Length", str(size))
         self.send_header(

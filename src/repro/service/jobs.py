@@ -10,6 +10,7 @@ its artifacts on disk) stay addressable until the server goes away.
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 import uuid
@@ -88,13 +89,31 @@ class JobStore:
             return job
 
     def get(self, job_id: str) -> Optional[Job]:
+        """The *live* record — for code that will transition it next.
+
+        Readers that only render a job (HTTP views) must use
+        :meth:`snapshot` instead: a live record can be mutated by a
+        worker mid-read, e.g. ``state == "done"`` observed before
+        ``result``/``job_path`` are assigned.
+        """
         with self._lock:
             return self._jobs.get(job_id)
 
-    def list(self) -> List[Job]:
-        """All jobs in submission order."""
+    def snapshot(self, job_id: str) -> Optional[Job]:
+        """A consistent point-in-time copy of one job, made under the
+        store lock — never a torn record.  Field values are shared with
+        the live record but every terminal field (``result``,
+        ``job_path``, …) is assigned together with ``state`` under the
+        same lock, so the copy is internally coherent."""
         with self._lock:
-            return sorted(self._jobs.values(), key=lambda j: j.sequence)
+            job = self._jobs.get(job_id)
+            return copy.copy(job) if job is not None else None
+
+    def list(self) -> List[Job]:
+        """Consistent copies of all jobs, in submission order."""
+        with self._lock:
+            live = sorted(self._jobs.values(), key=lambda j: j.sequence)
+            return [copy.copy(job) for job in live]
 
     def counts(self) -> Dict[str, int]:
         """How many jobs are in each state (every state always keyed)."""

@@ -8,9 +8,10 @@ asks for workers), so the thread here is an orchestrator, not a
 compute unit.
 
 Ordering: highest priority first, FIFO within a priority class
-(ties broken by submission sequence).  Cancellation is lazy — a
-cancelled job stays in the heap but is skipped at pickup, so cancel is
-O(1) and the heap never needs re-sifting.
+(ties broken by submission sequence).  Cancellation purges the job's
+heap entry eagerly and wakes every waiter, so ``wait_idle()`` and
+``depth()`` agree immediately — a heap never holds entries for jobs
+that will not run.
 
 A job that raises does not take a worker thread down: the exception is
 captured on the job record (``"ExcType: message"``) and the worker
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+from concurrent.futures import CancelledError
 from typing import Callable, List, Optional
 
 from repro.service.jobs import Job, JobStore
@@ -102,6 +104,13 @@ class JobQueue:
         if job is None:
             return "missing"
         if self.store.to_cancelled(job_id):
+            # Purge the heap entry and wake every waiter so
+            # ``wait_idle()`` observes the emptied queue right away
+            # instead of blocking until an unrelated submission.
+            with self._cv:
+                self._heap = [e for e in self._heap if e[2] != job_id]
+                heapq.heapify(self._heap)
+                self._cv.notify_all()
             return "cancelled"
         return "running" if job.state == "running" else "finished"
 
@@ -136,10 +145,12 @@ class JobQueue:
 
     def _next_job(self) -> Optional[Job]:
         """Pop the best runnable job, skipping cancelled entries;
-        blocks until one arrives or the queue stops."""
+        blocks until one arrives or the queue stops.  The stop flag is
+        checked *before* every pop so shutdown() never drains queued
+        work — queued jobs stay queued, as its docstring promises."""
         with self._cv:
             while True:
-                while self._heap:
+                while self._heap and not self._stopping:
                     _, _, job_id = heapq.heappop(self._heap)
                     if self.store.to_running(job_id):
                         job = self.store.get(job_id)
@@ -159,7 +170,13 @@ class JobQueue:
                 return
             try:
                 self.runner(job)
-            except Exception as exc:  # noqa: BLE001 — captured on the job
+            except (Exception, CancelledError) as exc:
+                # noqa: BLE001 — captured on the job.  CancelledError
+                # is listed explicitly: on supported Pythons it derives
+                # from BaseException, and a cancellation leaking out of
+                # the engine must fail the one job, not kill the worker
+                # thread (which would silently shrink concurrency and
+                # flip /readyz to 503 forever).
                 self.store.to_failed(job.id, f"{type(exc).__name__}: {exc}")
             finally:
                 with self._cv:

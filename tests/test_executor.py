@@ -393,3 +393,75 @@ class TestProgressCallback:
         assert events[0] == (0, total)
         assert [done for done, _ in events[1:]] == list(range(1, total + 1))
         assert all(t == total for _, t in events)
+
+
+class TestSharedPoolLifecycle:
+    """The shared pool under concurrent use: leases and cancellation.
+
+    A job server's worker threads hit the pool concurrently with
+    per-job ``workers`` settings; a resize must never tear the pool
+    down under another run, and a cancellation leaking out of the pool
+    must degrade to the serial path instead of escaping (it is a
+    BaseException on supported Pythons, so an escape would kill a
+    service's queue-worker thread for good).
+    """
+
+    def test_resize_request_reuses_pool_while_leased(self):
+        from repro.core import executor as ex
+
+        ex.shutdown_worker_pool()
+        try:
+            first = ex._lease_pool(2)
+            # A concurrent run asking for a different size must not
+            # shut the leased pool down — it reuses the live one.
+            assert ex._lease_pool(3) is first
+            assert ex.worker_pool_status() == {"size": 2, "alive": True}
+            ex._release_pool()
+            ex._release_pool()
+            # With every lease returned, a new size rebuilds the pool.
+            rebuilt = ex._lease_pool(3)
+            assert rebuilt is not first
+            assert ex.worker_pool_status() == {"size": 3, "alive": True}
+            ex._release_pool()
+        finally:
+            ex.shutdown_worker_pool()
+        assert ex.worker_pool_status() == {"size": 0, "alive": False}
+
+    @pytest.mark.parametrize("with_tick", [False, True])
+    def test_cancelled_mid_map_falls_back_to_serial(
+        self, monkeypatch, with_tick
+    ):
+        from concurrent.futures import CancelledError
+
+        from repro.core import executor as ex
+
+        class CancellingPool:
+            def map(self, *args, **kwargs):
+                raise CancelledError()
+
+            def submit(self, *args, **kwargs):
+                raise CancelledError()
+
+        released = []
+        monkeypatch.setattr(ex, "_lease_pool", lambda n: CancellingPool())
+        monkeypatch.setattr(ex, "_release_pool", lambda: released.append(1))
+        shards = plan_shards(grid_of_squares(4, 2), field_size=10.0)
+        config = (TrapezoidFracturer(), None, None)
+        ticks = []
+        tick = (lambda: ticks.append(1)) if with_tick else None
+        results, pooled = ex._map_shards(shards, config, workers=2, tick=tick)
+        assert not pooled
+        assert released == [1]
+        expected = [_process_shard(s, *config) for s in shards]
+        assert [
+            [shot_key(shot) for shot in r.shots] for r in results
+        ] == [[shot_key(shot) for shot in r.shots] for r in expected]
+        if with_tick:
+            assert len(ticks) == len(shards)
+
+    def test_explicit_shutdown_is_safe_and_idempotent(self):
+        from repro.core import executor as ex
+
+        ex.shutdown_worker_pool()
+        ex.shutdown_worker_pool()
+        assert ex.worker_pool_status() == {"size": 0, "alive": False}

@@ -417,3 +417,41 @@ class TestSchemas:
         assert view["recipe"]["fracture"] == "trapezoid"
         assert view["error"] is None
         assert "artifacts" not in view
+
+
+class TestLateFailureFraming:
+    def test_exception_after_headers_closes_connection(
+        self, server, monkeypatch
+    ):
+        """A failure after response bytes are on the wire must close
+        the connection — writing a second (500) response would corrupt
+        HTTP/1.1 keep-alive framing for the client."""
+        import http.client
+
+        from repro.service.app import PrepRequestHandler
+
+        original = PrepRequestHandler._route
+
+        def exploding(handler, method, parts, query):
+            if parts == ["boom"]:
+                handler._begin_response(200)
+                handler.send_header("Content-Type", "application/octet-stream")
+                handler.send_header("Content-Length", "1024")
+                handler.end_headers()
+                handler.wfile.write(b"x" * 10)
+                raise OSError("disk vanished mid-stream")
+            return original(handler, method, parts, query)
+
+        monkeypatch.setattr(PrepRequestHandler, "_route", exploding)
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=_TIMEOUT)
+        try:
+            conn.request("GET", "/boom")
+            response = conn.getresponse()
+            assert response.status == 200
+            with pytest.raises(http.client.IncompleteRead) as excinfo:
+                response.read()
+            # Only the truncated body arrives: no 500 spliced after it.
+            assert excinfo.value.partial == b"x" * 10
+        finally:
+            conn.close()

@@ -206,3 +206,99 @@ class TestJobStore:
             "failed",
             "cancelled",
         }
+
+
+class TestShutdownSemantics:
+    def test_shutdown_does_not_drain_queued_jobs(self, store):
+        """shutdown() promises queued jobs stay queued — workers must
+        exit at the stop flag instead of draining the heap first."""
+        gate = threading.Event()
+        runner = RecordingRunner(store, gate=gate)
+        queue = JobQueue(store, runner, concurrency=1)
+        blocker = store.create(make_spec())
+        queue.start()
+        queue.submit(blocker)
+        assert runner.started.acquire(timeout=_TIMEOUT)
+        queued = [store.create(make_spec()) for _ in range(3)]
+        for job in queued:
+            queue.submit(job)
+        stopper = threading.Thread(target=queue.shutdown)
+        stopper.start()
+        # Release the running job only once the stop flag is set, so
+        # the worker's next pickup attempt observes it.
+        deadline = threading.Event()
+        for _ in range(1000):
+            if queue._stopping:
+                break
+            deadline.wait(0.01)
+        assert queue._stopping
+        gate.set()
+        stopper.join(timeout=_TIMEOUT)
+        assert not stopper.is_alive()
+        assert runner.order == [blocker.id]
+        for job in queued:
+            assert store.get(job.id).state == "queued"
+
+
+class TestCancelWakesWaiters:
+    def test_cancel_purges_heap_so_wait_idle_progresses(self, store):
+        """A cancelled entry must not linger in the heap: wait_idle()
+        and depth() agree immediately, without relying on some future
+        submission to wake a worker."""
+        queue = JobQueue(store, lambda job: None, concurrency=1)
+        victim = store.create(make_spec())
+        queue.submit(victim)  # workers never started — nothing drains
+        assert queue.cancel(victim.id) == "cancelled"
+        assert queue.depth() == 0
+        assert queue.wait_idle(timeout=1.0)
+
+
+class TestCancellationErrorCapture:
+    def test_cancelled_error_fails_job_but_worker_survives(self, store):
+        """CancelledError is a BaseException on supported Pythons; it
+        must be captured on the job like any failure, not kill the
+        worker thread (which would silently shrink concurrency and
+        wedge /readyz at 503)."""
+        from concurrent.futures import CancelledError
+
+        calls = []
+
+        def runner(job):
+            calls.append(job.id)
+            if len(calls) == 1:
+                raise CancelledError("pool torn down mid-map")
+            store.to_done(job.id, {"ok": True})
+
+        queue = JobQueue(store, runner, concurrency=1)
+        bad = store.create(make_spec())
+        good = store.create(make_spec())
+        queue.start()
+        queue.submit(bad)
+        queue.submit(good)
+        assert queue.wait_idle(timeout=_TIMEOUT)
+        assert queue.workers_alive() == 1
+        queue.shutdown()
+        assert store.get(bad.id).state == "failed"
+        assert "CancelledError" in store.get(bad.id).error
+        assert store.get(good.id).state == "done"
+
+
+class TestStoreSnapshots:
+    def test_snapshot_is_a_point_in_time_copy(self, store):
+        job = store.create(make_spec())
+        snap = store.snapshot(job.id)
+        assert store.to_running(job.id)
+        store.to_done(job.id, {"ok": True}, job_path="/tmp/x.ebj")
+        assert snap.state == "queued"
+        assert snap.result is None
+        done = store.snapshot(job.id)
+        assert done.state == "done"
+        assert done.result == {"ok": True}
+        assert done.job_path == "/tmp/x.ebj"
+        assert store.snapshot("nope") is None
+
+    def test_list_returns_copies(self, store):
+        job = store.create(make_spec())
+        listed = store.list()[0]
+        assert store.to_running(job.id)
+        assert listed.state == "queued"
