@@ -5,10 +5,15 @@ Two effects introduced by the vectorized geometry kernel PR:
 * **Kernel speedup** — the NumPy exact-integer scanline engine
   (``kernel="fast"``) vs. the pure-Python ``Fraction`` reference
   (``kernel="exact"``) on the FZP (all-curves) and memory-array
-  (Manhattan, array-dominated) workloads, at growing polygon counts.
-  The two kernels must agree **bitwise** on every workload; in full
-  mode the fast kernel must clear a 3x floor on the large cases, in
-  ``--quick`` (CI) mode it must simply never be slower.
+  (Manhattan, array-dominated) workloads, at growing polygon counts,
+  plus two workloads the widened kernel must no longer degrade on:
+  geometry translated to |coord| ~ 2**31 database units (beyond the
+  old 2**24 order-embedding limit) and a crossing-dense slanted mesh
+  (every slab bounded by rational crossing ys).  The two kernels must
+  agree **bitwise** on every workload and report **zero** fallbacks
+  (counters land in the BENCH_F12 JSON rows); in full mode the fast
+  kernel must clear a 3x floor on the large cases, in ``--quick``
+  (CI) mode it must simply never be slower.
 
 * **Hierarchy reuse through the real pipeline** — ``hierarchy="cells"``
   vs. flat preparation on memory arrays, both through
@@ -25,6 +30,7 @@ from repro.analysis.tables import Table
 from repro.core.pipeline import PreparationPipeline
 from repro.fracture.trapezoidal import TrapezoidFracturer
 from repro.geometry.boolean import boolean_trapezoids
+from repro.geometry.scanline_fast import KernelFallbacks
 from repro.layout import generators
 from repro.layout.flatten import flatten_cell
 
@@ -64,34 +70,105 @@ def _triangle_band(n):
     return lib
 
 
+def _translated(polys, dx, dy):
+    from repro.geometry.polygon import Polygon
+
+    return [
+        Polygon([(v.x + dx, v.y + dy) for v in p.vertices]) for p in polys
+    ]
+
+
+def _crossing_mesh(clusters):
+    """A grid of clusters, each two mutually crossing slanted triangles
+    — every cluster slab is bounded by rational crossing ys, so nearly
+    the whole sweep runs on the vectorized rational-slab path (which the
+    old kernel handed to the scalar ``ScanEdge``+``Fraction`` loop)."""
+    import math as _math
+
+    from repro.geometry.polygon import Polygon
+
+    cols = max(1, int(_math.isqrt(clusters)))
+    polys = []
+    for i in range(clusters):
+        x = (i % cols) * 50.0
+        y = (i // cols) * 50.0
+        polys.append(
+            Polygon(
+                [
+                    (x, y + 1.0 + (i % 5)),
+                    (x + 40.0, y + 9.0 + (i % 7)),
+                    (x + 19.0, y + 37.0),
+                ]
+            )
+        )
+        polys.append(
+            Polygon(
+                [
+                    (x + 3.0, y + 30.0 - (i % 4)),
+                    (x + 38.0, y + 27.0),
+                    (x + 17.0 + (i % 3), y - 2.0),
+                ]
+            )
+        )
+    return polys
+
+
+#: Layout-unit offset that puts coordinates at ~2**31 database units
+#: (default 1e-3 grid) — far beyond the old 2**24 embedding limit.
+_FAR_OFFSET = (1 << 31) * 1e-3
+
+
 def kernel_workloads(quick):
     if quick:
-        return [
+        libs = [
             ("fzp z8", generators.fresnel_zone_plate(zones=8, points_per_arc=32)),
             ("mem 2x2", generators.memory_array(words=8, bits=8, blocks=(2, 2))),
             ("tri band 400", _triangle_band(400)),
         ]
-    return [
-        ("fzp z8", generators.fresnel_zone_plate(zones=8, points_per_arc=32)),
-        ("fzp z20", generators.fresnel_zone_plate(zones=20, points_per_arc=64)),
-        ("mem 2x2", generators.memory_array(words=8, bits=8, blocks=(2, 2))),
-        ("mem 4x4", generators.memory_array(words=8, bits=8, blocks=(4, 4))),
-        ("mem 8x8", generators.memory_array(words=8, bits=8, blocks=(8, 8))),
-        ("tri band 2k", _triangle_band(2000)),
-    ]
+        extra = [
+            (
+                "far band 300 @2^31",
+                _translated(
+                    _flat_polygons(_triangle_band(300)),
+                    _FAR_OFFSET,
+                    -_FAR_OFFSET,
+                ),
+            ),
+            ("cross mesh 100", _crossing_mesh(100)),
+        ]
+    else:
+        libs = [
+            ("fzp z8", generators.fresnel_zone_plate(zones=8, points_per_arc=32)),
+            ("fzp z20", generators.fresnel_zone_plate(zones=20, points_per_arc=64)),
+            ("mem 2x2", generators.memory_array(words=8, bits=8, blocks=(2, 2))),
+            ("mem 4x4", generators.memory_array(words=8, bits=8, blocks=(4, 4))),
+            ("mem 8x8", generators.memory_array(words=8, bits=8, blocks=(8, 8))),
+            ("tri band 2k", _triangle_band(2000)),
+        ]
+        extra = [
+            (
+                "far band 2k @2^31",
+                _translated(
+                    _flat_polygons(_triangle_band(2000)),
+                    _FAR_OFFSET,
+                    -_FAR_OFFSET,
+                ),
+            ),
+            ("cross mesh 1k", _crossing_mesh(1000)),
+        ]
+    return [(name, _flat_polygons(lib)) for name, lib in libs] + extra
 
 
 def run_kernel_scaling(quick):
     repeats = 1 if quick else 2
     table = Table(
         ["workload", "polygons", "figures", "exact [s]", "fast [s]",
-         "speedup"],
+         "speedup", "fallbacks"],
         title="F12: scanline kernel — Fraction reference vs. vectorized "
-        "exact-integer (bitwise-identical output)",
+        "exact-integer (bitwise-identical output, zero fallbacks)",
     )
     rows = []
-    for name, lib in kernel_workloads(quick):
-        polys = _flat_polygons(lib)
+    for name, polys in kernel_workloads(quick):
         t_exact, exact = _best_of(
             lambda: boolean_trapezoids(polys, [], "or", kernel="exact"),
             repeats,
@@ -100,8 +177,13 @@ def run_kernel_scaling(quick):
             lambda: boolean_trapezoids(polys, [], "or", kernel="fast"),
             repeats,
         )
-        # The contract under test: bit-identical trapezoids.
+        # The contract under test: bit-identical trapezoids, with every
+        # slab swept on the vectorized path (one extra counted run;
+        # the counters accumulate, so they stay out of the timed loop).
         assert fast == exact, f"kernel outputs diverge on {name}"
+        fallbacks = KernelFallbacks()
+        boolean_trapezoids(polys, [], "or", kernel="fast",
+                           fallbacks=fallbacks)
         speedup = t_exact / t_fast
         rows.append(
             {
@@ -111,15 +193,24 @@ def run_kernel_scaling(quick):
                 "exact_s": t_exact,
                 "fast_s": t_fast,
                 "speedup": speedup,
+                "coord_fallbacks": fallbacks.coord_limit,
+                "slab_fallbacks": fallbacks.rational_slab,
             }
         )
         table.add_row(
             [name, len(polys), len(exact), t_exact, t_fast,
-             f"{speedup:.1f}x"]
+             f"{speedup:.1f}x", fallbacks.total()]
         )
     # Floors: CI (--quick) demands "never slower"; the full run demands
-    # a 3x win on every large workload.
+    # a 3x win on every large workload.  Every workload — including the
+    # 2**31-coordinate and crossing-dense ones — must run entirely on
+    # the fast path: the old kernel silently fell back on both.
     for row in rows:
+        assert row["coord_fallbacks"] == 0 and row["slab_fallbacks"] == 0, (
+            f"fast kernel degraded on {row['workload']}: "
+            f"{row['coord_fallbacks']} coord-limit, "
+            f"{row['slab_fallbacks']} rational-slab fallbacks"
+        )
         assert row["speedup"] >= 1.0, (
             f"fast kernel slower than reference on {row['workload']}: "
             f"{row['speedup']:.2f}x"

@@ -118,6 +118,12 @@ def _print_result(result, pec_matrix=None) -> None:
             f"  cache:     {stats.cache_hits} hits, "
             f"{stats.cache_misses} misses ({rate:.0%} hit rate)"
         )
+    if stats is not None and stats.kernel_fallbacks:
+        print(
+            f"  kernel:    {stats.kernel_fallbacks} fast-path fallbacks "
+            f"({stats.kernel_coord_fallbacks} coord-limit, "
+            f"{stats.kernel_slab_fallbacks} rational-slab)"
+        )
     print(f"  digest:    {job.digest()}")
     print(f"  figures:   {report.figure_count}")
     print(f"  area:      {report.total_area:.2f} µm²")

@@ -53,7 +53,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: v3: machine-program segment blobs joined the store (their own key
 #: family), and the raster RLE encoder's scanline membership became
 #: half-open — pre-v3 entries must not be replayed against it.
-CACHE_SCHEMA_VERSION = 3
+#: v4: the fast kernel's exact range grew to 2**53 with vectorized
+#: rational slabs, shard payloads grew the kernel fallback counters
+#: (payload version 2), and zero-rendered-height slabs are dropped —
+#: pre-v4 entries could replay trapezoids a v4 cold run would not
+#: produce.  The fallback counters themselves stay OUT of the key: they
+#: are run observability (``CACHE_VOLATILE`` on ``Fracturer``), not
+#: configuration.
+CACHE_SCHEMA_VERSION = 4
 
 _F64 = struct.Struct("!d")
 

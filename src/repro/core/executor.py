@@ -89,6 +89,7 @@ from repro.core.fields import FieldIndex, field_index_of
 from repro.fracture.base import Fracturer, Shot
 from repro.fracture.quality import FractureReport, analyze_figures, merge_reports
 from repro.geometry.polygon import Polygon
+from repro.geometry.scanline_fast import KernelFallbacks
 from repro.geometry.trapezoid import Trapezoid
 from repro.pec.base import ProximityCorrector
 from repro.physics.psf import DoubleGaussianPSF
@@ -131,12 +132,20 @@ class Shard:
 
 @dataclass
 class ShardResult:
-    """What one shard produced: its shots and fracture bookkeeping."""
+    """What one shard produced: its shots and fracture bookkeeping.
+
+    ``kernel_fallbacks`` records how often the fast scanline kernel
+    degraded to a slower exact path while fracturing this shard.  It is
+    a property of the shard's geometry, so it is persisted with the
+    cached payload (warm runs report the same counters as cold runs)
+    but never enters the cache key.
+    """
 
     index: FieldIndex
     shots: List[Shot]
     report: FractureReport
     reference_area: float
+    kernel_fallbacks: KernelFallbacks = field(default_factory=KernelFallbacks)
 
 
 @dataclass
@@ -156,6 +165,13 @@ class ExecutionStats:
             cache in a ``"cells"`` run.
         instances_fallback: placements that required re-fracturing
             (90°/270° rotations) in a ``"cells"`` run.
+        kernel_fallbacks: total times the fast scanline kernel degraded
+            to a slower exact path across all shards (0 means every
+            sweep ran fully vectorized).  Split by reason into
+            ``kernel_coord_fallbacks`` (coordinates beyond the kernel's
+            exact range; whole sweeps handed to the reference engine)
+            and ``kernel_slab_fallbacks`` (slabs swept by the scalar
+            safety valve).
         program: the exported machine program for this run, when the
             pipeline ran with a ``machine`` mode — carries the
             write-time breakdown, exact stream bytes and channel check
@@ -174,6 +190,9 @@ class ExecutionStats:
     cells_fractured: int = 0
     instances_reused: int = 0
     instances_fallback: int = 0
+    kernel_fallbacks: int = 0
+    kernel_coord_fallbacks: int = 0
+    kernel_slab_fallbacks: int = 0
     program: Optional["MachineProgram"] = None
 
 
@@ -503,8 +522,10 @@ def _process_shard(
     """
     if shard.figures is not None:
         shots = [Shot(t) for t in shard.figures]
+        fallbacks = KernelFallbacks()
     else:
         shots = fracturer.fracture_to_shots(shard.polygons)
+        fallbacks = fracturer.last_fallbacks.copy()
     figures = [s.trapezoid for s in shots]
     # The fracture is a disjoint cover, so its own area is the reference
     # for downstream bookkeeping.
@@ -517,6 +538,7 @@ def _process_shard(
         shots=shots,
         report=report,
         reference_area=reference_area,
+        kernel_fallbacks=fallbacks,
     )
 
 
@@ -975,6 +997,12 @@ class ShardedExecutor:
         corrected = self.corrector is not None
         out: List[ExecutionResult] = []
         for which, (plan, results) in enumerate(zip(plans, grouped)):
+            coord_fb = sum(
+                r.kernel_fallbacks.coord_limit for r in results
+            )
+            slab_fb = sum(
+                r.kernel_fallbacks.rational_slab for r in results
+            )
             stats = ExecutionStats(
                 shard_count=len(plan),
                 occupied_shards=sum(1 for r in results if r.shots),
@@ -987,6 +1015,9 @@ class ShardedExecutor:
                     len(plan) - grouped_hits[which] if active_cache else 0
                 ),
                 hierarchy="cells" if prefractured else "flat",
+                kernel_fallbacks=coord_fb + slab_fb,
+                kernel_coord_fallbacks=coord_fb,
+                kernel_slab_fallbacks=slab_fb,
             )
             merged = merge_shard_results(
                 results, corrected=corrected and bool(results), stats=stats

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.fracture.base import Fracturer
 from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.geometry.scanline_fast import KernelFallbacks
 from repro.geometry.transform import Transform
 from repro.geometry.trapezoid import Trapezoid
 from repro.geometry.vertex_array import (
@@ -91,6 +92,9 @@ class HierarchicalFractureResult:
         source_polygons: flattened polygon count the figure set covers
             (what a flat run would have fractured).
         source_polygons_by_layer: the same count split per layer.
+        kernel_fallbacks: fast-kernel degradation counters accumulated
+            over every fracture computation of the walk (cached-cell
+            reuse never re-runs the kernel, so never re-counts).
     """
 
     figures: Dict[Layer, List[Trapezoid]] = field(default_factory=dict)
@@ -99,6 +103,7 @@ class HierarchicalFractureResult:
     instances_fallback: int = 0
     source_polygons: int = 0
     source_polygons_by_layer: Dict[Layer, int] = field(default_factory=dict)
+    kernel_fallbacks: KernelFallbacks = field(default_factory=KernelFallbacks)
 
     def figure_count(self) -> int:
         return sum(len(v) for v in self.figures.values())
@@ -158,6 +163,7 @@ def _replicate(
         key = (id(cell), key_layer)
         if key not in cache:
             cache[key] = fracturer.fracture(polys)
+            result.kernel_fallbacks.add(fracturer.last_fallbacks)
             result.cells_fractured += 1
         else:
             result.instances_reused += 1
@@ -183,6 +189,7 @@ def _replicate(
         bucket.extend(
             fracturer.fracture(transform_polygons(polys, transform))
         )
+        result.kernel_fallbacks.add(fracturer.last_fallbacks)
 
 
 def _walk(

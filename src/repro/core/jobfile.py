@@ -298,7 +298,12 @@ _SHARD_REPORT = struct.Struct(">dqddqddddq")
 #: y_bottom, y_top, x_bottom_left, x_bottom_right, x_top_left,
 #: x_top_right, dose — exact doubles.
 _SHARD_RECORD = struct.Struct(">ddddddd")
-SHARD_PAYLOAD_VERSION = 1
+#: fast-kernel fallback counters: coord_limit, rational_slab.
+_SHARD_FALLBACKS = struct.Struct(">qq")
+#: v2: the kernel fallback counters joined the payload (between the
+#: report and the shot records) so warm runs report the same fast-path
+#: observability a cold run would.
+SHARD_PAYLOAD_VERSION = 2
 
 
 def dumps_shard_result(result) -> bytes:
@@ -328,6 +333,10 @@ def dumps_shard_result(result) -> bytes:
             report.area_error,
             report.rectangle_count,
         ),
+        _SHARD_FALLBACKS.pack(
+            result.kernel_fallbacks.coord_limit,
+            result.kernel_fallbacks.rational_slab,
+        ),
     ]
     for shot in result.shots:
         t = shot.trapezoid
@@ -354,6 +363,7 @@ def loads_shard_result(data: bytes):
     """
     from repro.core.executor import ShardResult
     from repro.fracture.quality import FractureReport
+    from repro.geometry.scanline_fast import KernelFallbacks
 
     if len(data) < _SHARD_HEADER.size:
         raise JobFileError("truncated shard header")
@@ -363,7 +373,10 @@ def loads_shard_result(data: bytes):
     if version != SHARD_PAYLOAD_VERSION:
         raise JobFileError(f"unknown shard payload version {version}")
     expected = (
-        _SHARD_HEADER.size + _SHARD_REPORT.size + count * _SHARD_RECORD.size
+        _SHARD_HEADER.size
+        + _SHARD_REPORT.size
+        + _SHARD_FALLBACKS.size
+        + count * _SHARD_RECORD.size
     )
     if len(data) != expected:
         raise JobFileError(
@@ -384,6 +397,8 @@ def loads_shard_result(data: bytes):
         rectangle_count,
     ) = _SHARD_REPORT.unpack_from(data, offset)
     offset += _SHARD_REPORT.size
+    coord_fb, slab_fb = _SHARD_FALLBACKS.unpack_from(data, offset)
+    offset += _SHARD_FALLBACKS.size
     shots: List[Shot] = []
     for _ in range(count):
         y0, y1, xbl, xbr, xtl, xtr, dose = _SHARD_RECORD.unpack_from(
@@ -407,4 +422,5 @@ def loads_shard_result(data: bytes):
         shots=shots,
         report=report,
         reference_area=reference_area,
+        kernel_fallbacks=KernelFallbacks(coord_fb, slab_fb),
     )

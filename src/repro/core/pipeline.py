@@ -81,6 +81,13 @@ def _apply_hierarchy_stats(
     stats.cells_fractured = hier.cells_fractured
     stats.instances_reused = hier.instances_reused
     stats.instances_fallback = hier.instances_fallback
+    # Cells-mode shards are prefractured, so the per-shard counters are
+    # zero; the kernel ran during the hierarchy walk instead.
+    stats.kernel_coord_fallbacks += hier.kernel_fallbacks.coord_limit
+    stats.kernel_slab_fallbacks += hier.kernel_fallbacks.rational_slab
+    stats.kernel_fallbacks = (
+        stats.kernel_coord_fallbacks + stats.kernel_slab_fallbacks
+    )
 
 
 @dataclass

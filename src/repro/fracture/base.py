@@ -6,6 +6,7 @@ import abc
 from typing import Iterable, List, Sequence
 
 from repro.geometry.polygon import Polygon
+from repro.geometry.scanline_fast import KernelFallbacks
 from repro.geometry.trapezoid import Trapezoid
 
 
@@ -39,7 +40,23 @@ class Shot:
 
 
 class Fracturer(abc.ABC):
-    """Strategy interface: polygon set → list of machine figures."""
+    """Strategy interface: polygon set → list of machine figures.
+
+    After every :meth:`fracture` call, :attr:`last_fallbacks` holds the
+    fast-kernel degradation counters of that call (all zeros for
+    fracturers that do not use the scanline kernel, or when the fast
+    path handled everything).  The attribute is observability only: it
+    is listed in :data:`CACHE_VOLATILE` so cache fingerprints ignore it
+    — identical inputs hash identically whether or not the previous
+    call degraded.
+    """
+
+    #: Attributes excluded from cache fingerprints (mutable run-state,
+    #: not configuration).
+    CACHE_VOLATILE = frozenset({"last_fallbacks"})
+
+    #: Fallback counters of the most recent :meth:`fracture` call.
+    last_fallbacks: KernelFallbacks = KernelFallbacks()
 
     @abc.abstractmethod
     def fracture(self, polygons: Iterable[Polygon]) -> List[Trapezoid]:

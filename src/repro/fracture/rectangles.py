@@ -50,7 +50,9 @@ class RectangleFracturer(Fracturer):
     def fracture(self, polygons: Iterable[Polygon]) -> List[Trapezoid]:
         """Rectangle cover; exact for rectilinear input."""
         rects: List[Trapezoid] = []
-        for trap in self._trapezoids.fracture(polygons):
+        base = self._trapezoids.fracture(polygons)
+        self.last_fallbacks = self._trapezoids.last_fallbacks
+        for trap in base:
             if trap.is_rectangle(tol=self.grid / 2.0):
                 rects.append(trap)
             else:

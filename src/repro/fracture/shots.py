@@ -72,6 +72,7 @@ class ShotFracturer(Fracturer):
         """Shot geometry list (doses attached by :meth:`fracture_to_shots`)."""
         shots: List[Trapezoid] = []
         base = self._trapezoids.fracture(polygons)
+        self.last_fallbacks = self._trapezoids.last_fallbacks
         for trap in base:
             if trap.is_rectangle(tol=self.grid / 2.0):
                 shots.extend(self._tile_rectangle(trap))

@@ -14,6 +14,7 @@ from repro.fracture.base import Fracturer
 from repro.geometry.boolean import boolean_trapezoids
 from repro.geometry.polygon import Polygon
 from repro.geometry.scanline import DEFAULT_GRID
+from repro.geometry.scanline_fast import KernelFallbacks
 from repro.geometry.trapezoid import Trapezoid
 
 
@@ -54,10 +55,13 @@ class TrapezoidFracturer(Fracturer):
 
     def fracture(self, polygons: Iterable[Polygon]) -> List[Trapezoid]:
         """Disjoint trapezoid cover of the union of ``polygons``."""
+        fallbacks = KernelFallbacks()
         traps = boolean_trapezoids(
             polygons, [], "or",
             grid=self.grid, merge=self.merge, kernel=self.kernel,
+            fallbacks=fallbacks,
         )
+        self.last_fallbacks = fallbacks
         if self.max_height is None:
             return traps
         return slice_to_height(traps, self.max_height)

@@ -24,7 +24,10 @@ Two interchangeable kernels drive the sweep (``kernel=`` on
 * ``"fast"`` (default) — the NumPy-vectorized exact-integer engine of
   :mod:`repro.geometry.scanline_fast`.  Bit-identical output; falls back
   to the reference automatically when coordinates exceed its exact
-  range (|coord| > 2**24 database units).
+  range (|coord| > 2**53 database units).  Every such degradation is
+  counted when the caller passes a
+  :class:`~repro.geometry.scanline_fast.KernelFallbacks` instance —
+  "fast" silently running at reference speed is a reportable event.
 * ``"exact"`` — the original pure-Python
   :class:`fractions.Fraction` engine (:mod:`repro.geometry.scanline`),
   kept as the reference oracle.
@@ -79,6 +82,7 @@ def boolean_trapezoids(
     fill_rule: str = "nonzero",
     merge: bool = True,
     kernel: Optional[str] = None,
+    fallbacks=None,
 ) -> List[Trapezoid]:
     """Boolean combination of two polygon sets as horizontal trapezoids.
 
@@ -93,6 +97,11 @@ def boolean_trapezoids(
             default) or ``"exact"`` (the Fraction reference engine).
             Both produce bit-identical trapezoids; ``None`` selects
             :data:`DEFAULT_KERNEL`.
+        fallbacks: optional
+            :class:`~repro.geometry.scanline_fast.KernelFallbacks`
+            accumulator; with ``kernel="fast"`` every degradation to a
+            slower path increments its counters.  Ignored for
+            ``kernel="exact"`` (an explicit choice is not a fallback).
 
     Returns:
         Disjoint trapezoids covering the result region.
@@ -123,6 +132,7 @@ def boolean_trapezoids(
         result = sweep_trapezoids_fast(
             polys_a, polys_b, operation,
             fill_rule=fill_rule, grid=grid, merge=merge,
+            fallbacks=fallbacks,
         )
         if result is not None:
             return result

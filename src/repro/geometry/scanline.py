@@ -248,9 +248,16 @@ def _emit(
     # Guard against numerical inversions from coincident edges.
     xr0 = max(xr0, xl0)
     xr1 = max(xr1, xl1)
+    y0f = float(y_lo) * grid
+    y1f = float(y_hi) * grid
+    if y1f <= y0f:
+        # The slab's exact height is positive but smaller than one ulp
+        # at this magnitude, so it renders as zero height in layout
+        # units and carries no area.
+        return None
     return Trapezoid(
-        float(y_lo) * grid,
-        float(y_hi) * grid,
+        y0f,
+        y1f,
         float(xl0) * grid,
         float(xr0) * grid,
         float(xl1) * grid,

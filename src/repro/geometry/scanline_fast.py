@@ -10,40 +10,81 @@ default (``kernel="fast"``).
 Why exactness survives vectorization
 ------------------------------------
 All coordinates are snapped to an int64 grid and bounded by
-:data:`COORD_LIMIT` (= 2**24 database units, 16.7 mm at a 1 nm grid —
-checked up front, with transparent fallback to the reference engine
-beyond it).  Under that bound:
+:data:`COORD_LIMIT` (= 2**53 database units — checked up front, with a
+*counted* fallback to the reference engine beyond it; see
+:class:`KernelFallbacks`).  Every x coordinate of an edge at a slab
+boundary ``y = bn/bd`` (integer boundaries have ``bd = 1``; boundaries
+created by edge/edge crossings are rational) is the rational ::
 
-* Every x coordinate of a slab-spanning edge at an *integer* slab
-  boundary ``y`` is the rational ``num/den`` with ``num = x0*dy +
-  (y - y0)*dx`` (|num| < 6·B² < 2**53) and ``den = dy`` (< 2**25), so
+    x = num / den
+    num = x0*dy*bd + (bn - y0*bd)*dx
+    den = dy*bd            (dy > 0, bd > 0)
+
+and the sweep orders, folds and emits edges purely by that rational,
+through one of three exact order embeddings chosen by the coordinate
+magnitude ``B = max |coord|``:
+
+* **Float key** (``B <= 2**24``, integer-bounded slabs).  Here ``num =
+  x0*dy + (y - y0)*dx`` satisfies ``|num| <= 2*B**2 < 2**53`` (x at an
+  in-range y lies between x0 and x1, so ``|num| = |x|*dy``) and ``den =
+  dy <= 2**25``, so both are exactly representable float64 values and
   ``float64(num)/float64(den)`` is the correctly rounded quotient —
-  exactly ``float(Fraction(num, den))``.
-* Writing ``num/den`` as ``q + r/den`` (floored division), the pair
-  ``(q, float64(r/den))`` is an exact order embedding: two distinct
-  reduced fractions with denominators < 2**26 differ by at least
-  2**-50, which is more than 4 ulps of any value in [0, 1), so their
-  correctly rounded floats differ whenever the rationals do.  Sorting
-  and equality-folding on ``(q, f)`` is therefore *exact* — no symbolic
-  arithmetic needed.
-* Within a slab no two active edges cross (that is what slab boundaries
-  are for), so the reference order "by x at the slab's midline" equals
-  the lexicographic order by (x at bottom, x at top), and edges that
-  compare equal are collinear through the whole slab — the reference's
-  fold-equal-x transition semantics carry over unchanged.
+  exactly ``float(Fraction(num, den))``.  Writing ``num/den = q +
+  r/den`` (floored division), the pair ``(q, float64(r/den))`` is an
+  exact order embedding: two distinct fractions in [0, 1) with
+  denominators <= 2**25 differ by at least 2**-50, which exceeds twice
+  the 2**-54 rounding error, so their correctly rounded floats differ
+  whenever the rationals do.
+* **Multi-word int64 key** (``B <= 2**31 - 1``, integer-bounded slabs).
+  ``|num| <= 2*B**2 < 2**63`` still fits int64 exactly — the
+  intermediate products ``x0*dy`` and ``(y - y0)*dx`` may individually
+  wrap, but int64 arithmetic is modular and the true sum is in range,
+  so the computed sum is exact.  The key is ``q`` plus three 31-bit
+  digit words of the fractional part ``r/dy``, each computed as
+  ``(r << 31) // dy`` (no overflow: ``r < dy <= 2**32 - 2``).  The 93
+  fractional bits exceed ``2 * bits(dy)``: two distinct fractions with
+  denominators below 2**32 differ by more than 2**-64 > 2**-93, so
+  truncation to 93 bits preserves both order and distinctness.
+* **Big-integer key** (``B <= 2**53`` integer-bounded slabs, and *all*
+  rational-bounded slabs).  ``num``/``den`` are computed in
+  object-dtype arrays of Python ints — exact at any size.  The key is
+  ``q`` (fits int64: ``|q| <= B + 1``) plus K adaptive
+  :data:`_WORD_BITS`-bit digit words, with K chosen so that ``54*K >=
+  2 * bits(max den)``; the same truncation argument applies.  Crossing
+  denominators are bounded by ``8*B**2`` (a difference of two products
+  of coordinate deltas) and ``dy`` by ``2*B``, so ``bits(den) <= 164``
+  and ``K <= 7`` always; :data:`_MAX_FRACTION_WORDS` (= 8) is a
+  *counted* safety valve, not a reachable limit.
 
-Edge/edge crossings are *detected* with vectorized integer cross
-products (bbox-pruned, strictly interior crossings only — crossings at
-edge endpoints contribute no new slab boundary) and the few survivors
-are evaluated with exact Python integers.  Slabs bounded by such
-rational crossing ys are swept with the reference scalar code
-(:class:`~repro.geometry.scanline.ScanEdge` + ``Fraction``), keeping the
-whole engine exact; on union-of-disjoint-polygon workloads — the normal
-fracture case — that path never runs.
+Emitted coordinates are correctly rounded in every regime: the float
+key regime divides exactly representable float64 operands; the wider
+regimes divide Python ints (CPython's ``int / int`` is correctly
+rounded) — both match ``float(Fraction(num, den))`` bit for bit.
+
+Within a slab no two active edges cross (that is what slab boundaries
+are for), so the reference order "by x at the slab's midline" equals
+the lexicographic order by (x at bottom, x at top), and edges that
+compare equal are collinear through the whole slab — the reference's
+fold-equal-x transition semantics carry over unchanged.  Slabs bounded
+by rational crossing ys go through the *same* vectorized sweep with
+big-integer keys; the scalar ``ScanEdge`` + ``Fraction`` path survives
+only as the unreachable safety valve above, and running it increments
+``KernelFallbacks.rational_slab``.
+
+Edge/edge crossings are *detected* with vectorized cross products
+(bbox-pruned, strictly interior crossings only — crossings at edge
+endpoints contribute no new slab boundary): int64 products are exact
+for ``B <= 2**29`` (``8*B**2 < 2**63``); above that the pruned
+candidate arrays are promoted to Python-int objects, keeping detection
+exact at any accepted magnitude.  The few survivors are evaluated with
+exact Python integers and deduplicated as reduced fractions — never as
+floats, so crossing ys that would collide after rounding stay
+distinct.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -59,12 +100,72 @@ from repro.geometry.scanline import (
     nonzero,
 )
 from repro.geometry.trapezoid import Trapezoid
-from repro.geometry.vertex_array import snap_rings
+from repro.geometry.vertex_array import snap_stacked, stack_polygons
 
 #: Largest |coordinate| (in database units) the fast kernel accepts.
-#: Beyond it the int64/float64 exactness arguments above break down and
-#: the caller falls back to the Fraction-based reference engine.
-COORD_LIMIT = 1 << 24
+#: Beyond it ``q`` no longer fits the int64 sort key (and the snapped
+#: value itself stops being exactly representable as float64, which the
+#: emitted trapezoids rely on), so the caller falls back to the
+#: Fraction-based reference engine — a counted event, not a silent one.
+COORD_LIMIT = 1 << 53
+
+#: Largest |coordinate| for the single-float fractional key (the
+#: original kernel regime, kept unchanged for the dominant case).
+_FLOAT_KEY_LIMIT = 1 << 24
+
+#: Largest |coordinate| for pure-int64 key arithmetic
+#: (``2*B**2 < 2**63`` requires ``B <= 2**31 - 1``).
+_INT64_KEY_LIMIT = (1 << 31) - 1
+
+#: Largest |coordinate| for int64 cross products in crossing detection
+#: (``8*B**2 < 2**63`` requires ``B <= 2**30 - 1``; 2**29 keeps a 2x
+#: margin).  Above it the pruned candidates use Python-int objects.
+_CROSS_INT64_LIMIT = 1 << 29
+
+#: Raw (pre-snap) scaled magnitude above which ``float -> int64`` is
+#: undefined behaviour in NumPy; checked on the input floats *before*
+#: snapping so oversized inputs fall back instead of wrapping.
+_SNAP_SAFE_LIMIT = float(1 << 62)
+
+#: Bits per big-integer fractional digit word (words must fit int64
+#: with headroom: ``r << 54`` below ``den < 2**164`` stays a small
+#: Python int; each emitted word is ``< 2**54``).
+_WORD_BITS = 54
+
+#: Safety valve: if a rational-slab key would need more digit words
+#: than this, that slab family is swept by the scalar reference loop
+#: (and counted as ``rational_slab`` fallbacks).  Unreachable by the
+#: bound in the module docstring (K <= 7).
+_MAX_FRACTION_WORDS = 8
+
+
+@dataclass
+class KernelFallbacks:
+    """Counters for every way the fast kernel can degrade.
+
+    Attributes:
+        coord_limit: sweeps abandoned to the reference engine because a
+            coordinate exceeded :data:`COORD_LIMIT` (one count per
+            abandoned sweep).
+        rational_slab: slabs swept by the scalar ``Fraction`` loop
+            because their key needed more than
+            :data:`_MAX_FRACTION_WORDS` digit words (one count per
+            slab; unreachable by construction, see module docstring).
+    """
+
+    coord_limit: int = 0
+    rational_slab: int = 0
+
+    def total(self) -> int:
+        return self.coord_limit + self.rational_slab
+
+    def copy(self) -> "KernelFallbacks":
+        return KernelFallbacks(self.coord_limit, self.rational_slab)
+
+    def add(self, other: "KernelFallbacks") -> None:
+        self.coord_limit += other.coord_limit
+        self.rational_slab += other.rational_slab
+
 
 _SCALAR_PREDICATES: Dict[str, Callable[[bool, bool], bool]] = {
     "or": lambda a, b: a or b,
@@ -160,7 +261,11 @@ def _iter_range_batches(j_lo: np.ndarray, cnt: np.ndarray, limit: int):
 
 
 def _strict_crossings(
-    x0: np.ndarray, y0: np.ndarray, x1: np.ndarray, y1: np.ndarray
+    x0: np.ndarray,
+    y0: np.ndarray,
+    x1: np.ndarray,
+    y1: np.ndarray,
+    wide: bool = False,
 ) -> Tuple[List[Fraction], np.ndarray]:
     """Exact ys of strictly interior edge/edge crossings.
 
@@ -170,8 +275,10 @@ def _strict_crossings(
     candidates come from a y-interval join with two prunes —
     vertical/vertical pairs are parallel and never cross, and x ranges
     must overlap — generated and filtered in bounded batches
-    (:data:`_PAIR_CHUNK`) with int64 cross products; the rare survivors
-    are evaluated in exact (unbounded) Python integers.
+    (:data:`_PAIR_CHUNK`) with exact cross products: int64 when
+    coordinates stay within :data:`_CROSS_INT64_LIMIT`, Python-int
+    objects (``wide=True``) beyond.  The rare survivors are evaluated in
+    exact (unbounded) Python integers.
 
     Returns non-integer crossing ys as reduced fractions plus integer
     crossing ys as an int64 array.
@@ -209,9 +316,15 @@ def _strict_crossings(
         d1y = sy1[ii] - sy0[ii]
         d2x = sx1[jj] - sx0[jj]
         d2y = sy1[jj] - sy0[jj]
-        denom = d1x * d2y - d1y * d2x
         px = sx0[jj] - sx0[ii]
         py = sy0[jj] - sy0[ii]
+        if wide:
+            # Deltas are exact in int64 (|delta| <= 2B <= 2**54); the
+            # cross products below are not — promote to Python ints.
+            d1x, d1y = d1x.astype(object), d1y.astype(object)
+            d2x, d2y = d2x.astype(object), d2y.astype(object)
+            px, py = px.astype(object), py.astype(object)
+        denom = d1x * d2y - d1y * d2x
         t_num = px * d2y - py * d2x
         u_num = px * d1y - py * d1x
         sgn = np.sign(denom)
@@ -253,7 +366,7 @@ def _strict_crossings(
 
 
 # ---------------------------------------------------------------------------
-# Scalar fallback for slabs bounded by rational (crossing) ys
+# Scalar safety valve for slabs whose keys would not fit
 # ---------------------------------------------------------------------------
 
 
@@ -299,8 +412,199 @@ def _sweep_scalar_slab(
 
 
 # ---------------------------------------------------------------------------
+# Order-embedding keys
+# ---------------------------------------------------------------------------
+
+
+def _keys_float(num: np.ndarray, dy: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """``(q, float64(r/dy))`` — exact for ``den <= 2**25`` (see docstring)."""
+    q = num // dy
+    r = num - q * dy
+    f = r.astype(np.float64) / dy.astype(np.float64)
+    return q, f
+
+
+def _keys_int64(num: np.ndarray, dy: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """``(q, w1, w2, w3)`` with three 31-bit fraction digit words —
+    exact for ``dy < 2**32`` (93 fractional bits >= 2 * bits(dy))."""
+    q = num // dy
+    r = num - q * dy
+    words = [q]
+    shift = np.int64(31)
+    for _ in range(3):
+        t = r << shift
+        w = t // dy
+        r = t - w * dy
+        words.append(w)
+    return tuple(words)
+
+
+def _keys_object(
+    num: np.ndarray, den: np.ndarray, den_bits: int
+) -> Tuple[np.ndarray, ...]:
+    """``(q, w1, .., wK)`` over Python-int arrays, K adaptive so that
+    ``54*K >= 2 * den_bits`` — exact for denominators of any size.
+
+    ``q`` and every digit word fit int64 (``|q| <= COORD_LIMIT + 1``,
+    ``w < 2**54``), so the emitted key arrays are plain int64 and the
+    downstream lexsort never touches an object."""
+    q = num // den
+    r = num - q * den
+    k_words = -(-2 * den_bits // _WORD_BITS)
+    words = [q.astype(np.int64)]
+    for _ in range(k_words):
+        t = r << _WORD_BITS
+        w = t // den
+        r = t - w * den
+        words.append(w.astype(np.int64))
+    return tuple(words)
+
+
+def _lex_compare(
+    keys: Tuple[np.ndarray, ...], a_idx: np.ndarray, b_idx: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized lexicographic ``(a < b, a == b)`` over key rows."""
+    lt = np.zeros(len(a_idx), dtype=bool)
+    eq = np.ones(len(a_idx), dtype=bool)
+    for k in keys:
+        ka = k[a_idx]
+        kb = k[b_idx]
+        lt |= eq & (ka < kb)
+        eq &= ka == kb
+    return lt, eq
+
+
+def _div_rows(
+    num: np.ndarray, den: np.ndarray, idx: np.ndarray, exact: bool
+) -> np.ndarray:
+    """Correctly rounded ``num[idx] / den[idx]`` as float64.
+
+    ``exact=False`` divides float64 operands (valid when both are
+    exactly representable); ``exact=True`` divides Python ints, whose
+    true division is correctly rounded at any magnitude."""
+    n = num[idx]
+    d = den[idx]
+    if not exact:
+        return n.astype(np.float64) / d.astype(np.float64)
+    if n.dtype != object:
+        n = n.astype(object)
+    if d.dtype != object:
+        d = d.astype(object)
+    return (n / d).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
 # The vectorized sweep
 # ---------------------------------------------------------------------------
+
+
+def _sweep_block(
+    e: np.ndarray,
+    s: np.ndarray,
+    winding: np.ndarray,
+    group: np.ndarray,
+    operation: str,
+    fill_rule: str,
+    grid: float,
+    keys_lo: Tuple[np.ndarray, ...],
+    keys_hi: Tuple[np.ndarray, ...],
+    num_lo: np.ndarray,
+    den_lo: np.ndarray,
+    num_hi: np.ndarray,
+    den_hi: np.ndarray,
+    b_float: np.ndarray,
+    exact_div: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sweep one family of slabs given exact per-boundary order keys.
+
+    ``(e, s)`` are the (edge, slab) incidence rows of the family;
+    ``keys_lo``/``keys_hi`` are the order-embedding key arrays for x at
+    the lower/upper boundary and ``num/den`` the exact rational x used
+    for emission.  Returns ``(slab_ids, rows)`` with one ``(6,)``
+    float64 trapezoid row per kept interior interval, in slab order.
+    """
+    order = np.lexsort(
+        tuple(reversed(keys_hi)) + tuple(reversed(keys_lo)) + (s,)
+    )
+    e = e[order]
+    s = s[order]
+    keys_lo = tuple(k[order] for k in keys_lo)
+    keys_hi = tuple(k[order] for k in keys_hi)
+    num_lo = num_lo[order]
+    num_hi = num_hi[order]
+    den_lo = den_lo[order]
+    den_hi = den_hi[order]
+
+    n = len(e)
+    new_slab = np.ones(n, dtype=bool)
+    new_slab[1:] = s[1:] != s[:-1]
+    new_group = new_slab.copy()
+    for k in keys_lo + keys_hi:
+        new_group[1:] |= k[1:] != k[:-1]
+
+    w = winding[e]
+    g = group[e]
+    wa = np.cumsum(np.where(g == 0, w, 0))
+    wb = np.cumsum(np.where(g == 1, w, 0))
+    slab_start = np.nonzero(new_slab)[0]
+    slab_len = np.diff(np.concatenate((slab_start, [n])))
+    base_a = np.where(slab_start > 0, wa[slab_start - 1], 0)
+    base_b = np.where(slab_start > 0, wb[slab_start - 1], 0)
+    wa = wa - np.repeat(base_a, slab_len)
+    wb = wb - np.repeat(base_b, slab_len)
+
+    g_start = np.nonzero(new_group)[0]
+    g_end = np.concatenate((g_start[1:] - 1, [n - 1]))
+    inside = _VECTOR_PREDICATES[operation](
+        _fill_vec(fill_rule, wa[g_end]), _fill_vec(fill_rule, wb[g_end])
+    )
+    g_slab = s[g_end]
+    prev = np.empty_like(inside)
+    prev[0] = False
+    prev[1:] = inside[:-1]
+    first_of_slab = np.ones(len(g_end), dtype=bool)
+    first_of_slab[1:] = g_slab[1:] != g_slab[:-1]
+    prev[first_of_slab] = False
+    opens = inside & ~prev
+    closes = prev & ~inside
+    left = g_start[opens]
+    right = g_end[closes]
+    if len(left) != len(right):  # pragma: no cover - invariant guard
+        raise AssertionError("unbalanced interior transitions")
+    if not len(left):
+        return np.empty(0, dtype=np.int64), np.empty((0, 6), dtype=np.float64)
+
+    # Exact per-boundary comparisons right-vs-left via the order keys.
+    lt0, eq0 = _lex_compare(keys_lo, right, left)
+    lt1, eq1 = _lex_compare(keys_hi, right, left)
+    drop = (lt0 | eq0) & (lt1 | eq1)
+
+    xl0 = _div_rows(num_lo, den_lo, left, exact_div)
+    xl1 = _div_rows(num_hi, den_hi, left, exact_div)
+    xr0 = _div_rows(num_lo, den_lo, right, exact_div)
+    xr1 = _div_rows(num_hi, den_hi, right, exact_div)
+    # Guard against coincident-edge inversions, as the reference does
+    # (exact max, applied to the floats).
+    xr0 = np.where(lt0, xl0, xr0)
+    xr1 = np.where(lt1, xl1, xr1)
+    t_all = s[left]
+    ylo_f = b_float[t_all] * grid
+    yhi_f = b_float[t_all + 1] * grid
+    # A slab of sub-ulp exact height renders as zero height in layout
+    # units and carries no area — drop it, as the reference does.
+    keep = ~drop & (yhi_f > ylo_f)
+    t_slab = t_all[keep]
+    rows = np.column_stack(
+        (
+            ylo_f[keep],
+            yhi_f[keep],
+            xl0[keep] * grid,
+            xr0[keep] * grid,
+            xl1[keep] * grid,
+            xr1[keep] * grid,
+        )
+    )
+    return t_slab, rows
 
 
 def sweep_trapezoids_fast(
@@ -310,19 +614,39 @@ def sweep_trapezoids_fast(
     fill_rule: str = "nonzero",
     grid: float = DEFAULT_GRID,
     merge: bool = True,
+    fallbacks: Optional[KernelFallbacks] = None,
 ) -> Optional[List[Trapezoid]]:
     """Vectorized boolean sweep; bit-identical to the reference engine.
 
     Returns ``None`` when the snapped coordinates exceed
     :data:`COORD_LIMIT` — the caller is expected to fall back to
-    :func:`repro.geometry.scanline.sweep_trapezoids`.
+    :func:`repro.geometry.scanline.sweep_trapezoids`.  When
+    ``fallbacks`` is given, every degradation (the ``None`` return, or
+    a slab swept by the scalar safety valve) increments its counters.
     """
     polys_a = list(polys_a)
     polys_b = list(polys_b)
-    ints_a, off_a = snap_rings(polys_a, grid)
-    ints_b, off_b = snap_rings(polys_b, grid)
+    coords_a, off_a = stack_polygons(polys_a)
+    coords_b, off_b = stack_polygons(polys_b)
+    peak = 0.0
+    if coords_a.size:
+        peak = float(np.abs(coords_a).max())
+    if coords_b.size:
+        peak = max(peak, float(np.abs(coords_b).max()))
+    if not (peak / grid < _SNAP_SAFE_LIMIT):
+        # Snapping would cast out-of-range floats to int64 (undefined);
+        # such inputs are far beyond COORD_LIMIT regardless.  The check
+        # also catches non-finite coordinates.
+        if fallbacks is not None:
+            fallbacks.coord_limit += 1
+        return None
+    ints_a, off_a = snap_stacked(coords_a, off_a, grid)
+    ints_b, off_b = snap_stacked(coords_b, off_b, grid)
     ints = np.concatenate([ints_a, ints_b])
-    if len(ints) and int(np.abs(ints).max()) > COORD_LIMIT:
+    coord_max = int(np.abs(ints).max()) if len(ints) else 0
+    if coord_max > COORD_LIMIT:
+        if fallbacks is not None:
+            fallbacks.coord_limit += 1
         return None
     offsets = np.concatenate([off_a, off_a[-1] + off_b[1:]])
     groups = np.concatenate(
@@ -335,7 +659,9 @@ def sweep_trapezoids_fast(
     if len(x0) == 0:
         return []
 
-    rational_ys, int_cross = _strict_crossings(x0, y0, x1, y1)
+    rational_ys, int_cross = _strict_crossings(
+        x0, y0, x1, y1, wide=coord_max > _CROSS_INT64_LIMIT
+    )
 
     # -- slab boundaries ---------------------------------------------------
     int_b = np.unique(np.concatenate([y0, y1, int_cross]))
@@ -357,23 +683,31 @@ def sweep_trapezoids_fast(
         b_isint = np.zeros(n_bounds, dtype=bool)
         b_val[pos_int] = int_b
         b_isint[pos_int] = True
-        b_exact: List = [None] * n_bounds
+        # Exact rational value bn/bd of every boundary, plus its
+        # correctly rounded float (== float(Fraction(bn, bd))).
+        b_num = np.empty(n_bounds, dtype=object)
+        b_den = np.empty(n_bounds, dtype=object)
+        b_float = np.empty(n_bounds, dtype=np.float64)
+        b_float[pos_int] = int_b.astype(np.float64)
         for k in range(n_int):
-            b_exact[pos_int[k]] = int(int_b[k])
+            i = pos_int[k]
+            b_num[i] = int(int_b[k])
+            b_den[i] = 1
         for k in range(n_rat):
-            b_exact[pos_rat[k]] = rats[k]
+            i = pos_rat[k]
+            b_num[i] = rats[k].numerator
+            b_den[i] = rats[k].denominator
+            b_float[i] = rats[k].numerator / rats[k].denominator
     else:
         pos_int = np.arange(n_int)
         b_val = int_b
         b_isint = np.ones(n_bounds, dtype=bool)
-        b_exact = None
+        b_num = b_den = None
+        b_float = int_b.astype(np.float64)
 
     # Edge -> slab range: spans slabs [index(y0), index(y1)).
     s0 = pos_int[np.searchsorted(int_b, y0)]
     s1 = pos_int[np.searchsorted(int_b, y1)]
-
-    # A slab needs the scalar path when either boundary is rational.
-    scalar_slabs = ~(b_isint[:-1] & b_isint[1:])
 
     # -- incidences: one row per (slab, spanning edge) ---------------------
     span = s1 - s0
@@ -383,37 +717,22 @@ def sweep_trapezoids_fast(
     inc_slab = np.arange(m, dtype=np.int64) - np.repeat(base, span)
     inc_slab += np.repeat(s0, span)
 
-    scalar_traps: Dict[int, List[Trapezoid]] = {}
+    # Slabs with a rational boundary need big-integer keys; split them
+    # into their own sweep family (slabs are never shared, so the two
+    # families are independent and reassemble by slab id).
+    e_rat = s_rat = None
     if n_rat:
-        sc_mask = scalar_slabs[inc_slab]
-        sc_edge = inc_edge[sc_mask]
-        sc_slab = inc_slab[sc_mask]
-        inc_edge = inc_edge[~sc_mask]
-        inc_slab = inc_slab[~sc_mask]
-        predicate = _SCALAR_PREDICATES[operation]
-        rule = nonzero if fill_rule == "nonzero" else evenodd
-        order_sc = np.argsort(sc_slab, kind="stable")
-        sc_edge = sc_edge[order_sc]
-        sc_slab = sc_slab[order_sc]
-        starts = np.nonzero(
-            np.concatenate(([True], sc_slab[1:] != sc_slab[:-1]))
-        )[0]
-        ends = np.concatenate((starts[1:], [len(sc_slab)]))
-        for a, b in zip(starts.tolist(), ends.tolist()):
-            si = int(sc_slab[a])
-            edges = [
-                ScanEdge(
-                    int(x0[e]), int(y0[e]), int(x1[e]), int(y1[e]),
-                    int(winding[e]), int(group[e]),
-                )
-                for e in sc_edge[a:b].tolist()
-            ]
-            scalar_traps[si] = _sweep_scalar_slab(
-                edges, b_exact[si], b_exact[si + 1], predicate, rule, grid
-            )
+        rational_slabs = ~(b_isint[:-1] & b_isint[1:])
+        rmask = rational_slabs[inc_slab]
+        e_rat = inc_edge[rmask]
+        s_rat = inc_slab[rmask]
+        inc_edge = inc_edge[~rmask]
+        inc_slab = inc_slab[~rmask]
 
-    # -- vectorized slabs --------------------------------------------------
-    vec_cols: Optional[Tuple[np.ndarray, ...]] = None
+    blocks: List[Tuple[np.ndarray, np.ndarray]] = []
+    scalar_traps: Dict[int, List[Trapezoid]] = {}
+
+    # -- integer-bounded slabs ---------------------------------------------
     if len(inc_edge):
         e = inc_edge
         s = inc_slab
@@ -421,122 +740,125 @@ def sweep_trapezoids_fast(
         dx = x1[e] - x0[e]
         lo = b_val[s]
         hi = b_val[s + 1]
-        num_lo = x0[e] * dy + (lo - y0[e]) * dx
-        num_hi = x0[e] * dy + (hi - y0[e]) * dx
-        q_lo = num_lo // dy
-        r_lo = num_lo - q_lo * dy
-        q_hi = num_hi // dy
-        r_hi = num_hi - q_hi * dy
-        dy_f = dy.astype(np.float64)
-        f_lo = r_lo.astype(np.float64) / dy_f
-        f_hi = r_hi.astype(np.float64) / dy_f
-
-        order = np.lexsort((f_hi, q_hi, f_lo, q_lo, s))
-        e = e[order]
-        s = s[order]
-        q_lo, f_lo = q_lo[order], f_lo[order]
-        q_hi, f_hi = q_hi[order], f_hi[order]
-        num_lo, num_hi, dy_f = num_lo[order], num_hi[order], dy_f[order]
-
-        new_slab = np.ones(len(e), dtype=bool)
-        new_slab[1:] = s[1:] != s[:-1]
-        new_group = new_slab.copy()
-        new_group[1:] |= (
-            (q_lo[1:] != q_lo[:-1])
-            | (f_lo[1:] != f_lo[:-1])
-            | (q_hi[1:] != q_hi[:-1])
-            | (f_hi[1:] != f_hi[:-1])
+        if coord_max <= _INT64_KEY_LIMIT:
+            # Exact in int64: |num| <= 2*B**2 < 2**63 (intermediate
+            # products may wrap, but int64 arithmetic is modular and
+            # the true sum is in range, so the result is exact).
+            num_lo = x0[e] * dy + (lo - y0[e]) * dx
+            num_hi = x0[e] * dy + (hi - y0[e]) * dx
+            if coord_max <= _FLOAT_KEY_LIMIT:
+                keys_lo = _keys_float(num_lo, dy)
+                keys_hi = _keys_float(num_hi, dy)
+                exact_div = False
+            else:
+                keys_lo = _keys_int64(num_lo, dy)
+                keys_hi = _keys_int64(num_hi, dy)
+                exact_div = True
+            den_lo = den_hi = dy
+        else:
+            dy_o = dy.astype(object)
+            dx_o = dx.astype(object)
+            x0_o = x0[e].astype(object)
+            num_lo = x0_o * dy_o + (lo - y0[e]).astype(object) * dx_o
+            num_hi = x0_o * dy_o + (hi - y0[e]).astype(object) * dx_o
+            den_lo = den_hi = dy_o
+            bits = int(dy.max()).bit_length()
+            keys_lo = _keys_object(num_lo, dy_o, bits)
+            keys_hi = _keys_object(num_hi, dy_o, bits)
+            exact_div = True
+        blocks.append(
+            _sweep_block(
+                e, s, winding, group, operation, fill_rule, grid,
+                keys_lo, keys_hi, num_lo, den_lo, num_hi, den_hi,
+                b_float, exact_div,
+            )
         )
 
-        w = winding[e]
-        g = group[e]
-        wa = np.cumsum(np.where(g == 0, w, 0))
-        wb = np.cumsum(np.where(g == 1, w, 0))
-        slab_start = np.nonzero(new_slab)[0]
-        slab_len = np.diff(np.concatenate((slab_start, [len(e)])))
-        base_a = np.where(slab_start > 0, wa[slab_start - 1], 0)
-        base_b = np.where(slab_start > 0, wb[slab_start - 1], 0)
-        wa = wa - np.repeat(base_a, slab_len)
-        wb = wb - np.repeat(base_b, slab_len)
-
-        g_start = np.nonzero(new_group)[0]
-        g_end = np.concatenate((g_start[1:] - 1, [len(e) - 1]))
-        inside = _VECTOR_PREDICATES[operation](
-            _fill_vec(fill_rule, wa[g_end]), _fill_vec(fill_rule, wb[g_end])
-        )
-        g_slab = s[g_end]
-        prev = np.empty_like(inside)
-        prev[0] = False
-        prev[1:] = inside[:-1]
-        first_of_slab = np.ones(len(g_end), dtype=bool)
-        first_of_slab[1:] = g_slab[1:] != g_slab[:-1]
-        prev[first_of_slab] = False
-        opens = inside & ~prev
-        closes = prev & ~inside
-        left = g_start[opens]
-        right = g_end[closes]
-        if len(left) != len(right):  # pragma: no cover - invariant guard
-            raise AssertionError("unbalanced interior transitions")
-
-        if len(left):
-            # Exact per-boundary comparisons right-vs-left via (q, f).
-            lt0 = (q_lo[right] < q_lo[left]) | (
-                (q_lo[right] == q_lo[left]) & (f_lo[right] < f_lo[left])
+    # -- rational-bounded slabs --------------------------------------------
+    if e_rat is not None and len(e_rat):
+        e = e_rat
+        s = s_rat
+        dy_o = (y1[e] - y0[e]).astype(object)
+        dx_o = (x1[e] - x0[e]).astype(object)
+        x0_o = x0[e].astype(object)
+        y0_o = y0[e].astype(object)
+        bn_lo = b_num[s]
+        bd_lo = b_den[s]
+        bn_hi = b_num[s + 1]
+        bd_hi = b_den[s + 1]
+        num_lo = x0_o * dy_o * bd_lo + (bn_lo - y0_o * bd_lo) * dx_o
+        num_hi = x0_o * dy_o * bd_hi + (bn_hi - y0_o * bd_hi) * dx_o
+        den_lo = dy_o * bd_lo
+        den_hi = dy_o * bd_hi
+        bits = int(max(den_lo.max(), den_hi.max())).bit_length()
+        words = -(-2 * bits // _WORD_BITS)
+        if words <= _MAX_FRACTION_WORDS:
+            keys_lo = _keys_object(num_lo, den_lo, bits)
+            keys_hi = _keys_object(num_hi, den_hi, bits)
+            blocks.append(
+                _sweep_block(
+                    e, s, winding, group, operation, fill_rule, grid,
+                    keys_lo, keys_hi, num_lo, den_lo, num_hi, den_hi,
+                    b_float, True,
+                )
             )
-            eq0 = (q_lo[right] == q_lo[left]) & (f_lo[right] == f_lo[left])
-            lt1 = (q_hi[right] < q_hi[left]) | (
-                (q_hi[right] == q_hi[left]) & (f_hi[right] < f_hi[left])
-            )
-            eq1 = (q_hi[right] == q_hi[left]) & (f_hi[right] == f_hi[left])
-            drop = (lt0 | eq0) & (lt1 | eq1)
-
-            xl0 = num_lo[left].astype(np.float64) / dy_f[left]
-            xl1 = num_hi[left].astype(np.float64) / dy_f[left]
-            xr0 = num_lo[right].astype(np.float64) / dy_f[right]
-            xr1 = num_hi[right].astype(np.float64) / dy_f[right]
-            # Guard against coincident-edge inversions, as the
-            # reference does (exact max, applied to the floats).
-            xr0 = np.where(lt0, xl0, xr0)
-            xr1 = np.where(lt1, xl1, xr1)
-            keep = ~drop
-            t_slab = s[left][keep]
-            ylo_f = b_val[t_slab].astype(np.float64) * grid
-            yhi_f = b_val[t_slab + 1].astype(np.float64) * grid
-            vec_cols = (
-                t_slab,
-                ylo_f,
-                yhi_f,
-                xl0[keep] * grid,
-                xr0[keep] * grid,
-                xl1[keep] * grid,
-                xr1[keep] * grid,
-            )
+        else:
+            # Safety valve (unreachable by the docstring bound): sweep
+            # these slabs with the reference scalar loop, counted.
+            predicate = _SCALAR_PREDICATES[operation]
+            rule = nonzero if fill_rule == "nonzero" else evenodd
+            order_sc = np.argsort(s, kind="stable")
+            sc_edge = e[order_sc]
+            sc_slab = s[order_sc]
+            starts = np.nonzero(
+                np.concatenate(([True], sc_slab[1:] != sc_slab[:-1]))
+            )[0]
+            ends = np.concatenate((starts[1:], [len(sc_slab)]))
+            if fallbacks is not None:
+                fallbacks.rational_slab += len(starts)
+            for a, b in zip(starts.tolist(), ends.tolist()):
+                si = int(sc_slab[a])
+                edges = [
+                    ScanEdge(
+                        int(x0[ed]), int(y0[ed]), int(x1[ed]), int(y1[ed]),
+                        int(winding[ed]), int(group[ed]),
+                    )
+                    for ed in sc_edge[a:b].tolist()
+                ]
+                scalar_traps[si] = _sweep_scalar_slab(
+                    edges,
+                    Fraction(b_num[si], b_den[si]),
+                    Fraction(b_num[si + 1], b_den[si + 1]),
+                    predicate,
+                    rule,
+                    grid,
+                )
 
     # -- assemble in slab order -------------------------------------------
-    result: List[Trapezoid] = []
-    if vec_cols is None:
-        for si in sorted(scalar_traps):
-            result.extend(scalar_traps[si])
+    if blocks:
+        all_ids = np.concatenate([b[0] for b in blocks])
+        all_rows = np.concatenate([b[1] for b in blocks])
+        if len(blocks) > 1:
+            order_out = np.argsort(all_ids, kind="stable")
+            all_ids = all_ids[order_out]
+            all_rows = all_rows[order_out]
     else:
-        t_slab, ylo_f, yhi_f, xl0, xr0, xl1, xr1 = vec_cols
-        vec_list = list(
-            zip(
-                ylo_f.tolist(), yhi_f.tolist(), xl0.tolist(),
-                xr0.tolist(), xl1.tolist(), xr1.tolist(),
-            )
-        )
-        if not scalar_traps:
-            result = [Trapezoid(*row) for row in vec_list]
-        else:
-            slab_ids = t_slab.tolist()
-            vec_ptr = 0
-            all_slabs = sorted(set(slab_ids) | set(scalar_traps))
-            for si in all_slabs:
-                if si in scalar_traps:
-                    result.extend(scalar_traps[si])
-                while vec_ptr < len(slab_ids) and slab_ids[vec_ptr] == si:
-                    result.append(Trapezoid(*vec_list[vec_ptr]))
-                    vec_ptr += 1
+        all_ids = np.empty(0, dtype=np.int64)
+        all_rows = np.empty((0, 6), dtype=np.float64)
+
+    result: List[Trapezoid] = []
+    if scalar_traps:
+        ids_list = all_ids.tolist()
+        rows_list = all_rows.tolist()
+        ptr = 0
+        for si in sorted(set(ids_list) | set(scalar_traps)):
+            if si in scalar_traps:
+                result.extend(scalar_traps[si])
+            while ptr < len(ids_list) and ids_list[ptr] == si:
+                result.append(Trapezoid(*rows_list[ptr]))
+                ptr += 1
+    else:
+        result = [Trapezoid(*row) for row in all_rows.tolist()]
     if merge:
         result = merge_trapezoids(result)
     return result

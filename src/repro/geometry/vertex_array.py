@@ -69,6 +69,20 @@ def snap_rings(polygons: Sequence[Polygon], grid: float) -> StackedRings:
     but returned as stacked int64 arrays.
     """
     coords, offsets = stack_polygons(polygons)
+    return snap_stacked(coords, offsets, grid)
+
+
+def snap_stacked(
+    coords: np.ndarray, offsets: np.ndarray, grid: float
+) -> StackedRings:
+    """Snap already-stacked rings to the integer grid.
+
+    Same contract as :func:`snap_rings` but takes the raw stacked
+    ``(coords, offsets)`` pair, so callers that need to inspect the raw
+    float coordinates first (e.g. the fast kernel's overflow pre-check,
+    which must reject magnitudes where the float->int64 cast would be
+    undefined) can stack once and snap afterwards.
+    """
     snapped = snap_coords(coords, grid)
     n = snapped.shape[0]
     if n == 0:

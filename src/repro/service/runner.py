@@ -39,6 +39,9 @@ def _stats_view(stats: Optional[ExecutionStats]) -> dict:
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.cache_misses,
         "hierarchy": stats.hierarchy,
+        "kernel_fallbacks": stats.kernel_fallbacks,
+        "kernel_coord_fallbacks": stats.kernel_coord_fallbacks,
+        "kernel_slab_fallbacks": stats.kernel_slab_fallbacks,
     }
     if stats.hierarchy == "cells":
         view["cells_fractured"] = stats.cells_fractured

@@ -104,7 +104,15 @@ def parse_job_spec(payload) -> JobSpec:
 
 
 def job_view(job: Job) -> dict:
-    """The JSON representation served by ``GET /jobs/{id}``."""
+    """The JSON representation served by ``GET /jobs/{id}``.
+
+    A done job's ``result.execution`` carries the run's
+    :class:`~repro.core.executor.ExecutionStats` view, including the
+    fast-kernel degradation counters (``kernel_fallbacks``, split into
+    ``kernel_coord_fallbacks`` / ``kernel_slab_fallbacks``) — a nonzero
+    value means part of the job ran on a slower exact path even though
+    the recipe asked for the fast kernel.
+    """
     view = {
         "id": job.id,
         "state": job.state,

@@ -125,3 +125,70 @@ def generated_libraries():
         contact_libraries(),
         memory_libraries(),
     )
+
+
+# ---------------------------------------------------------------------------
+# Raw polygon strategies for the fast-kernel regimes
+# ---------------------------------------------------------------------------
+
+#: Offsets that put geometry in each of the kernel's order-embedding
+#: regimes: at/above the old 2**24 fall-back boundary, the int64-key
+#: range (<= 2**31 - 1), and the big-integer range up to the new
+#: 2**53 limit.  Values are database units (tests pass ``grid=1.0``).
+LARGE_COORD_OFFSETS = (
+    (1 << 24) - 100,
+    (1 << 24) + 1,
+    1 << 26,
+    (1 << 31) - 1000,
+    (1 << 31) + 1,
+    1 << 40,
+    1 << 48,
+    (1 << 53) - 1000,
+)
+
+
+@st.composite
+def _triangle_batch(draw, span, count):
+    """``count`` integer-vertex triangles within ``±span`` of origin,
+    heavy on slanted edges (every edge is a candidate crossing)."""
+    polys = []
+    for _ in range(count):
+        x = draw(st.integers(min_value=-span, max_value=span))
+        y = draw(st.integers(min_value=-span, max_value=span))
+        w1 = draw(st.integers(min_value=1, max_value=60))
+        h1 = draw(st.integers(min_value=-40, max_value=40))
+        w2 = draw(st.integers(min_value=-30, max_value=30))
+        h2 = draw(st.integers(min_value=1, max_value=50))
+        polys.append(Polygon([(x, y), (x + w1, y + h1), (x + w2, y + h2)]))
+    return polys
+
+
+@st.composite
+def large_coordinate_polygons(draw):
+    """Overlapping slanted polygons translated deep into the kernel's
+    widened coordinate range (database units; use ``grid=1.0``).
+
+    Draws an offset from :data:`LARGE_COORD_OFFSETS` — every regime
+    boundary of the order embedding — with random signs per axis, so
+    the fast kernel must stay exact where the old 2**24 embedding gave
+    up.
+    """
+    off = draw(st.sampled_from(LARGE_COORD_OFFSETS))
+    sx = draw(st.sampled_from((-1, 1)))
+    sy = draw(st.sampled_from((-1, 1)))
+    polys = draw(_triangle_batch(span=120, count=draw(
+        st.integers(min_value=2, max_value=12)
+    )))
+    return [
+        Polygon([(v.x + sx * off, v.y + sy * off) for v in p.vertices])
+        for p in polys
+    ]
+
+
+@st.composite
+def crossing_dense_polygons(draw):
+    """Many mutually overlapping slanted triangles in a tight window —
+    maximal edge/edge crossing density, so nearly every slab is bounded
+    by a rational crossing y (database units; use ``grid=1.0``)."""
+    count = draw(st.integers(min_value=6, max_value=24))
+    return draw(_triangle_batch(span=50, count=count))

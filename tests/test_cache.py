@@ -240,6 +240,33 @@ class TestShardPayload:
         with pytest.raises(JobFileError):
             loads_shard_result(b"XXXX" + data[4:])
 
+    def test_kernel_fallback_counters_round_trip(self):
+        from repro.geometry.scanline_fast import KernelFallbacks
+
+        result = self._result()
+        result.kernel_fallbacks = KernelFallbacks(
+            coord_limit=3, rational_slab=17
+        )
+        loaded = loads_shard_result(dumps_shard_result(result))
+        assert loaded.kernel_fallbacks == KernelFallbacks(3, 17)
+        assert dumps_shard_result(loaded) == dumps_shard_result(result)
+
+    def test_previous_payload_version_rejected(self):
+        # Pre-v2 payloads have no fallback counters; an old cache entry
+        # must read as a miss, not as garbage counters.
+        from repro.core import jobfile
+
+        data = dumps_shard_result(self._result())
+        header = jobfile._SHARD_HEADER
+        magic, version, count, col, row = header.unpack_from(data, 0)
+        assert version == jobfile.SHARD_PAYLOAD_VERSION
+        downgraded = (
+            header.pack(magic, version - 1, count, col, row)
+            + data[header.size :]
+        )
+        with pytest.raises(JobFileError):
+            loads_shard_result(downgraded)
+
 
 # -- the on-disk store ------------------------------------------------------
 
@@ -457,3 +484,56 @@ class TestReviewRegressions:
     def test_root_expands_home_directory(self):
         cache = ShardCache("~/some-cache")
         assert "~" not in str(cache.root)
+
+
+class TestKernelFallbackObservability:
+    """The fallback counters are observability, not identity: they ride
+    along with cached payloads but must never perturb cache keys."""
+
+    #: Layout units that snap beyond the fast kernel's 2**53 dbu range
+    #: at the default 1e-3 grid — guaranteed coord-limit fallback.
+    FAR = (1 << 53) * 1e-3 * 2.0
+
+    def _far_polygons(self):
+        far = self.FAR
+        return [Polygon.rectangle(far, far, far + 5.0, far + 5.0)]
+
+    def test_fallback_state_never_enters_cache_key(self):
+        shard = Shard(index=(0, 0), polygons=(Polygon.rectangle(0, 0, 2, 2),))
+        fracturer = TrapezoidFracturer()
+        before = shard_cache_key(shard, fracturer)
+        fracturer.fracture(self._far_polygons())
+        assert fracturer.last_fallbacks.coord_limit == 1
+        assert shard_cache_key(shard, fracturer) == before
+
+    def test_executor_aggregates_fallback_counters(self):
+        executor = ShardedExecutor(TrapezoidFracturer(), field_size=20.0)
+        result = executor.execute(
+            self._far_polygons() + [Polygon.rectangle(0, 0, 5, 5)]
+        )
+        stats = result.stats
+        assert stats.kernel_coord_fallbacks >= 1
+        assert stats.kernel_fallbacks == (
+            stats.kernel_coord_fallbacks + stats.kernel_slab_fallbacks
+        )
+
+    def test_warm_cache_reports_cold_run_counters(self, tmp_path):
+        # The counters describe the shard's geometry, so a cache hit
+        # must replay them — a warm run may not pretend the kernel
+        # never degraded.
+        executor = ShardedExecutor(TrapezoidFracturer(), field_size=20.0)
+        cache = ShardCache(tmp_path)
+        polys = self._far_polygons()
+        cold = executor.execute(polys, cache=cache)
+        warm = executor.execute(polys, cache=cache)
+        assert warm.stats.cache_hits == warm.stats.shard_count
+        assert cold.stats.kernel_coord_fallbacks >= 1
+        assert warm.stats.kernel_fallbacks == cold.stats.kernel_fallbacks
+        assert (
+            warm.stats.kernel_coord_fallbacks
+            == cold.stats.kernel_coord_fallbacks
+        )
+        assert (
+            warm.stats.kernel_slab_fallbacks
+            == cold.stats.kernel_slab_fallbacks
+        )

@@ -10,16 +10,22 @@ crossings (which exercise the rational-slab scalar path).
 """
 
 import math
+from fractions import Fraction
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.geometry import scanline_fast
 from repro.geometry.boolean import boolean_trapezoids
 from repro.geometry.polygon import Polygon
 from repro.geometry.scanline import snap_polygon
-from repro.geometry.scanline_fast import COORD_LIMIT, sweep_trapezoids_fast
+from repro.geometry.scanline_fast import (
+    COORD_LIMIT,
+    KernelFallbacks,
+    sweep_trapezoids_fast,
+)
 from repro.geometry.transform import Transform
 from repro.geometry.trapezoid import Trapezoid
 from repro.geometry.vertex_array import (
@@ -32,7 +38,11 @@ from repro.geometry.vertex_array import (
 from repro.core.hierarchical import transform_trapezoid
 from repro.layout.flatten import flatten_cell
 
-from layout_strategies import generated_libraries
+from layout_strategies import (
+    crossing_dense_polygons,
+    generated_libraries,
+    large_coordinate_polygons,
+)
 
 
 def both_kernels(polys_a, polys_b=(), operation="or", **kwargs):
@@ -180,19 +190,230 @@ class TestDegenerateInputs:
         assert_identical([a], [], "and")
 
 
+def assert_fast_path(polys_a, polys_b=(), operation="or", **kwargs):
+    """Bit-identity AND zero degradation: the sweep must complete on
+    the vectorized path with every fallback counter untouched."""
+    fallbacks = KernelFallbacks()
+    fast = sweep_trapezoids_fast(
+        polys_a, polys_b, operation, fallbacks=fallbacks, **kwargs
+    )
+    assert fast is not None
+    assert fallbacks.total() == 0
+    exact = boolean_trapezoids(
+        polys_a, polys_b, operation, kernel="exact", **kwargs
+    )
+    assert fast == exact  # Trapezoid equality is exact float equality
+    return fast
+
+
+def shifted_triangles(dx, dy):
+    """A fixed overlapping slanted-triangle cluster translated so its
+    extreme coordinate lands exactly where the caller aims it."""
+    base = [
+        Polygon([(0, 0), (60, 13), (17, 41)]),
+        Polygon([(5, -8), (47, 30), (-11, 22)]),
+        Polygon([(-20, 5), (33, -17), (28, 35)]),
+    ]
+    return [
+        Polygon([(v.x + dx, v.y + dy) for v in p.vertices]) for p in base
+    ]
+
+
 class TestCoordinateLimitFallback:
     def test_oversized_coordinates_fall_back_to_exact(self):
-        # 2**24 database units is 16.7 mm at the 1 nm default grid;
-        # beyond it the fast kernel must defer to the reference.
+        # Beyond 2**53 database units integers are no longer exactly
+        # representable in the snapped float64 arrays, so the kernel
+        # must defer to the reference engine — and say so.
         far = COORD_LIMIT * 1e-3 * 2.0
         a = Polygon.rectangle(far, far, far + 10.0, far + 10.0)
-        assert sweep_trapezoids_fast([a], [], "or") is None
+        fallbacks = KernelFallbacks()
+        assert sweep_trapezoids_fast([a], [], "or", fallbacks=fallbacks) is None
+        assert fallbacks.coord_limit == 1
+        assert fallbacks.rational_slab == 0
         exact = assert_identical([a])  # public API falls back silently
         assert len(exact) == 1
+
+    def test_astronomical_raw_coordinates_fall_back_before_snap(self):
+        # 1e30 / grid overflows int64 — the raw-peak pre-check must
+        # refuse (counted) before float->int conversion goes undefined.
+        a = Polygon.rectangle(0.0, 0.0, 1e30, 1e30)
+        fallbacks = KernelFallbacks()
+        assert sweep_trapezoids_fast([a], [], "or", fallbacks=fallbacks) is None
+        assert fallbacks.coord_limit == 1
 
     def test_within_limit_uses_fast_path(self):
         a = Polygon.rectangle(0, 0, 10, 10)
         assert sweep_trapezoids_fast([a], [], "or") is not None
+
+
+class TestOrderEmbeddingBoundaries:
+    """Pins at every regime boundary of the widened order embedding
+    (grid=1.0 so layout units are database units verbatim)."""
+
+    def test_old_float_key_boundary_stays_fast(self):
+        # 2**24 was the old kernel's hard fallback limit; both sides of
+        # it must now run vectorized and bit-identical.
+        for off in ((1 << 24) - 100, 1 << 24, (1 << 24) + 1):
+            assert_fast_path(
+                shifted_triangles(off, off),
+                shifted_triangles(off + 13, off - 7),
+                "xor",
+                grid=1.0,
+            )
+
+    def test_int64_key_boundary_stays_fast(self):
+        # 2**31 - 1 separates the pure-int64 keys from the big-integer
+        # digit-word keys; both regimes must agree with the oracle.
+        for off in ((1 << 31) - 1000, (1 << 31) + 1):
+            assert_fast_path(
+                shifted_triangles(off, -off),
+                shifted_triangles(off - 29, -off + 11),
+                "or",
+                grid=1.0,
+            )
+
+    def test_full_range_up_to_2_53_stays_fast(self):
+        # The docstring proof covers |coord| <= 2**53 inclusive: a
+        # vertex exactly at the limit must still take the fast path.
+        lim = 1 << 53
+        polys = [
+            Polygon([(lim - 80, lim - 90), (lim, lim - 25), (lim - 55, lim)]),
+            Polygon([(lim - 95, lim - 60), (lim - 10, lim - 70),
+                     (lim - 30, lim - 5)]),
+        ]
+        assert_fast_path(polys, (), "or", grid=1.0)
+
+    def test_just_beyond_2_53_falls_back_counted(self):
+        # lim + 2, not lim + 1: odd integers above 2**53 are not float64
+        # values, so lim + 1 would round back to the limit in the input
+        # Polygon before the kernel ever saw it.
+        lim = 1 << 53
+        polys = [Polygon([(lim - 80, 0), (lim + 2, 40), (lim - 30, 90)])]
+        fallbacks = KernelFallbacks()
+        assert (
+            sweep_trapezoids_fast(polys, (), "or", grid=1.0,
+                                  fallbacks=fallbacks)
+            is None
+        )
+        assert fallbacks.coord_limit == 1
+
+
+class TestExactCrossingArithmetic:
+    """Crossing ys that only collide after float rounding: detection,
+    dedup and slab assembly must compare exact rationals throughout."""
+
+    N = 1 << 28
+
+    def _collision_cluster(self, y_off=0):
+        # The slanted edges cross the vertical edge x=1 at
+        # y = y_off + (N+1)/(N+2) and y = y_off + (N+2)/(N+3):
+        # distinct rationals whose float64 renderings coincide.
+        n = self.N
+        tri1 = Polygon([(0, y_off), (n + 2, y_off + n + 1),
+                        (0, y_off + n + 1)])
+        tri2 = Polygon([(0, y_off), (n + 3, y_off + n + 2),
+                        (0, y_off + n + 2)])
+        rect = Polygon.rectangle(1, y_off - 10, 2, y_off + n)
+        return [tri1, tri2, rect]
+
+    def test_crossing_ys_collide_only_as_floats(self):
+        n = self.N
+        a = Fraction(n + 1, n + 2)
+        b = Fraction(n + 2, n + 3)
+        assert a != b
+        assert float(a) == float(b)  # the construction's whole point
+
+    def test_float_colliding_crossings_bit_identical(self):
+        polys = self._collision_cluster()
+        for operation in ("or", "and", "xor"):
+            assert_fast_path(polys[:2], polys[2:], operation, grid=1.0)
+
+    def test_subulp_slab_at_large_magnitude(self):
+        # Translated to y ~ 2**48 the two crossing ys still differ as
+        # rationals but render to the *same* float64, so the slab
+        # between them has exact positive height and zero rendered
+        # height.  Regression: the reference engine used to crash here
+        # ("y_top must exceed y_bottom") and the fast kernel, falling
+        # back at 2**24, crashed with it; both engines now drop the
+        # zero-area slab and stay bit-identical.
+        k = 1 << 48
+        n = self.N
+        assert float(k + Fraction(n + 1, n + 2)) == float(
+            k + Fraction(n + 2, n + 3)
+        )
+        polys = self._collision_cluster(y_off=k)
+        for operation in ("or", "xor"):
+            assert_fast_path(polys[:2], polys[2:], operation, grid=1.0)
+
+
+class TestRationalSlabVectorization:
+    def test_crossing_rich_sweep_never_hits_scalar_loop(self, monkeypatch):
+        # The scalar ScanEdge+Fraction slab loop must be dead code for
+        # every reachable input: make it explode and sweep a
+        # crossing-dense layout through all operations.
+        def _boom(*args, **kwargs):
+            raise AssertionError("scalar slab path reached")
+
+        monkeypatch.setattr(scanline_fast, "_sweep_scalar_slab", _boom)
+        tris = [
+            Polygon([(i * 3, (i * 7) % 11), (i * 3 + 40, (i * 5) % 13 + 2),
+                     (i * 3 + 15, 35 + (i * 3) % 7)])
+            for i in range(12)
+        ]
+        for operation in ("or", "and", "sub", "xor"):
+            assert_fast_path(tris[:6], tris[6:], operation, grid=1.0)
+        # ... including at coordinates that force the big-integer keys.
+        wide = [
+            Polygon([(v.x + (1 << 40), v.y - (1 << 40)) for v in p.vertices])
+            for p in tris
+        ]
+        assert_fast_path(wide[:6], wide[6:], "xor", grid=1.0)
+
+    def test_safety_valve_is_counted_and_still_exact(self, monkeypatch):
+        # Force every rational slab through the (normally unreachable)
+        # scalar valve: the result must stay bit-identical and every
+        # degraded slab must be counted.
+        monkeypatch.setattr(scanline_fast, "_MAX_FRACTION_WORDS", 0)
+        tri1 = Polygon([(0, 0), (10, 1), (5, 9)])
+        tri2 = Polygon([(1, 5), (9, 0), (8, 8)])
+        fallbacks = KernelFallbacks()
+        fast = sweep_trapezoids_fast(
+            [tri1], [tri2], "or", grid=1.0, fallbacks=fallbacks
+        )
+        exact = boolean_trapezoids(
+            [tri1], [tri2], "or", grid=1.0, kernel="exact"
+        )
+        assert fast == exact
+        assert fallbacks.rational_slab > 0
+        assert fallbacks.coord_limit == 0
+
+
+class TestWideCoordinateEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(large_coordinate_polygons(), st.sampled_from(
+        ["or", "and", "sub", "xor"]
+    ))
+    def test_large_coordinates_bit_identical_no_fallbacks(
+        self, polys, operation
+    ):
+        half = len(polys) // 2
+        assert_fast_path(polys[:half], polys[half:], operation, grid=1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(crossing_dense_polygons(), st.sampled_from(
+        ["or", "and", "sub", "xor"]
+    ))
+    def test_crossing_dense_bit_identical_no_fallbacks(
+        self, polys, operation
+    ):
+        half = len(polys) // 2
+        assert_fast_path(polys[:half], polys[half:], operation, grid=1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(large_coordinate_polygons())
+    def test_large_coordinates_evenodd_and_unmerged(self, polys):
+        assert_fast_path(polys, (), "or", grid=1.0, fill_rule="evenodd")
+        assert_fast_path(polys, (), "or", grid=1.0, merge=False)
 
 
 class TestVertexArrayHelpers:

@@ -148,6 +148,12 @@ class TestSubmission:
             done["progress"]["shards_total"]
         )
         assert done["result"]["execution"]["cache_enabled"] is True
+        # Kernel degradation counters are part of the stats contract:
+        # built-in workloads must run entirely on the fast path.
+        execution = done["result"]["execution"]
+        assert execution["kernel_fallbacks"] == 0
+        assert execution["kernel_coord_fallbacks"] == 0
+        assert execution["kernel_slab_fallbacks"] == 0
 
     def test_rejects_bad_payloads(self, client):
         cases = [
