@@ -43,6 +43,13 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
 def _recipe_from_args(args: argparse.Namespace) -> PrepRecipe:
     """The CLI options as a :class:`~repro.core.recipe.PrepRecipe` —
     the same value object the prep service builds its pipelines from,
@@ -60,6 +67,8 @@ def _recipe_from_args(args: argparse.Namespace) -> PrepRecipe:
         hierarchy=args.hierarchy,
         machine=args.machine,
         address_unit=args.address_unit,
+        shard_retries=args.shard_retries,
+        shard_timeout=args.shard_timeout,
     )
 
 
@@ -114,9 +123,21 @@ def _print_result(result, pec_matrix=None) -> None:
     if stats is not None and stats.cache_enabled:
         lookups = stats.cache_hits + stats.cache_misses
         rate = stats.cache_hits / lookups if lookups else 0.0
+        evicted = (
+            f", {stats.cache_evictions} evicted" if stats.cache_evictions else ""
+        )
         print(
             f"  cache:     {stats.cache_hits} hits, "
-            f"{stats.cache_misses} misses ({rate:.0%} hit rate)"
+            f"{stats.cache_misses} misses ({rate:.0%} hit rate){evicted}"
+        )
+    if stats is not None and stats.fault_events:
+        degraded = " (cache degraded to read-only)" if stats.cache_degraded else ""
+        print(
+            f"  faults:    {stats.shard_retries} shard retries, "
+            f"{stats.shards_salvaged} salvaged, "
+            f"{stats.pool_restarts} pool restarts, "
+            f"{stats.shard_timeouts} timeouts, "
+            f"{stats.cache_write_failures} cache write failures{degraded}"
         )
     if stats is not None and stats.kernel_fallbacks:
         print(
@@ -326,6 +347,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--machine-output", metavar="FILE", default=None,
         help="machine program file (default: derived from --output or "
         "the job name, extension .<mode>.ebp)",
+    )
+    parser.add_argument(
+        "--shard-retries", type=_nonneg_int, default=2, metavar="N",
+        help="re-dispatch attempts per shard after a transient worker "
+        "failure (crash, broken pool, OSError) before the run escalates "
+        "(default: 2; results stay byte-identical across retries)",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=_positive_float, default=None, metavar="SEC",
+        help="per-shard wall-clock budget; a shard exceeding it is "
+        "treated as hung, the worker pool is recycled and the victim "
+        "re-enqueued (default: wait forever)",
     )
     parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,

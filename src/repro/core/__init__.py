@@ -14,6 +14,7 @@ flow that connects all the substrates:
 """
 
 from repro.core.cache import (
+    CacheDegradedWarning,
     CacheStats,
     ShardCache,
     fingerprint,
@@ -22,12 +23,19 @@ from repro.core.cache import (
 from repro.core.executor import (
     ExecutionResult,
     ExecutionStats,
+    RetryPolicy,
     Shard,
     ShardedExecutor,
     ShardOverlapWarning,
     plan_shards,
     shutdown_worker_pool,
     warm_worker_pool,
+)
+from repro.core.faults import (
+    FaultPlan,
+    FaultyCache,
+    InjectedFaultError,
+    TransientFaultError,
 )
 from repro.core.job import MachineJob
 from repro.core.pipeline import PreparationPipeline, PipelineResult
@@ -46,11 +54,17 @@ from repro.core.hierarchical import (
 )
 
 __all__ = [
+    "CacheDegradedWarning",
     "CacheStats",
     "ExecutionResult",
     "ExecutionStats",
+    "FaultPlan",
+    "FaultyCache",
     "HierarchicalFractureResult",
+    "InjectedFaultError",
+    "RetryPolicy",
     "Shard",
+    "TransientFaultError",
     "ShardCache",
     "ShardOverlapWarning",
     "ShardedExecutor",

@@ -73,6 +73,18 @@ class CacheKeyError(TypeError):
     """Raised when a configuration object cannot be fingerprinted."""
 
 
+class CacheDegradedWarning(UserWarning):
+    """A run stopped storing cache entries after a write failure.
+
+    Emitted once per run by the execution layer when a ``put`` fails
+    (ENOSPC, read-only filesystem): the run continues — reads included —
+    but computed results are no longer stored, so later runs recompute
+    them.  Degraded runs also flag ``cache_degraded`` on their
+    :class:`~repro.core.executor.ExecutionStats` — a degraded run never
+    looks like a clean one.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Canonical fingerprinting
 # ---------------------------------------------------------------------------
@@ -393,13 +405,15 @@ class ShardCache:
         self.stats.hits += 1
         return result
 
-    def put(self, key: str, result: "ShardResult") -> None:
+    def put(self, key: str, result: "ShardResult") -> bool:
         """Store ``result`` under ``key`` with an atomic publish.
 
         Write failures (read-only directory, full disk) are swallowed
         and counted in ``stats.write_errors`` — the cache must never
         turn a successfully computed run into a crash; it degrades to
-        storing nothing.
+        storing nothing.  Returns ``True`` when the entry was published
+        so callers (the execution layer) can degrade the rest of their
+        run to read-only mode after the first failure.
         """
         from repro.core.jobfile import dumps_shard_result
 
@@ -416,8 +430,9 @@ class ShardCache:
                 staging.unlink()
             except OSError:
                 pass
-            return
+            return False
         self.stats.stores += 1
+        return True
 
     # -- machine-program segment blobs ------------------------------------
 
@@ -447,8 +462,12 @@ class ShardCache:
             pass
         return None
 
-    def put_blob(self, key: str, payload: bytes) -> None:
-        """Store a raw segment payload with the atomic-publish contract."""
+    def put_blob(self, key: str, payload: bytes) -> bool:
+        """Store a raw segment payload with the atomic-publish contract.
+
+        Returns ``True`` when the blob was published (same degradation
+        contract as :meth:`put`).
+        """
         data = _BLOB_HEADER.pack(_BLOB_MAGIC, len(payload)) + payload
         path = self.path_for(key)
         staging = self.root / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
@@ -462,8 +481,9 @@ class ShardCache:
                 staging.unlink()
             except OSError:
                 pass
-            return
+            return False
         self.stats.stores += 1
+        return True
 
     # -- maintenance ------------------------------------------------------
 

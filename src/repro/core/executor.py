@@ -66,25 +66,32 @@ import functools
 import math
 import os
 import threading
+import time
 import warnings
 from concurrent.futures import (
+    FIRST_COMPLETED,
     BrokenExecutor,
     CancelledError,
     ProcessPoolExecutor,
-    as_completed,
+)
+from concurrent.futures import (
+    wait as futures_wait,
 )
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Callable,
+    Dict,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
-from repro.core.cache import ShardCache
+from repro.core.cache import CacheDegradedWarning, ShardCache
+from repro.core.faults import FaultPlan
 from repro.core.fields import FieldIndex, field_index_of
 from repro.fracture.base import Fracturer, Shot
 from repro.fracture.quality import FractureReport, analyze_figures, merge_reports
@@ -148,6 +155,108 @@ class ShardResult:
     kernel_fallbacks: KernelFallbacks = field(default_factory=KernelFallbacks)
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine retries shard work when infrastructure misbehaves.
+
+    Attributes:
+        max_attempts: total dispatch attempts per shard (1 = never
+            retry).  Pool dispatches that infrastructure faults keep
+            eating beyond this escalate to the in-process serial rung;
+            a shard whose *own* transient exception survives
+            ``max_attempts`` raises.
+        backoff_base: delay [s] before the first retry; doubles per
+            further retry.
+        backoff_cap: delay ceiling [s].  The whole sequence is
+            deterministic (no jitter), so fault-injection schedules
+            replay identically.
+        shard_timeout: per-shard hang watchdog [s]; ``None`` (default)
+            disables it.  When *nothing* completes for this long, the
+            in-flight shards count as hung: the pool is recycled with
+            its workers killed and the victims re-enqueued.
+
+    Classification (:meth:`is_transient`): ``BrokenExecutor``/``OSError``
+    are infrastructure trouble and retry; anything else — above all
+    ``ValueError`` from bad shard data — is deterministic, and retrying
+    a pure function cannot change its outcome, so it fails fast.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    shard_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (
+            isinstance(self.max_attempts, bool)
+            or not isinstance(self.max_attempts, int)
+            or self.max_attempts < 1
+        ):
+            raise ValueError(
+                f"max_attempts must be an int >= 1, "
+                f"got {self.max_attempts!r}"
+            )
+        for name in ("backoff_base", "backoff_cap"):
+            value = getattr(self, name)
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or value < 0
+            ):
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+        timeout = self.shard_timeout
+        if timeout is not None and (
+            isinstance(timeout, bool)
+            or not isinstance(timeout, (int, float))
+            or timeout <= 0
+        ):
+            raise ValueError(
+                f"shard_timeout must be positive or None, got {timeout!r}"
+            )
+
+    def backoff(self, retry_number: int) -> float:
+        """Delay [s] before retry ``retry_number`` (1-based): a capped
+        exponential ``min(cap, base * 2**(n-1))`` — deterministic by
+        design."""
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        return min(
+            self.backoff_cap,
+            self.backoff_base * 2.0 ** (retry_number - 1),
+        )
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """True for infrastructure faults worth retrying."""
+        return isinstance(exc, (BrokenExecutor, OSError))
+
+
+@dataclass
+class ShardRecovery:
+    """One map call's recovery log, keyed by work-list position.
+
+    All-zero/empty on a clean run — the counters behind the
+    "a degraded run can never look like a clean one" contract.
+
+    ``timeouts`` counts hang-watchdog victims per shard, including
+    shards that were merely queued behind a hung worker when the
+    watchdog fired (a conservative overcount: every re-enqueued
+    in-flight shard is a victim).
+    """
+
+    retries: Dict[int, int] = field(default_factory=dict)
+    salvaged: Set[int] = field(default_factory=set)
+    timeouts: Dict[int, int] = field(default_factory=dict)
+    pool_restarts: int = 0
+
+    @property
+    def retry_total(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def timeout_total(self) -> int:
+        return sum(self.timeouts.values())
+
+
 @dataclass
 class ExecutionStats:
     """How an execution ran (for logs, benchmarks and the CLI).
@@ -172,6 +281,23 @@ class ExecutionStats:
             exact range; whole sweeps handed to the reference engine)
             and ``kernel_slab_fallbacks`` (slabs swept by the scalar
             safety valve).
+        shard_retries: shard dispatches re-run after a transient fault
+            (worker death, transient exception, hang-watchdog victim).
+        shards_salvaged: completed shard results preserved across pool
+            restarts instead of being recomputed — the "re-enqueue,
+            not a failed job" half of the fault-tolerance contract.
+        pool_restarts: times the shared worker pool was torn down and
+            rebuilt (broken or hung) during this run.  Run-level: a
+            batch replicates the count onto every layout of the batch.
+        shard_timeouts: shard dispatches abandoned by the hung-worker
+            watchdog (see ``RetryPolicy.shard_timeout``).
+        cache_write_failures: failed cache stores this run observed
+            before degrading to read-only.
+        cache_degraded: the run stopped storing cache entries after a
+            write failure (ENOSPC, read-only filesystem); lookups
+            continue.  Run-level flag, replicated across a batch.
+        cache_evictions: corrupt cache entries evicted during this
+            run's lookups (each also counts as a miss).
         program: the exported machine program for this run, when the
             pipeline ran with a ``machine`` mode — carries the
             write-time breakdown, exact stream bytes and channel check
@@ -193,7 +319,27 @@ class ExecutionStats:
     kernel_fallbacks: int = 0
     kernel_coord_fallbacks: int = 0
     kernel_slab_fallbacks: int = 0
+    shard_retries: int = 0
+    shards_salvaged: int = 0
+    pool_restarts: int = 0
+    shard_timeouts: int = 0
+    cache_write_failures: int = 0
+    cache_degraded: bool = False
+    cache_evictions: int = 0
     program: Optional["MachineProgram"] = None
+
+    @property
+    def fault_events(self) -> int:
+        """Total recovery events — nonzero iff the run degraded
+        anywhere (the CLI prints its ``faults:`` line exactly then)."""
+        return (
+            self.shard_retries
+            + self.shards_salvaged
+            + self.pool_restarts
+            + self.shard_timeouts
+            + self.cache_write_failures
+            + int(self.cache_degraded)
+        )
 
 
 @dataclass
@@ -619,6 +765,44 @@ def shutdown_worker_pool() -> None:
         _shutdown_pool_locked()
 
 
+def _reset_pool_if_unleased() -> None:
+    """Drop the shared pool unless another run still holds a lease.
+
+    The consistent failure path for pool setup/warm-up errors: a pool
+    we failed to use may be half-spawned or dead, but tearing it down
+    under a concurrent tenant would cancel their in-flight shards — so
+    the reset only happens when nobody is leasing.
+    """
+    with _pool_lock:
+        if _pool_leases == 0:
+            _shutdown_pool_locked()
+
+
+def _recycle_pool(pool, kill_workers: bool = False) -> None:
+    """Tear down a broken/hung shared pool so the next lease spawns a
+    fresh one.
+
+    ``kill_workers`` SIGKILLs the pool's worker processes first — a
+    hung worker never honours a cooperative shutdown, so a plain
+    ``shutdown()`` would block on it forever.  Held leases do *not*
+    defer the recycle: a broken pool is unusable for every tenant, and
+    each concurrent run recovers through its own retry ladder.  A pool
+    that was already replaced (another run recycled first) is left
+    alone.
+    """
+    with _pool_lock:
+        if _shared_pool is not pool:
+            return
+        if kill_workers:
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.kill()
+                except (AttributeError, OSError):
+                    pass
+        _shutdown_pool_locked()
+
+
 def worker_pool_status() -> dict:
     """A snapshot of the shared pool for monitoring endpoints.
 
@@ -646,15 +830,29 @@ def warm_worker_pool(workers: Optional[int] = None) -> int:
         return 0
     try:
         pool = _lease_pool(workers)
+    except (OSError, PermissionError, BrokenExecutor):
+        _reset_pool_if_unleased()
+        return 0
+    try:
         try:
             # One blocking task per worker forces every process to spawn.
             list(pool.map(_noop, range(workers), chunksize=1))
         finally:
             _release_pool()
-    except (OSError, PermissionError, BrokenExecutor):
-        shutdown_worker_pool()
-        return 0
-    except (CancelledError, RuntimeError):
+    except (
+        OSError,
+        PermissionError,
+        BrokenExecutor,
+        CancelledError,
+        RuntimeError,
+    ):
+        # Warm-up failed or the pool was shut down under us
+        # (CancelledError/RuntimeError).  Either way the pool's state
+        # is dubious — never leave a half-warmed or dead pool behind in
+        # the globals for the next run to trip over.  Unless a
+        # concurrent tenant still leases it, that is: their run is
+        # live, the reset is theirs to make.
+        _reset_pool_if_unleased()
         return 0
     return workers
 
@@ -663,9 +861,16 @@ def _noop(value):
     return value
 
 
-def _process_shard_config(config: tuple, shard: Shard) -> ShardResult:
-    """Pool entry point: ``config`` is bound via ``functools.partial``
-    so it pickles once per chunk instead of once per shard."""
+def _process_shard_task(
+    config: tuple, faults: Optional[FaultPlan], task: tuple
+) -> ShardResult:
+    """Pool/serial entry point for one ``(position, attempt, shard)``
+    work item: fire any scheduled injection fault, then process the
+    shard.  ``config``/``faults`` are bound via ``functools.partial``
+    so they pickle once per submission batch, not once per shard."""
+    position, attempt, shard = task
+    if faults is not None:
+        faults.fire(position, attempt)
     return _process_shard(shard, *config)
 
 
@@ -674,68 +879,202 @@ def _map_shards(
     config: tuple,
     workers: int,
     tick: Optional[Callable[[], None]] = None,
-) -> Tuple[List[ShardResult], bool]:
-    """Run shards through ``config = (fracturer, corrector, psf)``, on
-    the shared persistent process pool when it pays off.
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+) -> Tuple[List[ShardResult], bool, ShardRecovery]:
+    """Run shards through ``config = (fracturer, corrector, psf)`` on
+    the shared persistent process pool when it pays off, surviving
+    worker deaths, hangs and transient failures.
 
-    Returns the results in shard order plus whether a pool was used.
-    Falls back to the serial path when the platform refuses to spawn
-    workers (restricted sandboxes) or the pool dies mid-run, keeping
-    results identical.  ``tick`` is invoked once per completed shard
-    (in completion order, which is nondeterministic on a pool) — it
-    feeds progress reporting only and must never influence results.
+    Returns ``(results, pooled, recovery)``: results in shard order,
+    whether any result actually came off a pool, and the recovery log
+    (all-zero on a clean run).
+
+    The recovery ladder, governed by ``retry``:
+
+    * a broken pool (worker death) keeps every *completed* result and
+      re-enqueues only unfinished shards on a fresh pool;
+    * when nothing completes within ``retry.shard_timeout``, the
+      in-flight shards count as hung — the pool is recycled with its
+      workers killed and the victims re-enqueued;
+    * transient shard exceptions (``retry.is_transient``) re-dispatch
+      up to ``retry.max_attempts`` total attempts with deterministic
+      capped backoff, then raise; deterministic exceptions raise
+      immediately (retrying a pure function cannot change its outcome);
+    * shards whose pool dispatches infrastructure keeps eating (pool
+      refused to spawn, shut down externally, or broken at every
+      attempt) escalate to the in-process serial rung — the last rung,
+      where only the shard's own exceptions remain.
+
+    ``tick`` is invoked once per completed shard (in completion order,
+    which is nondeterministic on a pool) — it feeds progress reporting
+    only and must never influence results.  Exceptions it raises (a
+    service's cooperative cancellation) propagate after cleanup.
     """
+    if retry is None:
+        retry = RetryPolicy()
+    n = len(shards)
+    results: List[Optional[ShardResult]] = [None] * n
+    attempts = [0] * n
+    recovery = ShardRecovery()
+    bound = functools.partial(_process_shard_task, config, faults)
 
-    def _serial(skip: int = 0) -> List[ShardResult]:
-        results = []
-        for i, s in enumerate(shards):
-            results.append(_process_shard(s, *config))
-            if tick is not None and i >= skip:
+    def backoff_sleep(retry_number: int) -> None:
+        delay = retry.backoff(retry_number)
+        if delay > 0:
+            time.sleep(delay)
+
+    def run_serial(position: int) -> None:
+        while True:
+            attempt = attempts[position]
+            attempts[position] = attempt + 1
+            if attempt > 0:
+                recovery.retries[position] = (
+                    recovery.retries.get(position, 0) + 1
+                )
+                backoff_sleep(attempt)
+            try:
+                results[position] = bound(
+                    (position, attempt, shards[position])
+                )
+            except Exception as exc:
+                if (
+                    retry.is_transient(exc)
+                    and attempts[position] < retry.max_attempts
+                ):
+                    continue
+                raise
+            if tick is not None:
                 tick()
-        return results
+            return
 
-    if workers <= 1 or len(shards) <= 1:
-        return _serial(), False
+    if workers <= 1 or n <= 1:
+        for position in range(n):
+            run_serial(position)
+        return results, False, recovery
+
     # The pool is sized by the workers setting, not the shard count, so
     # consecutive runs with the same setting always reuse it.
-    active = min(workers, len(shards))
-    chunksize = max(1, len(shards) // (active * 4))
-    bound = functools.partial(_process_shard_config, config)
-    ticked = 0
-    try:
-        pool = _lease_pool(workers)
+    pooled = False
+    pending = list(range(n))
+    round_no = 0
+    while pending:
+        round_no += 1
+        if round_no > 1:
+            backoff_sleep(round_no - 1)
         try:
-            if tick is None:
-                results = list(pool.map(bound, shards, chunksize=chunksize))
-            else:
-                # Per-shard futures so completions can be observed one
-                # by one; results are still collected in submission
-                # order, so the merge stays deterministic.
-                futures = [pool.submit(bound, shard) for shard in shards]
-                for future in as_completed(futures):
-                    if future.exception() is None:
-                        tick()
-                        ticked += 1
-                results = [future.result() for future in futures]
-            return results, True
+            pool = _lease_pool(workers)
+        except (OSError, PermissionError, BrokenExecutor):
+            # The platform refuses to spawn workers (restricted
+            # sandboxes): straight to the serial rung.
+            _reset_pool_if_unleased()
+            break
+        futures: Dict = {}
+        rebuild = False
+        kill_workers = False
+        to_serial = False
+        failure: Optional[BaseException] = None
+        try:
+            try:
+                for position in pending:
+                    attempt = attempts[position]
+                    if attempt >= retry.max_attempts:
+                        # Infrastructure kept eating this shard's pool
+                        # dispatches (the shard itself never raised).
+                        # Escalate to the serial rung instead of
+                        # spinning pool rounds forever.
+                        to_serial = True
+                        continue
+                    attempts[position] = attempt + 1
+                    if attempt > 0:
+                        recovery.retries[position] = (
+                            recovery.retries.get(position, 0) + 1
+                        )
+                    future = pool.submit(
+                        bound, (position, attempt, shards[position])
+                    )
+                    futures[future] = position
+            except BrokenExecutor:
+                rebuild = True
+            except (CancelledError, RuntimeError):
+                # The pool was shut down under us (another tenant's
+                # explicit shutdown): don't spawn a fresh one just for
+                # this run — finish on the serial rung.  CancelledError
+                # is a BaseException on supported Pythons, so catching
+                # it here keeps it from escaping a plain ``except
+                # Exception`` in callers (a service's queue worker).
+                to_serial = True
+            outstanding = set(futures)
+            while outstanding and failure is None:
+                done, outstanding = futures_wait(
+                    outstanding,
+                    timeout=retry.shard_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Nothing in the whole pool completed within the
+                    # shard timeout: the workers holding these shards
+                    # are hung.  Count every in-flight shard a victim,
+                    # kill the workers, re-enqueue.
+                    for future in outstanding:
+                        victim = futures[future]
+                        recovery.timeouts[victim] = (
+                            recovery.timeouts.get(victim, 0) + 1
+                        )
+                        future.cancel()
+                        if attempts[victim] >= retry.max_attempts:
+                            failure = TimeoutError(
+                                f"shard {victim} timed out on all "
+                                f"{attempts[victim]} attempts "
+                                f"({retry.shard_timeout:g} s each)"
+                            )
+                    rebuild = True
+                    kill_workers = True
+                    break
+                for future in done:
+                    position = futures[future]
+                    try:
+                        exc = future.exception()
+                    except CancelledError as cancelled:
+                        exc = cancelled
+                    if exc is None:
+                        results[position] = future.result()
+                        pooled = True
+                        if tick is not None:
+                            tick()
+                    elif isinstance(exc, BrokenExecutor):
+                        # A worker died; completed siblings keep their
+                        # results, this shard re-enqueues on the fresh
+                        # pool.
+                        rebuild = True
+                    elif isinstance(exc, CancelledError):
+                        to_serial = True
+                    elif retry.is_transient(exc):
+                        if attempts[position] >= retry.max_attempts:
+                            failure = exc
+                    else:
+                        failure = exc
         finally:
+            for future in futures:
+                future.cancel()
             _release_pool()
-    except (OSError, PermissionError, BrokenExecutor):
-        shutdown_worker_pool()
-        # Shards ticked before the pool died stay counted; the serial
-        # retry only reports the remainder, so ``done`` never exceeds
-        # the shard total.
-        return _serial(skip=ticked), False
-    except (CancelledError, RuntimeError):
-        # Someone tore the pool down mid-map (explicit shutdown):
-        # pending futures raise CancelledError, submitting to the
-        # shut-down executor raises RuntimeError.  On supported Pythons
-        # CancelledError is a BaseException, so it must be caught here
-        # or it would escape a plain ``except Exception`` in callers
-        # and kill e.g. a service's queue-worker thread.  Don't shut
-        # down again: the pool the cancellation came from is already
-        # gone, and a fresh one may belong to other runs.
-        return _serial(skip=ticked), False
+        if rebuild:
+            recovery.pool_restarts += 1
+            recovery.salvaged.update(
+                position
+                for position in range(n)
+                if results[position] is not None
+            )
+            _recycle_pool(pool, kill_workers=kill_workers)
+        if failure is not None:
+            raise failure
+        pending = [p for p in pending if results[p] is None]
+        if to_serial:
+            break
+    for position in pending:
+        if results[position] is None:
+            run_serial(position)
+    return results, pooled, recovery
 
 
 def merge_shard_results(
@@ -786,6 +1125,14 @@ class ShardedExecutor:
             (cache hits report immediately).  Feeds progress reporting
             (e.g. a job server's status endpoint); it runs outside the
             shard computation and never influences results.
+        retry: the :class:`RetryPolicy` governing shard-level fault
+            recovery (per-shard retries, backoff, hang watchdog);
+            defaults to ``RetryPolicy()``.  Never affects results —
+            an injected-fault run that ends in success is byte-identical
+            to a clean run.
+        faults: an optional :class:`~repro.core.faults.FaultPlan` of
+            injected shard faults (chaos testing); armed with this
+            process's pid at execution time.  ``None`` in production.
     """
 
     def __init__(
@@ -799,6 +1146,8 @@ class ShardedExecutor:
         overlap_policy: str = "warn",
         matrix_mode: Optional[str] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -828,6 +1177,8 @@ class ShardedExecutor:
         self.overlap_policy = overlap_policy
         self.matrix_mode = matrix_mode
         self.progress = progress
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
 
     def _progress_tick(self, total: int) -> Optional[Callable[[], None]]:
         """A thread-safe per-shard tick feeding ``self.progress``.
@@ -957,14 +1308,22 @@ class ShardedExecutor:
                 shards.append(shard)
                 owners.append(which)
         config = (self.fracturer, self.corrector, self.psf)
+        retry = self.retry
+        faults = self.faults.arm() if self.faults is not None else None
 
         tick = self._progress_tick(len(shards))
 
         hit_flags = [False] * len(shards)
+        evictions_by_owner = [0] * len(polygon_sets)
+        write_failures_by_owner = [0] * len(polygon_sets)
+        cache_degraded = False
         if active_cache is None:
-            shard_results, pooled = _map_shards(
-                shards, config, workers, tick=tick
+            shard_results, pooled, recovery = _map_shards(
+                shards, config, workers, tick=tick, retry=retry,
+                faults=faults,
             )
+            # Recovery log positions == work-list positions here.
+            computed_positions = list(range(len(shards)))
         else:
             # Keys are computed for every shard up front, before any
             # processing can touch corrector state, so hit/miss decisions
@@ -972,7 +1331,13 @@ class ShardedExecutor:
             keys = [
                 active_cache.key_for(shard, *config) for shard in shards
             ]
-            shard_results = [active_cache.get(key) for key in keys]
+            shard_results = []
+            for i, key in enumerate(keys):
+                before = active_cache.stats.evictions
+                shard_results.append(active_cache.get(key))
+                evictions_by_owner[owners[i]] += (
+                    active_cache.stats.evictions - before
+                )
             pending = [
                 i for i, result in enumerate(shard_results) if result is None
             ]
@@ -980,12 +1345,48 @@ class ShardedExecutor:
                 hit_flags[i] = result is not None
                 if hit_flags[i] and tick is not None:
                     tick()
-            computed, pooled = _map_shards(
-                [shards[i] for i in pending], config, workers, tick=tick
+            computed, pooled, recovery = _map_shards(
+                [shards[i] for i in pending], config, workers, tick=tick,
+                retry=retry, faults=faults,
             )
             for i, result in zip(pending, computed):
                 shard_results[i] = result
-                active_cache.put(keys[i], result)
+                if cache_degraded:
+                    continue
+                # Contain store faults: the first failed put (ENOSPC,
+                # read-only filesystem) degrades the *run* to cache
+                # read-only mode with one warning — a computed result
+                # must never be lost to cache trouble.
+                try:
+                    stored = active_cache.put(keys[i], result)
+                except OSError as exc:
+                    stored = False
+                    reason = f"{type(exc).__name__}: {exc}"
+                else:
+                    reason = "the filesystem refused the store"
+                if stored is False:
+                    write_failures_by_owner[owners[i]] += 1
+                    cache_degraded = True
+                    warnings.warn(
+                        "shard cache degraded to read-only for the rest "
+                        f"of this run ({reason}); results are "
+                        "unaffected, but uncached shards will be "
+                        "recomputed by later runs",
+                        CacheDegradedWarning,
+                        stacklevel=2,
+                    )
+            # Recovery log positions index the pending sub-list.
+            computed_positions = pending
+
+        retries_by_owner = [0] * len(polygon_sets)
+        timeouts_by_owner = [0] * len(polygon_sets)
+        salvaged_by_owner = [0] * len(polygon_sets)
+        for local, count in recovery.retries.items():
+            retries_by_owner[owners[computed_positions[local]]] += count
+        for local, count in recovery.timeouts.items():
+            timeouts_by_owner[owners[computed_positions[local]]] += count
+        for local in recovery.salvaged:
+            salvaged_by_owner[owners[computed_positions[local]]] += 1
 
         grouped: List[List[ShardResult]] = [[] for _ in polygon_sets]
         grouped_hits: List[int] = [0] * len(polygon_sets)
@@ -1018,6 +1419,13 @@ class ShardedExecutor:
                 kernel_fallbacks=coord_fb + slab_fb,
                 kernel_coord_fallbacks=coord_fb,
                 kernel_slab_fallbacks=slab_fb,
+                shard_retries=retries_by_owner[which],
+                shards_salvaged=salvaged_by_owner[which],
+                pool_restarts=recovery.pool_restarts,
+                shard_timeouts=timeouts_by_owner[which],
+                cache_write_failures=write_failures_by_owner[which],
+                cache_degraded=cache_degraded,
+                cache_evictions=evictions_by_owner[which],
             )
             merged = merge_shard_results(
                 results, corrected=corrected and bool(results), stats=stats

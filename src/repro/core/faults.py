@@ -1,0 +1,245 @@
+"""Deterministic fault injection for the execution layer.
+
+The fault-tolerance machinery of :mod:`repro.core.executor` (per-shard
+retry, pool recycling, hung-worker timeouts, cache degradation) is only
+trustworthy if every failure mode can be reproduced on demand.  This
+module is that harness: a :class:`FaultPlan` describes *exactly* which
+shard attempts misbehave and how, keyed by ``(position, attempt)`` —
+the shard's 0-based index in the run's computed-work list and the
+0-based dispatch attempt — with no wall-clock or RNG anywhere in the
+schedule, so a chaos test that passes once passes always.
+
+Fault kinds
+-----------
+* ``kill_worker`` — the worker process SIGKILLs itself mid-shard (the
+  pool observes :class:`~concurrent.futures.process.BrokenProcessPool`).
+* ``transient`` — the shard raises :class:`TransientFaultError` (an
+  ``OSError``, so the default :class:`~repro.core.executor.RetryPolicy`
+  classifies it as retryable infrastructure trouble).
+* ``hang`` — the shard sleeps ``hang_seconds`` (far past any sane
+  per-shard timeout), exercising the hung-worker watchdog.
+* ``permanent`` — the shard raises :class:`InjectedFaultError` (a
+  ``ValueError``: deterministic shard failures must fail fast, retrying
+  a pure function cannot change its outcome).
+* ``enospc_puts`` — cache stores fail with ``ENOSPC``; applied by
+  wrapping the cache in :class:`FaultyCache`, counted by put ordinal.
+
+Kill and hang faults are *armed* with the coordinating process id
+(:meth:`FaultPlan.arm`) and only fire in pool workers — a serial or
+degraded-to-serial run skips them (the coordinator must survive to
+finish the run), which is exactly the pool → fresh-pool → serial
+degradation ladder the chaos suite asserts.
+
+Plans travel to CLI subprocesses and service jobs through the
+``REPRO_FAULTS`` environment variable as JSON, e.g.::
+
+    REPRO_FAULTS='{"kill_worker": [[1, 0]], "transient": [[0, 0]],
+                   "enospc_puts": [0]}'
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Tuple
+
+#: Environment variable carrying a JSON fault plan into CLI runs and
+#: service jobs (see :meth:`FaultPlan.from_env`).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class TransientFaultError(OSError):
+    """An injected transient infrastructure failure (retryable)."""
+
+
+class InjectedFaultError(ValueError):
+    """An injected deterministic shard failure (never retried)."""
+
+
+def _pairs(value, kind: str) -> FrozenSet[Tuple[int, int]]:
+    pairs = set()
+    for item in value:
+        pair = tuple(item)
+        if len(pair) != 2 or not all(
+            isinstance(x, int) and not isinstance(x, bool) and x >= 0
+            for x in pair
+        ):
+            raise ValueError(
+                f"fault schedule {kind!r} entries must be "
+                f"[position, attempt] pairs of non-negative ints, "
+                f"got {item!r}"
+            )
+        pairs.add(pair)
+    return frozenset(pairs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of injected faults.
+
+    Attributes:
+        kill_worker / transient / hang / permanent: ``(position,
+            attempt)`` pairs at which the corresponding fault fires.
+        enospc_puts: 0-based cache-store ordinals (counted per
+            :class:`FaultyCache` instance) whose ``put``/``put_blob``
+            raises ``OSError(ENOSPC)``.
+        hang_seconds: how long a hung shard sleeps — large against any
+            realistic shard timeout, small against a test-suite budget.
+        coordinator_pid: pid of the coordinating process, set by
+            :meth:`arm`; kill/hang faults fire only in *other*
+            processes (pool workers), so degraded serial replays of the
+            same schedule complete instead of killing the run.
+    """
+
+    kill_worker: FrozenSet[Tuple[int, int]] = frozenset()
+    transient: FrozenSet[Tuple[int, int]] = frozenset()
+    hang: FrozenSet[Tuple[int, int]] = frozenset()
+    permanent: FrozenSet[Tuple[int, int]] = frozenset()
+    enospc_puts: FrozenSet[int] = frozenset()
+    hang_seconds: float = 60.0
+    coordinator_pid: Optional[int] = None
+
+    def arm(self) -> "FaultPlan":
+        """Bind the plan to the current process as the coordinator."""
+        return replace(self, coordinator_pid=os.getpid())
+
+    @property
+    def any_shard_faults(self) -> bool:
+        return bool(
+            self.kill_worker or self.transient or self.hang or self.permanent
+        )
+
+    def fire(self, position: int, attempt: int) -> None:
+        """Raise/kill/hang if the schedule names this shard attempt.
+
+        Called at the top of every shard computation (pool worker or
+        serial path).  Kill and hang only act outside the coordinator
+        process; transient and permanent faults fire anywhere.
+        """
+        key = (position, attempt)
+        in_worker = (
+            self.coordinator_pid is not None
+            and os.getpid() != self.coordinator_pid
+        )
+        if key in self.kill_worker and in_worker:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if key in self.hang and in_worker:
+            time.sleep(self.hang_seconds)
+        if key in self.transient:
+            raise TransientFaultError(
+                f"injected transient fault at shard {position} "
+                f"attempt {attempt}"
+            )
+        if key in self.permanent:
+            raise InjectedFaultError(
+                f"injected permanent fault at shard {position} "
+                f"attempt {attempt}"
+            )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from its JSON form (see module docstring)."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"fault plan must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        known = {
+            "kill_worker",
+            "transient",
+            "hang",
+            "permanent",
+            "enospc_puts",
+            "hang_seconds",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan key(s): {', '.join(unknown)}; "
+                f"valid keys are {', '.join(sorted(known))}"
+            )
+        kwargs = {}
+        for kind in ("kill_worker", "transient", "hang", "permanent"):
+            if kind in payload:
+                kwargs[kind] = _pairs(payload[kind], kind)
+        if "enospc_puts" in payload:
+            ordinals = payload["enospc_puts"]
+            if not all(
+                isinstance(x, int) and not isinstance(x, bool) and x >= 0
+                for x in ordinals
+            ):
+                raise ValueError(
+                    "'enospc_puts' must be non-negative store ordinals, "
+                    f"got {ordinals!r}"
+                )
+            kwargs["enospc_puts"] = frozenset(ordinals)
+        if "hang_seconds" in payload:
+            seconds = payload["hang_seconds"]
+            if (
+                isinstance(seconds, bool)
+                or not isinstance(seconds, (int, float))
+                or seconds <= 0
+            ):
+                raise ValueError(
+                    f"'hang_seconds' must be a positive number, "
+                    f"got {seconds!r}"
+                )
+            kwargs["hang_seconds"] = float(seconds)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_FAULTS``, or ``None`` when unset.
+
+        This is how the CLI and the service inherit an injection
+        schedule without any code path knowing about chaos testing.
+        """
+        environ = os.environ if environ is None else environ
+        text = environ.get(FAULTS_ENV_VAR)
+        if not text:
+            return None
+        return cls.from_json(text)
+
+
+@dataclass
+class FaultyCache:
+    """A :class:`~repro.core.cache.ShardCache` proxy with failing stores.
+
+    Reads pass straight through; ``put``/``put_blob`` raise
+    ``OSError(ENOSPC)`` on the store ordinals named by the plan's
+    ``enospc_puts`` (counted across both entry points, in call order)
+    and delegate otherwise.  Everything else — keys, stats, paths — is
+    the wrapped cache's, so degraded runs share the real store.
+    """
+
+    inner: object
+    plan: FaultPlan
+    puts_seen: int = field(default=0)
+
+    def _maybe_fail(self) -> None:
+        ordinal = self.puts_seen
+        self.puts_seen += 1
+        if ordinal in self.plan.enospc_puts:
+            raise OSError(
+                errno.ENOSPC,
+                f"injected ENOSPC on cache store {ordinal}",
+            )
+
+    def put(self, key, result):
+        self._maybe_fail()
+        return self.inner.put(key, result)
+
+    def put_blob(self, key, payload):
+        self._maybe_fail()
+        return self.inner.put_blob(key, payload)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

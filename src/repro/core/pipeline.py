@@ -24,7 +24,8 @@ from typing import (
 )
 
 from repro.core.cache import ShardCache
-from repro.core.executor import ExecutionStats, ShardedExecutor
+from repro.core.executor import ExecutionStats, RetryPolicy, ShardedExecutor
+from repro.core.faults import FaultPlan, FaultyCache
 from repro.core.hierarchical import (
     HierarchicalFractureResult,
     fracture_hierarchical,
@@ -176,6 +177,17 @@ class PreparationPipeline:
             engine — how a long-running front-end (the prep service's
             job status endpoint) observes a run advancing.  Never
             influences results.
+        retry: the engine's :class:`~repro.core.executor.RetryPolicy`
+            (per-shard retries, deterministic backoff, hang watchdog);
+            defaults to ``RetryPolicy()``.  Never changes results, only
+            what survives: a run that finishes under faults is
+            byte-identical to a clean run.
+        faults: an optional :class:`~repro.core.faults.FaultPlan` of
+            injected faults (chaos testing; usually arrives via the
+            ``REPRO_FAULTS`` environment variable through the recipe).
+            A plan with ``enospc_puts`` wraps the cache in a
+            :class:`~repro.core.faults.FaultyCache` so store faults hit
+            both shard results and program segment blobs.
 
     Example:
         >>> from repro.layout import generators
@@ -204,6 +216,8 @@ class PreparationPipeline:
         address_unit: float = 0.5,
         program_dir: Optional[Union[str, Path]] = None,
         progress=None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -220,7 +234,14 @@ class PreparationPipeline:
         self.field_size = field_size
         if cache is None and cache_dir is not None:
             cache = ShardCache(cache_dir)
+        if faults is not None and faults.enospc_puts and cache is not None:
+            # Injected store faults apply to every store this pipeline
+            # makes — shard results and program segment blobs share one
+            # put-ordinal counter, so a schedule can target either.
+            cache = FaultyCache(cache, faults)
         self.cache = cache
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
         self.overlap_policy = overlap_policy
         self.matrix_mode = matrix_mode
         self.hierarchy = hierarchy
@@ -244,6 +265,8 @@ class PreparationPipeline:
             overlap_policy=self.overlap_policy,
             matrix_mode=self.matrix_mode,
             progress=self.progress,
+            retry=self.retry,
+            faults=self.faults,
         )
 
     # -- entry points --------------------------------------------------------

@@ -47,6 +47,8 @@ class PrepRecipe:
     hierarchy: str = "flat"
     machine: Optional[str] = None
     address_unit: float = 0.5
+    shard_retries: int = 2
+    shard_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.fracture not in FRACTURE_MODES:
@@ -92,6 +94,27 @@ class PrepRecipe:
             )
         if not isinstance(self.pec, bool):
             raise ValueError(f"pec must be a bool, got {self.pec!r}")
+        if isinstance(self.shard_retries, bool) or not isinstance(
+            self.shard_retries, int
+        ):
+            raise ValueError(
+                f"shard_retries must be an int, got {self.shard_retries!r}"
+            )
+        if self.shard_retries < 0:
+            raise ValueError(
+                f"shard_retries must be >= 0, got {self.shard_retries!r}"
+            )
+        if self.shard_timeout is not None:
+            if not isinstance(self.shard_timeout, (int, float)) or isinstance(
+                self.shard_timeout, bool
+            ):
+                raise ValueError(
+                    f"shard_timeout must be a number, got {self.shard_timeout!r}"
+                )
+            if self.shard_timeout <= 0:
+                raise ValueError(
+                    f"shard_timeout must be positive, got {self.shard_timeout!r}"
+                )
 
     def to_dict(self) -> dict:
         """The recipe as a plain JSON-serializable mapping."""
@@ -123,6 +146,8 @@ class PrepRecipe:
         ``progress`` is the per-shard completion callback threaded into
         the execution engine (see :mod:`repro.core.executor`).
         """
+        from repro.core.executor import RetryPolicy
+        from repro.core.faults import FaultPlan
         from repro.core.pipeline import PreparationPipeline
         from repro.fracture.shots import ShotFracturer
         from repro.fracture.trapezoidal import TrapezoidFracturer
@@ -163,4 +188,9 @@ class PrepRecipe:
             address_unit=self.address_unit,
             program_dir=program_dir,
             progress=progress,
+            retry=RetryPolicy(
+                max_attempts=self.shard_retries + 1,
+                shard_timeout=self.shard_timeout,
+            ),
+            faults=FaultPlan.from_env(),
         )

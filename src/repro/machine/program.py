@@ -146,6 +146,9 @@ class MachineProgram:
             ``data_limited_extra`` when the channel cannot keep up.
         channel: channel-rate check of the stream against the writer.
         cache_hits / cache_misses: segment-cache accounting.
+        cache_write_failures: failed segment-blob stores before the
+            export degraded to not storing (the program itself is
+            unaffected — cache trouble never fails an export).
         peak_segment_bytes: largest single segment held in memory while
             streaming — the bounded-memory witness.
     """
@@ -167,6 +170,7 @@ class MachineProgram:
     channel: ChannelCheck = field(default_factory=lambda: ChannelCheck(0.0, 1.0))
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_write_failures: int = 0
     peak_segment_bytes: int = 0
 
 
@@ -419,6 +423,7 @@ def export_program(
                     len(occupied),
                 ),
             )
+            store_blobs = True
             for result in occupied:
                 payload = None
                 key = None
@@ -435,8 +440,19 @@ def export_program(
                             result.shots, spec.unit, flash_ns, dwell_ns_area
                         )
                     program.cache_misses += 1
-                    if cache is not None:
-                        cache.put_blob(key, payload)
+                    if cache is not None and store_blobs:
+                        # Contain store faults exactly like the shard
+                        # cache: the first failed blob store (ENOSPC,
+                        # read-only tree) degrades the rest of this
+                        # export to not storing — never to a failed
+                        # program.
+                        try:
+                            stored = cache.put_blob(key, payload)
+                        except OSError:
+                            stored = False
+                        if stored is False:
+                            program.cache_write_failures += 1
+                            store_blobs = False
                 else:
                     program.cache_hits += 1
                 records, stream_bytes, line_count = _segment_counters(

@@ -6,7 +6,9 @@ Endpoints::
     GET    /jobs                 list all jobs
     GET    /jobs/{id}            job state machine + progress + stats
     GET    /jobs/{id}/result     artifact bytes (?artifact=job|program)
-    DELETE /jobs/{id}            cancel a *queued* job (409 otherwise)
+    DELETE /jobs/{id}            cancel a job: queued → 200 (gone now),
+                                 running → 202 (stops at the next shard
+                                 boundary), terminal → 409
     GET    /healthz              liveness
     GET    /readyz               readiness (503 when not ready)
     GET    /stats                queue depth, pool state, cache hit rate
@@ -94,6 +96,7 @@ class PrepServer(ThreadingHTTPServer):
             "pool": worker_pool_status(),
             "cache": cache_stats,
             "jobs": self.store.counts(),
+            "faults": self.store.fault_totals(),
         }
 
 
@@ -216,13 +219,19 @@ class PrepRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, job_view(self.server.store.snapshot(job_id))
                 )
+            elif disposition == "cancelling":
+                # Accepted: the runner observes the flag at the next
+                # shard boundary and lands the job in ``cancelled``.
+                self._send_json(
+                    202, job_view(self.server.store.snapshot(job_id))
+                )
             else:
                 current = self.server.store.snapshot(job_id)
                 state = current.state if current is not None else job.state
                 self._send_error_json(
                     409,
-                    f"job {job_id!r} is {state}; only queued jobs "
-                    "can be cancelled",
+                    f"job {job_id!r} is {state}; finished jobs "
+                    "cannot be cancelled",
                 )
             return True
         return False

@@ -1,7 +1,10 @@
 """The job store: every submission's state machine, thread-safe.
 
-A job moves ``queued → running → done | failed``; a job that is still
-queued can be ``cancelled``.  All transitions go through the store
+A job moves ``queued → running → done | failed``; a queued job can be
+``cancelled`` immediately, and a running job can request cooperative
+cancellation (the runner observes the flag at the next shard boundary
+and lands the job in ``cancelled``).  All transitions go through the
+store
 under one lock, so the HTTP threads, the queue workers and the
 progress callbacks from the execution engine can never observe a torn
 job record.  Terminal states are final: a finished job's record (and
@@ -45,6 +48,11 @@ class Job:
         result: summary mapping of a done job (digest, figure count,
             cache hits/misses, stream stats).
         job_path / program_path: on-disk artifacts of a done job.
+        cancel_requested: a ``DELETE`` arrived while the job was
+            running; the runner's progress callback observes the flag
+            and stops cooperatively at the next shard boundary.
+        attempts: how many times the runner has started this job
+            (> 1 after per-job retries).
     """
 
     id: str
@@ -60,6 +68,8 @@ class Job:
     result: Optional[dict] = None
     job_path: Optional[str] = None
     program_path: Optional[str] = None
+    cancel_requested: bool = False
+    attempts: int = 0
 
     @property
     def priority(self) -> int:
@@ -69,10 +79,25 @@ class Job:
 class JobStore:
     """Thread-safe in-memory registry of every job the server has seen."""
 
+    #: Every fault counter the store aggregates across jobs — the
+    #: ``faults`` section of ``GET /stats`` always carries all keys.
+    FAULT_KEYS = (
+        "shard_retries",
+        "shards_salvaged",
+        "pool_restarts",
+        "shard_timeouts",
+        "cache_write_failures",
+        "cache_evictions",
+        "jobs_retried",
+        "job_timeouts",
+        "cancelled_while_running",
+    )
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._sequence = 0
+        self._fault_totals: Dict[str, int] = {k: 0 for k in self.FAULT_KEYS}
 
     # -- creation / lookup -------------------------------------------------
 
@@ -138,8 +163,8 @@ class JobStore:
 
     def to_cancelled(self, job_id: str) -> bool:
         """``queued → cancelled``; False from any other state — a
-        running job cannot be cancelled (its shards are already on the
-        pool) and terminal states are final."""
+        running job needs :meth:`request_running_cancel` instead (its
+        shards are already on the pool) and terminal states are final."""
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None or job.state != "queued":
@@ -147,6 +172,42 @@ class JobStore:
             job.state = "cancelled"
             job.finished_at = time.time()
             return True
+
+    def request_running_cancel(self, job_id: str) -> bool:
+        """Flag a *running* job for cooperative cancellation; False
+        from any other state.  The runner's progress callback polls
+        the flag and lands the job in ``cancelled`` at the next shard
+        boundary (idempotent: re-requesting stays True)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "running":
+                return False
+            job.cancel_requested = True
+            return True
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Whether a cooperative cancel is pending on this job."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job is not None and job.cancel_requested
+
+    def to_cancelled_running(self, job_id: str) -> bool:
+        """``running → cancelled`` — the runner honoured a cooperative
+        cancel request; False from any other state."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "running":
+                return False
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            return True
+
+    def note_attempt(self, job_id: str) -> int:
+        """Count one runner attempt on the job; returns the new total."""
+        with self._lock:
+            job = self._jobs[job_id]
+            job.attempts += 1
+            return job.attempts
 
     def to_done(
         self,
@@ -169,6 +230,21 @@ class JobStore:
             job.state = "failed"
             job.error = error
             job.finished_at = time.time()
+
+    # -- fault accounting --------------------------------------------------
+
+    def record_faults(self, counters: Dict[str, int]) -> None:
+        """Fold one run's recovery counters into the server-wide
+        totals (unknown keys and zero values are ignored)."""
+        with self._lock:
+            for key, value in counters.items():
+                if key in self._fault_totals and isinstance(value, int):
+                    self._fault_totals[key] += value
+
+    def fault_totals(self) -> Dict[str, int]:
+        """A copy of the server-wide fault counters (all keys present)."""
+        with self._lock:
+            return dict(self._fault_totals)
 
     def update_progress(self, job_id: str, done: int, total: int) -> None:
         """Per-shard progress from the execution engine (monotonic;

@@ -97,8 +97,9 @@ class JobQueue:
 
     def cancel(self, job_id: str) -> str:
         """Try to cancel; returns the job's resulting disposition:
-        ``"cancelled"`` (was queued), ``"running"`` (too late — already
-        on a worker), ``"finished"`` (already terminal) or
+        ``"cancelled"`` (was queued — gone immediately),
+        ``"cancelling"`` (running — the runner stops cooperatively at
+        the next shard boundary), ``"finished"`` (already terminal) or
         ``"missing"``."""
         job = self.store.get(job_id)
         if job is None:
@@ -112,7 +113,9 @@ class JobQueue:
                 heapq.heapify(self._heap)
                 self._cv.notify_all()
             return "cancelled"
-        return "running" if job.state == "running" else "finished"
+        if self.store.request_running_cancel(job_id):
+            return "cancelling"
+        return "finished"
 
     # -- introspection -----------------------------------------------------
 

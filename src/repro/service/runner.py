@@ -16,6 +16,7 @@ so HTTP and CLI runs of the same recipe are byte-identical.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -23,6 +24,14 @@ from repro.core.cache import ShardCache
 from repro.core.executor import ExecutionStats
 from repro.core.jobfile import write_job
 from repro.service.jobs import Job, JobStore
+
+
+class JobCancelled(Exception):
+    """Raised inside a run when a cooperative cancel request lands."""
+
+
+class JobTimeoutError(Exception):
+    """Raised inside a run when the job's wall-clock budget expires."""
 
 
 def _stats_view(stats: Optional[ExecutionStats]) -> dict:
@@ -42,6 +51,15 @@ def _stats_view(stats: Optional[ExecutionStats]) -> dict:
         "kernel_fallbacks": stats.kernel_fallbacks,
         "kernel_coord_fallbacks": stats.kernel_coord_fallbacks,
         "kernel_slab_fallbacks": stats.kernel_slab_fallbacks,
+        "faults": {
+            "shard_retries": stats.shard_retries,
+            "shards_salvaged": stats.shards_salvaged,
+            "pool_restarts": stats.pool_restarts,
+            "shard_timeouts": stats.shard_timeouts,
+            "cache_write_failures": stats.cache_write_failures,
+            "cache_degraded": stats.cache_degraded,
+            "cache_evictions": stats.cache_evictions,
+        },
     }
     if stats.hierarchy == "cells":
         view["cells_fractured"] = stats.cells_fractured
@@ -85,18 +103,57 @@ class JobRunner:
         return self.work_dir / "jobs" / job_id
 
     def __call__(self, job: Job) -> None:
-        """Run ``job`` to completion and mark it done in the store.
+        """Run ``job`` to completion, honouring its spec's fault knobs.
 
-        Exceptions propagate to the queue worker, which records them on
-        the job — this method only handles the success path.
+        Cooperative cancellation (``DELETE`` on a running job) and the
+        per-job wall-clock ``timeout`` are observed at shard
+        boundaries via the progress callback.  A cancelled run lands
+        the job in ``cancelled`` here; a timed-out run raises (never
+        retried) and the queue worker records the failure; any other
+        exception re-runs the job up to ``spec.retries`` extra times
+        before propagating.
+        """
+        spec = job.spec
+        while True:
+            attempt = self.store.note_attempt(job.id)
+            try:
+                self._run_once(job)
+                return
+            except JobCancelled:
+                self.store.to_cancelled_running(job.id)
+                self.store.record_faults({"cancelled_while_running": 1})
+                return
+            except JobTimeoutError:
+                self.store.record_faults({"job_timeouts": 1})
+                raise
+            except Exception:
+                if attempt > spec.retries:
+                    raise
+                self.store.record_faults({"jobs_retried": 1})
+
+    def _run_once(self, job: Job) -> None:
+        """One attempt: run the pipeline and mark the job done.
+
+        Exceptions propagate to :meth:`__call__` (retries) and then the
+        queue worker (failure record) — this method only handles the
+        success path.
         """
         spec = job.spec
         library = self.workload_library(spec.workload)
         job_dir = self.job_dir(job.id)
         job_dir.mkdir(parents=True, exist_ok=True)
+        deadline = (
+            time.monotonic() + spec.timeout if spec.timeout is not None else None
+        )
 
         def progress(done: int, total: int) -> None:
             self.store.update_progress(job.id, done, total)
+            if self.store.cancel_requested(job.id):
+                raise JobCancelled(f"job {job.id} cancelled while running")
+            if deadline is not None and time.monotonic() > deadline:
+                raise JobTimeoutError(
+                    f"job {job.id} exceeded its {spec.timeout:g} s budget"
+                )
 
         pipeline = spec.recipe.build_pipeline(
             cache=self.cache, progress=progress
@@ -118,6 +175,18 @@ class JobRunner:
             "job_bytes": job_bytes,
             "execution": _stats_view(result.execution),
         }
+        stats = result.execution
+        if stats is not None:
+            self.store.record_faults(
+                {
+                    "shard_retries": stats.shard_retries,
+                    "shards_salvaged": stats.shards_salvaged,
+                    "pool_restarts": stats.pool_restarts,
+                    "shard_timeouts": stats.shard_timeouts,
+                    "cache_write_failures": stats.cache_write_failures,
+                    "cache_evictions": stats.cache_evictions,
+                }
+            )
         program = result.machine_program
         if program is not None:
             summary["program"] = {

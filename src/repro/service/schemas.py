@@ -34,7 +34,7 @@ class SchemaError(ValueError):
 
 #: Submission keys that are scheduling/naming concerns, not pipeline
 #: knobs (everything else in a payload must be a PrepRecipe field).
-_SPEC_KEYS = ("workload", "priority", "name")
+_SPEC_KEYS = ("workload", "priority", "name", "timeout", "retries")
 
 
 @dataclass(frozen=True)
@@ -49,12 +49,19 @@ class JobSpec:
             within a class); default 0.
         name: job name; defaults to the workload name, matching
             ``repro.cli demo`` (artifact bytes never depend on it).
+        timeout: per-job wall-clock budget in seconds; a run exceeding
+            it is stopped at the next shard boundary and the job fails
+            (``None`` = no limit).
+        retries: whole-job re-run attempts after an unexpected failure
+            (timeouts and cancellations are never retried); default 0.
     """
 
     workload: str
     recipe: PrepRecipe
     priority: int = 0
     name: Optional[str] = None
+    timeout: Optional[float] = None
+    retries: int = 0
 
     @property
     def job_name(self) -> str:
@@ -93,13 +100,29 @@ def parse_job_spec(payload) -> JobSpec:
     name = payload.get("name")
     if name is not None and not isinstance(name, str):
         raise SchemaError(f"'name' must be a string, got {name!r}")
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise SchemaError(f"'timeout' must be a number, got {timeout!r}")
+        if timeout <= 0:
+            raise SchemaError(f"'timeout' must be positive, got {timeout!r}")
+    retries = payload.get("retries", 0)
+    if isinstance(retries, bool) or not isinstance(retries, int):
+        raise SchemaError(f"'retries' must be an integer, got {retries!r}")
+    if retries < 0:
+        raise SchemaError(f"'retries' must be >= 0, got {retries!r}")
     knobs = {k: v for k, v in payload.items() if k not in _SPEC_KEYS}
     try:
         recipe = PrepRecipe.from_dict(knobs)
     except (ValueError, TypeError) as exc:
         raise SchemaError(str(exc)) from exc
     return JobSpec(
-        workload=workload, recipe=recipe, priority=priority, name=name
+        workload=workload,
+        recipe=recipe,
+        priority=priority,
+        name=name,
+        timeout=timeout,
+        retries=retries,
     )
 
 
@@ -119,6 +142,10 @@ def job_view(job: Job) -> dict:
         "workload": job.spec.workload,
         "name": job.spec.job_name,
         "priority": job.spec.priority,
+        "timeout": job.spec.timeout,
+        "retries": job.spec.retries,
+        "attempts": job.attempts,
+        "cancel_requested": job.cancel_requested,
         "recipe": job.spec.recipe.to_dict(),
         "submitted_at": job.submitted_at,
         "started_at": job.started_at,

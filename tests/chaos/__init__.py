@@ -1,0 +1,33 @@
+"""Helpers for the deterministic chaos suite (:mod:`tests.test_chaos`).
+
+Everything here mutates *on-disk* state only — fault schedules
+themselves live in :class:`repro.core.faults.FaultPlan`, keyed by
+``(position, attempt)``, with no wall-clock or RNG anywhere, so every
+chaos scenario replays identically run after run.
+"""
+
+from pathlib import Path
+from typing import List, Sequence
+
+#: Bytes no cache reader accepts: wrong magic, wrong framing, too short
+#: to be a valid payload of either entry family.
+GARBAGE = b"\x00CHAOS-corrupted-entry\x00"
+
+
+def cache_entry_paths(cache_root) -> List[Path]:
+    """Every cache entry under ``cache_root``, in sorted (deterministic)
+    order."""
+    return sorted(Path(cache_root).glob("??/*.ebc"))
+
+
+def corrupt_entries(paths: Sequence[Path]) -> int:
+    """Overwrite each entry with garbage the reader must evict.
+
+    Returns how many entries were corrupted.  Pass an explicit path
+    list (from :func:`cache_entry_paths`, captured when you know what
+    kind of entries the store holds) so a test corrupts shard results
+    and program blobs intentionally, never by accident.
+    """
+    for path in paths:
+        path.write_bytes(GARBAGE)
+    return len(paths)

@@ -1,0 +1,338 @@
+"""Deterministic chaos suite: every fault mode, byte-identical output.
+
+The load-bearing invariant of the fault-tolerance layer: any injected
+fault schedule that ends in success produces artifacts byte-identical
+to a clean run's, with the recovery visible in the stats counters —
+never silently absorbed, never altering a single output byte.  Fault
+schedules are keyed by ``(position, attempt)`` with no wall-clock or
+RNG, so each scenario replays identically.
+"""
+
+import os
+
+import pytest
+
+from chaos import cache_entry_paths, corrupt_entries
+from repro.core.cache import CacheDegradedWarning, ShardCache
+from repro.core.executor import RetryPolicy, shutdown_worker_pool
+from repro.core.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultyCache,
+    InjectedFaultError,
+    TransientFaultError,
+)
+from repro.core.jobfile import dumps_job
+from repro.core.pipeline import PreparationPipeline
+from repro.layout import generators
+
+FIELD_SIZE = 20.0
+
+#: Zero backoff keeps retry scenarios fast; determinism is unaffected
+#: (backoff shapes wall-clock, never results).
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0)
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Chaos scenarios break/kill the shared pool on purpose — start
+    and leave every test with no pool so scenarios never interact."""
+    shutdown_worker_pool()
+    yield
+    shutdown_worker_pool()
+
+
+def grating_library():
+    return generators.grating(pitch=2.0, duty=0.5, lines=12, length=24.0)
+
+
+def fzp_library():
+    return generators.fresnel_zone_plate(zones=6, points_per_arc=24)
+
+
+def run_grating(workers=2, faults=None, retry=FAST_RETRY, cache_dir=None):
+    pipeline = PreparationPipeline(
+        workers=workers,
+        field_size=FIELD_SIZE,
+        cache_dir=cache_dir,
+        retry=retry,
+        faults=faults,
+    )
+    return pipeline.run(grating_library(), name="grating")
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_cap=0.2)
+        assert policy.backoff(1) == pytest.approx(0.05)
+        assert policy.backoff(2) == pytest.approx(0.1)
+        assert policy.backoff(3) == pytest.approx(0.2)
+        assert policy.backoff(10) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            policy.backoff(0)
+
+    def test_classification_transient_vs_permanent(self):
+        from concurrent.futures import BrokenExecutor
+
+        policy = RetryPolicy()
+        assert policy.is_transient(BrokenExecutor("worker died"))
+        assert policy.is_transient(OSError("infra trouble"))
+        assert policy.is_transient(TransientFaultError("injected"))
+        assert not policy.is_transient(ValueError("bad shard data"))
+        assert not policy.is_transient(InjectedFaultError("injected"))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"max_attempts": 0},
+            {"max_attempts": 1.5},
+            {"max_attempts": True},
+            {"backoff_base": -0.1},
+            {"backoff_cap": -1},
+            {"shard_timeout": 0.0},
+            {"shard_timeout": -2.0},
+            {"shard_timeout": True},
+        ],
+    )
+    def test_bad_values_raise(self, bad):
+        with pytest.raises(ValueError):
+            RetryPolicy(**bad)
+
+
+class TestFaultPlan:
+    def test_from_json_roundtrip(self):
+        plan = FaultPlan.from_json(
+            '{"kill_worker": [[1, 0]], "transient": [[0, 0], [0, 1]], '
+            '"enospc_puts": [0, 3], "hang_seconds": 2.5}'
+        )
+        assert plan.kill_worker == frozenset({(1, 0)})
+        assert plan.transient == frozenset({(0, 0), (0, 1)})
+        assert plan.enospc_puts == frozenset({0, 3})
+        assert plan.hang_seconds == 2.5
+        assert plan.coordinator_pid is None
+        assert plan.any_shard_faults
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            "[1, 2]",
+            '{"explode": [[0, 0]]}',
+            '{"transient": [[0]]}',
+            '{"transient": [[0, -1]]}',
+            '{"enospc_puts": [-1]}',
+            '{"hang_seconds": 0}',
+        ],
+    )
+    def test_bad_plans_rejected(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json(text)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULTS_ENV_VAR, '{"transient": [[2, 0]]}')
+        plan = FaultPlan.from_env()
+        assert plan.transient == frozenset({(2, 0)})
+
+    def test_kill_and_hang_never_fire_in_coordinator(self):
+        # The armed coordinator must survive its own kill/hang schedule
+        # (serial replays of a pool schedule run in-process) — if this
+        # assertion is reachable, the guard works.
+        plan = FaultPlan(
+            kill_worker=frozenset({(0, 0)}),
+            hang=frozenset({(1, 0)}),
+            hang_seconds=60.0,
+        ).arm()
+        assert plan.coordinator_pid == os.getpid()
+        plan.fire(0, 0)
+        plan.fire(1, 0)
+
+    def test_transient_fires_anywhere(self):
+        plan = FaultPlan(transient=frozenset({(0, 0)})).arm()
+        with pytest.raises(TransientFaultError):
+            plan.fire(0, 0)
+        plan.fire(0, 1)  # other attempts untouched
+
+
+class TestShardFaultScenarios:
+    """Each fault kind against a real worker pool: identical bytes,
+    the recovery visible in the counters."""
+
+    def _clean_bytes(self):
+        result = run_grating(workers=1)
+        assert result.execution.shard_count >= 2
+        assert result.execution.fault_events == 0
+        return dumps_job(result.job)
+
+    def test_transient_fault_retries_and_matches(self):
+        clean = self._clean_bytes()
+        plan = FaultPlan(transient=frozenset({(0, 0)}))
+        result = run_grating(workers=2, faults=plan)
+        stats = result.execution
+        assert stats.shard_retries == 1
+        assert stats.pool_restarts == 0
+        assert stats.shard_timeouts == 0
+        assert dumps_job(result.job) == clean
+
+    def test_killed_worker_salvages_and_matches(self):
+        clean = self._clean_bytes()
+        plan = FaultPlan(kill_worker=frozenset({(0, 0)}))
+        result = run_grating(workers=2, faults=plan)
+        stats = result.execution
+        assert stats.pool_restarts >= 1
+        assert stats.shard_retries >= 1
+        assert dumps_job(result.job) == clean
+
+    def test_hung_worker_times_out_and_matches(self):
+        clean = self._clean_bytes()
+        plan = FaultPlan(hang=frozenset({(0, 0)}), hang_seconds=30.0)
+        retry = RetryPolicy(
+            max_attempts=3, backoff_base=0.0, shard_timeout=0.75
+        )
+        result = run_grating(workers=2, faults=plan, retry=retry)
+        stats = result.execution
+        assert stats.shard_timeouts >= 1
+        assert stats.pool_restarts >= 1
+        assert stats.shard_retries >= 1
+        assert dumps_job(result.job) == clean
+
+    def test_permanent_fault_fails_fast(self):
+        plan = FaultPlan(permanent=frozenset({(0, 0)}))
+        with pytest.raises(InjectedFaultError):
+            run_grating(workers=2, faults=plan)
+
+    def test_exhausted_transient_raises(self):
+        plan = FaultPlan(
+            transient=frozenset({(0, 0), (0, 1), (0, 2)})
+        )
+        with pytest.raises(TransientFaultError):
+            run_grating(workers=2, faults=plan)
+
+
+class TestCacheFaultScenarios:
+    def test_corrupt_entry_evicts_recomputes_and_matches(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = run_grating(workers=1, cache_dir=cache_dir)
+        clean = dumps_job(cold.job)
+        entries = cache_entry_paths(cache_dir)
+        assert len(entries) == cold.execution.shard_count
+        assert corrupt_entries(entries[:1]) == 1
+        warm = run_grating(workers=1, cache_dir=cache_dir)
+        stats = warm.execution
+        assert stats.cache_evictions == 1
+        assert stats.cache_misses == 1
+        assert stats.cache_hits == stats.shard_count - 1
+        assert dumps_job(warm.job) == clean
+        # The evicted entry was recomputed and re-stored.
+        assert len(cache_entry_paths(cache_dir)) == len(entries)
+
+    def test_enospc_degrades_to_read_only_with_one_warning(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        clean = dumps_job(run_grating(workers=1).job)
+        plan = FaultPlan(enospc_puts=frozenset({0}))
+        with pytest.warns(CacheDegradedWarning) as caught:
+            result = run_grating(workers=1, faults=plan, cache_dir=cache_dir)
+        assert len(caught) == 1
+        stats = result.execution
+        assert stats.cache_write_failures == 1
+        assert stats.cache_degraded
+        assert dumps_job(result.job) == clean
+        # Degraded means read-only: every later put was skipped too.
+        assert cache_entry_paths(cache_dir) == []
+
+    def test_faulty_cache_counts_puts_across_entry_points(self, tmp_path):
+        inner = ShardCache(tmp_path / "cache")
+        plan = FaultPlan(enospc_puts=frozenset({1}))
+        cache = FaultyCache(inner, plan)
+        assert cache.put_blob("ab" + "0" * 62, b"payload")  # ordinal 0
+        with pytest.raises(OSError):
+            cache.put_blob("cd" + "0" * 62, b"payload")  # ordinal 1
+        assert cache.put_blob("ef" + "0" * 62, b"payload")  # ordinal 2
+        assert inner.stats.stores == 2
+
+
+class TestFullGauntlet:
+    """The acceptance gate: one FZP run through a SIGKILL, a transient
+    fault, two corrupt cache entries and an ENOSPC — byte-identical
+    ``.ebj`` and ``.ebp`` artifacts, every counter accounted for."""
+
+    #: Tighter mosaic than the grating scenarios: the gauntlet needs
+    #: enough shards that two corruptions still leave warm hits.
+    FZP_FIELD = 10.0
+
+    def _run_fzp(self, cache_dir, program_path, faults=None,
+                 retry=FAST_RETRY, workers=2):
+        pipeline = PreparationPipeline(
+            workers=workers,
+            field_size=self.FZP_FIELD,
+            cache_dir=cache_dir,
+            machine="raster",
+            retry=retry,
+            faults=faults,
+        )
+        return pipeline.run(
+            fzp_library(), name="fzp", program_path=program_path
+        )
+
+    def test_chaos_run_matches_clean_run_byte_for_byte(self, tmp_path):
+        from repro.core.jobfile import write_job
+
+        cache_dir = tmp_path / "cache"
+        # Learn which cache entries hold shard results (the program
+        # export below adds segment blobs to the same store).
+        scout = PreparationPipeline(
+            workers=1, field_size=self.FZP_FIELD, cache_dir=cache_dir
+        ).run(fzp_library(), name="fzp")
+        shard_entries = cache_entry_paths(cache_dir)
+        assert len(shard_entries) == scout.execution.shard_count
+        assert scout.execution.shard_count > 2
+
+        clean_ebp = tmp_path / "clean.ebp"
+        clean = self._run_fzp(cache_dir, clean_ebp, workers=1)
+        assert clean.execution.fault_events == 0
+        clean_ebj = tmp_path / "clean.ebj"
+        write_job(clean.job, clean_ebj)
+
+        # Two corrupt shard entries -> two evictions -> exactly two
+        # recomputed shards, which the shard-fault schedule targets:
+        # pending position 0 fails transiently once, position 1 kills
+        # its worker, and the first re-store hits ENOSPC.
+        assert corrupt_entries(shard_entries[:2]) == 2
+        plan = FaultPlan(
+            transient=frozenset({(0, 0)}),
+            kill_worker=frozenset({(1, 0)}),
+            enospc_puts=frozenset({0}),
+        )
+        chaos_ebp = tmp_path / "chaos.ebp"
+        with pytest.warns(CacheDegradedWarning):
+            chaos = self._run_fzp(cache_dir, chaos_ebp, faults=plan)
+        chaos_ebj = tmp_path / "chaos.ebj"
+        write_job(chaos.job, chaos_ebj)
+
+        assert chaos_ebj.read_bytes() == clean_ebj.read_bytes()
+        assert chaos_ebp.read_bytes() == clean_ebp.read_bytes()
+
+        stats = chaos.execution
+        assert stats.cache_evictions == 2
+        assert stats.cache_misses == 2
+        assert stats.cache_hits == stats.shard_count - 2
+        assert stats.cache_write_failures == 1
+        assert stats.cache_degraded
+        assert stats.shard_retries >= 1
+        assert stats.pool_restarts >= 1
+        assert stats.fault_events > 0
+
+    def test_clean_run_reports_zero_fault_counters(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        ebp = tmp_path / "clean.ebp"
+        result = self._run_fzp(cache_dir, ebp, workers=2)
+        stats = result.execution
+        assert stats.fault_events == 0
+        assert stats.shard_retries == 0
+        assert stats.shards_salvaged == 0
+        assert stats.pool_restarts == 0
+        assert stats.shard_timeouts == 0
+        assert stats.cache_write_failures == 0
+        assert not stats.cache_degraded
+        assert stats.cache_evictions == 0

@@ -139,6 +139,70 @@ class TestArgParsing:
         assert exc.value.code == 0
 
 
+class TestFaultKnobsAndInjection:
+    def test_fault_flags_parse(self, capsys):
+        assert (
+            main(
+                [
+                    "demo",
+                    "--workload",
+                    "grating",
+                    "--shard-retries",
+                    "0",
+                    "--shard-timeout",
+                    "30",
+                ]
+            )
+            == 0
+        )
+
+    @pytest.mark.parametrize(
+        "flag,value,message",
+        [
+            ("--shard-retries", "-1", "must be >= 0"),
+            ("--shard-timeout", "0", "must be positive"),
+            ("--shard-timeout", "-2", "must be positive"),
+        ],
+    )
+    def test_bad_fault_flags_exit_cleanly(self, flag, value, message, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "--workload", "grating", flag, value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert message in err
+        assert "Traceback" not in err
+
+    def test_env_fault_injection_keeps_output_identical(
+        self, capsys, monkeypatch
+    ):
+        """A transient fault injected via REPRO_FAULTS is retried away:
+        the CLI prints a ``faults:`` line but every result line above
+        it (figures, shots, digest) matches the clean run exactly."""
+        from repro.core.faults import FAULTS_ENV_VAR
+
+        args = ["demo", "--workload", "grating", "--workers", "2"]
+        assert main(args) == 0
+        clean = capsys.readouterr().out
+        assert "faults:" not in clean
+
+        monkeypatch.setenv(FAULTS_ENV_VAR, '{"transient": [[0, 0]]}')
+        assert main(args) == 0
+        chaotic = capsys.readouterr().out
+        assert "faults:" in chaotic
+        assert "1 shard retries" in chaotic
+
+        def digest_line(out):
+            return next(
+                line for line in out.splitlines() if "digest:" in line
+            )
+
+        assert digest_line(chaotic) == digest_line(clean)
+        faultless = [
+            line for line in chaotic.splitlines() if "faults:" not in line
+        ]
+        assert faultless == clean.splitlines()
+
+
 class TestKernelFallbackLine:
     def test_printed_only_when_the_kernel_degraded(self, capsys):
         from repro.cli import _print_result

@@ -449,9 +449,12 @@ class TestSharedPoolLifecycle:
         config = (TrapezoidFracturer(), None, None)
         ticks = []
         tick = (lambda: ticks.append(1)) if with_tick else None
-        results, pooled = ex._map_shards(shards, config, workers=2, tick=tick)
+        results, pooled, recovery = ex._map_shards(
+            shards, config, workers=2, tick=tick
+        )
         assert not pooled
         assert released == [1]
+        assert recovery.pool_restarts == 0
         expected = [_process_shard(s, *config) for s in shards]
         assert [
             [shot_key(shot) for shot in r.shots] for r in results
@@ -465,3 +468,207 @@ class TestSharedPoolLifecycle:
         ex.shutdown_worker_pool()
         ex.shutdown_worker_pool()
         assert ex.worker_pool_status() == {"size": 0, "alive": False}
+
+
+class TestFaultRecovery:
+    """Shard-level recovery: salvage on pool death, transient retry,
+    fail-fast on deterministic failures — all with byte-identical
+    results versus a clean serial run."""
+
+    def _shards_and_config(self):
+        shards = plan_shards(grid_of_squares(4, 2), field_size=10.0)
+        config = (TrapezoidFracturer(), None, None)
+        return shards, config
+
+    def _keys(self, results):
+        return [[shot_key(shot) for shot in r.shots] for r in results]
+
+    def test_pool_death_salvages_completed_shards(self, monkeypatch):
+        from concurrent.futures import BrokenExecutor, Future
+
+        from repro.core import executor as ex
+        from repro.core.executor import RetryPolicy
+
+        shards, config = self._shards_and_config()
+        n = len(shards)
+        k = 3
+
+        class InlinePool:
+            def __init__(self):
+                self.computed = 0
+
+            def submit(self, fn, task):
+                self.computed += 1
+                future = Future()
+                future.set_result(fn(task))
+                return future
+
+        class BreakingPool(InlinePool):
+            """Completes k submissions, then the pool is broken."""
+
+            def submit(self, fn, task):
+                if self.computed >= k:
+                    raise BrokenExecutor("worker died mid-shard")
+                return super().submit(fn, task)
+
+        pools = [BreakingPool(), InlinePool()]
+        leased = []
+        recycled = []
+        monkeypatch.setattr(
+            ex,
+            "_lease_pool",
+            lambda workers: leased.append(pools[len(leased)]) or leased[-1],
+        )
+        monkeypatch.setattr(ex, "_release_pool", lambda: None)
+        monkeypatch.setattr(
+            ex,
+            "_recycle_pool",
+            lambda pool, kill_workers=False: recycled.append(pool),
+        )
+        results, pooled, recovery = ex._map_shards(
+            shards,
+            config,
+            workers=2,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+        )
+        assert pooled
+        assert recycled == [pools[0]]
+        assert recovery.pool_restarts == 1
+        assert recovery.salvaged == set(range(k))
+        assert recovery.retry_total == 1  # only the shard whose submit broke
+        # Salvage contract: completed shards keep their results; only
+        # the unfinished remainder lands on the fresh pool.
+        assert pools[0].computed == k
+        assert pools[1].computed == n - k
+        expected = [_process_shard(s, *config) for s in shards]
+        assert self._keys(results) == self._keys(expected)
+
+    def test_transient_fault_retries_to_identical_result(self, monkeypatch):
+        from concurrent.futures import Future
+
+        from repro.core import executor as ex
+        from repro.core.executor import RetryPolicy
+        from repro.core.faults import FaultPlan
+
+        shards, config = self._shards_and_config()
+
+        class InlinePool:
+            def submit(self, fn, task):
+                future = Future()
+                try:
+                    future.set_result(fn(task))
+                except Exception as exc:
+                    future.set_exception(exc)
+                return future
+
+        monkeypatch.setattr(ex, "_lease_pool", lambda workers: InlinePool())
+        monkeypatch.setattr(ex, "_release_pool", lambda: None)
+        plan = FaultPlan(transient=frozenset({(2, 0)})).arm()
+        results, pooled, recovery = ex._map_shards(
+            shards,
+            config,
+            workers=2,
+            faults=plan,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+        )
+        assert pooled
+        assert recovery.retries == {2: 1}
+        assert recovery.pool_restarts == 0
+        expected = [_process_shard(s, *config) for s in shards]
+        assert self._keys(results) == self._keys(expected)
+
+    def test_permanent_fault_fails_fast(self):
+        from repro.core import executor as ex
+        from repro.core.executor import RetryPolicy
+        from repro.core.faults import FaultPlan, InjectedFaultError
+
+        shards, config = self._shards_and_config()
+        plan = FaultPlan(permanent=frozenset({(1, 0)})).arm()
+        with pytest.raises(InjectedFaultError):
+            ex._map_shards(
+                shards,
+                config,
+                workers=1,
+                faults=plan,
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            )
+
+    def test_exhausted_transient_raises(self):
+        from repro.core import executor as ex
+        from repro.core.executor import RetryPolicy
+        from repro.core.faults import FaultPlan, TransientFaultError
+
+        shards, config = self._shards_and_config()
+        plan = FaultPlan(
+            transient=frozenset({(0, 0), (0, 1)})
+        ).arm()
+        with pytest.raises(TransientFaultError):
+            ex._map_shards(
+                shards,
+                config,
+                workers=1,
+                faults=plan,
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            )
+
+
+class TestWarmPoolFailureConsistency:
+    """warm_worker_pool's failure paths must leave the shared-pool
+    globals in a consistent state: released exactly once, reset unless
+    a concurrent tenant still holds a lease."""
+
+    def test_warm_failure_releases_and_resets(self, monkeypatch):
+        from concurrent.futures import CancelledError
+
+        from repro.core import executor as ex
+
+        ex.shutdown_worker_pool()
+
+        class DeadPool:
+            def map(self, *args, **kwargs):
+                raise CancelledError()
+
+        released = []
+        monkeypatch.setattr(ex, "_lease_pool", lambda n: DeadPool())
+        monkeypatch.setattr(ex, "_release_pool", lambda: released.append(1))
+        assert ex.warm_worker_pool(2) == 0
+        assert released == [1]
+        assert ex.worker_pool_status() == {"size": 0, "alive": False}
+
+    def test_warm_lease_failure_returns_zero(self, monkeypatch):
+        from concurrent.futures import BrokenExecutor
+
+        from repro.core import executor as ex
+
+        ex.shutdown_worker_pool()
+
+        def refuse(workers):
+            raise BrokenExecutor("platform refuses to spawn")
+
+        monkeypatch.setattr(ex, "_lease_pool", refuse)
+        assert ex.warm_worker_pool(2) == 0
+        assert ex.worker_pool_status() == {"size": 0, "alive": False}
+
+    def test_warm_failure_spares_leased_tenant(self, monkeypatch):
+        from concurrent.futures import CancelledError
+
+        from repro.core import executor as ex
+
+        ex.shutdown_worker_pool()
+        try:
+            tenant = ex._lease_pool(2)  # a concurrent run's live lease
+            assert tenant is not None
+
+            class DeadPool:
+                def map(self, *args, **kwargs):
+                    raise CancelledError()
+
+            monkeypatch.setattr(ex, "_lease_pool", lambda n: DeadPool())
+            monkeypatch.setattr(ex, "_release_pool", lambda: None)
+            assert ex.warm_worker_pool(2) == 0
+            # The tenant's pool must survive the warm-up failure.
+            assert ex.worker_pool_status() == {"size": 2, "alive": True}
+        finally:
+            monkeypatch.undo()
+            ex._release_pool()
+            ex.shutdown_worker_pool()

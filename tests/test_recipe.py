@@ -34,6 +34,13 @@ class TestValidation:
             {"workers": True},
             {"pec": "yes"},
             {"dose": "high"},
+            {"shard_retries": -1},
+            {"shard_retries": 1.5},
+            {"shard_retries": True},
+            {"shard_timeout": 0.0},
+            {"shard_timeout": -5.0},
+            {"shard_timeout": True},
+            {"shard_timeout": "later"},
         ],
     )
     def test_bad_values_raise_value_error(self, kwargs):
@@ -47,6 +54,12 @@ class TestValidation:
     def test_round_trips_through_dict(self):
         recipe = PrepRecipe(pec=True, field_size=15.0, machine="raster")
         assert PrepRecipe.from_dict(recipe.to_dict()) == recipe
+
+    def test_retry_knobs_round_trip(self):
+        recipe = PrepRecipe(shard_retries=5, shard_timeout=2.5)
+        assert PrepRecipe.from_dict(recipe.to_dict()) == recipe
+        assert recipe.shard_retries == 5
+        assert recipe.shard_timeout == 2.5
 
     def test_recipes_are_hashable_and_comparable(self):
         assert PrepRecipe() == PrepRecipe()

@@ -130,6 +130,10 @@ class TestHealth:
             "cancelled",
         }
         assert "size" in body["pool"] and "alive" in body["pool"]
+        from repro.service.jobs import JobStore
+
+        assert set(body["faults"]) == set(JobStore.FAULT_KEYS)
+        assert all(v == 0 for v in body["faults"].values())
 
 
 class TestSubmission:
@@ -319,7 +323,10 @@ class TestCancellation:
         status, _, _ = client.request("GET", f"/jobs/{victim}/result")
         assert status == 404
 
-    def test_cancel_running_is_409(self, server, client):
+    def test_cancel_running_stops_cooperatively(self, server, client):
+        """DELETE on a *running* job is accepted (202) and the runner
+        observes the flag at the next shard boundary: the job lands in
+        ``cancelled`` and the worker survives to serve the next job."""
         gate = threading.Event()
         original = server.queue.runner
 
@@ -334,11 +341,22 @@ class TestCancellation:
             while client.get_json(f"/jobs/{job_id}")[1]["state"] != "running":
                 assert time.time() < deadline
                 time.sleep(0.02)
-            status, body, _ = client.request("DELETE", f"/jobs/{job_id}")
-            assert status == 409
+            status, view = self._delete(client, job_id)
+            assert status == 202
+            assert view["state"] == "running"
+            assert view["cancel_requested"] is True
         finally:
             gate.set()
-        assert client.wait(job_id)["state"] == "done"
+        done = client.wait(job_id)
+        assert done["state"] == "cancelled"
+        # Terminal now: a second DELETE conflicts.
+        status, _ = self._delete(client, job_id)
+        assert status == 409
+        # The worker that hosted the cancelled run still serves jobs.
+        follow_up = client.submit({"workload": "grating"})
+        assert client.wait(follow_up)["state"] == "done"
+        status, stats = client.get_json("/stats")
+        assert stats["faults"]["cancelled_while_running"] == 1
 
     @staticmethod
     def _delete(client, job_id):
@@ -374,6 +392,65 @@ class TestFailedJobs:
         assert stats["jobs"]["done"] == 1
 
 
+class TestJobFaultKnobs:
+    def test_job_timeout_fails_without_retry(self, server, client):
+        """A job that blows its wall-clock budget fails at the next
+        shard boundary, is never retried (retries cover *transient*
+        faults, a timeout only recurs), and is counted in /stats."""
+        job_id = client.submit(
+            {"workload": "grating", "timeout": 1e-6, "retries": 3}
+        )
+        view = client.wait(job_id)
+        assert view["state"] == "failed"
+        assert "JobTimeoutError" in view["error"]
+        assert view["attempts"] == 1
+        status, stats = client.get_json("/stats")
+        assert stats["faults"]["job_timeouts"] == 1
+        assert stats["faults"]["jobs_retried"] == 0
+        # The worker survives and still serves jobs.
+        follow_up = client.submit({"workload": "grating"})
+        assert client.wait(follow_up)["state"] == "done"
+
+    def test_job_retries_recover_transient_failure(self, server, client):
+        """With ``retries`` in the spec, a run that fails once is
+        re-run in place and the job still lands done."""
+        calls = []
+        original = server.runner._run_once
+
+        def flaky_run_once(job):
+            calls.append(job.id)
+            if len(calls) == 1:
+                raise OSError("synthetic infrastructure failure")
+            original(job)
+
+        server.runner._run_once = flaky_run_once
+        job_id = client.submit({"workload": "grating", "retries": 2})
+        view = client.wait(job_id)
+        assert view["state"] == "done"
+        assert view["attempts"] == 2
+        assert calls == [job_id, job_id]
+        status, stats = client.get_json("/stats")
+        assert stats["faults"]["jobs_retried"] == 1
+
+    def test_retries_exhausted_marks_failed(self, server, client):
+        original = server.runner._run_once
+
+        def doomed_run_once(job):
+            raise OSError("always down")
+
+        server.runner._run_once = doomed_run_once
+        try:
+            job_id = client.submit({"workload": "grating", "retries": 1})
+            view = client.wait(job_id)
+        finally:
+            server.runner._run_once = original
+        assert view["state"] == "failed"
+        assert view["error"] == "OSError: always down"
+        assert view["attempts"] == 2
+        status, stats = client.get_json("/stats")
+        assert stats["faults"]["jobs_retried"] == 1
+
+
 class TestSchemas:
     def test_parse_round_trip(self):
         spec = parse_job_spec(
@@ -396,6 +473,16 @@ class TestSchemas:
     def test_default_name_is_workload(self):
         assert parse_job_spec({"workload": "fzp"}).job_name == "fzp"
 
+    def test_fault_knob_defaults_and_round_trip(self):
+        spec = parse_job_spec({"workload": "fzp"})
+        assert spec.timeout is None
+        assert spec.retries == 0
+        spec = parse_job_spec(
+            {"workload": "fzp", "timeout": 30.0, "retries": 2}
+        )
+        assert spec.timeout == 30.0
+        assert spec.retries == 2
+
     @pytest.mark.parametrize(
         "payload",
         [
@@ -407,6 +494,13 @@ class TestSchemas:
             {"workload": "fzp", "priority": True},
             {"workload": "fzp", "name": 5},
             {"workload": "fzp", "bogus_knob": 1},
+            {"workload": "fzp", "timeout": 0},
+            {"workload": "fzp", "timeout": -2.0},
+            {"workload": "fzp", "timeout": True},
+            {"workload": "fzp", "timeout": "soon"},
+            {"workload": "fzp", "retries": -1},
+            {"workload": "fzp", "retries": 1.5},
+            {"workload": "fzp", "retries": True},
         ],
     )
     def test_bad_payloads_raise_schema_error(self, payload):
@@ -422,6 +516,10 @@ class TestSchemas:
         assert view["state"] == "queued"
         assert view["recipe"]["fracture"] == "trapezoid"
         assert view["error"] is None
+        assert view["timeout"] is None
+        assert view["retries"] == 0
+        assert view["attempts"] == 0
+        assert view["cancel_requested"] is False
         assert "artifacts" not in view
 
 

@@ -127,7 +127,11 @@ class TestCancellation:
         assert store.get(victim.id).state == "cancelled"
         assert store.get(victim.id).finished_at is not None
 
-    def test_cancel_running_job_is_refused(self, store):
+    def test_cancel_running_job_requests_cooperative_stop(self, store):
+        """Cancelling a *running* job flags it for cooperative stop:
+        the queue answers "cancelling" and sets the store flag; it's
+        the runner's duty to observe the flag at a shard boundary (this
+        fake runner never looks, so the job still lands done)."""
         gate = threading.Event()
         runner = RecordingRunner(store, gate=gate)
         queue = JobQueue(store, runner, concurrency=1)
@@ -135,8 +139,9 @@ class TestCancellation:
         queue.start()
         queue.submit(job)
         assert runner.started.acquire(timeout=_TIMEOUT)
-        assert queue.cancel(job.id) == "running"
+        assert queue.cancel(job.id) == "cancelling"
         assert store.get(job.id).state == "running"
+        assert store.cancel_requested(job.id)
         gate.set()
         drain(queue)
         assert store.get(job.id).state == "done"
