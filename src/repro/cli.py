@@ -6,6 +6,8 @@ Subcommands:
   the fracture report and per-machine write-time estimates.
 * ``stats`` — hierarchy statistics of a GDSII file.
 * ``demo`` — run the pipeline on a built-in synthetic workload.
+* ``work`` — run a distributed shard-worker daemon against a lease
+  coordinator (see ``--dispatch distributed`` and :mod:`repro.dist`).
 * ``serve`` — run the prep-as-a-service HTTP job server.
 
 Bad inputs (invalid knob values, unknown workloads, unreadable files)
@@ -69,6 +71,8 @@ def _recipe_from_args(args: argparse.Namespace) -> PrepRecipe:
         address_unit=args.address_unit,
         shard_retries=args.shard_retries,
         shard_timeout=args.shard_timeout,
+        dispatch=args.dispatch,
+        workers_endpoint=args.workers_endpoint,
     )
 
 
@@ -138,6 +142,18 @@ def _print_result(result, pec_matrix=None) -> None:
             f"{stats.pool_restarts} pool restarts, "
             f"{stats.shard_timeouts} timeouts, "
             f"{stats.cache_write_failures} cache write failures{degraded}"
+        )
+    if stats is not None and stats.dispatch == "distributed":
+        print(
+            f"  dist:      {stats.dist_workers} workers, "
+            f"{stats.leases_granted} leases granted, "
+            f"{stats.leases_reclaimed} reclaimed, "
+            f"{stats.worker_deaths} deaths, "
+            f"{stats.heartbeats_missed} heartbeats missed, "
+            f"{stats.speculative_wins}/{stats.speculative_losses} "
+            f"speculative wins/losses, "
+            f"{stats.duplicate_commits} duplicate commits, "
+            f"{stats.dist_local_fallbacks} local fallbacks"
         )
     if stats is not None and stats.kernel_fallbacks:
         print(
@@ -259,6 +275,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_work(args: argparse.Namespace) -> int:
+    from repro.dist.protocol import parse_endpoint
+    from repro.dist.worker import run_worker
+
+    parse_endpoint(args.connect)
+    return run_worker(
+        args.connect, cache_dir=args.cache_dir, idle_exit=args.idle_exit
+    )
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     workloads = dict(generators.all_workloads())
     if args.workload not in workloads:
@@ -361,6 +387,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "re-enqueued (default: wait forever)",
     )
     parser.add_argument(
+        "--dispatch", choices=["local", "distributed"], default="local",
+        help="shard scheduling: local (this process's pool) or "
+        "distributed (lease shards to worker daemons on "
+        "--workers-endpoint; byte-identical to local, with the local "
+        "pool as the fallback rung)",
+    )
+    parser.add_argument(
+        "--workers-endpoint", metavar="HOST:PORT", default=None,
+        help="lease-coordinator endpoint for --dispatch distributed "
+        "(workers connect with: repro-ebl work --connect HOST:PORT)",
+    )
+    parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="content-addressed shard cache directory; repeat runs "
         "re-compute only shards whose inputs changed (results are "
@@ -395,6 +433,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_common(p_demo)
     p_demo.set_defaults(func=cmd_demo)
+
+    p_work = sub.add_parser(
+        "work", help="run a distributed shard-worker daemon"
+    )
+    p_work.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="lease-coordinator endpoint to pull shard work from",
+    )
+    p_work.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared shard-cache directory to store results in "
+        "(idempotent: same key, same bytes)",
+    )
+    p_work.add_argument(
+        "--idle-exit", type=_positive_float, default=None, metavar="SEC",
+        help="exit after this long without work (default: run forever)",
+    )
+    p_work.set_defaults(func=cmd_work)
 
     p_serve = sub.add_parser(
         "serve", help="run the prep-as-a-service HTTP job server"

@@ -230,6 +230,43 @@ class RetryPolicy:
         return isinstance(exc, (BrokenExecutor, OSError))
 
 
+class BackoffWaiter:
+    """An interruptible stand-in for ``time.sleep`` in retry backoff.
+
+    The engine's deterministic capped backoff must never hold its
+    caller hostage: a service's cooperative cancel or an expiring job
+    budget should abort a *pending* backoff immediately instead of
+    waiting it out.  ``wait`` runs ``check`` (which raises to abort —
+    e.g. the service's ``JobCancelled``/``JobTimeoutError``) before and
+    after sleeping on an event that :meth:`interrupt` sets, and never
+    sleeps past ``deadline`` — so both cancellation and timeout cut a
+    backoff short at the moment they land, not at its scheduled end.
+    """
+
+    def __init__(
+        self,
+        check: Optional[Callable[[], None]] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self._event = threading.Event()
+        self.check = check
+        self.deadline = deadline
+
+    def interrupt(self) -> None:
+        """Wake every pending (and future) :meth:`wait` immediately."""
+        self._event.set()
+
+    def wait(self, delay: float) -> None:
+        if self.check is not None:
+            self.check()
+        if self.deadline is not None:
+            delay = min(delay, self.deadline - time.monotonic())
+        if delay > 0:
+            self._event.wait(delay)
+        if self.check is not None:
+            self.check()
+
+
 @dataclass
 class ShardRecovery:
     """One map call's recovery log, keyed by work-list position.
@@ -298,6 +335,30 @@ class ExecutionStats:
             continue.  Run-level flag, replicated across a batch.
         cache_evictions: corrupt cache entries evicted during this
             run's lookups (each also counts as a miss).
+        dispatch: how shards were scheduled — ``"local"`` (this
+            process's pool/serial ladder) or ``"distributed"`` (the
+            lease coordinator of :mod:`repro.dist`; the remaining
+            ``dist``-prefixed and lease counters are then live).  All
+            distributed counters are run-level: a batch replicates them
+            onto every layout of the batch.
+        dist_workers: distinct worker daemons that contacted the
+            coordinator during this run.
+        leases_granted: shard leases handed to workers (including
+            re-grants after reclaims and speculative duplicates).
+        leases_reclaimed: leases taken back from dead workers or
+            past-deadline (hung) shards and re-queued.
+        worker_deaths: workers that went silent while holding leases.
+        heartbeats_missed: silence episodes past two heartbeat
+            intervals from a lease-holding worker.
+        speculative_wins: straggler re-executions whose result landed
+            first (the duplicate beat the original lease).
+        speculative_losses: speculative leases whose original finished
+            first (the duplicate's work was discarded).
+        duplicate_commits: byte-identical re-commits discarded by the
+            coordinator (at-least-once delivery made visible).
+        dist_local_fallbacks: shards the fleet could not finish
+            (attempt budget spent, no live workers) that the local
+            pool → serial ladder completed instead.
         program: the exported machine program for this run, when the
             pipeline ran with a ``machine`` mode — carries the
             write-time breakdown, exact stream bytes and channel check
@@ -326,12 +387,25 @@ class ExecutionStats:
     cache_write_failures: int = 0
     cache_degraded: bool = False
     cache_evictions: int = 0
+    dispatch: str = "local"
+    dist_workers: int = 0
+    leases_granted: int = 0
+    leases_reclaimed: int = 0
+    worker_deaths: int = 0
+    heartbeats_missed: int = 0
+    speculative_wins: int = 0
+    speculative_losses: int = 0
+    duplicate_commits: int = 0
+    dist_local_fallbacks: int = 0
     program: Optional["MachineProgram"] = None
 
     @property
     def fault_events(self) -> int:
         """Total recovery events — nonzero iff the run degraded
-        anywhere (the CLI prints its ``faults:`` line exactly then)."""
+        anywhere (the CLI prints its ``faults:`` line exactly then).
+        Clean-run distributed counters (workers, granted leases,
+        speculation outcomes) are excluded; reclaims, deaths and missed
+        heartbeats are degradation and count."""
         return (
             self.shard_retries
             + self.shards_salvaged
@@ -339,6 +413,9 @@ class ExecutionStats:
             + self.shard_timeouts
             + self.cache_write_failures
             + int(self.cache_degraded)
+            + self.leases_reclaimed
+            + self.worker_deaths
+            + self.heartbeats_missed
         )
 
 
@@ -881,6 +958,7 @@ def _map_shards(
     tick: Optional[Callable[[], None]] = None,
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    waiter: Optional[BackoffWaiter] = None,
 ) -> Tuple[List[ShardResult], bool, ShardRecovery]:
     """Run shards through ``config = (fracturer, corrector, psf)`` on
     the shared persistent process pool when it pays off, surviving
@@ -921,7 +999,11 @@ def _map_shards(
 
     def backoff_sleep(retry_number: int) -> None:
         delay = retry.backoff(retry_number)
-        if delay > 0:
+        if waiter is not None:
+            # Interruptible: a cancel or expired job budget aborts the
+            # pending backoff instead of waiting it out.
+            waiter.wait(delay)
+        elif delay > 0:
             time.sleep(delay)
 
     def run_serial(position: int) -> None:
@@ -1133,6 +1215,19 @@ class ShardedExecutor:
         faults: an optional :class:`~repro.core.faults.FaultPlan` of
             injected shard faults (chaos testing); armed with this
             process's pid at execution time.  ``None`` in production.
+        dispatch: shard scheduling — ``"local"`` (default: this
+            process's pool/serial ladder) or ``"distributed"`` (lease
+            out shards to the worker fleet on ``endpoint`` via
+            :mod:`repro.dist`; unfinished work still falls back to the
+            local ladder).  Never changes results, only where the work
+            runs — distributed output is byte-identical to serial.
+        endpoint: coordinator ``host:port`` for distributed dispatch.
+        dist_policy: :class:`~repro.dist.coordinator.DistPolicy`
+            scheduling knobs for distributed dispatch (lease deadlines,
+            heartbeats, speculation); defaults apply when ``None``.
+        waiter: optional :class:`BackoffWaiter` making retry backoffs
+            interruptible (a service's cancel/timeout path); ``None``
+            falls back to plain sleeps.
     """
 
     def __init__(
@@ -1148,6 +1243,10 @@ class ShardedExecutor:
         progress: Optional[Callable[[int, int], None]] = None,
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        dispatch: str = "local",
+        endpoint: Optional[str] = None,
+        dist_policy=None,
+        waiter: Optional[BackoffWaiter] = None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -1179,6 +1278,64 @@ class ShardedExecutor:
         self.progress = progress
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
+        if dispatch not in ("local", "distributed"):
+            raise ValueError(
+                f"dispatch must be 'local' or 'distributed', "
+                f"got {dispatch!r}"
+            )
+        if dispatch == "distributed" and not endpoint:
+            raise ValueError(
+                "distributed dispatch requires an endpoint (host:port)"
+            )
+        self.dispatch = dispatch
+        self.endpoint = endpoint
+        self.dist_policy = dist_policy
+        self.waiter = waiter
+        self._last_dist = None
+
+    def _map(
+        self,
+        shards: List[Shard],
+        config: tuple,
+        workers: int,
+        tick: Optional[Callable[[], None]],
+        retry: RetryPolicy,
+        faults: Optional[FaultPlan],
+        cache_keys: Optional[List[str]] = None,
+    ) -> Tuple[List[ShardResult], bool, ShardRecovery]:
+        """Route one shard map to the configured dispatch path.
+
+        Distributed runs stash their scheduling counters on
+        ``self._last_dist`` for :meth:`execute_many` to fold into the
+        batch's :class:`ExecutionStats`.
+        """
+        self._last_dist = None
+        if self.dispatch == "distributed" and shards:
+            from repro.dist.run import map_shards_distributed
+
+            results, pooled, recovery, dist = map_shards_distributed(
+                shards,
+                config,
+                workers,
+                endpoint=self.endpoint,
+                tick=tick,
+                retry=retry,
+                faults=faults,
+                policy=self.dist_policy,
+                cache_keys=cache_keys,
+                waiter=self.waiter,
+            )
+            self._last_dist = dist
+            return results, pooled, recovery
+        return _map_shards(
+            shards,
+            config,
+            workers,
+            tick=tick,
+            retry=retry,
+            faults=faults,
+            waiter=self.waiter,
+        )
 
     def _progress_tick(self, total: int) -> Optional[Callable[[], None]]:
         """A thread-safe per-shard tick feeding ``self.progress``.
@@ -1318,9 +1475,8 @@ class ShardedExecutor:
         write_failures_by_owner = [0] * len(polygon_sets)
         cache_degraded = False
         if active_cache is None:
-            shard_results, pooled, recovery = _map_shards(
-                shards, config, workers, tick=tick, retry=retry,
-                faults=faults,
+            shard_results, pooled, recovery = self._map(
+                shards, config, workers, tick, retry, faults,
             )
             # Recovery log positions == work-list positions here.
             computed_positions = list(range(len(shards)))
@@ -1345,9 +1501,9 @@ class ShardedExecutor:
                 hit_flags[i] = result is not None
                 if hit_flags[i] and tick is not None:
                     tick()
-            computed, pooled, recovery = _map_shards(
-                [shards[i] for i in pending], config, workers, tick=tick,
-                retry=retry, faults=faults,
+            computed, pooled, recovery = self._map(
+                [shards[i] for i in pending], config, workers, tick,
+                retry, faults, cache_keys=[keys[i] for i in pending],
             )
             for i, result in zip(pending, computed):
                 shard_results[i] = result
@@ -1427,6 +1583,23 @@ class ShardedExecutor:
                 cache_degraded=cache_degraded,
                 cache_evictions=evictions_by_owner[which],
             )
+            # Dispatch reflects the configured mode even when a warm
+            # cache left nothing to map remotely — an all-hit run on a
+            # distributed executor is still a distributed run.
+            stats.dispatch = self.dispatch
+            dist = self._last_dist
+            if dist is not None:
+                # Distributed scheduling counters are run-level, like
+                # pool_restarts: replicated onto every batch owner.
+                stats.dist_workers = dist.workers
+                stats.leases_granted = dist.leases_granted
+                stats.leases_reclaimed = dist.leases_reclaimed
+                stats.worker_deaths = dist.worker_deaths
+                stats.heartbeats_missed = dist.heartbeats_missed
+                stats.speculative_wins = dist.speculative_wins
+                stats.speculative_losses = dist.speculative_losses
+                stats.duplicate_commits = dist.duplicate_commits
+                stats.dist_local_fallbacks = dist.local_fallbacks
             merged = merge_shard_results(
                 results, corrected=corrected and bool(results), stats=stats
             )

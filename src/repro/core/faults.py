@@ -24,6 +24,25 @@ Fault kinds
 * ``enospc_puts`` — cache stores fail with ``ENOSPC``; applied by
   wrapping the cache in :class:`FaultyCache`, counted by put ordinal.
 
+Network fault kinds (distributed execution, :mod:`repro.dist`)
+--------------------------------------------------------------
+These are consulted by the *worker daemon*, not by :meth:`FaultPlan.fire`
+— they corrupt the scheduling conversation between a worker and the
+lease coordinator, never the shard computation itself:
+
+* ``dead_worker`` — the worker daemon dies abruptly while holding the
+  lease (process workers ``os._exit``; in-process test workers stop
+  heartbeating and abandon every connection, which is indistinguishable
+  to the coordinator).
+* ``drop_conn`` — the worker's commit connection drops mid-frame; the
+  result never lands and the lease must be reclaimed by deadline.
+* ``late_heartbeat`` — the worker skips every heartbeat while executing
+  this shard, so the coordinator presumes it dead and reclaims; the
+  worker's late commit is then discarded by cache idempotency.
+* ``duplicate_commit`` — the worker commits the same result twice
+  (at-least-once delivery made visible); the second commit must be
+  discarded without altering a byte.
+
 Kill and hang faults are *armed* with the coordinating process id
 (:meth:`FaultPlan.arm`) and only fire in pool workers — a serial or
 degraded-to-serial run skips them (the coordinator must survive to
@@ -61,8 +80,19 @@ class InjectedFaultError(ValueError):
 
 
 def _pairs(value, kind: str) -> FrozenSet[Tuple[int, int]]:
+    if isinstance(value, (str, bytes)) or not hasattr(value, "__iter__"):
+        raise ValueError(
+            f"fault schedule {kind!r} must be a list of "
+            f"[position, attempt] pairs, got {value!r}"
+        )
     pairs = set()
     for item in value:
+        if isinstance(item, (str, bytes)) or not hasattr(item, "__iter__"):
+            raise ValueError(
+                f"fault schedule {kind!r} entries must be "
+                f"[position, attempt] pairs of non-negative ints, "
+                f"got {item!r}"
+            )
         pair = tuple(item)
         if len(pair) != 2 or not all(
             isinstance(x, int) and not isinstance(x, bool) and x >= 0
@@ -87,6 +117,11 @@ class FaultPlan:
         enospc_puts: 0-based cache-store ordinals (counted per
             :class:`FaultyCache` instance) whose ``put``/``put_blob``
             raises ``OSError(ENOSPC)``.
+        dead_worker / drop_conn / late_heartbeat / duplicate_commit:
+            ``(position, attempt)`` pairs at which the distributed
+            worker daemon misbehaves on the network (see the module
+            docstring); consulted by :mod:`repro.dist.worker`, never by
+            :meth:`fire`.
         hang_seconds: how long a hung shard sleeps — large against any
             realistic shard timeout, small against a test-suite budget.
         coordinator_pid: pid of the coordinating process, set by
@@ -100,6 +135,10 @@ class FaultPlan:
     hang: FrozenSet[Tuple[int, int]] = frozenset()
     permanent: FrozenSet[Tuple[int, int]] = frozenset()
     enospc_puts: FrozenSet[int] = frozenset()
+    dead_worker: FrozenSet[Tuple[int, int]] = frozenset()
+    drop_conn: FrozenSet[Tuple[int, int]] = frozenset()
+    late_heartbeat: FrozenSet[Tuple[int, int]] = frozenset()
+    duplicate_commit: FrozenSet[Tuple[int, int]] = frozenset()
     hang_seconds: float = 60.0
     coordinator_pid: Optional[int] = None
 
@@ -111,6 +150,15 @@ class FaultPlan:
     def any_shard_faults(self) -> bool:
         return bool(
             self.kill_worker or self.transient or self.hang or self.permanent
+        )
+
+    @property
+    def any_network_faults(self) -> bool:
+        return bool(
+            self.dead_worker
+            or self.drop_conn
+            or self.late_heartbeat
+            or self.duplicate_commit
         )
 
     def fire(self, position: int, attempt: int) -> None:
@@ -159,6 +207,10 @@ class FaultPlan:
             "permanent",
             "enospc_puts",
             "hang_seconds",
+            "dead_worker",
+            "drop_conn",
+            "late_heartbeat",
+            "duplicate_commit",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -167,11 +219,27 @@ class FaultPlan:
                 f"valid keys are {', '.join(sorted(known))}"
             )
         kwargs = {}
-        for kind in ("kill_worker", "transient", "hang", "permanent"):
+        for kind in (
+            "kill_worker",
+            "transient",
+            "hang",
+            "permanent",
+            "dead_worker",
+            "drop_conn",
+            "late_heartbeat",
+            "duplicate_commit",
+        ):
             if kind in payload:
                 kwargs[kind] = _pairs(payload[kind], kind)
         if "enospc_puts" in payload:
             ordinals = payload["enospc_puts"]
+            if isinstance(ordinals, (str, bytes)) or not hasattr(
+                ordinals, "__iter__"
+            ):
+                raise ValueError(
+                    "'enospc_puts' must be a list of non-negative store "
+                    f"ordinals, got {ordinals!r}"
+                )
             if not all(
                 isinstance(x, int) and not isinstance(x, bool) and x >= 0
                 for x in ordinals

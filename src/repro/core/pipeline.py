@@ -188,6 +188,18 @@ class PreparationPipeline:
             A plan with ``enospc_puts`` wraps the cache in a
             :class:`~repro.core.faults.FaultyCache` so store faults hit
             both shard results and program segment blobs.
+        dispatch: shard scheduling — ``"local"`` (default) or
+            ``"distributed"`` (lease shards to the worker fleet on
+            ``workers_endpoint`` via :mod:`repro.dist`; byte-identical
+            to local, with the local ladder as the last rung).
+        workers_endpoint: coordinator ``host:port`` for distributed
+            dispatch.
+        dist_policy: optional
+            :class:`~repro.dist.coordinator.DistPolicy` scheduling
+            knobs for distributed dispatch.
+        waiter: optional :class:`~repro.core.executor.BackoffWaiter`
+            making the engine's retry backoffs interruptible (the
+            service's cancel/timeout path).
 
     Example:
         >>> from repro.layout import generators
@@ -218,6 +230,10 @@ class PreparationPipeline:
         progress=None,
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        dispatch: str = "local",
+        workers_endpoint: Optional[str] = None,
+        dist_policy=None,
+        waiter=None,
     ) -> None:
         if corrector is not None and psf is None:
             raise ValueError("a corrector requires a PSF")
@@ -249,6 +265,19 @@ class PreparationPipeline:
         self.address_unit = address_unit
         self.program_dir = Path(program_dir) if program_dir is not None else None
         self.progress = progress
+        if dispatch not in ("local", "distributed"):
+            raise ValueError(
+                f"dispatch must be 'local' or 'distributed', "
+                f"got {dispatch!r}"
+            )
+        if dispatch == "distributed" and not workers_endpoint:
+            raise ValueError(
+                "distributed dispatch requires workers_endpoint (host:port)"
+            )
+        self.dispatch = dispatch
+        self.workers_endpoint = workers_endpoint
+        self.dist_policy = dist_policy
+        self.waiter = waiter
 
     @property
     def executor(self) -> ShardedExecutor:
@@ -267,6 +296,10 @@ class PreparationPipeline:
             progress=self.progress,
             retry=self.retry,
             faults=self.faults,
+            dispatch=self.dispatch,
+            endpoint=self.workers_endpoint,
+            dist_policy=self.dist_policy,
+            waiter=self.waiter,
         )
 
     # -- entry points --------------------------------------------------------

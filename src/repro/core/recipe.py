@@ -24,6 +24,7 @@ FRACTURE_MODES = ("trapezoid", "vsb")
 PEC_MATRIX_MODES = ("dense", "sparse", "hybrid")
 HIERARCHY_MODES = ("flat", "cells")
 MACHINE_MODES = ("raster", "vsb", "vector")
+DISPATCH_MODES = ("local", "distributed")
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,8 @@ class PrepRecipe:
     address_unit: float = 0.5
     shard_retries: int = 2
     shard_timeout: Optional[float] = None
+    dispatch: str = "local"
+    workers_endpoint: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.fracture not in FRACTURE_MODES:
@@ -115,6 +118,25 @@ class PrepRecipe:
                 raise ValueError(
                     f"shard_timeout must be positive, got {self.shard_timeout!r}"
                 )
+        if self.dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_MODES}, "
+                f"got {self.dispatch!r}"
+            )
+        if self.workers_endpoint is not None:
+            from repro.dist.protocol import parse_endpoint
+
+            if not isinstance(self.workers_endpoint, str):
+                raise ValueError(
+                    f"workers_endpoint must be a host:port string, "
+                    f"got {self.workers_endpoint!r}"
+                )
+            parse_endpoint(self.workers_endpoint)
+        if self.dispatch == "distributed" and self.workers_endpoint is None:
+            raise ValueError(
+                "dispatch='distributed' requires a workers_endpoint "
+                "(host:port of the lease coordinator)"
+            )
 
     def to_dict(self) -> dict:
         """The recipe as a plain JSON-serializable mapping."""
@@ -138,13 +160,17 @@ class PrepRecipe:
         cache_dir: Optional[Union[str, Path]] = None,
         program_dir: Optional[Union[str, Path]] = None,
         progress=None,
+        waiter=None,
     ):
         """Construct the pipeline this recipe describes.
 
         ``cache`` (an existing :class:`~repro.core.cache.ShardCache`,
         e.g. the service's shared one) wins over ``cache_dir``;
         ``progress`` is the per-shard completion callback threaded into
-        the execution engine (see :mod:`repro.core.executor`).
+        the execution engine (see :mod:`repro.core.executor`);
+        ``waiter`` is an optional
+        :class:`~repro.core.executor.BackoffWaiter` making retry
+        backoffs interruptible (the service's cancel/timeout path).
         """
         from repro.core.executor import RetryPolicy
         from repro.core.faults import FaultPlan
@@ -193,4 +219,7 @@ class PrepRecipe:
                 shard_timeout=self.shard_timeout,
             ),
             faults=FaultPlan.from_env(),
+            dispatch=self.dispatch,
+            workers_endpoint=self.workers_endpoint,
+            waiter=waiter,
         )

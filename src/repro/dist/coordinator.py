@@ -1,0 +1,772 @@
+"""The lease coordinator: a shard work queue remote workers pull from.
+
+One :class:`CoordinatorServer` listens on a TCP endpoint and schedules
+*batches* of shards (one batch per ``execute_many`` call).  Workers pull
+**leases** — ``(position, attempt, lease_id, deadline)`` — execute the
+shard, and commit the serialized result back.  The scheduling rules are
+the network mirror of the single-host recovery ladder in
+:mod:`repro.core.executor`:
+
+* a worker that stops contacting the coordinator (death, partition) has
+  its leases **reclaimed** and re-queued under the batch's
+  :class:`~repro.core.executor.RetryPolicy` attempt budget;
+* a lease that outlives its deadline (hung shard) is reclaimed the same
+  way — the remote analogue of the hung-worker watchdog;
+* when the queue runs dry but leases are still in flight, the
+  coordinator grants **speculative** duplicate leases for the oldest
+  stragglers; the first committed result wins and the loser's commit is
+  discarded (results are byte-deterministic, so both carry identical
+  bytes — the race has no observable outcome besides wall-clock);
+* a position whose remote attempt budget is exhausted is marked
+  *spent* and handed back to the caller, whose local pool → serial
+  ladder finishes it — a run never fails because every worker died.
+
+Commits are accepted **idempotently**: a commit for an uncommitted
+position is taken even if its lease was already reclaimed (the bytes
+are correct regardless of who computed them), an identical duplicate is
+counted and discarded, and a commit whose bytes differ from the
+already-committed ones poisons the batch — that can only mean the
+determinism contract itself is broken, which must never be papered
+over.
+
+:class:`LeaseQueue` is the pure scheduling state machine (every method
+takes ``now`` explicitly, so property tests drive it with simulated
+time); :class:`CoordinatorServer` wraps it in a threaded TCP server
+speaking :mod:`repro.dist.protocol`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socketserver
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field, fields
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.executor import RetryPolicy
+from repro.dist.protocol import ProtocolError, recv_frame, send_frame
+
+#: Environment variable carrying scheduling-policy overrides as JSON —
+#: the :class:`DistPolicy` counterpart of ``REPRO_FAULTS``, so smoke
+#: scripts and CI tune heartbeat/speculation timings without new CLI
+#: flags: ``REPRO_DIST='{"speculate": false, "heartbeat_timeout": 1.0}'``.
+DIST_ENV_VAR = "REPRO_DIST"
+
+
+@dataclass(frozen=True)
+class DistPolicy:
+    """Scheduling knobs of the distributed layer.
+
+    Attributes:
+        lease_deadline: per-attempt wall-clock budget [s] for a leased
+            shard when the batch's ``RetryPolicy`` has no
+            ``shard_timeout``; past it the lease is reclaimed.
+        heartbeat_interval: how often workers heartbeat while executing
+            a lease [s].
+        heartbeat_timeout: a lease-holding worker silent this long [s]
+            counts as dead and its leases are reclaimed.
+        worker_grace: how long the coordinator waits with work pending
+            but no live workers [s] before handing the remainder to the
+            local execution ladder.
+        speculate: grant end-of-queue duplicate leases for stragglers.
+        speculate_after: minimum lease age [s] before it is eligible
+            for speculative duplication.
+        poll_interval: the run loop's wait granularity [s].
+        wait_hint: how long an idle worker is told to sleep before
+            polling again [s].
+    """
+
+    lease_deadline: float = 30.0
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 2.5
+    worker_grace: float = 5.0
+    speculate: bool = True
+    speculate_after: float = 1.0
+    poll_interval: float = 0.05
+    wait_hint: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "lease_deadline",
+            "heartbeat_interval",
+            "heartbeat_timeout",
+            "worker_grace",
+            "speculate_after",
+            "poll_interval",
+            "wait_hint",
+        ):
+            value = getattr(self, name)
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or value < 0
+            ):
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+    @classmethod
+    def from_json(cls, text: str) -> "DistPolicy":
+        """Build a policy from a JSON object of knob overrides."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"dist policy is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError(
+                "dist policy must be a JSON object of knob overrides, "
+                f"got {type(payload).__name__}"
+            )
+        known = [f.name for f in fields(cls)]
+        unknown = sorted(set(payload) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown dist policy key(s): {', '.join(unknown)}; "
+                f"valid keys are {', '.join(known)}"
+            )
+        if "speculate" in payload and not isinstance(payload["speculate"], bool):
+            raise ValueError(
+                f"speculate must be a boolean, got {payload['speculate']!r}"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Dict[str, str]] = None
+    ) -> Optional["DistPolicy"]:
+        """Read overrides from ``REPRO_DIST``; None when unset/empty."""
+        source = os.environ if environ is None else environ
+        text = source.get(DIST_ENV_VAR, "").strip()
+        if not text:
+            return None
+        return cls.from_json(text)
+
+
+@dataclass
+class DistRunStats:
+    """One batch's distributed-scheduling counters.
+
+    All-zero except ``workers`` / ``leases_granted`` /
+    ``remote_commits`` on a clean run — reclaims, deaths, missed
+    heartbeats and duplicates are the network layer's "a degraded run
+    can never look like a clean one" witnesses.
+    """
+
+    workers: int = 0
+    leases_granted: int = 0
+    leases_reclaimed: int = 0
+    worker_deaths: int = 0
+    heartbeats_missed: int = 0
+    speculative_leases: int = 0
+    speculative_wins: int = 0
+    speculative_losses: int = 0
+    duplicate_commits: int = 0
+    remote_commits: int = 0
+    local_fallbacks: int = 0
+
+    def copy(self) -> "DistRunStats":
+        return DistRunStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+
+@dataclass
+class _Lease:
+    lease_id: int
+    position: int
+    attempt: int
+    worker: str
+    granted_at: float
+    deadline: float
+    speculative: bool = False
+
+
+@dataclass
+class _Worker:
+    last_contact: float
+    silent_flagged: bool = False
+
+
+@dataclass(frozen=True)
+class _QueueState:
+    """What the run loop needs to decide its next step."""
+
+    finished: bool
+    error: Optional[str]
+    live_workers: int
+    outstanding: int
+    pending: int
+
+
+class LeaseQueue:
+    """The scheduling state machine for one batch of ``n`` shards.
+
+    Thread-safe; every public method takes the current monotonic time
+    explicitly so tests replay schedules deterministically.  Positions
+    end up either *committed* (result bytes held) or *spent* (remote
+    attempt budget exhausted or the batch abandoned) — the caller
+    finishes spent positions on the local ladder.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        retry: Optional[RetryPolicy] = None,
+        policy: Optional[DistPolicy] = None,
+    ) -> None:
+        if n < 0:
+            raise ValueError(f"shard count must be >= 0, got {n}")
+        self.n = n
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.policy = policy if policy is not None else DistPolicy()
+        self.stats = DistRunStats()
+        self._lock = threading.Lock()
+        self._pending: Deque[Tuple[int, int]] = deque(
+            (position, 0) for position in range(n)
+        )
+        self._leases: Dict[int, _Lease] = {}
+        self._committed: Dict[int, bytes] = {}
+        self._delivered: Set[int] = set()
+        self._attempts_used: List[int] = [0] * n
+        self._spent: Set[int] = set()
+        self._workers: Dict[str, _Worker] = {}
+        self._workers_seen: Set[str] = set()
+        self._error: Optional[str] = None
+        self._closed = False
+        self._lease_seq = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def _lease_budget(self) -> float:
+        if self.retry.shard_timeout is not None:
+            return self.retry.shard_timeout
+        return self.policy.lease_deadline
+
+    def _touch_locked(self, worker: str, now: float) -> None:
+        state = self._workers.get(worker)
+        if state is None:
+            self._workers[worker] = _Worker(last_contact=now)
+            if worker not in self._workers_seen:
+                self._workers_seen.add(worker)
+                self.stats.workers = len(self._workers_seen)
+        else:
+            state.last_contact = now
+            state.silent_flagged = False
+
+    def touch_worker(self, worker: str, now: float) -> None:
+        """Record any contact from ``worker`` (poll, heartbeat, commit)."""
+        with self._lock:
+            self._touch_locked(worker, now)
+
+    def grant(self, worker: str, now: float) -> Optional[_Lease]:
+        """Hand ``worker`` a lease, or ``None`` when nothing is grantable.
+
+        Pending work is granted first; with the queue dry and
+        speculation on, the oldest sufficiently-aged in-flight position
+        without a duplicate (and with attempt budget left) is granted a
+        speculative second lease.
+        """
+        with self._lock:
+            self._touch_locked(worker, now)
+            if self._error is not None or self._closed:
+                return None
+            if self._pending:
+                position, attempt = self._pending.popleft()
+                return self._grant_locked(
+                    worker, position, attempt, now, speculative=False
+                )
+            if not self.policy.speculate:
+                return None
+            duplicated = {
+                lease.position
+                for lease in self._leases.values()
+                if lease.speculative
+            }
+            candidates = [
+                lease
+                for lease in self._leases.values()
+                if not lease.speculative
+                and lease.position not in duplicated
+                and lease.position not in self._committed
+                and now - lease.granted_at >= self.policy.speculate_after
+                and self._attempts_used[lease.position]
+                < self.retry.max_attempts
+            ]
+            if not candidates:
+                return None
+            straggler = min(candidates, key=lambda lease: lease.granted_at)
+            position = straggler.position
+            attempt = self._attempts_used[position]
+            self.stats.speculative_leases += 1
+            return self._grant_locked(
+                worker, position, attempt, now, speculative=True
+            )
+
+    def _grant_locked(
+        self,
+        worker: str,
+        position: int,
+        attempt: int,
+        now: float,
+        speculative: bool,
+    ) -> _Lease:
+        self._lease_seq += 1
+        lease = _Lease(
+            lease_id=self._lease_seq,
+            position=position,
+            attempt=attempt,
+            worker=worker,
+            granted_at=now,
+            deadline=now + self._lease_budget(),
+            speculative=speculative,
+        )
+        self._leases[lease.lease_id] = lease
+        self._attempts_used[position] = max(
+            self._attempts_used[position], attempt + 1
+        )
+        self.stats.leases_granted += 1
+        return lease
+
+    def heartbeat(self, worker: str, lease_id: int, now: float) -> bool:
+        """A worker's I-am-alive while executing ``lease_id``; returns
+        whether the lease is still considered live (a reclaimed lease's
+        worker may as well stop — its commit would be redundant)."""
+        with self._lock:
+            self._touch_locked(worker, now)
+            return lease_id in self._leases
+
+    def _requeue_locked(self, position: int) -> None:
+        """Put ``position`` back in line exactly once, or mark it spent.
+
+        Guarded so a position can never be queued twice: nothing to do
+        if it is committed, already pending, already spent, or still
+        covered by another outstanding lease (the speculative sibling
+        *is* the retry in flight).
+        """
+        if position in self._committed or position in self._spent:
+            return
+        if any(entry[0] == position for entry in self._pending):
+            return
+        if any(
+            lease.position == position for lease in self._leases.values()
+        ):
+            return
+        next_attempt = self._attempts_used[position]
+        if next_attempt >= self.retry.max_attempts:
+            self._spent.add(position)
+        else:
+            self._pending.append((position, next_attempt))
+
+    def commit(
+        self,
+        lease_id: int,
+        worker: str,
+        position: int,
+        payload: bytes,
+        now: float,
+    ) -> str:
+        """Accept a result; returns ``"accepted"``, ``"duplicate"`` or
+        ``"conflict"``.
+
+        Accepted even when the lease was already reclaimed — the bytes
+        of a deterministic shard are correct no matter which attempt
+        produced them (at-least-once delivery).  Identical re-commits
+        are discarded; differing bytes poison the batch.
+        """
+        with self._lock:
+            self._touch_locked(worker, now)
+            lease = self._leases.pop(lease_id, None)
+            if not 0 <= position < self.n:
+                self._poison_locked(
+                    f"commit for position {position} outside batch of "
+                    f"{self.n} shards"
+                )
+                return "conflict"
+            previous = self._committed.get(position)
+            if previous is not None:
+                if previous == payload:
+                    self.stats.duplicate_commits += 1
+                    return "duplicate"
+                self._poison_locked(
+                    f"conflicting commit for shard {position}: two "
+                    "attempts produced different bytes — the determinism "
+                    "contract is broken"
+                )
+                return "conflict"
+            self._committed[position] = payload
+            self._spent.discard(position)
+            self._pending = deque(
+                entry for entry in self._pending if entry[0] != position
+            )
+            self.stats.remote_commits += 1
+            if lease is not None and lease.speculative:
+                self.stats.speculative_wins += 1
+            for other_id, other in list(self._leases.items()):
+                if other.position == position:
+                    del self._leases[other_id]
+                    if other.speculative:
+                        self.stats.speculative_losses += 1
+            return "accepted"
+
+    def fail(
+        self,
+        lease_id: int,
+        worker: str,
+        position: int,
+        transient: bool,
+        message: str,
+        now: float,
+    ) -> None:
+        """A worker reports its shard raised.
+
+        Transient failures re-enter the queue under the attempt budget;
+        deterministic ones poison the batch — retrying a pure function
+        cannot change its outcome, so the run must fail fast.
+        """
+        with self._lock:
+            self._touch_locked(worker, now)
+            self._leases.pop(lease_id, None)
+            if position in self._committed:
+                return
+            if not transient:
+                self._poison_locked(message)
+                return
+            self._requeue_locked(position)
+
+    def _poison_locked(self, message: str) -> bool:
+        if self._error is None:
+            self._error = message
+        return True
+
+    def scan(self, now: float) -> None:
+        """Reclaim leases from dead workers and past-deadline shards."""
+        with self._lock:
+            held: Dict[str, List[int]] = {}
+            for lease in self._leases.values():
+                held.setdefault(lease.worker, []).append(lease.lease_id)
+            for worker, state in list(self._workers.items()):
+                age = now - state.last_contact
+                holding = held.get(worker, [])
+                if age > self.policy.heartbeat_timeout:
+                    if holding:
+                        self.stats.worker_deaths += 1
+                        for lease_id in holding:
+                            lease = self._leases.pop(lease_id, None)
+                            if lease is None:
+                                continue
+                            self.stats.leases_reclaimed += 1
+                            self._requeue_locked(lease.position)
+                    del self._workers[worker]
+                elif (
+                    holding
+                    and age > 2.0 * self.policy.heartbeat_interval
+                    and not state.silent_flagged
+                ):
+                    self.stats.heartbeats_missed += 1
+                    state.silent_flagged = True
+            for lease_id, lease in list(self._leases.items()):
+                if lease.deadline < now:
+                    del self._leases[lease_id]
+                    self.stats.leases_reclaimed += 1
+                    self._requeue_locked(lease.position)
+
+    def abandon_remaining(self) -> None:
+        """Mark every unfinished position spent and stop granting.
+
+        The no-live-workers escape hatch: the caller's local ladder
+        finishes spent positions, so the run completes even when the
+        whole fleet is gone.  Late commits for spent positions are
+        still accepted (identical bytes either way)."""
+        with self._lock:
+            self._closed = True
+            for position, _ in self._pending:
+                if position not in self._committed:
+                    self._spent.add(position)
+            self._pending.clear()
+            for lease in self._leases.values():
+                if lease.position not in self._committed:
+                    self._spent.add(lease.position)
+            self._leases.clear()
+
+    # -- observation -------------------------------------------------------
+
+    def take_new_commits(self) -> List[Tuple[int, bytes]]:
+        """Committed payloads not yet handed to the caller, by position."""
+        with self._lock:
+            fresh = sorted(
+                position
+                for position in self._committed
+                if position not in self._delivered
+            )
+            self._delivered.update(fresh)
+            return [
+                (position, self._committed[position]) for position in fresh
+            ]
+
+    def state(self, now: float) -> _QueueState:
+        with self._lock:
+            finished = self._error is not None or (
+                not self._pending
+                and not self._leases
+                and all(
+                    position in self._committed or position in self._spent
+                    for position in range(self.n)
+                )
+            )
+            live = sum(
+                1
+                for state in self._workers.values()
+                if now - state.last_contact <= self.policy.heartbeat_timeout
+            )
+            return _QueueState(
+                finished=finished,
+                error=self._error,
+                live_workers=live,
+                outstanding=len(self._leases),
+                pending=len(self._pending),
+            )
+
+    @property
+    def error(self) -> Optional[str]:
+        with self._lock:
+            return self._error
+
+    def spent_positions(self) -> List[int]:
+        """Positions the caller must finish locally, sorted."""
+        with self._lock:
+            return sorted(
+                position
+                for position in self._spent
+                if position not in self._committed
+            )
+
+
+@dataclass
+class _Batch:
+    """One ``execute_many`` call's work, as the server schedules it."""
+
+    id: str
+    seq: int
+    queue: LeaseQueue
+    config_blob: bytes
+    shard_blobs: List[bytes]
+    cache_keys: Optional[List[str]]
+    progress: threading.Event = field(default_factory=threading.Event)
+
+
+class _CoordinatorHandler(socketserver.BaseRequestHandler):
+    """One request frame, one reply frame, close."""
+
+    server: "CoordinatorServer"
+
+    def handle(self) -> None:
+        try:
+            header, payload = recv_frame(self.request)
+            reply, reply_payload = self.server.dispatch(header, payload)
+            send_frame(self.request, reply, reply_payload)
+        except (OSError, ProtocolError):
+            # A dropped/garbled connection is the *worker's* problem to
+            # retry; the coordinator's state machine is only advanced by
+            # complete frames.
+            pass
+
+
+class CoordinatorServer(socketserver.ThreadingTCPServer):
+    """TCP front of the lease queue(s); one server may schedule several
+    concurrent batches (a job server running distributed jobs)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        super().__init__(address, _CoordinatorHandler)
+        self._lock = threading.Lock()
+        self._batches: Dict[str, _Batch] = {}
+        self._batch_seq = 0
+        # Batch ids are namespaced by a per-server nonce: a worker
+        # daemon outliving this coordinator must never mistake a
+        # successor's batch for one it already fetched the config of
+        # (sequential ids restart at 1 in every server process).
+        self._batch_nonce = uuid.uuid4().hex[:12]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- batch lifecycle ---------------------------------------------------
+
+    def submit_batch(
+        self,
+        shard_blobs: List[bytes],
+        config_blob: bytes,
+        retry: Optional[RetryPolicy] = None,
+        policy: Optional[DistPolicy] = None,
+        cache_keys: Optional[List[str]] = None,
+    ) -> _Batch:
+        """Register a batch of shards for workers to pull."""
+        if cache_keys is not None and len(cache_keys) != len(shard_blobs):
+            raise ValueError("cache_keys must match shard_blobs in length")
+        with self._lock:
+            self._batch_seq += 1
+            batch = _Batch(
+                id=f"{self._batch_nonce}-{self._batch_seq}",
+                seq=self._batch_seq,
+                queue=LeaseQueue(len(shard_blobs), retry=retry, policy=policy),
+                config_blob=config_blob,
+                shard_blobs=shard_blobs,
+                cache_keys=cache_keys,
+            )
+            self._batches[batch.id] = batch
+            return batch
+
+    def finish_batch(self, batch_id: str) -> None:
+        with self._lock:
+            self._batches.pop(batch_id, None)
+
+    def _batch(self, batch_id) -> Optional[_Batch]:
+        with self._lock:
+            return self._batches.get(batch_id)
+
+    def _batches_in_order(self) -> List[_Batch]:
+        with self._lock:
+            return sorted(self._batches.values(), key=lambda b: b.seq)
+
+    # -- protocol dispatch -------------------------------------------------
+
+    def dispatch(self, header: dict, payload: bytes) -> Tuple[dict, bytes]:
+        """Route one request frame; returns the reply frame."""
+        kind = header.get("type")
+        now = time.monotonic()
+        if kind == "ping":
+            return {"type": "pong"}, b""
+        if kind == "lease":
+            return self._handle_lease(header, now)
+        if kind == "config":
+            batch = self._batch(header.get("batch"))
+            if batch is None:
+                return {"type": "gone"}, b""
+            return {"type": "config"}, batch.config_blob
+        if kind == "heartbeat":
+            batch = self._batch(header.get("batch"))
+            alive = False
+            if batch is not None:
+                alive = batch.queue.heartbeat(
+                    str(header.get("worker")), header.get("lease"), now
+                )
+            return {"type": "ok", "live": alive}, b""
+        if kind == "commit":
+            batch = self._batch(header.get("batch"))
+            if batch is None:
+                return {"type": "gone"}, b""
+            outcome = batch.queue.commit(
+                header.get("lease"),
+                str(header.get("worker")),
+                header.get("position", -1),
+                payload,
+                now,
+            )
+            batch.progress.set()
+            return {"type": "ok", "outcome": outcome}, b""
+        if kind == "fail":
+            batch = self._batch(header.get("batch"))
+            if batch is not None:
+                batch.queue.fail(
+                    header.get("lease"),
+                    str(header.get("worker")),
+                    header.get("position", -1),
+                    bool(header.get("transient")),
+                    str(header.get("error", "worker reported a failure")),
+                    now,
+                )
+                batch.progress.set()
+            return {"type": "ok"}, b""
+        return {
+            "type": "error",
+            "message": f"unknown message type {kind!r}",
+        }, b""
+
+    def _handle_lease(self, header: dict, now: float) -> Tuple[dict, bytes]:
+        worker = str(header.get("worker"))
+        hint = DistPolicy().wait_hint
+        for batch in self._batches_in_order():
+            batch.queue.scan(now)
+            lease = batch.queue.grant(worker, now)
+            hint = batch.queue.policy.wait_hint
+            if lease is None:
+                continue
+            batch.progress.set()
+            cache_key = None
+            if batch.cache_keys is not None:
+                cache_key = batch.cache_keys[lease.position]
+            return (
+                {
+                    "type": "task",
+                    "batch": batch.id,
+                    "lease": lease.lease_id,
+                    "position": lease.position,
+                    "attempt": lease.attempt,
+                    "deadline": lease.deadline - now,
+                    "heartbeat": batch.queue.policy.heartbeat_interval,
+                    "cache_key": cache_key,
+                    "speculative": lease.speculative,
+                },
+                batch.shard_blobs[lease.position],
+            )
+        return {"type": "wait", "hint": hint}, b""
+
+    # -- serving -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Serve in a daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+                name="repro-dist-coordinator",
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+# One coordinator per requested endpoint, shared process-wide — the
+# same pattern as the executor's shared process pool: a job server
+# running several distributed jobs multiplexes them as concurrent
+# batches on one listener instead of fighting over the port.
+_registry_lock = threading.Lock()
+_servers: Dict[str, CoordinatorServer] = {}
+
+
+def coordinator_for(endpoint: str) -> CoordinatorServer:
+    """Get or create the serving coordinator bound to ``endpoint``
+    (``"host:port"``; port 0 binds an ephemeral port — read the real
+    one off ``server.server_address``)."""
+    from repro.dist.protocol import parse_endpoint
+
+    address = parse_endpoint(endpoint)
+    with _registry_lock:
+        server = _servers.get(endpoint)
+        if server is None:
+            server = CoordinatorServer(address)
+            server.start()
+            _servers[endpoint] = server
+            # A ":0" request bound an ephemeral port; register the
+            # resolved address too so pipelines handed the real
+            # endpoint find this server instead of re-binding the port.
+            host, port = server.server_address[:2]
+            _servers.setdefault(f"{host}:{port}", server)
+        return server
+
+
+def shutdown_coordinators() -> None:
+    """Stop every registry coordinator (tests, benchmarks, atexit)."""
+    with _registry_lock:
+        servers = list(_servers.values())
+        _servers.clear()
+    for server in servers:
+        server.stop()

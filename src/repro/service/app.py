@@ -97,6 +97,7 @@ class PrepServer(ThreadingHTTPServer):
             "cache": cache_stats,
             "jobs": self.store.counts(),
             "faults": self.store.fault_totals(),
+            "dist": self.store.dist_totals(),
         }
 
 

@@ -18,7 +18,7 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.schemas import JobSpec
@@ -53,6 +53,11 @@ class Job:
             and stops cooperatively at the next shard boundary.
         attempts: how many times the runner has started this job
             (> 1 after per-job retries).
+        interrupt: runner-registered callable that wakes the run's
+            pending backoff waits immediately (see
+            :class:`~repro.core.executor.BackoffWaiter`) — invoked by
+            :meth:`JobStore.request_running_cancel` so a cancel never
+            waits out a sleeping retry backoff.
     """
 
     id: str
@@ -70,6 +75,7 @@ class Job:
     program_path: Optional[str] = None
     cancel_requested: bool = False
     attempts: int = 0
+    interrupt: Optional[Callable[[], None]] = None
 
     @property
     def priority(self) -> int:
@@ -93,11 +99,26 @@ class JobStore:
         "cancelled_while_running",
     )
 
+    #: Distributed-scheduling counters aggregated across jobs — the
+    #: ``dist`` section of ``GET /stats`` always carries all keys.
+    DIST_KEYS = (
+        "leases_granted",
+        "leases_reclaimed",
+        "worker_deaths",
+        "heartbeats_missed",
+        "speculative_wins",
+        "speculative_losses",
+        "duplicate_commits",
+        "dist_local_fallbacks",
+        "distributed_jobs",
+    )
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._sequence = 0
         self._fault_totals: Dict[str, int] = {k: 0 for k in self.FAULT_KEYS}
+        self._dist_totals: Dict[str, int] = {k: 0 for k in self.DIST_KEYS}
 
     # -- creation / lookup -------------------------------------------------
 
@@ -177,13 +198,27 @@ class JobStore:
         """Flag a *running* job for cooperative cancellation; False
         from any other state.  The runner's progress callback polls
         the flag and lands the job in ``cancelled`` at the next shard
-        boundary (idempotent: re-requesting stays True)."""
+        boundary (idempotent: re-requesting stays True).  A registered
+        backoff interrupt fires too, so a run sleeping in a retry
+        backoff aborts immediately instead of waiting the delay out."""
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None or job.state != "running":
                 return False
             job.cancel_requested = True
-            return True
+            interrupt = job.interrupt
+        if interrupt is not None:
+            interrupt()
+        return True
+
+    def attach_interrupt(
+        self, job_id: str, interrupt: Callable[[], None]
+    ) -> None:
+        """Register the run's backoff-wakeup hook (runner, at start)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                job.interrupt = interrupt
 
     def cancel_requested(self, job_id: str) -> bool:
         """Whether a cooperative cancel is pending on this job."""
@@ -245,6 +280,19 @@ class JobStore:
         """A copy of the server-wide fault counters (all keys present)."""
         with self._lock:
             return dict(self._fault_totals)
+
+    def record_dist(self, counters: Dict[str, int]) -> None:
+        """Fold one distributed run's scheduling counters into the
+        server-wide totals (unknown keys and non-ints are ignored)."""
+        with self._lock:
+            for key, value in counters.items():
+                if key in self._dist_totals and isinstance(value, int):
+                    self._dist_totals[key] += value
+
+    def dist_totals(self) -> Dict[str, int]:
+        """A copy of the server-wide distributed counters."""
+        with self._lock:
+            return dict(self._dist_totals)
 
     def update_progress(self, job_id: str, done: int, total: int) -> None:
         """Per-shard progress from the execution engine (monotonic;

@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.cache import ShardCache
-from repro.core.executor import ExecutionStats
+from repro.core.executor import BackoffWaiter, ExecutionStats
 from repro.core.jobfile import write_job
 from repro.service.jobs import Job, JobStore
 
@@ -51,6 +51,7 @@ def _stats_view(stats: Optional[ExecutionStats]) -> dict:
         "kernel_fallbacks": stats.kernel_fallbacks,
         "kernel_coord_fallbacks": stats.kernel_coord_fallbacks,
         "kernel_slab_fallbacks": stats.kernel_slab_fallbacks,
+        "dispatch": stats.dispatch,
         "faults": {
             "shard_retries": stats.shard_retries,
             "shards_salvaged": stats.shards_salvaged,
@@ -65,6 +66,18 @@ def _stats_view(stats: Optional[ExecutionStats]) -> dict:
         view["cells_fractured"] = stats.cells_fractured
         view["instances_reused"] = stats.instances_reused
         view["instances_fallback"] = stats.instances_fallback
+    if stats.dispatch == "distributed":
+        view["dist"] = {
+            "workers": stats.dist_workers,
+            "leases_granted": stats.leases_granted,
+            "leases_reclaimed": stats.leases_reclaimed,
+            "worker_deaths": stats.worker_deaths,
+            "heartbeats_missed": stats.heartbeats_missed,
+            "speculative_wins": stats.speculative_wins,
+            "speculative_losses": stats.speculative_losses,
+            "duplicate_commits": stats.duplicate_commits,
+            "local_fallbacks": stats.dist_local_fallbacks,
+        }
     return view
 
 
@@ -146,8 +159,7 @@ class JobRunner:
             time.monotonic() + spec.timeout if spec.timeout is not None else None
         )
 
-        def progress(done: int, total: int) -> None:
-            self.store.update_progress(job.id, done, total)
+        def check() -> None:
             if self.store.cancel_requested(job.id):
                 raise JobCancelled(f"job {job.id} cancelled while running")
             if deadline is not None and time.monotonic() > deadline:
@@ -155,8 +167,17 @@ class JobRunner:
                     f"job {job.id} exceeded its {spec.timeout:g} s budget"
                 )
 
+        def progress(done: int, total: int) -> None:
+            self.store.update_progress(job.id, done, total)
+            check()
+
+        # The waiter makes retry backoffs interruptible: a cancel (via
+        # the store's interrupt hook) or the job deadline cuts a pending
+        # backoff sleep short, and ``check`` raises on the way out.
+        waiter = BackoffWaiter(check=check, deadline=deadline)
+        self.store.attach_interrupt(job.id, waiter.interrupt)
         pipeline = spec.recipe.build_pipeline(
-            cache=self.cache, progress=progress
+            cache=self.cache, progress=progress, waiter=waiter
         )
         program_path = None
         if spec.recipe.machine is not None:
@@ -187,6 +208,20 @@ class JobRunner:
                     "cache_evictions": stats.cache_evictions,
                 }
             )
+            if stats.dispatch == "distributed":
+                self.store.record_dist(
+                    {
+                        "distributed_jobs": 1,
+                        "leases_granted": stats.leases_granted,
+                        "leases_reclaimed": stats.leases_reclaimed,
+                        "worker_deaths": stats.worker_deaths,
+                        "heartbeats_missed": stats.heartbeats_missed,
+                        "speculative_wins": stats.speculative_wins,
+                        "speculative_losses": stats.speculative_losses,
+                        "duplicate_commits": stats.duplicate_commits,
+                        "dist_local_fallbacks": stats.dist_local_fallbacks,
+                    }
+                )
         program = result.machine_program
         if program is not None:
             summary["program"] = {

@@ -9,6 +9,8 @@ RNG, so each scenario replays identically.
 """
 
 import os
+import threading
+import time
 
 import pytest
 
@@ -336,3 +338,262 @@ class TestFullGauntlet:
         assert stats.cache_write_failures == 0
         assert not stats.cache_degraded
         assert stats.cache_evictions == 0
+
+
+class TestMalformedFaultPlans:
+    """Satellite regression: a malformed ``REPRO_FAULTS`` must die with
+    one line naming the offending key — never a ``TypeError``
+    traceback out of frozenset/tuple conversion."""
+
+    @pytest.mark.parametrize(
+        "text, key",
+        [
+            ('{"kill_worker": 5}', "kill_worker"),
+            ('{"transient": "0,0"}', "transient"),
+            ('{"dead_worker": 7}', "dead_worker"),
+            ('{"drop_conn": {"0": 0}}', "drop_conn"),
+            ('{"enospc_puts": 3}', "enospc_puts"),
+        ],
+    )
+    def test_non_list_schedules_name_the_key(self, text, key):
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.from_json(text)
+        assert key in str(excinfo.value)
+
+    def test_network_kinds_round_trip(self):
+        plan = FaultPlan.from_json(
+            '{"dead_worker": [[0, 0]], "drop_conn": [[1, 0]], '
+            '"late_heartbeat": [[2, 0]], "duplicate_commit": [[3, 1]]}'
+        )
+        assert plan.dead_worker == frozenset({(0, 0)})
+        assert plan.drop_conn == frozenset({(1, 0)})
+        assert plan.late_heartbeat == frozenset({(2, 0)})
+        assert plan.duplicate_commit == frozenset({(3, 1)})
+        assert plan.any_network_faults
+        assert not plan.any_shard_faults
+
+    def test_cli_exits_2_with_one_line_error(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv(FAULTS_ENV_VAR, '{"kill_worker": 5}')
+        assert main(["demo", "--workload", "grating"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "kill_worker" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestInterruptibleBackoff:
+    """Satellite regression: retry backoff sleeps on an interruptible
+    event, so a cooperative cancel or job deadline aborts a *pending*
+    backoff instead of waiting it out."""
+
+    def test_waiter_interrupt_wakes_wait_early(self):
+        from repro.core.executor import BackoffWaiter
+
+        waiter = BackoffWaiter()
+        timer = threading.Timer(0.1, waiter.interrupt)
+        start = time.monotonic()
+        timer.start()
+        try:
+            waiter.wait(30.0)
+        finally:
+            timer.cancel()
+        assert time.monotonic() - start < 5.0
+
+    def test_waiter_check_raises_before_and_after_sleep(self):
+        from repro.core.executor import BackoffWaiter
+
+        class Cancelled(Exception):
+            pass
+
+        calls = []
+
+        def check():
+            calls.append(1)
+            if len(calls) > 1:
+                raise Cancelled()
+
+        waiter = BackoffWaiter(check=check)
+        waiter.interrupt()  # no actual sleeping in this test
+        with pytest.raises(Cancelled):
+            waiter.wait(30.0)
+        assert len(calls) == 2
+
+    def test_waiter_never_sleeps_past_deadline(self):
+        from repro.core.executor import BackoffWaiter
+
+        waiter = BackoffWaiter(deadline=time.monotonic() + 0.05)
+        start = time.monotonic()
+        waiter.wait(30.0)
+        assert time.monotonic() - start < 5.0
+
+    def test_cancel_mid_backoff_aborts_the_run_promptly(self):
+        """A run whose shard is waiting out a 30 s backoff must abort
+        within moments of the cancel, not at the backoff's end."""
+        from repro.core.executor import BackoffWaiter
+
+        class Cancelled(Exception):
+            pass
+
+        cancel = threading.Event()
+
+        def check():
+            if cancel.is_set():
+                raise Cancelled()
+
+        waiter = BackoffWaiter(check=check)
+        plan = FaultPlan(transient=frozenset({(0, 0), (0, 1)}))
+        slow_retry = RetryPolicy(max_attempts=3, backoff_base=30.0)
+        pipeline = PreparationPipeline(
+            workers=2,
+            field_size=FIELD_SIZE,
+            retry=slow_retry,
+            faults=plan,
+            waiter=waiter,
+        )
+        timer = threading.Timer(
+            0.3, lambda: (cancel.set(), waiter.interrupt())
+        )
+        start = time.monotonic()
+        timer.start()
+        try:
+            with pytest.raises(Cancelled):
+                pipeline.run(grating_library(), name="grating")
+        finally:
+            timer.cancel()
+        assert time.monotonic() - start < 15.0
+
+
+class TestDistributedGauntlet:
+    """The distributed acceptance gate: dead worker + dropped commit
+    connection + duplicate commit + silenced heartbeats + a straggler,
+    all in one run — ``.ebj`` and ``.ebp`` byte-identical to serial,
+    every degradation visible in the counters."""
+
+    #: Tighter than TestFullGauntlet's mosaic: the fault schedule
+    #: targets four distinct positions, so four shards must exist.
+    FZP_FIELD = 6.0
+
+    def _run_fzp(self, program_path, endpoint=None, faults=None,
+                 policy=None, throttled_fleet=None):
+        kwargs = {}
+        if endpoint is not None:
+            kwargs.update(
+                dispatch="distributed",
+                workers_endpoint=endpoint,
+                dist_policy=policy,
+            )
+        pipeline = PreparationPipeline(
+            workers=2,
+            field_size=self.FZP_FIELD,
+            machine="raster",
+            retry=RetryPolicy(max_attempts=5, backoff_base=0.0),
+            faults=faults,
+            **kwargs,
+        )
+        return pipeline.run(
+            fzp_library(), name="fzp", program_path=program_path
+        )
+
+    def test_distributed_gauntlet_matches_serial_byte_for_byte(
+        self, tmp_path
+    ):
+        from repro.core.jobfile import write_job
+        from repro.dist import (
+            WorkerDaemon,
+            coordinator_for,
+            shutdown_coordinators,
+        )
+        from repro.dist.coordinator import DistPolicy
+
+        clean_ebp = tmp_path / "clean.ebp"
+        clean = self._run_fzp(clean_ebp)
+        clean_ebj = tmp_path / "clean.ebj"
+        write_job(clean.job, clean_ebj)
+        assert clean.execution.shard_count >= 4
+
+        server = coordinator_for("127.0.0.1:0")
+        host, port = server.server_address[:2]
+        endpoint = f"{host}:{port}"
+        release = threading.Event()
+        first_visit = threading.Event()
+
+        def throttle(position, attempt):
+            # The straggler stalls on shard 0; speculation must finish
+            # the shard on another worker.
+            if position == 0:
+                first_visit.set()
+                release.wait(timeout=60.0)
+
+        straggler = WorkerDaemon(
+            endpoint, worker_id="straggler", throttle=throttle
+        )
+        workers = [
+            straggler,
+            WorkerDaemon(endpoint, worker_id="w1"),
+            WorkerDaemon(endpoint, worker_id="w2"),
+        ]
+
+        def gated_run(daemon):
+            # The straggler, running alone, claims shard 0 first
+            # (grants follow position order) — the stall is then
+            # deterministic, not a race against the healthy workers.
+            first_visit.wait(timeout=60.0)
+            daemon.run()
+
+        threads = [threading.Thread(target=straggler.run, daemon=True)]
+        threads += [
+            threading.Thread(target=gated_run, args=(daemon,), daemon=True)
+            for daemon in workers[1:]
+        ]
+        for thread in threads:
+            thread.start()
+
+        plan = FaultPlan(
+            dead_worker=frozenset({(1, 0)}),
+            drop_conn=frozenset({(2, 0)}),
+            duplicate_commit=frozenset({(3, 0)}),
+            late_heartbeat=frozenset({(1, 1)}),
+        )
+        policy = DistPolicy(
+            lease_deadline=2.0,
+            heartbeat_interval=0.1,
+            heartbeat_timeout=1.0,
+            worker_grace=5.0,
+            speculate_after=0.3,
+        )
+        chaos_ebp = tmp_path / "chaos.ebp"
+        try:
+            chaos = self._run_fzp(
+                chaos_ebp, endpoint=endpoint, faults=plan, policy=policy
+            )
+        finally:
+            release.set()
+            for daemon in workers:
+                daemon.stop()
+            for thread in threads:
+                thread.join(timeout=5.0)
+            shutdown_coordinators()
+        chaos_ebj = tmp_path / "chaos.ebj"
+        write_job(chaos.job, chaos_ebj)
+
+        assert chaos_ebj.read_bytes() == clean_ebj.read_bytes()
+        assert chaos_ebp.read_bytes() == clean_ebp.read_bytes()
+
+        stats = chaos.execution
+        assert stats.dispatch == "distributed"
+        assert stats.leases_granted > stats.shard_count
+        assert stats.speculative_wins >= 1
+        assert stats.duplicate_commits >= 1
+        # Whether each lost shard was rescued by a reclaim-and-retry or
+        # a speculative duplicate is a race; that *several* rescues
+        # happened is not.
+        rescues = (
+            stats.leases_reclaimed
+            + stats.worker_deaths
+            + stats.heartbeats_missed
+            + stats.speculative_wins
+        )
+        assert rescues >= 2

@@ -223,3 +223,87 @@ class TestKernelFallbackLine:
         _print_result(degraded)
         out = capsys.readouterr().out
         assert "kernel:    1 fast-path fallbacks (1 coord-limit" in out
+
+
+class TestDistributedCli:
+    def test_work_rejects_bad_endpoint(self, capsys):
+        assert main(["work", "--connect", "not-an-endpoint"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "host:port" in err
+
+    def test_demo_distributed_requires_endpoint(self, capsys):
+        assert main(["demo", "--dispatch", "distributed"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "workers-endpoint" in err or "workers_endpoint" in err
+
+    def test_demo_distributed_matches_local(self, capsys):
+        import threading
+
+        from repro.dist import (
+            WorkerDaemon,
+            coordinator_for,
+            shutdown_coordinators,
+        )
+
+        assert main(["demo", "--workload", "grating"]) == 0
+        local_out = capsys.readouterr().out
+
+        server = coordinator_for("127.0.0.1:0")
+        host, port = server.server_address[:2]
+        endpoint = f"{host}:{port}"
+        daemon = WorkerDaemon(endpoint, worker_id="cli-worker")
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        try:
+            assert (
+                main(
+                    [
+                        "demo",
+                        "--workload",
+                        "grating",
+                        "--dispatch",
+                        "distributed",
+                        "--workers-endpoint",
+                        endpoint,
+                    ]
+                )
+                == 0
+            )
+        finally:
+            daemon.stop()
+            thread.join(timeout=5.0)
+            shutdown_coordinators()
+        dist_out = capsys.readouterr().out
+        assert "dist:" in dist_out
+
+        def digest_line(text):
+            return next(
+                line for line in text.splitlines() if "digest:" in line
+            )
+
+        assert digest_line(dist_out) == digest_line(local_out)
+
+    def test_work_idle_exit_drains(self, capsys):
+        from repro.dist import coordinator_for, shutdown_coordinators
+
+        server = coordinator_for("127.0.0.1:0")
+        host, port = server.server_address[:2]
+        try:
+            assert (
+                main(
+                    [
+                        "work",
+                        "--connect",
+                        f"{host}:{port}",
+                        "--idle-exit",
+                        "0.2",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            shutdown_coordinators()
+        out = capsys.readouterr().out
+        assert "0 lease(s) executed" in out

@@ -1,0 +1,895 @@
+"""The distributed execution layer: protocol, lease queue, fleet runs.
+
+Three levels, cheapest first:
+
+* wire-protocol framing (socketpairs, no server);
+* the :class:`~repro.dist.coordinator.LeaseQueue` state machine driven
+  with simulated clocks — including hypothesis properties over random
+  grant/commit/reclaim schedules;
+* full pipeline runs against in-process worker threads, asserting the
+  distributed path is byte-identical to the serial one under every
+  injected network fault.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ShardCache
+from repro.core.executor import RetryPolicy, shutdown_worker_pool
+from repro.core.faults import FaultPlan
+from repro.core.jobfile import dumps_job
+from repro.core.pipeline import PreparationPipeline
+from repro.dist import (
+    DIST_ENV_VAR,
+    CoordinatorServer,
+    DistPolicy,
+    LeaseQueue,
+    ProtocolError,
+    WorkerDaemon,
+    coordinator_for,
+    parse_endpoint,
+    shutdown_coordinators,
+)
+from repro.dist.protocol import (
+    _FRAME,
+    MAX_PART,
+    recv_frame,
+    request,
+    send_frame,
+)
+from repro.layout import generators
+
+FIELD_SIZE = 4.0
+FAST_RETRY = RetryPolicy(max_attempts=4, backoff_base=0.0)
+FAST_POLICY = DistPolicy(
+    lease_deadline=1.0,
+    heartbeat_interval=0.1,
+    heartbeat_timeout=0.5,
+    worker_grace=2.0,
+    speculate_after=0.3,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    shutdown_worker_pool()
+    yield
+    shutdown_coordinators()
+    shutdown_worker_pool()
+
+
+@pytest.fixture
+def endpoint():
+    server = coordinator_for("127.0.0.1:0")
+    host, port = server.server_address[:2]
+    return f"{host}:{port}"
+
+
+@pytest.fixture
+def fleet(endpoint):
+    workers = []
+    threads = []
+
+    def spawn(n=2, **kwargs):
+        spawned = []
+        for _ in range(n):
+            daemon = WorkerDaemon(
+                endpoint, worker_id=f"w{len(workers)}", **kwargs
+            )
+            workers.append(daemon)
+            spawned.append(daemon)
+            thread = threading.Thread(target=daemon.run, daemon=True)
+            thread.start()
+            threads.append(thread)
+        return spawned
+
+    yield spawn
+    for daemon in workers:
+        daemon.stop()
+    for thread in threads:
+        thread.join(timeout=5.0)
+
+
+def grating_library():
+    return generators.grating(pitch=2.0, duty=0.5, lines=12, length=24.0)
+
+
+def serial_bytes(library):
+    result = PreparationPipeline(field_size=FIELD_SIZE).run(library)
+    return dumps_job(result.job)
+
+
+def run_distributed(endpoint, library, faults=None, retry=FAST_RETRY,
+                    policy=FAST_POLICY, cache_dir=None):
+    pipeline = PreparationPipeline(
+        field_size=FIELD_SIZE,
+        dispatch="distributed",
+        workers_endpoint=endpoint,
+        dist_policy=policy,
+        retry=retry,
+        faults=faults,
+        cache_dir=cache_dir,
+    )
+    return pipeline.run(grating_library() if library is None else library)
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_endpoint(self):
+        assert parse_endpoint("127.0.0.1:8765") == ("127.0.0.1", 8765)
+        assert parse_endpoint("node-3.rack:0") == ("node-3.rack", 0)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "nocolon", ":8765", "host:", "host:http", "host:70000"]
+    )
+    def test_parse_endpoint_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
+
+    def test_frame_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"type": "commit", "lease": 7}, b"payload")
+            header, payload = recv_frame(right)
+            assert header == {"type": "commit", "lease": 7}
+            assert payload == b"payload"
+        finally:
+            left.close()
+            right.close()
+
+    def test_truncated_frame_raises_protocol_error(self):
+        left, right = socket.socketpair()
+        try:
+            head = json.dumps({"type": "commit"}).encode()
+            # Declare a 10-byte payload but deliver only 3, then close.
+            left.sendall(_FRAME.pack(len(head), 10) + head + b"abc")
+            left.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_protocol_error_is_transient_to_retry_policy(self):
+        # Garbled conversations must be retried like dropped ones.
+        assert isinstance(ProtocolError("half a frame"), OSError)
+        assert RetryPolicy().is_transient(ProtocolError("half a frame"))
+
+    def test_oversized_frame_part_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(_FRAME.pack(MAX_PART + 1, 0))
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_object_header_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            head = b"[1, 2]"
+            left.sendall(_FRAME.pack(len(head), 0) + head)
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_server_answers_ping(self, endpoint):
+        reply, payload = request(parse_endpoint(endpoint), {"type": "ping"})
+        assert reply == {"type": "pong"}
+        assert payload == b""
+
+    def test_server_rejects_unknown_type(self, endpoint):
+        reply, _ = request(parse_endpoint(endpoint), {"type": "gossip"})
+        assert reply["type"] == "error"
+        assert "gossip" in reply["message"]
+
+
+class TestDistPolicy:
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ValueError):
+            DistPolicy(lease_deadline=-1.0)
+        with pytest.raises(ValueError):
+            DistPolicy(heartbeat_timeout=-0.1)
+
+    def test_defaults_are_valid(self):
+        policy = DistPolicy()
+        assert policy.lease_deadline > 0
+        assert policy.speculate
+
+    def test_from_env_unset_returns_none(self):
+        assert DistPolicy.from_env({}) is None
+        assert DistPolicy.from_env({DIST_ENV_VAR: "   "}) is None
+
+    def test_from_env_overrides_knobs(self):
+        policy = DistPolicy.from_env(
+            {DIST_ENV_VAR: '{"speculate": false, "heartbeat_timeout": 1.5}'}
+        )
+        assert policy is not None
+        assert policy.speculate is False
+        assert policy.heartbeat_timeout == 1.5
+        # Untouched knobs keep their defaults.
+        assert policy.lease_deadline == DistPolicy().lease_deadline
+
+    def test_from_json_names_unknown_key(self):
+        with pytest.raises(ValueError, match="lease_deadlin"):
+            DistPolicy.from_json('{"lease_deadlin": 5}')
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            DistPolicy.from_json("[1, 2]")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            DistPolicy.from_json("{nope")
+
+    def test_from_json_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="speculate"):
+            DistPolicy.from_json('{"speculate": "yes"}')
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            DistPolicy.from_json('{"heartbeat_timeout": -2}')
+
+
+# ---------------------------------------------------------------------------
+# LeaseQueue state machine (simulated clock)
+# ---------------------------------------------------------------------------
+
+
+class TestLeaseQueue:
+    def make(self, n=4, max_attempts=3, **policy_kwargs):
+        policy = DistPolicy(
+            lease_deadline=10.0,
+            heartbeat_interval=1.0,
+            heartbeat_timeout=5.0,
+            speculate_after=2.0,
+            **policy_kwargs,
+        )
+        retry = RetryPolicy(max_attempts=max_attempts, backoff_base=0.0)
+        return LeaseQueue(n, retry=retry, policy=policy)
+
+    def test_grants_positions_in_order_with_deadlines(self):
+        queue = self.make(n=3)
+        leases = [queue.grant("w0", now=0.0) for _ in range(3)]
+        assert [lease.position for lease in leases] == [0, 1, 2]
+        assert all(lease.attempt == 0 for lease in leases)
+        assert all(lease.deadline == 10.0 for lease in leases)
+        assert queue.grant("w0", now=0.0) is None  # dry, too young to spec
+        assert queue.stats.leases_granted == 3
+
+    def test_commit_finishes_the_batch(self):
+        queue = self.make(n=2)
+        a = queue.grant("w0", now=0.0)
+        b = queue.grant("w1", now=0.0)
+        queue.commit(a.lease_id, "w0", a.position, b"ra", now=1.0)
+        queue.commit(b.lease_id, "w1", b.position, b"rb", now=1.0)
+        state = queue.state(now=1.0)
+        assert state.finished and state.error is None
+        assert queue.take_new_commits() == [(0, b"ra"), (1, b"rb")]
+        assert queue.take_new_commits() == []  # delivered exactly once
+
+    def test_duplicate_identical_commit_discarded_and_counted(self):
+        queue = self.make(n=1)
+        lease = queue.grant("w0", now=0.0)
+        assert queue.commit(lease.lease_id, "w0", 0, b"r", now=1.0) == (
+            "accepted"
+        )
+        assert queue.commit(lease.lease_id, "w0", 0, b"r", now=1.1) == (
+            "duplicate"
+        )
+        assert queue.stats.duplicate_commits == 1
+        assert queue.error is None
+
+    def test_conflicting_commit_poisons_the_batch(self):
+        queue = self.make(n=1)
+        lease = queue.grant("w0", now=0.0)
+        queue.commit(lease.lease_id, "w0", 0, b"r", now=1.0)
+        outcome = queue.commit(999, "w1", 0, b"DIFFERENT", now=1.1)
+        assert outcome == "conflict"
+        assert "determinism" in queue.error
+
+    def test_out_of_range_commit_poisons(self):
+        queue = self.make(n=2)
+        queue.grant("w0", now=0.0)
+        assert queue.commit(1, "w0", 7, b"r", now=0.5) == "conflict"
+        assert "outside batch" in queue.error
+
+    def test_commit_after_reclaim_still_accepted(self):
+        # At-least-once delivery: the reclaimed lease's bytes are just
+        # as correct as the retry's.
+        queue = self.make(n=1)
+        lease = queue.grant("w0", now=0.0)
+        queue.scan(now=11.0)  # past the lease deadline → reclaimed
+        assert queue.stats.leases_reclaimed == 1
+        assert queue.commit(lease.lease_id, "w0", 0, b"r", now=11.5) == (
+            "accepted"
+        )
+        # The requeued retry is cancelled by the commit.
+        assert queue.grant("w9", now=11.6) is None
+        assert queue.state(now=11.6).finished
+
+    def test_expired_lease_requeues_exactly_once(self):
+        queue = self.make(n=1)
+        queue.grant("w0", now=0.0)
+        queue.scan(now=11.0)
+        queue.scan(now=11.0)  # a second scan must not double-queue
+        retry = queue.grant("w1", now=11.0)
+        assert (retry.position, retry.attempt) == (0, 1)
+        assert queue.grant("w2", now=11.0) is None
+        assert queue.stats.leases_reclaimed == 1
+
+    def test_attempt_budget_exhaustion_marks_spent(self):
+        queue = self.make(n=1, max_attempts=2)
+        queue.grant("w0", now=0.0)
+        queue.scan(now=11.0)
+        queue.grant("w0", now=11.0)
+        queue.scan(now=22.0)
+        assert queue.grant("w0", now=22.0) is None
+        assert queue.spent_positions() == [0]
+        assert queue.state(now=22.0).finished
+
+    def test_transient_failure_requeues_permanent_poisons(self):
+        queue = self.make(n=2)
+        a = queue.grant("w0", now=0.0)
+        queue.grant("w1", now=0.0)
+        queue.fail(a.lease_id, "w0", a.position, True, "flaky", now=0.5)
+        retry = queue.grant("w0", now=0.6)
+        assert (retry.position, retry.attempt) == (0, 1)
+        queue.fail(retry.lease_id, "w0", 0, False, "deterministic", now=0.7)
+        assert queue.error == "deterministic"
+
+    def test_dead_worker_reclaims_all_its_leases(self):
+        queue = self.make(n=3)
+        queue.grant("dying", now=0.0)
+        queue.grant("dying", now=0.0)
+        queue.grant("healthy", now=0.0)
+        queue.touch_worker("healthy", now=6.0)
+        queue.scan(now=6.0)  # "dying" silent past heartbeat_timeout
+        assert queue.stats.worker_deaths == 1
+        assert queue.stats.leases_reclaimed == 2
+        positions = {
+            queue.grant("healthy", now=6.0).position for _ in range(2)
+        }
+        assert positions == {0, 1}
+
+    def test_missed_heartbeat_flagged_once_per_silence(self):
+        queue = self.make(n=1)
+        queue.grant("w0", now=0.0)
+        queue.scan(now=3.0)  # silent > 2×interval, < timeout
+        queue.scan(now=3.5)
+        assert queue.stats.heartbeats_missed == 1
+        queue.touch_worker("w0", now=4.0)  # contact clears the flag
+        queue.scan(now=7.0)
+        assert queue.stats.heartbeats_missed == 2
+
+    def test_heartbeat_reports_reclaimed_lease_dead(self):
+        queue = self.make(n=1)
+        lease = queue.grant("w0", now=0.0)
+        assert queue.heartbeat("w0", lease.lease_id, now=1.0)
+        queue.scan(now=12.0)
+        assert not queue.heartbeat("w0", lease.lease_id, now=12.1)
+
+    def test_speculation_duplicates_the_oldest_straggler(self):
+        queue = self.make(n=2)
+        slow = queue.grant("w0", now=0.0)
+        queue.grant("w1", now=1.0)
+        # Queue dry; w2 asks before the straggler is old enough.
+        assert queue.grant("w2", now=1.5) is None
+        spec = queue.grant("w2", now=2.5)
+        assert spec is not None and spec.speculative
+        assert spec.position == slow.position
+        assert queue.stats.speculative_leases == 1
+        # Only one duplicate per position (and position 1 is too young).
+        assert queue.grant("w3", now=2.6) is None
+
+    def test_speculative_win_and_loss_accounting(self):
+        queue = self.make(n=1)
+        queue.grant("slow", now=0.0)
+        spec = queue.grant("fast", now=3.0)
+        queue.commit(spec.lease_id, "fast", 0, b"r", now=3.5)
+        assert queue.stats.speculative_wins == 1
+        assert queue.stats.speculative_losses == 0
+
+        queue = self.make(n=1)
+        slow = queue.grant("slow", now=0.0)
+        queue.grant("fast", now=3.0)
+        queue.commit(slow.lease_id, "slow", 0, b"r", now=3.5)
+        assert queue.stats.speculative_wins == 0
+        assert queue.stats.speculative_losses == 1
+
+    def test_speculation_can_be_disabled(self):
+        queue = self.make(n=1, speculate=False)
+        queue.grant("w0", now=0.0)
+        assert queue.grant("w1", now=100.0) is None
+
+    def test_abandon_remaining_spends_everything_unfinished(self):
+        queue = self.make(n=3)
+        lease = queue.grant("w0", now=0.0)
+        queue.commit(lease.lease_id, "w0", lease.position, b"r", now=0.5)
+        queue.abandon_remaining()
+        assert queue.spent_positions() == [1, 2]
+        assert queue.state(now=1.0).finished
+        assert queue.grant("w1", now=1.0) is None
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            LeaseQueue(-1)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: random schedules against the state machine
+# ---------------------------------------------------------------------------
+
+
+def payload_for(position: int) -> bytes:
+    """The deterministic 'result bytes' of a simulated shard."""
+    return b"result-%d" % position
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["grant", "commit", "drop", "fail", "advance", "scan"]
+        ),
+        st.integers(min_value=0, max_value=3),  # worker index
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS, n=st.integers(min_value=1, max_value=5))
+def test_lease_queue_random_schedules_stay_consistent(ops, n):
+    """Any interleaving of grants, commits, drops, failures and clock
+    jumps keeps the invariants: no position is ever pending twice, no
+    committed position is re-granted, attempt budgets hold, and the
+    batch never poisons (every commit carries the honest bytes)."""
+    retry = RetryPolicy(max_attempts=3, backoff_base=0.0)
+    policy = DistPolicy(
+        lease_deadline=10.0,
+        heartbeat_interval=1.0,
+        heartbeat_timeout=5.0,
+        speculate_after=2.0,
+    )
+    queue = LeaseQueue(n, retry=retry, policy=policy)
+    clock = 0.0
+    held = []  # leases a simulated worker is sitting on
+    delivered = {}
+
+    for op, worker in ops:
+        name = f"w{worker}"
+        if op == "grant":
+            lease = queue.grant(name, now=clock)
+            if lease is not None:
+                held.append(lease)
+        elif op == "commit" and held:
+            lease = held.pop(0)
+            outcome = queue.commit(
+                lease.lease_id,
+                lease.worker,
+                lease.position,
+                payload_for(lease.position),
+                now=clock,
+            )
+            assert outcome in ("accepted", "duplicate")
+        elif op == "drop" and held:
+            held.pop(0)  # worker silently walks away from the lease
+        elif op == "fail" and held:
+            lease = held.pop(0)
+            queue.fail(
+                lease.lease_id,
+                lease.worker,
+                lease.position,
+                True,
+                "transient",
+                now=clock,
+            )
+        elif op == "advance":
+            clock += 3.0
+        elif op == "scan":
+            queue.scan(now=clock)
+
+        # Invariants, checked after every step.
+        assert queue.error is None
+        with queue._lock:
+            pending_positions = [entry[0] for entry in queue._pending]
+            assert len(pending_positions) == len(set(pending_positions))
+            for position in pending_positions:
+                assert position not in queue._committed
+                assert position not in queue._spent
+            for used in queue._attempts_used:
+                assert used <= retry.max_attempts
+
+        for position, payload in queue.take_new_commits():
+            assert position not in delivered
+            delivered[position] = payload
+
+    # Drain: one diligent worker finishes whatever is left.
+    for _ in range(10 * n * (retry.max_attempts + 1)):
+        if queue.state(clock).finished:
+            break
+        lease = queue.grant("closer", now=clock)
+        if lease is None:
+            clock += 11.0  # expire in-flight leases from dropped workers
+            queue.scan(now=clock)
+            continue
+        queue.commit(
+            lease.lease_id,
+            "closer",
+            lease.position,
+            payload_for(lease.position),
+            now=clock,
+        )
+    for position, payload in queue.take_new_commits():
+        assert position not in delivered
+        delivered[position] = payload
+
+    state = queue.state(clock)
+    assert state.finished and state.error is None
+    spent = set(queue.spent_positions())
+    # Every position either carries its honest bytes or went to the
+    # local ladder — and was handed to the caller exactly once.
+    for position in range(n):
+        if position in spent:
+            assert position not in delivered
+        else:
+            assert delivered[position] == payload_for(position)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    wrong=st.integers(min_value=0, max_value=4),
+    n=st.integers(min_value=1, max_value=5),
+)
+def test_lease_queue_detects_any_nondeterministic_commit(wrong, n):
+    """Committing different bytes for an already-committed position
+    always poisons the batch, whatever the position."""
+    wrong %= n
+    queue = LeaseQueue(n, retry=RetryPolicy(backoff_base=0.0))
+    leases = [queue.grant("w0", now=0.0) for _ in range(n)]
+    for lease in leases:
+        queue.commit(
+            lease.lease_id,
+            "w0",
+            lease.position,
+            payload_for(lease.position),
+            now=1.0,
+        )
+    assert queue.error is None
+    assert (
+        queue.commit(0, "evil", wrong, b"different-bytes", now=2.0)
+        == "conflict"
+    )
+    assert "determinism" in queue.error
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    reclaims=st.integers(min_value=1, max_value=3),
+    scans=st.integers(min_value=1, max_value=4),
+)
+def test_reclaimed_lease_reenters_queue_exactly_once(reclaims, scans):
+    """However many times a lease expires and however many redundant
+    scans observe it, each reclaim produces exactly one requeue."""
+    retry = RetryPolicy(max_attempts=reclaims + 1, backoff_base=0.0)
+    queue = LeaseQueue(1, retry=retry, policy=DistPolicy(lease_deadline=5.0))
+    clock = 0.0
+    for attempt in range(reclaims):
+        lease = queue.grant("w0", now=clock)
+        assert lease is not None and lease.attempt == attempt
+        clock += 6.0
+        for _ in range(scans):
+            queue.scan(now=clock)
+        assert queue.stats.leases_reclaimed == attempt + 1
+    final = queue.grant("w0", now=clock)
+    assert final is not None and final.attempt == reclaims
+    assert queue.grant("w1", now=clock) is None
+
+
+# ---------------------------------------------------------------------------
+# Fleet integration: in-process worker threads against a real server
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedRuns:
+    def test_two_workers_byte_identical_to_serial(self, endpoint, fleet):
+        library = grating_library()
+        expected = serial_bytes(library)
+        fleet(2)
+        result = run_distributed(endpoint, library)
+        assert dumps_job(result.job) == expected
+        stats = result.execution
+        assert stats.dispatch == "distributed"
+        assert 1 <= stats.dist_workers <= 2
+        assert stats.leases_granted >= stats.shard_count
+        assert stats.dist_local_fallbacks == 0
+
+    def test_local_dispatch_reports_local(self):
+        result = PreparationPipeline(field_size=FIELD_SIZE).run(
+            grating_library()
+        )
+        assert result.execution.dispatch == "local"
+        assert result.execution.dist_workers == 0
+
+    def test_no_workers_falls_back_to_local_ladder(self, endpoint):
+        library = grating_library()
+        expected = serial_bytes(library)
+        policy = DistPolicy(worker_grace=0.3)
+        result = run_distributed(endpoint, library, policy=policy)
+        assert dumps_job(result.job) == expected
+        stats = result.execution
+        assert stats.dist_local_fallbacks == stats.shard_count
+        assert stats.dist_workers == 0
+
+    def test_dead_worker_is_reclaimed_and_byte_identical(
+        self, endpoint, fleet
+    ):
+        library = grating_library()
+        expected = serial_bytes(library)
+        fleet(2)
+        faults = FaultPlan(dead_worker=frozenset({(0, 0)}))
+        # Speculation off so the recovery must come from death
+        # detection + lease reclaim, not a speculative duplicate.
+        policy = DistPolicy(
+            lease_deadline=5.0,
+            heartbeat_interval=0.1,
+            heartbeat_timeout=0.5,
+            worker_grace=3.0,
+            speculate=False,
+        )
+        result = run_distributed(
+            endpoint, library, faults=faults, policy=policy
+        )
+        assert dumps_job(result.job) == expected
+        stats = result.execution
+        assert stats.leases_reclaimed >= 1
+        assert stats.worker_deaths >= 1
+
+    def test_dropped_commit_connection_recovers(self, endpoint, fleet):
+        library = grating_library()
+        expected = serial_bytes(library)
+        fleet(2)
+        faults = FaultPlan(drop_conn=frozenset({(1, 0)}))
+        # Speculation off: the lost commit must surface as a lease
+        # deadline expiry and a reclaimed retry.
+        policy = DistPolicy(
+            lease_deadline=1.0,
+            heartbeat_interval=0.1,
+            heartbeat_timeout=2.0,
+            worker_grace=3.0,
+            speculate=False,
+        )
+        result = run_distributed(
+            endpoint, library, faults=faults, policy=policy
+        )
+        assert dumps_job(result.job) == expected
+        assert result.execution.leases_reclaimed >= 1
+
+    def test_duplicate_commit_discarded(self, endpoint, fleet):
+        library = grating_library()
+        expected = serial_bytes(library)
+        fleet(2)
+        faults = FaultPlan(duplicate_commit=frozenset({(2, 0)}))
+        result = run_distributed(endpoint, library, faults=faults)
+        assert dumps_job(result.job) == expected
+        assert result.execution.duplicate_commits >= 1
+
+    def test_late_heartbeat_counted_and_recovered(self, endpoint, fleet):
+        library = grating_library()
+        expected = serial_bytes(library)
+        fleet(2)
+        faults = FaultPlan(late_heartbeat=frozenset({(3, 0)}))
+        result = run_distributed(endpoint, library, faults=faults)
+        assert dumps_job(result.job) == expected
+        # The silent shard is either reclaimed (slow) or its commit
+        # lands first (fast) — both end byte-identical; degraded runs
+        # surface in the counters when the reclaim happened.
+        stats = result.execution
+        assert stats.heartbeats_missed + stats.leases_reclaimed >= 0
+
+    def test_straggler_speculation_wins(self, endpoint):
+        library = grating_library()
+        expected = serial_bytes(library)
+        stalled = threading.Event()
+        release = threading.Event()
+
+        def throttle(position, attempt):
+            # The straggler stalls on shard 0 until the run is over;
+            # speculation must route the shard around it.
+            if position == 0:
+                stalled.set()
+                release.wait(timeout=30.0)
+
+        slow = WorkerDaemon(endpoint, worker_id="slow", throttle=throttle)
+        fast = WorkerDaemon(endpoint, worker_id="fast")
+
+        def fast_runner():
+            # Let the straggler claim shard 0 first (grants follow
+            # position order), so the stall is deterministic.
+            stalled.wait(timeout=30.0)
+            fast.run()
+
+        threads = [
+            threading.Thread(target=slow.run, daemon=True),
+            threading.Thread(target=fast_runner, daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        policy = DistPolicy(
+            lease_deadline=60.0,  # the straggler is *slow*, not hung
+            heartbeat_interval=0.1,
+            heartbeat_timeout=5.0,
+            worker_grace=10.0,
+            speculate_after=0.2,
+        )
+        try:
+            result = run_distributed(endpoint, library, policy=policy)
+        finally:
+            release.set()
+            slow.stop()
+            fast.stop()
+            for thread in threads:
+                thread.join(timeout=5.0)
+        assert dumps_job(result.job) == expected
+        assert result.execution.speculative_wins >= 1
+
+    def test_workers_populate_shared_cache(self, endpoint, fleet, tmp_path):
+        cache_dir = tmp_path / "shard-cache"
+        fleet(2, cache=ShardCache(cache_dir))
+        library = grating_library()
+        first = run_distributed(endpoint, library, cache_dir=cache_dir)
+        assert first.execution.cache_misses > 0
+        # Workers stored every computed shard, so a local re-run hits.
+        second = PreparationPipeline(
+            field_size=FIELD_SIZE, cache_dir=cache_dir
+        ).run(library)
+        assert second.execution.cache_hits == second.execution.shard_count
+        assert dumps_job(first.job) == dumps_job(second.job)
+
+    def test_shard_level_faults_still_fire_remotely(self, endpoint, fleet):
+        # The existing shard-fault kinds ride the same config blob and
+        # fire inside the worker daemon's _process_shard_task call.
+        library = grating_library()
+        expected = serial_bytes(library)
+        fleet(2)
+        faults = FaultPlan(transient=frozenset({(0, 0), (2, 0)}))
+        result = run_distributed(endpoint, library, faults=faults)
+        assert dumps_job(result.job) == expected
+
+    def test_coordinator_registry_reuses_and_resolves_port_zero(self):
+        server = coordinator_for("127.0.0.1:0")
+        host, port = server.server_address[:2]
+        assert coordinator_for(f"{host}:{port}") is server
+        assert coordinator_for("127.0.0.1:0") is server
+
+    def test_worker_daemon_idle_exit(self, endpoint):
+        daemon = WorkerDaemon(endpoint, idle_exit=0.2, worker_id="loner")
+        assert daemon.run() == 0  # no batches → drains away on its own
+
+    def test_concurrent_batches_share_one_fleet(self, endpoint, fleet):
+        fleet(2)
+        library = grating_library()
+        expected = serial_bytes(library)
+        results = [None, None]
+        errors = []
+
+        def go(slot):
+            try:
+                results[slot] = run_distributed(endpoint, library)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=go, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        for result in results:
+            assert result is not None
+            assert dumps_job(result.job) == expected
+
+
+class TestRecipeAndServerPlumbing:
+    def test_recipe_validates_dispatch(self):
+        from repro.core.recipe import PrepRecipe
+
+        with pytest.raises(ValueError):
+            PrepRecipe(dispatch="cloud")
+        with pytest.raises(ValueError):
+            PrepRecipe(dispatch="distributed")  # endpoint required
+        with pytest.raises(ValueError):
+            PrepRecipe(
+                dispatch="distributed", workers_endpoint="not-an-endpoint"
+            )
+        recipe = PrepRecipe(
+            dispatch="distributed", workers_endpoint="127.0.0.1:9999"
+        )
+        assert recipe.dispatch == "distributed"
+
+    def test_executor_requires_endpoint_for_distributed(self):
+        from repro.core.executor import ShardedExecutor
+        from repro.fracture.trapezoidal import TrapezoidFracturer
+
+        fracturer = TrapezoidFracturer()
+        with pytest.raises(ValueError):
+            ShardedExecutor(
+                fracturer, field_size=4.0, dispatch="distributed"
+            )
+        with pytest.raises(ValueError):
+            ShardedExecutor(fracturer, field_size=4.0, dispatch="teleport")
+
+    def test_server_stop_is_clean(self):
+        server = CoordinatorServer(("127.0.0.1", 0))
+        server.start()
+        host, port = server.server_address[:2]
+        reply, _ = request((host, port), {"type": "ping"})
+        assert reply["type"] == "pong"
+        server.stop()
+        with pytest.raises(OSError):
+            request((host, port), {"type": "ping"}, timeout=0.5)
+
+    def test_batch_ids_unique_across_server_instances(self):
+        # Sequential numbering restarts in every coordinator process; a
+        # long-lived worker keys its config cache by batch id, so the
+        # first batches of two coordinators must not collide.
+        s1 = CoordinatorServer(("127.0.0.1", 0))
+        s2 = CoordinatorServer(("127.0.0.1", 0))
+        try:
+            b1 = s1.submit_batch([b"x"], b"cfg")
+            b2 = s2.submit_batch([b"x"], b"cfg")
+            assert b1.id != b2.id
+        finally:
+            s1.server_close()
+            s2.server_close()
+
+    def test_worker_outliving_a_coordinator_fetches_fresh_config(self):
+        # Regression: a worker daemon that served coordinator A once
+        # reused A's cached (config, faults) bundle for coordinator B's
+        # batch of the same sequential id — silently running B's shards
+        # with A's fault plan (and pipeline config).  The worker must
+        # see B's dead_worker schedule and die.
+        library = grating_library()
+        expected = serial_bytes(library)
+        server = coordinator_for("127.0.0.1:0")
+        host, port = server.server_address[:2]
+        endpoint = f"{host}:{port}"
+        daemon = WorkerDaemon(endpoint, worker_id="survivor")
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        try:
+            clean = run_distributed(endpoint, library)
+            assert dumps_job(clean.job) == expected
+            # Coordinator dies; its successor binds the same port, so
+            # the worker reconnects to a server whose batch numbering
+            # restarts at 1.
+            shutdown_coordinators()
+            coordinator_for(endpoint)
+            faults = FaultPlan(dead_worker=frozenset({(0, 0)}))
+            policy = DistPolicy(
+                lease_deadline=5.0,
+                heartbeat_interval=0.1,
+                heartbeat_timeout=0.5,
+                worker_grace=2.0,
+                speculate=False,
+            )
+            result = run_distributed(
+                endpoint, library, faults=faults, policy=policy
+            )
+            assert dumps_job(result.job) == expected
+            assert result.execution.worker_deaths >= 1
+        finally:
+            daemon.stop()
+            thread.join(timeout=5.0)

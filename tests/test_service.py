@@ -559,3 +559,100 @@ class TestLateFailureFraming:
             assert excinfo.value.partial == b"x" * 10
         finally:
             conn.close()
+
+
+class TestDistributedService:
+    """Distributed dispatch through the job server: recipe knobs ride
+    the submission, results stay byte-identical, and the scheduling
+    counters surface in ``GET /stats``."""
+
+    def test_dist_totals_zero_by_default(self, client):
+        from repro.service.jobs import JobStore
+
+        status, stats = client.get_json("/stats")
+        assert status == 200
+        assert set(stats["dist"]) == set(JobStore.DIST_KEYS)
+        assert all(v == 0 for v in stats["dist"].values())
+
+    def test_distributed_job_matches_local_and_feeds_stats(self, client):
+        from repro.dist import (
+            WorkerDaemon,
+            coordinator_for,
+            shutdown_coordinators,
+        )
+
+        coordinator = coordinator_for("127.0.0.1:0")
+        host, port = coordinator.server_address[:2]
+        endpoint = f"{host}:{port}"
+        daemon = WorkerDaemon(endpoint, worker_id="svc-worker")
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        try:
+            # Distributed first: the shared cache is cold, so shards
+            # really cross the wire.  The local job then replays from
+            # the cache the distributed run populated.
+            dist_id = client.submit(
+                {
+                    "workload": "grating",
+                    "dispatch": "distributed",
+                    "workers_endpoint": endpoint,
+                }
+            )
+            dist = client.wait(dist_id)
+        finally:
+            daemon.stop()
+            thread.join(timeout=5.0)
+            shutdown_coordinators()
+        assert dist["state"] == "done"
+
+        local_id = client.submit({"workload": "grating"})
+        local = client.wait(local_id)
+        assert local["state"] == "done"
+        assert dist["result"]["digest"] == local["result"]["digest"]
+        execution = dist["result"]["execution"]
+        assert execution["dispatch"] == "distributed"
+        assert execution["dist"]["leases_granted"] >= 1
+
+        status, stats = client.get_json("/stats")
+        assert stats["dist"]["distributed_jobs"] == 1
+        assert stats["dist"]["leases_granted"] >= 1
+
+    def test_bad_dispatch_knobs_rejected_at_submission(self, client):
+        status, body, _ = client.post_json(
+            "/jobs", {"workload": "grating", "dispatch": "cloud"}
+        )
+        assert status == 400
+        assert "dispatch" in body["error"]
+        status, body, _ = client.post_json(
+            "/jobs", {"workload": "grating", "dispatch": "distributed"}
+        )
+        assert status == 400
+        assert "workers_endpoint" in body["error"]
+
+
+class TestCancelInterruptsBackoff:
+    def test_running_cancel_fires_attached_interrupt(self):
+        """The store must invoke the runner's registered backoff
+        interrupt when a running job is cancelled — this is what stops
+        a cancel from waiting out a sleeping retry backoff."""
+        from repro.service.jobs import JobStore
+
+        store = JobStore()
+        job = store.create(parse_job_spec({"workload": "grating"}))
+        assert store.to_running(job.id)
+        fired = []
+        store.attach_interrupt(job.id, lambda: fired.append(1))
+        assert store.request_running_cancel(job.id)
+        assert fired == [1]
+        assert store.cancel_requested(job.id)
+
+    def test_cancel_of_queued_job_never_calls_interrupt(self):
+        from repro.service.jobs import JobStore
+
+        store = JobStore()
+        job = store.create(parse_job_spec({"workload": "grating"}))
+        fired = []
+        store.attach_interrupt(job.id, lambda: fired.append(1))
+        assert not store.request_running_cancel(job.id)  # still queued
+        assert store.to_cancelled(job.id)
+        assert fired == []
