@@ -52,6 +52,13 @@ def _nonneg_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def _recipe_from_args(args: argparse.Namespace) -> PrepRecipe:
     """The CLI options as a :class:`~repro.core.recipe.PrepRecipe` —
     the same value object the prep service builds its pipelines from,
@@ -73,6 +80,7 @@ def _recipe_from_args(args: argparse.Namespace) -> PrepRecipe:
         shard_timeout=args.shard_timeout,
         dispatch=args.dispatch,
         workers_endpoint=args.workers_endpoint,
+        streaming=args.stream,
     )
 
 
@@ -133,6 +141,23 @@ def _print_result(result, pec_matrix=None) -> None:
         print(
             f"  cache:     {stats.cache_hits} hits, "
             f"{stats.cache_misses} misses ({rate:.0%} hit rate){evicted}"
+        )
+    if stats is not None and stats.streamed:
+        spill = (
+            f"{stats.shards_spilled} shards spilled "
+            f"({stats.spill_bytes:,} bytes)"
+            if stats.shards_spilled
+            else "no shards spilled"
+        )
+        fallback = (
+            f", {stats.spill_fallbacks} held resident (spill degraded)"
+            if stats.spill_fallbacks
+            else ""
+        )
+        print(
+            f"  memory:    streamed in {stats.stream_windows} windows, "
+            f"peak {stats.peak_window_bytes:,} bytes resident, "
+            f"{spill}{fallback}"
         )
     if stats is not None and stats.fault_events:
         degraded = " (cache degraded to read-only)" if stats.cache_degraded else ""
@@ -214,8 +239,21 @@ def _print_result(result, pec_matrix=None) -> None:
 
 
 def cmd_prep(args: argparse.Namespace) -> int:
-    library = read_gdsii(args.gdsii)
     pipeline = _build_pipeline(args)
+    if args.stream:
+        result = pipeline.run_streaming(
+            args.gdsii,
+            program_path=_program_path(args),
+            job_path=args.output or None,
+        )
+        _print_result(result, pec_matrix=args.pec_matrix if args.pec else None)
+        if args.output:
+            print(
+                f"wrote machine job file {args.output} "
+                f"({result.job_bytes:,} bytes)"
+            )
+        return 0
+    library = read_gdsii(args.gdsii)
     result = pipeline.run(library, program_path=_program_path(args))
     _print_result(result, pec_matrix=args.pec_matrix if args.pec else None)
     _maybe_write_output(result, args)
@@ -286,17 +324,37 @@ def cmd_work(args: argparse.Namespace) -> int:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    workloads = dict(generators.all_workloads())
-    if args.workload not in workloads:
-        print(
-            f"unknown workload {args.workload!r}; choose from "
-            f"{sorted(workloads)}",
-            file=sys.stderr,
-        )
-        return 2
+    if args.workload == "full_reticle":
+        # The out-of-core showcase: a tiles×tiles zone-plate mosaic,
+        # sized by --tiles instead of baked into the workload table.
+        source = generators.full_reticle(tiles=args.tiles)
+    else:
+        workloads = dict(generators.all_workloads())
+        if args.workload not in workloads:
+            print(
+                f"unknown workload {args.workload!r}; choose from "
+                f"{sorted(workloads) + ['full_reticle']}",
+                file=sys.stderr,
+            )
+            return 2
+        source = workloads[args.workload]
     pipeline = _build_pipeline(args)
+    if args.stream:
+        result = pipeline.run_streaming(
+            source,
+            name=args.workload,
+            program_path=_program_path(args),
+            job_path=args.output or None,
+        )
+        _print_result(result, pec_matrix=args.pec_matrix if args.pec else None)
+        if args.output:
+            print(
+                f"wrote machine job file {args.output} "
+                f"({result.job_bytes:,} bytes)"
+            )
+        return 0
     result = pipeline.run(
-        workloads[args.workload],
+        source,
         name=args.workload,
         program_path=_program_path(args),
     )
@@ -399,6 +457,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "(workers connect with: repro-ebl work --connect HOST:PORT)",
     )
     parser.add_argument(
+        "--stream", action="store_true",
+        help="run out of core: read the layout through a cursor, keep "
+        "only one shard window resident, spill shard results through "
+        "the cache's blob store and assemble artifacts one shard at a "
+        "time (byte-identical to the in-memory path)",
+    )
+    parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="content-addressed shard cache directory; repeat runs "
         "re-compute only shards whose inputs changed (results are "
@@ -429,7 +494,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_demo = sub.add_parser("demo", help="run on a built-in workload")
     p_demo.add_argument(
-        "--workload", default="grating", help="workload name (see generators)"
+        "--workload", default="grating",
+        help="workload name (see generators; 'full_reticle' is the "
+        "sized out-of-core mosaic, see --tiles)",
+    )
+    p_demo.add_argument(
+        "--tiles", type=_positive_int, default=10, metavar="N",
+        help="mosaic edge for --workload full_reticle: an N×N array of "
+        "zone-plate dies (default 10 → 100 dies)",
     )
     _add_common(p_demo)
     p_demo.set_defaults(func=cmd_demo)

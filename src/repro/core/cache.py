@@ -373,6 +373,19 @@ class ShardCache:
             salt=(CACHE_SCHEMA_VERSION, self.salt),
         )
 
+    def spill_key_for(self, key: str) -> str:
+        """Blob key for a streaming-merge spill of the shard keyed ``key``.
+
+        Out-of-core runs spill completed shard results as content-addressed
+        blobs so the merge can re-read them row-major instead of holding
+        them all; the distinct type tag keeps the spill family from ever
+        colliding with shard-result or program-segment entries.
+        """
+        h = hashlib.sha256()
+        _update(h, ("repro-shard-spill", (CACHE_SCHEMA_VERSION, self.salt)))
+        _update(h, key)
+        return h.hexdigest()
+
     def path_for(self, key: str) -> Path:
         """On-disk location of ``key`` (existing or not)."""
         return self.root / key[:2] / (key[2:] + self.SUFFIX)
@@ -436,26 +449,31 @@ class ShardCache:
 
     # -- machine-program segment blobs ------------------------------------
 
-    def get_blob(self, key: str) -> Optional[bytes]:
+    def get_blob(self, key: str, record: bool = True) -> Optional[bytes]:
         """Return the raw segment payload stored under ``key``, if any.
 
         Blobs are framed (magic + length) so truncated or foreign
         entries read as misses and are evicted, exactly like shard
-        payloads.
+        payloads.  ``record=False`` skips hit/miss accounting — for
+        spill re-reads, which are guaranteed-present by construction
+        and would otherwise inflate the cache hit rate.
         """
         path = self.path_for(key)
         try:
             data = path.read_bytes()
         except OSError:
-            self.stats.misses += 1
+            if record:
+                self.stats.misses += 1
             return None
         if len(data) >= _BLOB_HEADER.size:
             magic, length = _BLOB_HEADER.unpack_from(data, 0)
             if magic == _BLOB_MAGIC and len(data) == _BLOB_HEADER.size + length:
-                self.stats.hits += 1
+                if record:
+                    self.stats.hits += 1
                 return data[_BLOB_HEADER.size :]
-        self.stats.misses += 1
-        self.stats.evictions += 1
+        if record:
+            self.stats.misses += 1
+            self.stats.evictions += 1
         try:
             path.unlink()
         except OSError:

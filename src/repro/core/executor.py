@@ -65,6 +65,9 @@ import copy
 import functools
 import math
 import os
+import shutil
+import struct
+import tempfile
 import threading
 import time
 import warnings
@@ -107,6 +110,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 class ShardOverlapWarning(UserWarning):
     """Polygons of different shards overlap — their area double-counts."""
+
+
+class SpillDegradedWarning(UserWarning):
+    """A streamed run stopped spilling shard results after a store failure.
+
+    Emitted once per run by :meth:`ShardedExecutor.execute_stream` when a
+    spill ``put_blob`` fails (ENOSPC, read-only filesystem): the run
+    continues with the affected shard results held in memory — results
+    are unaffected, only the bounded-memory guarantee degrades.  Degraded
+    runs also count ``spill_fallbacks`` on their :class:`ExecutionStats`,
+    so a degraded run never looks like a clean one.
+    """
 
 
 #: Pairwise interior-overlap checks budgeted per plan; beyond this the
@@ -359,6 +374,24 @@ class ExecutionStats:
         dist_local_fallbacks: shards the fleet could not finish
             (attempt budget spent, no live workers) that the local
             pool → serial ladder completed instead.
+        streamed: the run used the out-of-core field-window path
+            (:meth:`ShardedExecutor.execute_stream`) — source polygons
+            were spooled to disk and only one shard row was resident at
+            a time; the remaining ``stream``/``spill`` counters are
+            then live.
+        stream_windows: shard-row windows dispatched by a streamed run.
+        peak_window_bytes: high-water mark of one window's resident
+            bytes (spooled source geometry read back for the window
+            plus its serialized shard results) — the streamed
+            counterpart of the machine-program writer's
+            ``peak_segment_bytes`` witness.
+        shards_spilled: completed shard results spilled to the cache's
+            blob family instead of being held for the merge.
+        spill_bytes: total serialized bytes spilled.
+        spill_fallbacks: shard results held in memory because a spill
+            store failed (ENOSPC, read-only filesystem) — the run
+            degrades to an in-memory merge for those shards with one
+            :class:`SpillDegradedWarning`, never a crash.
         program: the exported machine program for this run, when the
             pipeline ran with a ``machine`` mode — carries the
             write-time breakdown, exact stream bytes and channel check
@@ -397,6 +430,12 @@ class ExecutionStats:
     speculative_losses: int = 0
     duplicate_commits: int = 0
     dist_local_fallbacks: int = 0
+    streamed: bool = False
+    stream_windows: int = 0
+    peak_window_bytes: int = 0
+    shards_spilled: int = 0
+    spill_bytes: int = 0
+    spill_fallbacks: int = 0
     program: Optional["MachineProgram"] = None
 
     @property
@@ -416,6 +455,7 @@ class ExecutionStats:
             + self.leases_reclaimed
             + self.worker_deaths
             + self.heartbeats_missed
+            + self.spill_fallbacks
         )
 
 
@@ -1179,6 +1219,101 @@ def merge_shard_results(
     )
 
 
+#: Spool record framing: a big-endian vertex count followed by that many
+#: ``(x, y)`` float64 pairs.  Doubles round-trip exactly, so a polygon
+#: re-read from the spool is vertex-identical to the one spooled.
+_SPOOL_COUNT = struct.Struct(">I")
+
+
+class StreamingExecution:
+    """Handle on one out-of-core execution (cursor over spilled results).
+
+    Returned by :meth:`ShardedExecutor.execute_stream` after all shard
+    windows have been dispatched: it carries the merged
+    :class:`~repro.fracture.quality.FractureReport`, the
+    :class:`ExecutionStats` (with the streaming witness counters live)
+    and a *re-iterable* row-major cursor over the shard results —
+    :meth:`iter_results` re-reads each spilled result from the cache's
+    blob family one at a time, so job assembly never holds more than one
+    shard's shots resident.
+
+    Use as a context manager (or call :meth:`close`) so a run without a
+    configured cache can remove its private spill directory.
+    """
+
+    def __init__(
+        self,
+        stats: ExecutionStats,
+        report: FractureReport,
+        corrected: bool,
+        source_polygons: int,
+        total_shots: int,
+        entries: List[Tuple[Optional[str], Optional[ShardResult]]],
+        spill_cache: Optional[ShardCache],
+        spill_dir: Optional[str],
+    ) -> None:
+        self.stats = stats
+        self.report = report
+        self.corrected = corrected
+        self.source_polygons = source_polygons
+        self.total_shots = total_shots
+        self._entries = entries
+        self._spill_cache = spill_cache
+        self._spill_dir = spill_dir
+        self._closed = False
+
+    @property
+    def occupied_shards(self) -> int:
+        return self.stats.occupied_shards
+
+    def iter_results(self):
+        """Yield every :class:`ShardResult` in row-major shard order.
+
+        Spilled results are re-read from the blob store one at a time
+        (without touching the cache's hit/miss accounting); results that
+        degraded to the in-memory fallback are yielded directly.  The
+        cursor is re-iterable — the machine-program exporter and the job
+        writer each take their own pass.
+        """
+        from repro.core.jobfile import loads_shard_result
+
+        for key, resident in self._entries:
+            if resident is not None:
+                yield resident
+                continue
+            if self._closed:
+                raise RuntimeError(
+                    "streaming execution is closed; its spilled shard "
+                    "results are no longer readable"
+                )
+            payload = self._spill_cache.get_blob(key, record=False)
+            if payload is None:
+                raise RuntimeError(
+                    f"spilled shard result {key} vanished from the cache "
+                    "before job assembly (cache pruned concurrently?)"
+                )
+            yield loads_shard_result(payload)
+
+    def close(self) -> None:
+        """Release the private spill directory (idempotent).
+
+        Spills into a caller-configured :class:`ShardCache` are left in
+        place: they are content-addressed blobs a concurrent run may
+        share, and ordinary cache maintenance prunes them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+
+    def __enter__(self) -> "StreamingExecution":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class ShardedExecutor:
     """Runs fracture + proximity correction over a field-shard plan.
 
@@ -1607,3 +1742,355 @@ class ShardedExecutor:
                 merged.corrected = False
             out.append(merged)
         return out
+
+    # -- out-of-core streaming --------------------------------------------
+
+    def execute_stream(
+        self,
+        polygons,
+        workers: Optional[int] = None,
+        field_size: Optional[float] = None,
+        cache: Union[ShardCache, bool, None] = None,
+    ) -> StreamingExecution:
+        """Shard, process and spill one layout in bounded memory.
+
+        The out-of-core counterpart of :meth:`execute`: ``polygons`` may
+        be any iterable (a :meth:`~repro.layout.stream.LayoutStream.iter_flat`
+        cursor above all) and is consumed exactly once.
+
+        Three passes, none of which materializes the layout:
+
+        1. **Spool** — every polygon is written to a flat temp file as
+           exact doubles while the mosaic origin (min corner of the
+           combined bounding box) folds incrementally.
+        2. **Index** — the spool is re-read sequentially; each polygon's
+           field index is computed exactly as :func:`plan_shards` would
+           (bounding-box centre against the same origin), building a
+           tiny row → column → spool-offset index.
+        3. **Window** — shard rows run bottom-to-top: only the active
+           row's polygons are re-read from the spool, its shards are
+           dispatched through the same cache ladder and dispatch path
+           (local pool or :mod:`repro.dist`) as :meth:`execute_many`,
+           and every completed result is spilled to the cache's blob
+           family (:meth:`~repro.core.cache.ShardCache.spill_key_for`)
+           instead of being held for the merge.
+
+        Because shards, their order and every per-shard computation are
+        identical to the in-memory plan, a streamed run is byte-identical
+        to :meth:`execute` at any worker count, cold or warm cache, local
+        or distributed dispatch.
+
+        Differences from the in-memory path, by construction:
+
+        * ``overlap_policy="union"`` is rejected — a global boolean
+          union needs the whole layout resident.  The ``"warn"``
+          advisory check is skipped (it is pairwise across shards and
+          purely advisory; it never changes bytes).
+        * Injected fault schedules (chaos testing) key positions per
+          window, not per run — the work-list position restarts at 0 on
+          every shard row.
+        * Results are spilled: with a configured cache they land in its
+          content-addressed blob family (and stay there — concurrent
+          identical runs may share them); without one a private spill
+          directory is used and removed by
+          :meth:`StreamingExecution.close`.  A failed spill store
+          degrades that shard to the in-memory fallback with one
+          :class:`SpillDegradedWarning` — never a crash.
+        """
+        if self.overlap_policy == "union":
+            raise ValueError(
+                "overlap_policy='union' is incompatible with streamed "
+                "execution (the global union needs the whole layout "
+                "resident); pre-union the layout or use 'warn'/'ignore'"
+            )
+        if workers is None:
+            workers = self.workers
+        workers = _resolve_workers(workers)
+        if field_size is None:
+            field_size = self.field_size
+        if field_size is not None and field_size <= 0:
+            raise ValueError("field size must be positive")
+        active_cache = self._resolve_cache(cache)
+
+        if active_cache is not None:
+            spill_cache = active_cache
+            spill_dir = None
+        else:
+            spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+            spill_cache = ShardCache(spill_dir)
+
+        config = (self.fracturer, self.corrector, self.psf)
+        retry = self.retry
+        faults = self.faults.arm() if self.faults is not None else None
+
+        spool_fd, spool_path = tempfile.mkstemp(prefix="repro-spool-")
+        try:
+            # Pass 1: spool the layout, folding the mosaic origin.
+            source_polygons = 0
+            min_x = min_y = math.inf
+            with os.fdopen(spool_fd, "wb", buffering=1 << 20) as spool:
+                for poly in polygons:
+                    verts = poly.vertices
+                    spool.write(_SPOOL_COUNT.pack(len(verts)))
+                    spool.write(
+                        struct.pack(
+                            f">{2 * len(verts)}d",
+                            *(c for v in verts for c in (v.x, v.y)),
+                        )
+                    )
+                    source_polygons += 1
+                    for v in verts:
+                        if v.x < min_x:
+                            min_x = v.x
+                        if v.y < min_y:
+                            min_y = v.y
+
+            # Pass 2: index spool offsets onto the field mosaic.
+            rows: Dict[int, Dict[int, List[int]]] = {}
+            with open(spool_path, "rb", buffering=1 << 20) as spool:
+                offset = 0
+                while True:
+                    head = spool.read(_SPOOL_COUNT.size)
+                    if not head:
+                        break
+                    (count,) = _SPOOL_COUNT.unpack(head)
+                    data = spool.read(16 * count)
+                    if field_size is None:
+                        col, row = 0, 0
+                    else:
+                        values = struct.unpack(f">{2 * count}d", data)
+                        xs = values[0::2]
+                        ys = values[1::2]
+                        col, row = field_index_of(
+                            (min(xs) + max(xs)) / 2.0,
+                            (min(ys) + max(ys)) / 2.0,
+                            min_x,
+                            min_y,
+                            field_size,
+                        )
+                    rows.setdefault(row, {}).setdefault(col, []).append(offset)
+                    offset += _SPOOL_COUNT.size + 16 * count
+
+            total_shards = sum(len(cols) for cols in rows.values())
+            tick = self._progress_tick(total_shards)
+
+            entries: List[Tuple[Optional[str], Optional[ShardResult]]] = []
+            reports: List[FractureReport] = []
+            reference = 0.0
+            total_shots = 0
+            occupied = 0
+            pooled = False
+            cache_hits = cache_misses = 0
+            evictions = write_failures = 0
+            cache_degraded = False
+            retries = salvaged = pool_restarts = timeouts = 0
+            coord_fb = slab_fb = 0
+            stream_windows = 0
+            peak_window_bytes = 0
+            shards_spilled = 0
+            spill_bytes = 0
+            spill_fallbacks = 0
+            spill_degraded = False
+            dist_totals: Dict[str, int] = {}
+
+            # Pass 3: dispatch one shard row at a time, spilling results.
+            from repro.core.jobfile import dumps_shard_result
+
+            with open(spool_path, "rb") as spool:
+                for row in sorted(rows):
+                    window_shards: List[Shard] = []
+                    window_bytes = 0
+                    for col in sorted(rows[row]):
+                        bucket: List[Polygon] = []
+                        for poly_offset in rows[row][col]:
+                            spool.seek(poly_offset)
+                            (count,) = _SPOOL_COUNT.unpack(
+                                spool.read(_SPOOL_COUNT.size)
+                            )
+                            values = struct.unpack(
+                                f">{2 * count}d", spool.read(16 * count)
+                            )
+                            bucket.append(
+                                Polygon(list(zip(values[0::2], values[1::2])))
+                            )
+                            window_bytes += _SPOOL_COUNT.size + 16 * count
+                        window_shards.append(
+                            Shard(index=(col, row), polygons=tuple(bucket))
+                        )
+
+                    # The execute_many cache ladder, per window.
+                    keys: List[Optional[str]]
+                    hit_flags = [False] * len(window_shards)
+                    if active_cache is None:
+                        keys = [None] * len(window_shards)
+                        results_w, pooled_w, recovery = self._map(
+                            window_shards, config, workers, tick, retry,
+                            faults,
+                        )
+                    else:
+                        keys = [
+                            active_cache.key_for(shard, *config)
+                            for shard in window_shards
+                        ]
+                        results_w = []
+                        for key in keys:
+                            before = active_cache.stats.evictions
+                            results_w.append(active_cache.get(key))
+                            evictions += active_cache.stats.evictions - before
+                        pending = [
+                            i
+                            for i, result in enumerate(results_w)
+                            if result is None
+                        ]
+                        for i, result in enumerate(results_w):
+                            hit_flags[i] = result is not None
+                            if hit_flags[i] and tick is not None:
+                                tick()
+                        computed, pooled_w, recovery = self._map(
+                            [window_shards[i] for i in pending],
+                            config, workers, tick, retry, faults,
+                            cache_keys=[keys[i] for i in pending],
+                        )
+                        for i, result in zip(pending, computed):
+                            results_w[i] = result
+                            if cache_degraded:
+                                continue
+                            try:
+                                stored = active_cache.put(keys[i], result)
+                            except OSError as exc:
+                                stored = False
+                                reason = f"{type(exc).__name__}: {exc}"
+                            else:
+                                reason = "the filesystem refused the store"
+                            if stored is False:
+                                write_failures += 1
+                                cache_degraded = True
+                                warnings.warn(
+                                    "shard cache degraded to read-only "
+                                    f"for the rest of this run ({reason})"
+                                    "; results are unaffected, but "
+                                    "uncached shards will be recomputed "
+                                    "by later runs",
+                                    CacheDegradedWarning,
+                                    stacklevel=2,
+                                )
+                        cache_hits += sum(hit_flags)
+                        cache_misses += len(pending)
+
+                    pooled = pooled or pooled_w
+                    retries += recovery.retry_total
+                    salvaged += len(recovery.salvaged)
+                    pool_restarts += recovery.pool_restarts
+                    timeouts += recovery.timeout_total
+                    dist = self._last_dist
+                    if dist is not None:
+                        dist_totals["dist_workers"] = max(
+                            dist_totals.get("dist_workers", 0), dist.workers
+                        )
+                        for name, value in (
+                            ("leases_granted", dist.leases_granted),
+                            ("leases_reclaimed", dist.leases_reclaimed),
+                            ("worker_deaths", dist.worker_deaths),
+                            ("heartbeats_missed", dist.heartbeats_missed),
+                            ("speculative_wins", dist.speculative_wins),
+                            ("speculative_losses", dist.speculative_losses),
+                            ("duplicate_commits", dist.duplicate_commits),
+                            ("dist_local_fallbacks", dist.local_fallbacks),
+                        ):
+                            dist_totals[name] = dist_totals.get(name, 0) + value
+
+                    # Spill the window's results (row-major, like the
+                    # in-memory merge order).
+                    for shard_key, result in zip(keys, results_w):
+                        coord_fb += result.kernel_fallbacks.coord_limit
+                        slab_fb += result.kernel_fallbacks.rational_slab
+                        reports.append(result.report)
+                        reference += result.reference_area
+                        total_shots += len(result.shots)
+                        if result.shots:
+                            occupied += 1
+                        payload = dumps_shard_result(result)
+                        window_bytes += len(payload)
+                        if spill_degraded:
+                            spill_fallbacks += 1
+                            entries.append((None, result))
+                            continue
+                        if shard_key is None:
+                            shard_key = f"stream-position:{len(entries)}"
+                        blob_key = spill_cache.spill_key_for(shard_key)
+                        try:
+                            stored = spill_cache.put_blob(blob_key, payload)
+                        except OSError as exc:
+                            stored = False
+                            spill_reason = f"{type(exc).__name__}: {exc}"
+                        else:
+                            spill_reason = "the filesystem refused the store"
+                        if stored:
+                            shards_spilled += 1
+                            spill_bytes += len(payload)
+                            entries.append((blob_key, None))
+                        else:
+                            spill_degraded = True
+                            spill_fallbacks += 1
+                            entries.append((None, result))
+                            warnings.warn(
+                                "shard-result spilling degraded to the "
+                                "in-memory merge for the rest of this "
+                                f"run ({spill_reason}); results are "
+                                "unaffected, but memory is no longer "
+                                "bounded by one shard row",
+                                SpillDegradedWarning,
+                                stacklevel=2,
+                            )
+
+                    stream_windows += 1
+                    peak_window_bytes = max(peak_window_bytes, window_bytes)
+        finally:
+            try:
+                os.unlink(spool_path)
+            except OSError:
+                pass
+
+        stats = ExecutionStats(
+            shard_count=total_shards,
+            occupied_shards=occupied,
+            workers=workers,
+            parallel=pooled,
+            field_size=field_size,
+            cache_enabled=active_cache is not None,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            hierarchy="flat",
+            kernel_fallbacks=coord_fb + slab_fb,
+            kernel_coord_fallbacks=coord_fb,
+            kernel_slab_fallbacks=slab_fb,
+            shard_retries=retries,
+            shards_salvaged=salvaged,
+            pool_restarts=pool_restarts,
+            shard_timeouts=timeouts,
+            cache_write_failures=write_failures,
+            cache_degraded=cache_degraded,
+            cache_evictions=evictions,
+            streamed=True,
+            stream_windows=stream_windows,
+            peak_window_bytes=peak_window_bytes,
+            shards_spilled=shards_spilled,
+            spill_bytes=spill_bytes,
+            spill_fallbacks=spill_fallbacks,
+        )
+        stats.dispatch = self.dispatch
+        for name, value in dist_totals.items():
+            setattr(stats, name, value)
+
+        report = merge_reports(reports, reference_area=reference)
+        corrected = self.corrector is not None and total_shots > 0
+        return StreamingExecution(
+            stats=stats,
+            report=report,
+            corrected=corrected,
+            source_polygons=source_polygons,
+            total_shots=total_shots,
+            entries=entries,
+            spill_cache=spill_cache,
+            spill_dir=spill_dir,
+        )

@@ -22,7 +22,15 @@ class MachineJob:
             the shot bounding box.
     """
 
-    __slots__ = ("name", "shots", "base_dose", "bounding_box", "_aggregate")
+    __slots__ = (
+        "name",
+        "shots",
+        "base_dose",
+        "bounding_box",
+        "_aggregate",
+        "_digest",
+        "_dose_range",
+    )
 
     def __init__(
         self,
@@ -37,6 +45,8 @@ class MachineJob:
         self.base_dose = float(base_dose)
         self.name = name
         self._aggregate: Optional[Tuple[int, float, float, float]] = None
+        self._digest: Optional[str] = None
+        self._dose_range: Optional[Tuple[float, float]] = None
         if bounding_box is not None:
             self.bounding_box = bounding_box
         elif self.shots:
@@ -59,12 +69,18 @@ class MachineJob:
         base_dose: float = 1.0,
         mean_dose: float = 1.0,
         name: str = "synthetic",
+        dose_weighted_area: Optional[float] = None,
+        dose_weighted_count: Optional[float] = None,
     ) -> "MachineJob":
         """A job described only by its aggregates (no explicit shot list).
 
         Machine timing models need only figure count, areas and doses, so
         throughput studies can model multi-million-figure chips without
-        materializing the shots.
+        materializing the shots.  ``dose_weighted_area`` /
+        ``dose_weighted_count`` override the ``mean_dose``
+        approximation with exact sums — what the out-of-core pipeline
+        folds while streaming, so a streamed job's timing model matches
+        the materialized one bit for bit.
         """
         if figure_count < 0 or pattern_area < 0:
             raise ValueError("figure count and area must be non-negative")
@@ -72,8 +88,12 @@ class MachineJob:
         job._aggregate = (
             int(figure_count),
             float(pattern_area),
-            float(pattern_area) * mean_dose,
-            float(figure_count) * mean_dose,
+            float(pattern_area) * mean_dose
+            if dose_weighted_area is None
+            else float(dose_weighted_area),
+            float(figure_count) * mean_dose
+            if dose_weighted_count is None
+            else float(dose_weighted_count),
         )
         return job
 
@@ -122,7 +142,14 @@ class MachineJob:
         Every coordinate and dose enters as its IEEE-754 double, so two
         jobs share a digest iff they are shot-for-shot bit-identical —
         the determinism oracle for the sharded/cached execution paths.
+
+        Jobs assembled by the out-of-core pipeline carry the digest
+        folded over the same packing while the shots streamed past
+        (``_digest``) — identical bytes hashed in identical order, never
+        an approximation.
         """
+        if self._digest is not None:
+            return self._digest
         h = hashlib.sha256()
         h.update(_SHOT_PACK.pack(self.base_dose, 0, 0, 0, 0, 0, 0))
         for s in self.shots:
@@ -182,6 +209,8 @@ class MachineJob:
 
     def dose_range(self) -> Tuple[float, float]:
         """(min, max) relative dose over all shots."""
+        if self._dose_range is not None:
+            return self._dose_range
         if not self.shots:
             return (0.0, 0.0)
         doses = [s.dose for s in self.shots]

@@ -28,6 +28,7 @@ The delta packing is exact for the slant range the fracturers produce
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
@@ -132,6 +133,81 @@ def read_job(path: Union[str, Path]) -> MachineJob:
     """Read a job file."""
     p = Path(path)
     return loads_job(p.read_bytes(), name=p.stem)
+
+
+class JobFileWriter:
+    """Incremental job-file writer: one shot at a time, bounded memory.
+
+    Emits bytes identical to :func:`write_job` of a job holding the same
+    shots in the same order.  The header carries the shot count, so the
+    caller declares it up front and the writer enforces it — writing
+    more shots raises immediately, and :meth:`close` with fewer raises
+    and discards the staging file.  The file is staged next to ``path``
+    and published atomically on a successful close, so a crashed
+    streaming run never leaves a truncated job file under the final
+    name.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        count: int,
+        base_dose: float = 1.0,
+        unit: float = 1e-3,
+    ) -> None:
+        if unit <= 0:
+            raise JobFileError("unit must be positive")
+        if count < 0:
+            raise JobFileError("shot count must be non-negative")
+        self.path = Path(path)
+        self.unit = unit
+        self.count = int(count)
+        self._staging = self.path.with_name(self.path.name + ".staging")
+        self._fh = open(self._staging, "wb")
+        self._fh.write(_HEADER.pack(MAGIC, unit, base_dose, self.count))
+        self._written = 0
+        self._closed = False
+
+    def write_shot(self, shot: Shot) -> None:
+        """Append one figure record."""
+        if self._closed:
+            raise JobFileError("job-file writer is closed")
+        if self._written >= self.count:
+            raise JobFileError(
+                f"declared {self.count} shots but a {self._written + 1}th "
+                "arrived"
+            )
+        self._fh.write(_pack_shot(shot, self.unit))
+        self._written += 1
+
+    def close(self) -> int:
+        """Publish the file; returns its byte count."""
+        if self._closed:
+            return job_file_bytes(self.count)
+        self._closed = True
+        self._fh.close()
+        if self._written != self.count:
+            self._staging.unlink(missing_ok=True)
+            raise JobFileError(f"declared {self.count} shots but wrote {self._written}")
+        os.replace(self._staging, self.path)
+        return job_file_bytes(self.count)
+
+    def abort(self) -> None:
+        """Discard the staging file without publishing (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.close()
+        self._staging.unlink(missing_ok=True)
+
+    def __enter__(self) -> "JobFileWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 def job_file_bytes(figure_count: int) -> int:

@@ -11,6 +11,7 @@ through one shared worker pool.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -30,7 +31,7 @@ from repro.core.hierarchical import (
     HierarchicalFractureResult,
     fracture_hierarchical,
 )
-from repro.core.job import MachineJob
+from repro.core.job import MachineJob, _SHOT_PACK
 from repro.fracture.base import Fracturer
 from repro.fracture.quality import FractureReport
 from repro.fracture.trapezoidal import TrapezoidFracturer
@@ -39,6 +40,11 @@ from repro.layout.cell import Cell
 from repro.layout.flatten import flatten_cell
 from repro.layout.layer import Layer
 from repro.layout.library import Library
+from repro.layout.stream import (
+    LayoutStream,
+    MemoryStream,
+    open_layout_stream,
+)
 from repro.machine.base import Machine, WriteTimeBreakdown
 from repro.pec.base import ProximityCorrector
 from repro.physics.psf import DoubleGaussianPSF
@@ -104,6 +110,10 @@ class PipelineResult:
         execution: how the sharded engine ran (shards, workers, pool).
         machine_program: the exported machine data stream (also on
             ``execution.program``) when the run had a ``machine`` mode.
+        job_bytes: size of the ``.ebj`` job file a streaming run wrote
+            (0 when no ``job_path`` was requested); the streamed bytes
+            are identical to :func:`~repro.core.jobfile.write_job` of
+            the materialized job.
     """
 
     job: MachineJob
@@ -113,6 +123,7 @@ class PipelineResult:
     corrected: bool = False
     execution: Optional[ExecutionStats] = None
     machine_program: Optional["MachineProgram"] = None
+    job_bytes: int = 0
 
     def total_write_time(self, machine_name: str) -> float:
         """Convenience: total seconds on a named machine."""
@@ -395,6 +406,83 @@ class PreparationPipeline:
             cache=cache,
         )
 
+    def run_streaming(
+        self,
+        source: Union[LayoutStream, Library, Cell, str, Path, Iterable[Polygon]],
+        layer: Optional[Layer] = None,
+        name: Optional[str] = None,
+        workers: Optional[int] = None,
+        field_size: Optional[float] = None,
+        cache: Union[ShardCache, bool, None] = None,
+        machine: Optional[str] = None,
+        program_path: Optional[Union[str, Path]] = None,
+        job_path: Optional[Union[str, Path]] = None,
+    ) -> PipelineResult:
+        """Run the full pipeline out of core, in bounded memory.
+
+        The streaming counterpart of :meth:`run`: polygons are drawn
+        from a lazy cursor (a layout file is opened as a
+        :class:`~repro.layout.stream.LayoutStream`, a resident
+        library/cell is wrapped in a
+        :class:`~repro.layout.stream.MemoryStream`), the execution
+        engine spills per-shard results through the cache's blob store
+        instead of accumulating them, and job assembly folds the
+        aggregates, digest and — with ``job_path`` — the ``.ebj`` bytes
+        one shard at a time.
+
+        Byte-identity contract: the ``.ebj`` file (``job_path``) and the
+        machine program (``machine``/``program_path``) are byte-identical
+        to the materialized :meth:`run` path for any worker count,
+        cold or warm cache, and local or distributed dispatch.  The
+        resulting :class:`PipelineResult` carries an aggregate
+        (:meth:`~repro.core.job.MachineJob.synthetic`) job whose
+        accounting, digest and dose range match the materialized job
+        exactly; only the resident shot list is absent.
+
+        Args:
+            source: a :class:`~repro.layout.stream.LayoutStream`, a
+                layout file path (``.gds``/``.cif``), a
+                library/cell, or a raw polygon iterable (consumed once).
+            layer: restrict to one layer (all layers merged otherwise).
+            name: job name (defaults to the top cell's name).
+            workers: worker-pool size override for this run.
+            field_size: writing-field pitch override for this run.
+            cache: cache override for this run (also hosts the spill
+                blobs; without one a private temp spill store is used).
+            machine: per-run machine-program mode override.
+            program_path: explicit program file path.
+            job_path: write the job's ``.ebj`` file here while
+                streaming (:class:`~repro.core.jobfile.JobFileWriter`).
+
+        Always runs flat — hierarchy ``"cells"`` prefracture is a
+        materializing transform and is rejected by the streaming recipe.
+        """
+        stream, owned = self._resolve_stream(source)
+        try:
+            if stream is not None:
+                inferred = stream.top_cell().name
+                polygons: Iterable[Polygon] = stream.iter_flat(
+                    layers={layer} if layer is not None else None
+                )
+            else:
+                inferred = "job"
+                polygons = iter(source)  # type: ignore[arg-type]
+            execution = self.executor.execute_stream(
+                polygons, workers=workers, field_size=field_size, cache=cache
+            )
+        finally:
+            if owned and stream is not None:
+                stream.close()
+        with execution:
+            return self._finish_streaming(
+                execution,
+                name or inferred,
+                machine=machine,
+                program_path=program_path,
+                cache=cache,
+                job_path=job_path,
+            )
+
     def run_layers(
         self,
         source: Union[Library, Cell],
@@ -641,6 +729,131 @@ class PreparationPipeline:
             )
             result.machine_program = program
             outcome.stats.program = program
+        return result
+
+    @staticmethod
+    def _resolve_stream(source) -> tuple:
+        """``(stream, owned)`` for a streaming source; raw polygon
+        iterables return ``(None, False)`` and stream as-is."""
+        if isinstance(source, LayoutStream):
+            return source, False
+        if isinstance(source, (str, Path)):
+            return open_layout_stream(source), True
+        if isinstance(source, (Library, Cell)):
+            return MemoryStream(source), True
+        return None, False
+
+    def _finish_streaming(
+        self,
+        execution,
+        name: str,
+        machine: Optional[str] = None,
+        program_path: Optional[Union[str, Path]] = None,
+        cache: Union[ShardCache, bool, None] = None,
+        job_path: Optional[Union[str, Path]] = None,
+    ) -> PipelineResult:
+        """Assemble a streaming execution into a result, one shard at a
+        time.
+
+        One pass over the spilled shard results folds everything the
+        materialized path reads off the resident shot list — bounding
+        box, exposure aggregates, dose range and the exact shot digest —
+        and (with ``job_path``) streams the ``.ebj`` records as it goes.
+        A second pass feeds the machine-program exporter.  Every fold
+        runs in the merged shot order, so the aggregates and digest are
+        bit-identical to the materialized job's.
+        """
+        digest = hashlib.sha256()
+        digest.update(_SHOT_PACK.pack(self.base_dose, 0, 0, 0, 0, 0, 0))
+        writer = None
+        if job_path is not None:
+            from repro.core.jobfile import JobFileWriter
+
+            writer = JobFileWriter(
+                job_path, execution.total_shots, base_dose=self.base_dose
+            )
+        pattern_area = 0.0
+        dose_weighted_area = 0.0
+        dose_weighted_count = 0.0
+        bbox: Optional[List[float]] = None
+        dose_min: Optional[float] = None
+        dose_max: Optional[float] = None
+        try:
+            for result in execution.iter_results():
+                for shot in result.shots:
+                    t = shot.trapezoid
+                    digest.update(
+                        _SHOT_PACK.pack(
+                            t.y_bottom,
+                            t.y_top,
+                            t.x_bottom_left,
+                            t.x_bottom_right,
+                            t.x_top_left,
+                            t.x_top_right,
+                            shot.dose,
+                        )
+                    )
+                    if writer is not None:
+                        writer.write_shot(shot)
+                    box = t.bounding_box()
+                    if bbox is None:
+                        bbox = list(box)
+                    else:
+                        bbox[0] = min(bbox[0], box[0])
+                        bbox[1] = min(bbox[1], box[1])
+                        bbox[2] = max(bbox[2], box[2])
+                        bbox[3] = max(bbox[3], box[3])
+                    area = shot.area()
+                    pattern_area += area
+                    dose_weighted_area += shot.dose * area
+                    dose_weighted_count += shot.dose
+                    if dose_min is None or shot.dose < dose_min:
+                        dose_min = shot.dose
+                    if dose_max is None or shot.dose > dose_max:
+                        dose_max = shot.dose
+            job_bytes = writer.close() if writer is not None else 0
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            raise
+        job = MachineJob.synthetic(
+            figure_count=execution.total_shots,
+            pattern_area=pattern_area,
+            bounding_box=(tuple(bbox) if bbox is not None else (0.0, 0.0, 0.0, 0.0)),
+            base_dose=self.base_dose,
+            name=name,
+            dose_weighted_area=dose_weighted_area,
+            dose_weighted_count=dose_weighted_count,
+        )
+        job._digest = digest.hexdigest()
+        job._dose_range = ((dose_min, dose_max) if dose_min is not None else (0.0, 0.0))
+        result = PipelineResult(
+            job=job,
+            fracture_report=execution.report,
+            source_polygons=execution.source_polygons,
+            corrected=execution.corrected,
+            execution=execution.stats,
+            job_bytes=job_bytes,
+        )
+        for machine_writer in self.machines:
+            result.write_times[machine_writer.name] = machine_writer.write_time(job)
+        mode = self._resolve_machine(machine)
+        if mode is not None:
+            from repro.machine.program import MachineSpec, export_program
+
+            spec = MachineSpec(mode=mode, address_unit=self.address_unit)
+            if program_path is None:
+                program_path = self._default_program_path(name, mode, None)
+            program = export_program(
+                execution.iter_results(),
+                job,
+                spec,
+                program_path,
+                cache=self._resolve_program_cache(cache),
+                segment_count=execution.stats.occupied_shards,
+            )
+            result.machine_program = program
+            execution.stats.program = program
         return result
 
     @staticmethod

@@ -52,6 +52,7 @@ class PrepRecipe:
     shard_timeout: Optional[float] = None
     dispatch: str = "local"
     workers_endpoint: Optional[str] = None
+    streaming: bool = False
 
     def __post_init__(self) -> None:
         if self.fracture not in FRACTURE_MODES:
@@ -136,6 +137,14 @@ class PrepRecipe:
             raise ValueError(
                 "dispatch='distributed' requires a workers_endpoint "
                 "(host:port of the lease coordinator)"
+            )
+        if not isinstance(self.streaming, bool):
+            raise ValueError(f"streaming must be a bool, got {self.streaming!r}")
+        if self.streaming and self.hierarchy == "cells":
+            raise ValueError(
+                "streaming=True requires hierarchy='flat': per-cell "
+                "prefracture materializes the hierarchy, which defeats "
+                "the out-of-core contract"
             )
 
     def to_dict(self) -> dict:

@@ -14,6 +14,8 @@ The layout package provides the pattern-source side of the pipeline:
 * :mod:`~repro.layout.cif` — Caltech Intermediate Form writer/reader
   (the period-appropriate interchange format).
 * :mod:`~repro.layout.flatten` — hierarchy flattening.
+* :mod:`~repro.layout.stream` — cursor-based streaming readers/writer for
+  out-of-core preparation (lazy flattening in bounded memory).
 * :mod:`~repro.layout.generators` — synthetic workload generators used by
   the reconstructed evaluation.
 """
@@ -23,6 +25,14 @@ from repro.layout.cell import Cell
 from repro.layout.reference import CellReference, CellArray
 from repro.layout.library import Library
 from repro.layout.flatten import flatten_cell, flatten_library
+from repro.layout.stream import (
+    CifStream,
+    GdsiiStream,
+    GdsiiStreamWriter,
+    LayoutStream,
+    MemoryStream,
+    open_layout_stream,
+)
 from repro.layout import generators
 
 __all__ = [
@@ -33,5 +43,11 @@ __all__ = [
     "Library",
     "flatten_cell",
     "flatten_library",
+    "LayoutStream",
+    "GdsiiStream",
+    "CifStream",
+    "MemoryStream",
+    "GdsiiStreamWriter",
+    "open_layout_stream",
     "generators",
 ]

@@ -129,6 +129,19 @@ def _transform_ops(ref: CellReference) -> str:
 _LAYER_RE = re.compile(r"^L(\d+)(?:D(\d+))?$")
 
 
+def _parse_layer_token(token: str) -> Layer:
+    """Fold an ``L`` command's token into a :class:`Layer`.
+
+    Tokens in the writer's ``L<layer>D<datatype>`` convention map exactly;
+    any other name is hashed into the 0–255 layer space (deterministic
+    within one process), matching what :func:`loads_cif` has always done.
+    """
+    match = _LAYER_RE.match(token)
+    if match:
+        return Layer(int(match.group(1)), int(match.group(2) or 0))
+    return Layer(abs(hash(token)) % 256, 0, name=token)
+
+
 def read_cif(path: Union[str, Path]) -> Library:
     """Read a CIF file into a :class:`Library`."""
     return loads_cif(Path(path).read_text())
@@ -182,12 +195,7 @@ def loads_cif(text: str) -> Library:
             if current_number is not None and name:
                 names[current_number] = name
         elif command == "L":
-            token = statement[1:].strip()
-            match = _LAYER_RE.match(token)
-            if match:
-                layer = Layer(int(match.group(1)), int(match.group(2) or 0))
-            else:
-                layer = Layer(abs(hash(token)) % 256, 0, name=token)
+            layer = _parse_layer_token(statement[1:].strip())
         elif command == "B":
             target = current if current is not None else top_cell
             if current is None:

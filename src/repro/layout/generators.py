@@ -312,6 +312,75 @@ def checkerboard(
     return _library(top, "CHECKERBOARD_LIB")
 
 
+def full_reticle(
+    tiles: int = 10,
+    pitch: float = 100.0,
+    layer: Layer = DEFAULT_LAYER,
+) -> Library:
+    """A full-reticle mosaic: ``tiles × tiles`` zone-plate dies.
+
+    The out-of-core workload — one :func:`fresnel_zone_plate` die cell
+    (20 flat polygons) arrayed on a ``pitch`` grid, so ``tiles=10``
+    expands to 2 000 flat polygons (100× the single die) while the
+    hierarchical library stays tiny.  Size is a parameter, not a baked
+    constant: the memory benchmark sweeps ``tiles`` to grow the flat
+    workload far past what a materializing run wants to hold.
+    """
+    if tiles < 1:
+        raise ValueError("tiles must be >= 1")
+    if pitch <= 0:
+        raise ValueError("pitch must be positive")
+    die = fresnel_zone_plate(layer=layer).top_cell()
+    top = Cell("RETICLE")
+    top.instantiate_array(die, tiles, tiles, pitch, pitch)
+    lib = Library("RETICLE_LIB")
+    lib.add(top)
+    return lib
+
+
+def write_full_reticle(
+    path,
+    tiles: int = 10,
+    pitch: float = 100.0,
+    layer: Layer = DEFAULT_LAYER,
+    flat: bool = True,
+) -> int:
+    """Generate the full-reticle GDSII straight to disk; returns bytes.
+
+    With ``flat=True`` (the default) every die placement is expanded
+    and written through the incremental
+    :class:`~repro.layout.stream.GdsiiStreamWriter` — one translated
+    polygon at a time, so a reticle far larger than RAM is generated
+    without ever materializing it.  The emitted bytes are identical to
+    ``dumps_gdsii`` of a library holding the same flattened cell.
+    With ``flat=False`` the compact hierarchical library (die cell +
+    one AREF) is written instead.
+    """
+    if flat:
+        from repro.layout.stream import GdsiiStreamWriter
+
+        if tiles < 1:
+            raise ValueError("tiles must be >= 1")
+        if pitch <= 0:
+            raise ValueError("pitch must be positive")
+        die = fresnel_zone_plate(layer=layer).top_cell()
+        with GdsiiStreamWriter(path, name="RETICLE_LIB") as writer:
+            writer.begin_cell("RETICLE")
+            # One layer, so canonical per-layer order reduces to the
+            # placement walk: row-major dies, stream-order polygons.
+            for found in sorted(die.polygons):
+                for row in range(tiles):
+                    for col in range(tiles):
+                        dx, dy = col * pitch, row * pitch
+                        for poly in die.polygons[found]:
+                            writer.write_polygon(poly.translated(dx, dy), found)
+            writer.end_cell()
+            return writer.close()
+    from repro.layout.gdsii import write_gdsii
+
+    return write_gdsii(full_reticle(tiles=tiles, pitch=pitch, layer=layer), path)
+
+
 def all_workloads(seed: int = 0) -> List[Tuple[str, Library]]:
     """The standard benchmark workload suite, as ``(name, library)`` pairs."""
     return [

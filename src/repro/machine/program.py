@@ -31,12 +31,22 @@ key family from the shard-result cache.
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import struct
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.jobfile import (
     JobFileError,
@@ -47,9 +57,7 @@ from repro.core.jobfile import (
 from repro.machine.base import Machine, WriteTimeBreakdown
 from repro.machine.datapath import (
     ChannelCheck,
-    figure_stream_bytes,
     raster_channel_check,
-    rle_bytes_estimate,
     vector_channel_check,
 )
 from repro.machine.raster import RasterScanWriter
@@ -366,11 +374,12 @@ def raster_coverage_lines(image: ProgramImage) -> Dict[int, List[Run]]:
 
 
 def export_program(
-    shard_results: Sequence["ShardResult"],
+    shard_results: Iterable["ShardResult"],
     job: "MachineJob",
     spec: MachineSpec,
     path: Union[str, Path],
     cache: Optional["ShardCache"] = None,
+    segment_count: Optional[int] = None,
 ) -> MachineProgram:
     """Lower a job's shard results into an on-disk machine program.
 
@@ -378,11 +387,24 @@ def export_program(
     at a time; with a cache, each segment's content address is consulted
     before lowering and stored after.  The resulting file is
     byte-identical for any worker count and for cold vs warm runs.
+
+    ``shard_results`` may be any iterable; by default it is materialized
+    once to count the occupied shards for the header.  Streaming
+    callers that already know the occupied count pass ``segment_count``
+    and the iterable is consumed strictly one result at a time — the
+    out-of-core path, where results arrive off a spill cursor.  The
+    emitted bytes are identical either way; a ``segment_count`` that
+    does not match the cursor raises before the program is published.
     """
     path = Path(path)
     origin = (job.bounding_box[0], job.bounding_box[1])
     machine = spec.machine()
-    occupied = [result for result in shard_results if result.shots]
+    if segment_count is None:
+        materialized = [result for result in shard_results if result.shots]
+        occupied: Iterable["ShardResult"] = materialized
+        segment_count = len(materialized)
+    else:
+        occupied = (result for result in shard_results if result.shots)
 
     flash_ns = 0.0
     dwell_ns_area = 0.0
@@ -397,7 +419,7 @@ def export_program(
         address_unit=spec.address_unit,
         origin=origin,
         base_dose=job.base_dose,
-        segment_count=len(occupied),
+        segment_count=segment_count,
     )
     digest = hashlib.sha256()
 
@@ -405,6 +427,13 @@ def export_program(
         handle.write(chunk)
         digest.update(chunk)
         program.file_bytes += len(chunk)
+
+    # The per-figure size estimate accumulates segment by segment —
+    # integer math per figure, so it is exactly what the materialized
+    # rle_bytes_estimate / figure_stream_bytes would report.
+    estimate_runs = 0
+    estimate_figures = 0
+    emitted = 0
 
     # Stream into a staging file and publish atomically, so a lowering
     # error mid-export (or a concurrent reader) never sees a truncated
@@ -420,7 +449,7 @@ def export_program(
                     spec.address_unit,
                     origin,
                     job.base_dose,
-                    len(occupied),
+                    segment_count,
                 ),
             )
             store_blobs = True
@@ -455,6 +484,14 @@ def export_program(
                             store_blobs = False
                 else:
                     program.cache_hits += 1
+                if spec.mode == "raster":
+                    for shot in result.shots:
+                        estimate_runs += max(
+                            1,
+                            math.ceil(shot.trapezoid.height / spec.address_unit),
+                        )
+                else:
+                    estimate_figures += len(result.shots)
                 records, stream_bytes, line_count = _segment_counters(
                     spec.mode, payload
                 )
@@ -468,6 +505,12 @@ def export_program(
                     program.peak_segment_bytes, len(payload)
                 )
                 emit(handle, pack_program_segment(result.index, records, payload))
+                emitted += 1
+            if emitted != segment_count:
+                raise MachineProgramError(
+                    f"segment_count promised {segment_count} occupied "
+                    f"shards but the cursor produced {emitted}"
+                )
         os.replace(staging, path)
     except BaseException:
         try:
@@ -479,16 +522,12 @@ def export_program(
         program.cache_hits = program.cache_misses = 0
     program.digest = digest.hexdigest()
 
-    figures = [s.trapezoid for r in occupied for s in r.shots]
     x0, y0, x1, y1 = job.bounding_box
     if spec.mode == "raster":
-        program.estimate_bytes = rle_bytes_estimate(
-            figures, max(y1 - y0, spec.address_unit), spec.address_unit
-        )
+        lines = math.ceil(max(y1 - y0, spec.address_unit) / spec.address_unit)
+        program.estimate_bytes = estimate_runs * 4 + lines * 2
     else:
-        program.estimate_bytes = figure_stream_bytes(
-            figures, bytes_per_figure=SHOT_RECORD_BYTES
-        )
+        program.estimate_bytes = estimate_figures * SHOT_RECORD_BYTES
 
     breakdown = machine.write_time(job)
     program.channel = _channel_check(spec, machine, job, program, breakdown)

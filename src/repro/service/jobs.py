@@ -94,6 +94,7 @@ class JobStore:
         "shard_timeouts",
         "cache_write_failures",
         "cache_evictions",
+        "spill_fallbacks",
         "jobs_retried",
         "job_timeouts",
         "cancelled_while_running",

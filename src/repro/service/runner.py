@@ -62,6 +62,15 @@ def _stats_view(stats: Optional[ExecutionStats]) -> dict:
             "cache_evictions": stats.cache_evictions,
         },
     }
+    if stats.streamed:
+        view["memory"] = {
+            "streamed": True,
+            "stream_windows": stats.stream_windows,
+            "peak_window_bytes": stats.peak_window_bytes,
+            "shards_spilled": stats.shards_spilled,
+            "spill_bytes": stats.spill_bytes,
+            "spill_fallbacks": stats.spill_fallbacks,
+        }
     if stats.hierarchy == "cells":
         view["cells_fractured"] = stats.cells_fractured
         view["instances_reused"] = stats.instances_reused
@@ -182,11 +191,23 @@ class JobRunner:
         program_path = None
         if spec.recipe.machine is not None:
             program_path = job_dir / f"program.{spec.recipe.machine}.ebp"
-        result = pipeline.run(
-            library, name=spec.job_name, program_path=program_path
-        )
         job_path = job_dir / "job.ebj"
-        job_bytes = write_job(result.job, job_path)
+        if spec.recipe.streaming:
+            # Out-of-core: the pipeline spills shard results and streams
+            # the .ebj itself — byte-identical to write_job of the
+            # materialized run, without ever holding the shot list.
+            result = pipeline.run_streaming(
+                library,
+                name=spec.job_name,
+                program_path=program_path,
+                job_path=job_path,
+            )
+            job_bytes = result.job_bytes
+        else:
+            result = pipeline.run(
+                library, name=spec.job_name, program_path=program_path
+            )
+            job_bytes = write_job(result.job, job_path)
 
         summary = {
             "digest": result.job.digest(),
@@ -206,6 +227,7 @@ class JobRunner:
                     "shard_timeouts": stats.shard_timeouts,
                     "cache_write_failures": stats.cache_write_failures,
                     "cache_evictions": stats.cache_evictions,
+                    "spill_fallbacks": stats.spill_fallbacks,
                 }
             )
             if stats.dispatch == "distributed":

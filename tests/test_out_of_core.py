@@ -1,0 +1,530 @@
+"""Out-of-core preparation: streaming readers, spilling executor, and
+end-to-end byte identity.
+
+The contract under test is *bit identity*: the streaming path — cursor
+readers, windowed execution with spilled shard results, incremental
+job/program assembly — must produce artifacts byte-identical to the
+materialized path for any worker count, cold or warm cache, and local
+or distributed dispatch.  Reader equivalence is swept with hypothesis
+over the full generator parameter space; pipeline identity is asserted
+on the artifacts themselves with ``filecmp``.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import threading
+import warnings
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.executor import (
+    RetryPolicy,
+    ShardedExecutor,
+    SpillDegradedWarning,
+    shutdown_worker_pool,
+)
+from repro.core.faults import FaultPlan
+from repro.core.jobfile import (
+    JobFileError,
+    JobFileWriter,
+    write_job,
+)
+from repro.core.pipeline import PreparationPipeline
+from repro.core.recipe import PrepRecipe
+from repro.dist import (
+    DistPolicy,
+    WorkerDaemon,
+    coordinator_for,
+    shutdown_coordinators,
+)
+from repro.fracture.trapezoidal import TrapezoidFracturer
+from repro.layout import generators
+from repro.layout.cell import Cell
+from repro.layout.cif import dumps_cif, loads_cif
+from repro.layout.flatten import flatten_cell, flatten_library
+from repro.layout.gdsii import dumps_gdsii, loads_gdsii, write_gdsii
+from repro.layout.library import Library
+from repro.layout.stream import (
+    CifStream,
+    GdsiiStream,
+    GdsiiStreamWriter,
+    MemoryStream,
+    open_layout_stream,
+)
+from repro.pec.dose_iter import IterativeDoseCorrector
+from repro.physics.psf import psf_for
+
+from layout_strategies import generated_libraries
+
+FIELD_SIZE = 15.0
+
+
+def _flat_sequence(library):
+    """The exact polygon sequence the materialized pipeline prepares:
+    flatten_cell's per-layer lists concatenated in dict order."""
+    flat = flatten_cell(library.top_cell())
+    return [poly for polys in flat.values() for poly in polys]
+
+
+def _vertices(polys):
+    return [tuple(v.as_tuple() for v in p.vertices) for p in polys]
+
+
+# ---------------------------------------------------------------------------
+# Cursor readers: bit-equivalent to the materialized loaders
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingReaders:
+    @given(library=generated_libraries())
+    @settings(max_examples=25, deadline=None)
+    def test_gdsii_stream_matches_materialized(self, library, tmp_path_factory):
+        path = tmp_path_factory.mktemp("gds") / "lib.gds"
+        write_gdsii(library, path)
+        materialized = loads_gdsii(path.read_bytes())
+        with GdsiiStream(path) as stream:
+            streamed = list(stream.iter_flat())
+            assert _vertices(streamed) == _vertices(_flat_sequence(materialized))
+            # Materializing the skeleton reproduces the loaded library
+            # exactly (same cells, same order, same polygons).
+            assert dumps_gdsii(stream.materialize()) == dumps_gdsii(materialized)
+
+    @given(library=generated_libraries())
+    @settings(max_examples=25, deadline=None)
+    def test_cif_stream_matches_materialized(self, library, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cif") / "lib.cif"
+        text = dumps_cif(library)
+        path.write_text(text)
+        materialized = loads_cif(text)
+        with CifStream(path) as stream:
+            streamed = list(stream.iter_flat())
+            assert _vertices(streamed) == _vertices(_flat_sequence(materialized))
+            assert dumps_cif(stream.materialize()) == dumps_cif(materialized)
+
+    def test_memory_stream_walks_like_flatten(self):
+        library = generators.memory_array(words=2, bits=2, blocks=(2, 2))
+        stream = MemoryStream(library)
+        assert _vertices(list(stream.iter_flat())) == _vertices(_flat_sequence(library))
+
+    def test_open_layout_stream_picks_reader_by_suffix(self, tmp_path):
+        library = generators.grating(lines=3)
+        gds = tmp_path / "a.gds"
+        cif = tmp_path / "a.cif"
+        write_gdsii(library, gds)
+        cif.write_text(dumps_cif(library))
+        with open_layout_stream(gds) as stream:
+            assert isinstance(stream, GdsiiStream)
+        with open_layout_stream(cif) as stream:
+            assert isinstance(stream, CifStream)
+
+    def test_layer_filter_matches_flatten(self, tmp_path):
+        from repro.layout.layer import Layer
+
+        top = Cell("TWO_LAYERS")
+        top.add_rectangle(0, 0, 2, 2, Layer(1, 0))
+        top.add_rectangle(5, 5, 8, 8, Layer(2, 0))
+        library = Library("L").add(top)
+        path = tmp_path / "two.gds"
+        write_gdsii(library, path)
+        with GdsiiStream(path) as stream:
+            only = list(stream.iter_flat(layers={Layer(2, 0)}))
+        flat = flatten_cell(loads_gdsii(path.read_bytes()).top_cell())
+        assert _vertices(only) == _vertices(flat[Layer(2, 0)])
+
+
+# ---------------------------------------------------------------------------
+# Incremental GDSII writer
+# ---------------------------------------------------------------------------
+
+
+class TestStreamWriter:
+    @given(library=generated_libraries())
+    @settings(max_examples=25, deadline=None)
+    def test_write_cell_matches_dumps(self, library, tmp_path_factory):
+        path = tmp_path_factory.mktemp("out") / "lib.gds"
+        with GdsiiStreamWriter(
+            path,
+            name=library.name,
+            unit=library.unit,
+            precision=library.precision,
+        ) as writer:
+            for cell in library:
+                writer.write_cell(cell)
+        assert path.read_bytes() == dumps_gdsii(library)
+
+    def test_incremental_cell_matches_dumps(self, tmp_path):
+        library = generators.contact_array(columns=2, rows=2, hierarchical=True)
+        path = tmp_path / "inc.gds"
+        with GdsiiStreamWriter(path, name=library.name) as writer:
+            for cell in library:
+                writer.begin_cell(cell.name)
+                for layer in sorted(cell.polygons):
+                    for poly in cell.polygons[layer]:
+                        writer.write_polygon(poly, layer)
+                for ref in cell.references:
+                    writer.write_reference(ref)
+                writer.end_cell()
+        assert path.read_bytes() == dumps_gdsii(library)
+
+    def test_full_reticle_flat_writer_matches_dumps(self, tmp_path):
+        tiles, pitch = 2, 100.0
+        path = tmp_path / "reticle.gds"
+        n = generators.write_full_reticle(path, tiles=tiles, pitch=pitch)
+        assert n == path.stat().st_size
+        die = generators.fresnel_zone_plate().top_cell()
+        top = Cell("RETICLE")
+        for layer in sorted(die.polygons):
+            for row in range(tiles):
+                for col in range(tiles):
+                    for poly in die.polygons[layer]:
+                        top.add_polygon(
+                            poly.translated(col * pitch, row * pitch), layer
+                        )
+        reference = Library("RETICLE_LIB").add(top)
+        assert path.read_bytes() == dumps_gdsii(reference)
+
+
+# ---------------------------------------------------------------------------
+# The sized synthetic reticle
+# ---------------------------------------------------------------------------
+
+
+class TestFullReticle:
+    def test_default_is_100x_the_single_die(self):
+        die_polys = sum(
+            len(v)
+            for v in flatten_library(generators.fresnel_zone_plate()).values()
+        )
+        reticle = generators.full_reticle()
+        flat = sum(len(v) for v in flatten_library(reticle).values())
+        assert die_polys == 20
+        assert flat == 100 * die_polys
+
+    def test_size_is_a_parameter(self):
+        flat = flatten_library(generators.full_reticle(tiles=3))
+        assert sum(len(v) for v in flat.values()) == 9 * 20
+
+    def test_hierarchical_file_round_trips(self, tmp_path):
+        path = tmp_path / "h.gds"
+        generators.write_full_reticle(path, tiles=2, flat=False)
+        back = loads_gdsii(path.read_bytes())
+        assert sum(len(v) for v in flatten_library(back).values()) == 4 * 20
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            generators.full_reticle(tiles=0)
+        with pytest.raises(ValueError):
+            generators.write_full_reticle(tmp_path / "x.gds", pitch=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Incremental job-file writer
+# ---------------------------------------------------------------------------
+
+
+class TestJobFileWriter:
+    def _shots(self):
+        polys = _flat_sequence(generators.grating(lines=4))
+        shards = ShardedExecutor(TrapezoidFracturer()).execute(polys)
+        return shards.shots
+
+    def test_byte_identical_to_write_job(self, tmp_path):
+        from repro.core.job import MachineJob
+
+        shots = self._shots()
+        job = MachineJob(shots, base_dose=1.5)
+        write_job(job, tmp_path / "whole.ebj")
+        with JobFileWriter(tmp_path / "inc.ebj", len(shots), base_dose=1.5) as writer:
+            for shot in shots:
+                writer.write_shot(shot)
+        assert filecmp.cmp(tmp_path / "whole.ebj", tmp_path / "inc.ebj", shallow=False)
+
+    def test_undercount_raises_and_discards(self, tmp_path):
+        shots = self._shots()
+        writer = JobFileWriter(tmp_path / "short.ebj", len(shots))
+        writer.write_shot(shots[0])
+        with pytest.raises(JobFileError, match="wrote 1"):
+            writer.close()
+        assert not (tmp_path / "short.ebj").exists()
+        assert not list(tmp_path.iterdir())
+
+    def test_overcount_raises_immediately(self, tmp_path):
+        shots = self._shots()
+        writer = JobFileWriter(tmp_path / "over.ebj", 1)
+        writer.write_shot(shots[0])
+        with pytest.raises(JobFileError, match="declared 1"):
+            writer.write_shot(shots[1])
+        writer.abort()
+        assert not list(tmp_path.iterdir())
+
+    def test_exception_aborts_staging(self, tmp_path):
+        shots = self._shots()
+        with pytest.raises(RuntimeError):
+            with JobFileWriter(tmp_path / "boom.ebj", len(shots)) as writer:
+                writer.write_shot(shots[0])
+                raise RuntimeError("mid-stream failure")
+        assert not list(tmp_path.iterdir())
+
+
+# ---------------------------------------------------------------------------
+# Streaming pipeline: byte identity with the in-memory path
+# ---------------------------------------------------------------------------
+
+
+def _materialized_artifacts(pipe, library, tmp_path, **kwargs):
+    result = pipe.run(library, program_path=tmp_path / "mat.ebp", **kwargs)
+    write_job(result.job, tmp_path / "mat.ebj")
+    return result
+
+
+class TestStreamingPipeline:
+    @pytest.fixture(autouse=True)
+    def _clean_pool(self):
+        yield
+        shutdown_worker_pool()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_byte_identity_cold_and_warm(self, tmp_path, workers):
+        library = generators.fresnel_zone_plate()
+        pipe = PreparationPipeline(
+            field_size=FIELD_SIZE,
+            cache_dir=tmp_path / "cache",
+            machine="vsb",
+        )
+        mat = _materialized_artifacts(pipe, library, tmp_path, workers=workers)
+        for run in ("cold", "warm"):
+            res = pipe.run_streaming(
+                library,
+                workers=workers,
+                program_path=tmp_path / f"{run}.ebp",
+                job_path=tmp_path / f"{run}.ebj",
+            )
+            assert filecmp.cmp(
+                tmp_path / "mat.ebj", tmp_path / f"{run}.ebj", shallow=False
+            ), run
+            assert filecmp.cmp(
+                tmp_path / "mat.ebp", tmp_path / f"{run}.ebp", shallow=False
+            ), run
+            assert res.job.digest() == mat.job.digest()
+            assert res.job_bytes == (tmp_path / f"{run}.ebj").stat().st_size
+        # The warm run answered every window from the cache.
+        assert res.execution.cache_hits > 0
+        assert res.execution.cache_misses == 0
+
+    def test_corrected_aggregates_match(self, tmp_path):
+        library = generators.fresnel_zone_plate(zones=8)
+        pipe = PreparationPipeline(
+            corrector=IterativeDoseCorrector(max_iterations=3),
+            psf=psf_for(20.0),
+            field_size=FIELD_SIZE,
+        )
+        mat = pipe.run(library)
+        res = pipe.run_streaming(library)
+        assert res.corrected and mat.corrected
+        assert res.job.digest() == mat.job.digest()
+        assert res.job.dose_range() == mat.job.dose_range()
+        assert res.job.figure_count() == mat.job.figure_count()
+        assert res.job.pattern_area() == mat.job.pattern_area()
+        assert res.job.dose_weighted_area() == mat.job.dose_weighted_area()
+        assert res.job.dose_weighted_count() == mat.job.dose_weighted_count()
+        assert res.job.bounding_box == mat.job.bounding_box
+        for name, breakdown in mat.write_times.items():
+            assert res.write_times[name].total == breakdown.total
+
+    def test_memory_witness_on_stats(self, tmp_path):
+        res = PreparationPipeline(field_size=FIELD_SIZE).run_streaming(
+            generators.fresnel_zone_plate(), job_path=tmp_path / "w.ebj"
+        )
+        stats = res.execution
+        assert stats.streamed
+        assert stats.stream_windows > 1
+        assert stats.peak_window_bytes > 0
+        assert stats.shards_spilled >= stats.occupied_shards > 0
+        assert stats.spill_bytes > 0
+        assert stats.spill_fallbacks == 0
+
+    def test_file_source_streams_identically(self, tmp_path):
+        library = generators.fresnel_zone_plate()
+        path = tmp_path / "fzp.gds"
+        write_gdsii(library, path)
+        pipe = PreparationPipeline(field_size=FIELD_SIZE, machine="raster")
+        mat = _materialized_artifacts(pipe, loads_gdsii(path.read_bytes()), tmp_path)
+        res = pipe.run_streaming(
+            path, program_path=tmp_path / "st.ebp", job_path=tmp_path / "st.ebj"
+        )
+        assert filecmp.cmp(tmp_path / "mat.ebj", tmp_path / "st.ebj", shallow=False)
+        assert filecmp.cmp(tmp_path / "mat.ebp", tmp_path / "st.ebp", shallow=False)
+        assert res.job.name == mat.job.name
+
+    def test_raw_polygon_iterable_source(self, tmp_path):
+        polys = _flat_sequence(generators.grating(lines=6))
+        pipe = PreparationPipeline(field_size=4.0)
+        mat = pipe.run_polygons(polys)
+        res = pipe.run_streaming(iter(polys), job_path=tmp_path / "raw.ebj")
+        write_job(mat.job, tmp_path / "mat.ebj")
+        assert filecmp.cmp(tmp_path / "mat.ebj", tmp_path / "raw.ebj", shallow=False)
+        assert res.source_polygons == len(polys)
+
+    def test_union_overlap_policy_rejected(self):
+        pipe = PreparationPipeline(field_size=FIELD_SIZE, overlap_policy="union")
+        with pytest.raises(ValueError, match="union"):
+            pipe.run_streaming(generators.fresnel_zone_plate())
+
+    def test_closed_execution_refuses_reads(self):
+        executor = ShardedExecutor(TrapezoidFracturer(), field_size=FIELD_SIZE)
+        polys = _flat_sequence(generators.fresnel_zone_plate())
+        execution = executor.execute_stream(polys)
+        execution.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            list(execution.iter_results())
+
+
+# ---------------------------------------------------------------------------
+# Spill degradation: ENOSPC during spill never kills the run
+# ---------------------------------------------------------------------------
+
+
+class TestSpillDegradation:
+    def test_enospc_spill_degrades_to_resident(self, tmp_path):
+        library = generators.fresnel_zone_plate()
+        mat = PreparationPipeline(field_size=FIELD_SIZE).run(library)
+        write_job(mat.job, tmp_path / "mat.ebj")
+        plan = FaultPlan(enospc_puts=tuple(range(64)))
+        pipe = PreparationPipeline(
+            field_size=FIELD_SIZE, cache_dir=tmp_path / "cache", faults=plan
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            res = pipe.run_streaming(library, job_path=tmp_path / "deg.ebj")
+        spill_warnings = [
+            w for w in caught if issubclass(w.category, SpillDegradedWarning)
+        ]
+        assert len(spill_warnings) == 1
+        stats = res.execution
+        assert stats.shards_spilled == 0
+        assert stats.spill_fallbacks >= stats.occupied_shards > 0
+        assert filecmp.cmp(tmp_path / "mat.ebj", tmp_path / "deg.ebj", shallow=False)
+
+
+# ---------------------------------------------------------------------------
+# Distributed dispatch: streaming is byte-identical on a worker fleet
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedStreaming:
+    def test_fleet_run_matches_serial(self, tmp_path):
+        library = generators.grating(pitch=2.0, duty=0.5, lines=12, length=24.0)
+        serial = PreparationPipeline(field_size=4.0).run(library)
+        write_job(serial.job, tmp_path / "serial.ebj")
+
+        server = coordinator_for("127.0.0.1:0")
+        host, port = server.server_address[:2]
+        endpoint = f"{host}:{port}"
+        daemons, threads = [], []
+        try:
+            for i in range(2):
+                daemon = WorkerDaemon(endpoint, worker_id=f"w{i}")
+                daemons.append(daemon)
+                thread = threading.Thread(target=daemon.run, daemon=True)
+                thread.start()
+                threads.append(thread)
+            pipe = PreparationPipeline(
+                field_size=4.0,
+                dispatch="distributed",
+                workers_endpoint=endpoint,
+                dist_policy=DistPolicy(
+                    lease_deadline=1.0,
+                    heartbeat_interval=0.1,
+                    heartbeat_timeout=0.5,
+                    worker_grace=2.0,
+                    speculate_after=0.3,
+                ),
+                retry=RetryPolicy(max_attempts=4, backoff_base=0.0),
+            )
+            res = pipe.run_streaming(library, job_path=tmp_path / "dist.ebj")
+        finally:
+            for daemon in daemons:
+                daemon.stop()
+            for thread in threads:
+                thread.join(timeout=5.0)
+            shutdown_coordinators()
+            shutdown_worker_pool()
+        assert filecmp.cmp(
+            tmp_path / "serial.ebj", tmp_path / "dist.ebj", shallow=False
+        )
+        assert res.execution.streamed
+        assert res.execution.dispatch == "distributed"
+
+
+# ---------------------------------------------------------------------------
+# Recipe and service wiring
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingWiring:
+    def test_recipe_streaming_round_trips(self):
+        recipe = PrepRecipe(streaming=True)
+        assert PrepRecipe.from_dict(recipe.to_dict()) == recipe
+
+    def test_recipe_rejects_streaming_cells(self):
+        with pytest.raises(ValueError, match="hierarchy='flat'"):
+            PrepRecipe(streaming=True, hierarchy="cells")
+
+    def test_recipe_rejects_non_bool_streaming(self):
+        with pytest.raises(ValueError, match="streaming"):
+            PrepRecipe(streaming="yes")
+
+    def test_service_runner_streams_byte_identically(self, tmp_path):
+        from repro.service.jobs import JobStore
+        from repro.service.runner import JobRunner
+        from repro.service.schemas import JobSpec
+
+        store = JobStore()
+        assert "spill_fallbacks" in store.FAULT_KEYS
+        paths = {}
+        for streaming, sub in ((False, "mat"), (True, "stream")):
+            recipe = PrepRecipe(field_size=20.0, machine="vsb", streaming=streaming)
+            job = store.create(JobSpec(workload="fzp", recipe=recipe))
+            JobRunner(store, tmp_path / sub, cache=None)(job)
+            record = store.get(job.id)
+            assert record.state == "done", record.error
+            paths[sub] = record
+            if streaming:
+                memory = record.result["execution"]["memory"]
+                assert memory["streamed"]
+                assert memory["stream_windows"] > 0
+                assert memory["peak_window_bytes"] > 0
+                assert (
+                    record.result["job_bytes"]
+                    == Path(record.job_path).stat().st_size
+                )
+        assert filecmp.cmp(
+            paths["mat"].job_path, paths["stream"].job_path, shallow=False
+        )
+        assert filecmp.cmp(
+            paths["mat"].program_path,
+            paths["stream"].program_path,
+            shallow=False,
+        )
+
+    def test_cli_stream_prep_byte_identical(self, tmp_path, capsys):
+        from repro.cli import main
+
+        library = generators.fresnel_zone_plate()
+        gds = tmp_path / "fzp.gds"
+        write_gdsii(library, gds)
+        base = [
+            "prep", str(gds), "--field-size", "15", "--machine", "vsb",
+        ]
+        assert main(base + ["--output", str(tmp_path / "mat.ebj")]) == 0
+        assert main(base + ["--stream", "--output", str(tmp_path / "st.ebj")]) == 0
+        out = capsys.readouterr().out
+        assert "memory:" in out
+        assert "streamed in" in out
+        assert filecmp.cmp(tmp_path / "mat.ebj", tmp_path / "st.ebj", shallow=False)
+        assert filecmp.cmp(
+            tmp_path / "mat.vsb.ebp", tmp_path / "st.vsb.ebp", shallow=False
+        )
